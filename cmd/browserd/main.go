@@ -1,0 +1,83 @@
+// Command browserd runs a COSM browser daemon: the mediation directory
+// of Fig. 4 as a network service.
+//
+// Usage:
+//
+//	browserd -listen tcp:127.0.0.1:7002
+//	browserd -listen tcp:127.0.0.1:7003 -parent cosm://tcp:127.0.0.1:7002/cosm.browser
+//
+// With -parent, the browser registers its own SID at another browser,
+// forming the browser cascade of section 3.2.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"cosm/internal/browser"
+	"cosm/internal/cosm"
+	"cosm/internal/ref"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("browserd: ")
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], sig); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run starts the daemon and blocks until sig delivers or closes.
+func run(args []string, sig <-chan os.Signal) error {
+	fs := flag.NewFlagSet("browserd", flag.ContinueOnError)
+	var (
+		listen = fs.String("listen", "tcp:127.0.0.1:7002", "endpoint to serve on (tcp:host:port or loop:name)")
+		parent = fs.String("parent", "", "parent browser reference cosm://endpoint/service to register at")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	dir := browser.NewDirectory()
+	svc, err := browser.NewService(dir)
+	if err != nil {
+		return err
+	}
+	node := cosm.NewNode()
+	if err := node.Host(browser.ServiceName, svc); err != nil {
+		return err
+	}
+	endpoint, err := node.ListenAndServe(*listen)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	self := ref.New(endpoint, browser.ServiceName)
+
+	if *parent != "" {
+		ctx := context.Background()
+		parentRef, err := ref.Parse(*parent)
+		if err != nil {
+			return err
+		}
+		pc, err := browser.DialBrowser(ctx, node.Pool(), parentRef)
+		if err != nil {
+			return err
+		}
+		if err := pc.RegisterSID(ctx, svc.SID(), self); err != nil {
+			return err
+		}
+		log.Printf("registered own SID at parent %s", parentRef)
+	}
+
+	log.Printf("browser serving at %s", self)
+	s := <-sig
+	log.Printf("received %v, shutting down", s)
+	return nil
+}

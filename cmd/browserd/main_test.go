@@ -1,0 +1,119 @@
+package main
+
+import (
+	"context"
+	"io"
+	"log"
+	"os"
+	"testing"
+	"time"
+
+	"cosm/internal/browser"
+	"cosm/internal/ref"
+	"cosm/internal/sidl"
+	"cosm/internal/wire"
+)
+
+func dialUp(t *testing.T, pool *wire.Pool, r ref.ServiceRef) *browser.Client {
+	t.Helper()
+	ctx := context.Background()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		bc, err := browser.DialBrowser(ctx, pool, r)
+		if err == nil {
+			return bc
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("browser never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestDaemonRegistersAndSearches(t *testing.T) {
+	log.SetOutput(io.Discard)
+	defer log.SetOutput(os.Stderr)
+
+	sig := make(chan os.Signal)
+	done := make(chan error, 1)
+	go func() { done <- run([]string{"-listen", "loop:browserd-test"}, sig) }()
+
+	pool := wire.NewPool()
+	defer pool.Close()
+	bc := dialUp(t, pool, ref.New("loop:browserd-test", browser.ServiceName))
+	ctx := context.Background()
+	if err := bc.RegisterSID(ctx, sidl.CarRentalSID(), ref.New("tcp:p:1", "CarRentalService")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := bc.Search(ctx, "car")
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("Search = %v, %v", entries, err)
+	}
+
+	close(sig)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDaemonCascadeViaParentFlag(t *testing.T) {
+	log.SetOutput(io.Discard)
+	defer log.SetOutput(os.Stderr)
+
+	// Parent browser first.
+	parentSig := make(chan os.Signal)
+	parentDone := make(chan error, 1)
+	go func() { parentDone <- run([]string{"-listen", "loop:browserd-parent"}, parentSig) }()
+	pool := wire.NewPool()
+	defer pool.Close()
+	parentRef := ref.New("loop:browserd-parent", browser.ServiceName)
+	parentClient := dialUp(t, pool, parentRef)
+
+	// Child registers itself at the parent via -parent.
+	childSig := make(chan os.Signal)
+	childDone := make(chan error, 1)
+	go func() {
+		childDone <- run([]string{
+			"-listen", "loop:browserd-child",
+			"-parent", parentRef.String(),
+		}, childSig)
+	}()
+	dialUp(t, pool, ref.New("loop:browserd-child", browser.ServiceName))
+
+	// The parent eventually lists the child's own SID.
+	ctx := context.Background()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		entries, err := parentClient.Search(ctx, "browser")
+		if err == nil && len(entries) == 1 && entries[0].Ref.Endpoint == "loop:browserd-child" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cascade registration never appeared: %v, %v", entries, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	close(childSig)
+	if err := <-childDone; err != nil {
+		t.Fatal(err)
+	}
+	close(parentSig)
+	if err := <-parentDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDaemonErrors(t *testing.T) {
+	log.SetOutput(io.Discard)
+	defer log.SetOutput(os.Stderr)
+	if err := run([]string{"-listen", "nope"}, nil); err == nil {
+		t.Fatal("bad endpoint must fail")
+	}
+	if err := run([]string{"-listen", "loop:browserd-badparent", "-parent", "junk"}, nil); err == nil {
+		t.Fatal("bad parent ref must fail")
+	}
+	if err := run([]string{"-listen", "loop:browserd-noparent", "-parent", "cosm://loop:ghost/cosm.browser"}, nil); err == nil {
+		t.Fatal("unreachable parent must fail")
+	}
+}

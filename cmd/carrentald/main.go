@@ -1,0 +1,93 @@
+// Command carrentald runs the paper's running example: the remote car
+// rental server, published via browser mediation and/or trader export.
+//
+// Usage:
+//
+//	carrentald -listen tcp:127.0.0.1:7010 \
+//	           -browser cosm://tcp:127.0.0.1:7002/cosm.browser \
+//	           -trader  cosm://tcp:127.0.0.1:7001/cosm.trader
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"cosm/internal/browser"
+	"cosm/internal/carrental"
+	"cosm/internal/cosm"
+	"cosm/internal/ref"
+	"cosm/internal/trader"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("carrentald: ")
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], sig); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run starts the daemon and blocks until sig delivers or closes.
+func run(args []string, sig <-chan os.Signal) error {
+	fs := flag.NewFlagSet("carrentald", flag.ContinueOnError)
+	var (
+		listen     = fs.String("listen", "tcp:127.0.0.1:7010", "endpoint to serve on")
+		browserRef = fs.String("browser", "", "browser reference to register the SID at (mediation path)")
+		traderRef  = fs.String("trader", "", "trader reference to export the offer at (trading path)")
+		name       = fs.String("name", "CarRentalService", "service name to host under")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	svc, impl, err := carrental.New()
+	if err != nil {
+		return err
+	}
+	node := cosm.NewNode()
+	if err := node.Host(*name, svc); err != nil {
+		return err
+	}
+	endpoint, err := node.ListenAndServe(*listen)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	self := ref.New(endpoint, *name)
+	ctx := context.Background()
+
+	var bc *browser.Client
+	if *browserRef != "" {
+		r, err := ref.Parse(*browserRef)
+		if err != nil {
+			return err
+		}
+		if bc, err = browser.DialBrowser(ctx, node.Pool(), r); err != nil {
+			return err
+		}
+	}
+	var tc *trader.Client
+	if *traderRef != "" {
+		r, err := ref.Parse(*traderRef)
+		if err != nil {
+			return err
+		}
+		if tc, err = trader.DialTrader(ctx, node.Pool(), r); err != nil {
+			return err
+		}
+	}
+	if err := carrental.Publish(ctx, impl.SID(), self, bc, tc); err != nil {
+		return err
+	}
+
+	log.Printf("car rental serving at %s (browser=%v trader=%v)", self, bc != nil, tc != nil)
+	s := <-sig
+	log.Printf("received %v: %d bookings served, shutting down", s, impl.Bookings())
+	return nil
+}

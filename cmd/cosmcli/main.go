@@ -1,0 +1,280 @@
+// Command cosmcli is the command-line incarnation of the COSM generic
+// client (Fig. 3): it can describe, browse, render the generated user
+// interface of, and dynamically invoke any COSM service, with zero
+// service-specific code.
+//
+// Usage:
+//
+//	cosmcli describe cosm://tcp:127.0.0.1:7010/CarRentalService
+//	cosmcli ui       cosm://tcp:127.0.0.1:7010/CarRentalService
+//	cosmcli browse   cosm://tcp:127.0.0.1:7002/cosm.browser [keyword]
+//	cosmcli invoke   cosm://.../CarRentalService SelectCar \
+//	                 SelectCar.selection.model=FIAT_Uno \
+//	                 SelectCar.selection.days=3
+//	cosmcli session  cosm://.../CarRentalService 'SelectCar a.b=c ...' 'Commit'
+//	cosmcli import   cosm://.../cosm.trader CarRentalService \
+//	                 -constraint 'ChargePerDay < 100' -policy min:ChargePerDay
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"cosm/internal/genclient"
+	"cosm/internal/ref"
+	"cosm/internal/trader"
+	"cosm/internal/uiform"
+	"cosm/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cosmcli:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: cosmcli <describe|ui|browse|invoke|session|repl|import> <ref> [args...]")
+}
+
+func run(args []string) error {
+	return runWithInput(args, os.Stdin)
+}
+
+func runWithInput(args []string, stdin io.Reader) error {
+	if len(args) < 2 {
+		return usage()
+	}
+	cmd, refText := args[0], args[1]
+	target, err := ref.Parse(refText)
+	if err != nil {
+		return err
+	}
+	rest := args[2:]
+
+	pool := wire.NewPool()
+	defer pool.Close()
+	gc := genclient.New(pool)
+	ctx := context.Background()
+
+	switch cmd {
+	case "describe":
+		b, err := gc.Bind(ctx, target)
+		if err != nil {
+			return err
+		}
+		fmt.Print(b.SID().IDL())
+		return nil
+
+	case "ui":
+		b, err := gc.Bind(ctx, target)
+		if err != nil {
+			return err
+		}
+		fmt.Print(b.RenderUI())
+		return nil
+
+	case "browse":
+		keyword := ""
+		if len(rest) > 0 {
+			keyword = rest[0]
+		}
+		entries, err := gc.Browse(ctx, target, keyword)
+		if err != nil {
+			return err
+		}
+		if len(entries) == 0 {
+			fmt.Println("no services found")
+			return nil
+		}
+		for _, e := range entries {
+			fmt.Printf("%-28s %s  (%d ops)\n", e.Name, e.Ref, len(e.SID.Ops))
+			if e.SID.Doc != "" {
+				fmt.Printf("    %s\n", strings.ReplaceAll(e.SID.Doc, "\n", " "))
+			}
+		}
+		return nil
+
+	case "invoke":
+		if len(rest) < 1 {
+			return fmt.Errorf("usage: cosmcli invoke <ref> <op> [path=value ...]")
+		}
+		b, err := gc.Bind(ctx, target)
+		if err != nil {
+			return err
+		}
+		return invokeOne(ctx, b, rest[0], rest[1:])
+
+	case "session":
+		// Each argument is one invocation: "Op path=value path=value".
+		b, err := gc.Bind(ctx, target)
+		if err != nil {
+			return err
+		}
+		for _, step := range rest {
+			fields := strings.Fields(step)
+			if len(fields) == 0 {
+				continue
+			}
+			if err := invokeOne(ctx, b, fields[0], fields[1:]); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case "repl":
+		b, err := gc.Bind(ctx, target)
+		if err != nil {
+			return err
+		}
+		return repl(ctx, b, stdin)
+
+	case "import":
+		fs := flag.NewFlagSet("import", flag.ContinueOnError)
+		constraint := fs.String("constraint", "", "attribute constraint expression")
+		policy := fs.String("policy", "", "selection policy (first|random|min:P|max:P)")
+		maxN := fs.Int("max", 0, "maximum offers (0 = all)")
+		hops := fs.Int("hops", 0, "federation hop limit")
+		if len(rest) < 1 {
+			return fmt.Errorf("usage: cosmcli import <trader-ref> <service-type> [flags]")
+		}
+		serviceType := rest[0]
+		if err := fs.Parse(rest[1:]); err != nil {
+			return err
+		}
+		tc, err := trader.DialTrader(ctx, pool, target)
+		if err != nil {
+			return err
+		}
+		offers, err := tc.Import(ctx, trader.ImportRequest{
+			Type: serviceType, Constraint: *constraint, Policy: *policy,
+			Max: *maxN, HopLimit: *hops,
+		})
+		if err != nil {
+			return err
+		}
+		if len(offers) == 0 {
+			fmt.Println("no matching offers")
+			return nil
+		}
+		for _, o := range offers {
+			fmt.Printf("%-14s %-24s %s\n", o.ID, o.Type, o.Ref)
+			for _, name := range sortedKeys(o.Props) {
+				fmt.Printf("    %s = %s\n", name, o.Props[name])
+			}
+		}
+		return nil
+
+	default:
+		return usage()
+	}
+}
+
+// repl is the interactive generic client of the paper's user level: the
+// human browses the generated user interface and drives the service by
+// hand, with the FSM restricting what is offered at each step.
+func repl(ctx context.Context, b *genclient.Binding, stdin io.Reader) error {
+	fmt.Printf("bound to %s (%s) — 'help' for commands\n", b.SID().ServiceName, b.Ref())
+	printPrompt(b)
+	scanner := bufio.NewScanner(stdin)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			printPrompt(b)
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit":
+			fmt.Println("bye")
+			return nil
+		case "help":
+			fmt.Println(`commands:
+  ui                      render the generated user interface
+  ops                     list operations (legal ones marked *)
+  state                   show the communication state
+  <Op> [path=value ...]   invoke an operation
+  quit`)
+		case "ui":
+			fmt.Print(b.RenderUI())
+		case "ops":
+			allowed := map[string]bool{}
+			for _, op := range b.AllowedOps() {
+				allowed[op] = true
+			}
+			for _, op := range b.SID().Ops {
+				marker := " "
+				if b.AllowedOps() == nil || allowed[op.Name] {
+					marker = "*"
+				}
+				fmt.Printf("  %s %-16s %s\n", marker, op.Name, op.Doc)
+			}
+		case "state":
+			if s := b.State(); s != "" {
+				fmt.Printf("state %s; allowed: %s\n", s, strings.Join(b.AllowedOps(), ", "))
+			} else {
+				fmt.Println("unrestricted protocol")
+			}
+		default:
+			if err := invokeOne(ctx, b, fields[0], fields[1:]); err != nil {
+				fmt.Println("error:", err)
+			}
+		}
+		printPrompt(b)
+	}
+	return scanner.Err()
+}
+
+func printPrompt(b *genclient.Binding) {
+	if s := b.State(); s != "" {
+		fmt.Printf("[%s] > ", s)
+		return
+	}
+	fmt.Print("> ")
+}
+
+func invokeOne(ctx context.Context, b *genclient.Binding, op string, assignments []string) error {
+	inputs := map[string]string{}
+	for _, a := range assignments {
+		path, value, ok := strings.Cut(a, "=")
+		if !ok {
+			return fmt.Errorf("argument %q is not path=value", a)
+		}
+		inputs[path] = value
+	}
+	res, err := b.InvokeForm(ctx, op, inputs)
+	if err != nil {
+		return err
+	}
+	// Return values are presented the same way the entry form presents
+	// parameters (section 4.2).
+	opSig, ok := b.SID().Op(op)
+	if ok && (res.Value != nil || len(res.Outs) > 0) {
+		fmt.Print(uiform.RenderResult(b.SID().ServiceName, opSig, res.Value, res.Outs))
+	} else {
+		fmt.Printf("%s => ok\n", op)
+	}
+	if state := b.State(); state != "" {
+		fmt.Printf("  [state: %s; allowed: %s]\n", state, strings.Join(b.AllowedOps(), ", "))
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -1,0 +1,255 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"cosm/internal/browser"
+	"cosm/internal/carrental"
+	"cosm/internal/cosm"
+	"cosm/internal/sidl"
+	"cosm/internal/trader"
+	"cosm/internal/typemgr"
+)
+
+// startMarket hosts a car rental, browser and trader on one loopback
+// node and returns their reference strings.
+func startMarket(t *testing.T, loopName string) (carRef, browserRef, traderRef string) {
+	t.Helper()
+	node := cosm.NewNode(cosm.WithNodeLog(func(string, ...any) {}))
+
+	svc, impl, err := carrental.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Host("CarRentalService", svc); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := browser.NewDirectory()
+	bsvc, err := browser.NewService(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Host(browser.ServiceName, bsvc); err != nil {
+		t.Fatal(err)
+	}
+
+	repo := typemgr.NewRepo()
+	st, err := typemgr.FromSID(sidl.CarRentalSID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Define(st); err != nil {
+		t.Fatal(err)
+	}
+	tr := trader.New("cli-test", repo)
+	tsvc, err := trader.NewService(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Host(trader.ServiceName, tsvc); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := node.ListenAndServe("loop:" + loopName); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = node.Close() })
+
+	self := node.MustRefFor("CarRentalService")
+	if err := dir.Register(impl.SID(), self); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.ExportSID(impl.SID(), self); err != nil {
+		t.Fatal(err)
+	}
+	return self.String(),
+		node.MustRefFor(browser.ServiceName).String(),
+		node.MustRefFor(trader.ServiceName).String()
+}
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string, 1)
+	go func() {
+		var b strings.Builder
+		_, _ = io.Copy(&b, r)
+		done <- b.String()
+	}()
+	runErr := f()
+	_ = w.Close()
+	return <-done, runErr
+}
+
+func TestDescribe(t *testing.T) {
+	carRef, _, _ := startMarket(t, "cli-describe")
+	out, err := capture(t, func() error { return run([]string{"describe", carRef}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"module CarRentalService {", "module COSM_FSM {"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("describe output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUICommand(t *testing.T) {
+	carRef, _, _ := startMarket(t, "cli-ui")
+	out, err := capture(t, func() error { return run([]string{"ui", carRef}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "[ Invoke SelectCar ]") {
+		t.Fatalf("ui output lacks invoke button:\n%s", out)
+	}
+}
+
+func TestBrowseCommand(t *testing.T) {
+	_, browserRef, _ := startMarket(t, "cli-browse")
+	out, err := capture(t, func() error { return run([]string{"browse", browserRef, "rent"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "CarRentalService") {
+		t.Fatalf("browse output = %q", out)
+	}
+	out, err = capture(t, func() error { return run([]string{"browse", browserRef, "zeppelin"}) })
+	if err != nil || !strings.Contains(out, "no services found") {
+		t.Fatalf("browse(zeppelin) = %q, %v", out, err)
+	}
+}
+
+func TestInvokeCommand(t *testing.T) {
+	carRef, _, _ := startMarket(t, "cli-invoke")
+	out, err := capture(t, func() error {
+		return run([]string{"invoke", carRef, "SelectCar",
+			"SelectCar.selection.model=FIAT_Uno",
+			"SelectCar.selection.days=3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "charge: 240") {
+		t.Fatalf("invoke output = %q", out)
+	}
+	if !strings.Contains(out, "[state: SELECTED;") {
+		t.Fatalf("invoke output lacks FSM state: %q", out)
+	}
+}
+
+func TestSessionCommand(t *testing.T) {
+	carRef, _, _ := startMarket(t, "cli-session")
+	out, err := capture(t, func() error {
+		return run([]string{"session", carRef,
+			"SelectCar SelectCar.selection.model=VW_Golf SelectCar.selection.days=2",
+			"Commit"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "confirmation:") || !strings.Contains(out, "VW_Golf-2d") {
+		t.Fatalf("session output = %q", out)
+	}
+}
+
+func TestSessionProtocolViolation(t *testing.T) {
+	carRef, _, _ := startMarket(t, "cli-protocol")
+	_, err := capture(t, func() error { return run([]string{"invoke", carRef, "Commit"}) })
+	if err == nil || !strings.Contains(err.Error(), "protocol violation") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestImportCommand(t *testing.T) {
+	_, _, traderRef := startMarket(t, "cli-import")
+	out, err := capture(t, func() error {
+		return run([]string{"import", traderRef, "CarRentalService",
+			"-constraint", "ChargePerDay < 100", "-policy", "min:ChargePerDay"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "CarRentalService") || !strings.Contains(out, "ChargePerDay = 80") {
+		t.Fatalf("import output = %q", out)
+	}
+	out, err = capture(t, func() error {
+		return run([]string{"import", traderRef, "CarRentalService", "-constraint", "ChargePerDay > 1000"})
+	})
+	if err != nil || !strings.Contains(out, "no matching offers") {
+		t.Fatalf("import(no match) = %q, %v", out, err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	carRef, _, _ := startMarket(t, "cli-errors")
+	cases := [][]string{
+		nil,
+		{"describe"},
+		{"describe", "not-a-ref"},
+		{"frobnicate", carRef},
+		{"invoke", carRef},
+		{"invoke", carRef, "SelectCar", "novalue"},
+		{"import", carRef},
+	}
+	for _, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Fatalf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestReplSession(t *testing.T) {
+	carRef, _, _ := startMarket(t, "cli-repl")
+	script := strings.Join([]string{
+		"help",
+		"ops",
+		"state",
+		"Commit", // illegal in INIT: printed error, session continues
+		"SelectCar SelectCar.selection.model=FIAT_Uno SelectCar.selection.days=2",
+		"state",
+		"Commit",
+		"ui",
+		"quit",
+	}, "\n")
+	out, err := capture(t, func() error {
+		return runWithInput([]string{"repl", carRef}, strings.NewReader(script))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"bound to CarRentalService",
+		"* SelectCar",
+		"state INIT; allowed: SelectCar",
+		"error:", // the intercepted Commit
+		"charge: 160",
+		"state SELECTED",
+		"confirmation:",
+		"[ Invoke SelectCar ]",
+		"bye",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("repl output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplEOFEndsCleanly(t *testing.T) {
+	carRef, _, _ := startMarket(t, "cli-repl-eof")
+	if _, err := capture(t, func() error {
+		return runWithInput([]string{"repl", carRef}, strings.NewReader("state\n"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

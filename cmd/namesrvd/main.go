@@ -1,0 +1,65 @@
+// Command namesrvd runs the name server and group manager of the COSM
+// service-support level (Fig. 6) as one daemon.
+//
+// Usage:
+//
+//	namesrvd -listen tcp:127.0.0.1:7000
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"cosm/internal/cosm"
+	"cosm/internal/naming"
+	"cosm/internal/ref"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("namesrvd: ")
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], sig); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run starts the daemon and blocks until sig delivers or closes.
+func run(args []string, sig <-chan os.Signal) error {
+	fs := flag.NewFlagSet("namesrvd", flag.ContinueOnError)
+	listen := fs.String("listen", "tcp:127.0.0.1:7000", "endpoint to serve on (tcp:host:port or loop:name)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	nameSvc, err := naming.NewService(naming.NewRegistry())
+	if err != nil {
+		return err
+	}
+	groupSvc, err := naming.NewGroupService(naming.NewGroups())
+	if err != nil {
+		return err
+	}
+	node := cosm.NewNode()
+	if err := node.Host(naming.ServiceName, nameSvc); err != nil {
+		return err
+	}
+	if err := node.Host(naming.GroupServiceName, groupSvc); err != nil {
+		return err
+	}
+	endpoint, err := node.ListenAndServe(*listen)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	log.Printf("name server at %s", ref.New(endpoint, naming.ServiceName))
+	log.Printf("group manager at %s", ref.New(endpoint, naming.GroupServiceName))
+	s := <-sig
+	log.Printf("received %v, shutting down", s)
+	return nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"context"
+	"io"
+	"log"
+	"os"
+	"testing"
+	"time"
+
+	"cosm/internal/naming"
+	"cosm/internal/ref"
+	"cosm/internal/wire"
+)
+
+func TestDaemonServesAndShutsDown(t *testing.T) {
+	log.SetOutput(io.Discard)
+	defer log.SetOutput(os.Stderr)
+
+	sig := make(chan os.Signal)
+	done := make(chan error, 1)
+	go func() { done <- run([]string{"-listen", "loop:namesrvd-test"}, sig) }()
+
+	// Wait for the daemon to come up, then exercise both services.
+	pool := wire.NewPool()
+	defer pool.Close()
+	ctx := context.Background()
+	var nc *naming.NameClient
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var err error
+		nc, err = naming.DialNameServer(ctx, pool, ref.New("loop:namesrvd-test", naming.ServiceName))
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	target := ref.New("tcp:far:1", "Svc")
+	if err := nc.Register(ctx, "a", target); err != nil {
+		t.Fatal(err)
+	}
+	got, err := nc.Resolve(ctx, "a")
+	if err != nil || got != target {
+		t.Fatalf("Resolve = %v, %v", got, err)
+	}
+	gc, err := naming.DialGroups(ctx, pool, ref.New("loop:namesrvd-test", naming.GroupServiceName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gc.Join(ctx, "g", "tcp:x:1"); err != nil {
+		t.Fatal(err)
+	}
+
+	close(sig)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadListenEndpoint(t *testing.T) {
+	log.SetOutput(io.Discard)
+	defer log.SetOutput(os.Stderr)
+	if err := run([]string{"-listen", "bogus"}, nil); err == nil {
+		t.Fatal("bad endpoint must fail")
+	}
+	if err := run([]string{"-nosuchflag"}, nil); err == nil {
+		t.Fatal("bad flag must fail")
+	}
+}

@@ -1,0 +1,118 @@
+// Command sidlc is the SIDL compiler front end: it checks, pretty-prints
+// and inspects Service Interface Descriptions.
+//
+// Usage:
+//
+//	sidlc check  service.sidl...   # parse + validate, report errors
+//	sidlc fmt    service.sidl      # print canonical form
+//	sidlc info   service.sidl      # summary: ops, types, extensions
+//	sidlc ui     service.sidl      # render the generated user interface
+//
+// With no file arguments, sidlc reads one description from stdin.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"cosm/internal/sidl"
+	"cosm/internal/typemgr"
+	"cosm/internal/uiform"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sidlc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: sidlc <check|fmt|info|ui> [file...]")
+	}
+	cmd, files := args[0], args[1:]
+
+	sources := map[string]string{}
+	if len(files) == 0 {
+		src, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return err
+		}
+		sources["<stdin>"] = string(src)
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		sources[f] = string(src)
+	}
+
+	failed := false
+	for name, src := range sources {
+		sid, err := sidl.Parse(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			failed = true
+			continue
+		}
+		switch cmd {
+		case "check":
+			fmt.Printf("%s: ok (%s, %d ops)\n", name, sid.ServiceName, len(sid.Ops))
+		case "fmt":
+			fmt.Print(sid.IDL())
+		case "info":
+			printInfo(name, sid)
+		case "ui":
+			fmt.Print(uiform.RenderAll(sid))
+		default:
+			return fmt.Errorf("unknown command %q", cmd)
+		}
+	}
+	if failed {
+		return fmt.Errorf("some descriptions failed to check")
+	}
+	return nil
+}
+
+func printInfo(name string, sid *sidl.SID) {
+	fmt.Printf("%s: module %s\n", name, sid.ServiceName)
+	if sid.Doc != "" {
+		fmt.Printf("  doc: %s\n", sid.Doc)
+	}
+	fmt.Printf("  types (%d):\n", len(sid.Types))
+	for _, t := range sid.Types {
+		fmt.Printf("    %-20s %s\n", t.Name, t.Kind)
+	}
+	fmt.Printf("  operations (%d):\n", len(sid.Ops))
+	for _, op := range sid.Ops {
+		fmt.Printf("    %s %s(", op.Result, op.Name)
+		for i, p := range op.Params {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Printf("%s %s %s", p.Dir, p.Type, p.Name)
+		}
+		fmt.Println(")")
+	}
+	if sid.FSM.Restricted() {
+		fmt.Printf("  fsm: %s\n", sid.FSM)
+	}
+	if sid.Trader != nil {
+		fmt.Printf("  trader export: type %s, id %d, %d properties\n",
+			sid.Trader.TypeOfService, sid.Trader.ServiceID, len(sid.Trader.Properties))
+		if st, err := typemgr.FromSID(sid); err == nil {
+			for _, a := range st.Attrs {
+				fmt.Printf("    %-20s %s\n", a.Name, a.Type)
+			}
+		}
+	}
+	if sid.UI != nil {
+		fmt.Printf("  ui annotations: %d docs, %d widget hints\n", len(sid.UI.Docs), len(sid.UI.Widgets))
+	}
+	for _, m := range sid.Unknown {
+		fmt.Printf("  unknown extension module: %s (preserved)\n", m.Name)
+	}
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs f with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+
+	done := make(chan string, 1)
+	go func() {
+		var b strings.Builder
+		_, _ = io.Copy(&b, r)
+		done <- b.String()
+	}()
+	runErr := f()
+	_ = w.Close()
+	return <-done, runErr
+}
+
+func TestCheckValidFile(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"check", "testdata/carrental.sidl"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ok (CarRentalService, 2 ops)") {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestCheckBrokenFile(t *testing.T) {
+	_, err := capture(t, func() error { return run([]string{"check", "testdata/broken.sidl"}) })
+	if err == nil {
+		t.Fatal("check of broken file must fail")
+	}
+}
+
+func TestFmtRoundTrips(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"fmt", "testdata/carrental.sidl"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"module CarRentalService {",
+		"interface COSM_Operations {",
+		"module COSM_Future {",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fmt output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInfo(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"info", "testdata/carrental.sidl"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"module CarRentalService",
+		"operations (2):",
+		"fsm: INIT:",
+		"trader export: type CarRentalService, id 4711",
+		"unknown extension module: COSM_Future (preserved)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("info output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUI(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"ui", "testdata/carrental.sidl"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "model: (AUDI | FIAT_Uno | VW_Golf)") {
+		t.Fatalf("ui output lacks generated choice widget:\n%s", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no args must fail")
+	}
+	if _, err := capture(t, func() error { return run([]string{"frobnicate", "testdata/carrental.sidl"}) }); err == nil {
+		t.Fatal("unknown command must fail")
+	}
+	if err := run([]string{"check", "testdata/missing.sidl"}); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}

@@ -1,0 +1,117 @@
+// Command traderd runs an ODP trader daemon: the trading function of
+// Fig. 1 as a network service.
+//
+// Usage:
+//
+//	traderd -listen tcp:127.0.0.1:7001 -id hamburg \
+//	        -type carrental.sidl -link cosm://tcp:10.0.0.2:7001/cosm.trader
+//
+// Service types can be preloaded from SIDL files carrying a
+// COSM_TraderExport module (-type, repeatable); more types can be
+// defined at run time through the management interface. Federation
+// partners are linked with -link (repeatable).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"cosm/internal/cosm"
+	"cosm/internal/ref"
+	"cosm/internal/sidl"
+	"cosm/internal/trader"
+	"cosm/internal/typemgr"
+)
+
+type stringList []string
+
+func (l *stringList) String() string { return fmt.Sprint([]string(*l)) }
+func (l *stringList) Set(s string) error {
+	*l = append(*l, s)
+	return nil
+}
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("traderd: ")
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], sig); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run starts the daemon and blocks until sig delivers or closes.
+func run(args []string, sig <-chan os.Signal) error {
+	fs := flag.NewFlagSet("traderd", flag.ContinueOnError)
+	var (
+		listen    = fs.String("listen", "tcp:127.0.0.1:7001", "endpoint to serve on (tcp:host:port or loop:name)")
+		id        = fs.String("id", "trader-1", "federation identity (unique per federation)")
+		typeFiles stringList
+		links     stringList
+	)
+	fs.Var(&typeFiles, "type", "SIDL file with a COSM_TraderExport module to preload as a service type (repeatable)")
+	fs.Var(&links, "link", "partner trader reference cosm://endpoint/service (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	repo := typemgr.NewRepo()
+	for _, file := range typeFiles {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		sid, err := sidl.Parse(string(src))
+		if err != nil {
+			return fmt.Errorf("%s: %w", file, err)
+		}
+		st, err := typemgr.FromSID(sid)
+		if err != nil {
+			return fmt.Errorf("%s: %w", file, err)
+		}
+		if err := repo.Define(st); err != nil {
+			return fmt.Errorf("%s: %w", file, err)
+		}
+		log.Printf("preloaded service type %s (%d attributes)", st.Name, len(st.Attrs))
+	}
+
+	tr := trader.New(*id, repo)
+	svc, err := trader.NewService(tr)
+	if err != nil {
+		return err
+	}
+	node := cosm.NewNode()
+	if err := node.Host(trader.ServiceName, svc); err != nil {
+		return err
+	}
+	endpoint, err := node.ListenAndServe(*listen)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	ctx := context.Background()
+	for _, link := range links {
+		r, err := ref.Parse(link)
+		if err != nil {
+			return fmt.Errorf("-link %s: %w", link, err)
+		}
+		partner, err := trader.DialTrader(ctx, node.Pool(), r)
+		if err != nil {
+			return fmt.Errorf("-link %s: %w", link, err)
+		}
+		tr.Link(partner)
+		log.Printf("federated with %s", r)
+	}
+
+	log.Printf("trader %q serving at %s", *id, ref.New(endpoint, trader.ServiceName))
+	s := <-sig
+	log.Printf("received %v, shutting down", s)
+	return nil
+}

@@ -1,0 +1,243 @@
+// Atomic multi-provider booking through the COSM activity manager — the
+// "Transaction / Activity Management" functions of the Fig. 6
+// architecture that the 1994 prototype left unimplemented.
+//
+// A travel agency books a flight and a hotel room as one unit of work:
+// either both reservations commit or neither does. Both providers are
+// ordinary COSM services whose SIDs are *extended* (section 3.1 record
+// extension) with the transactional participant operations; base-level
+// clients can keep using them and never see the extension.
+//
+//	go run ./examples/travelbooking
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+
+	"cosm/internal/activity"
+	"cosm/internal/cosm"
+	"cosm/internal/ref"
+	"cosm/internal/sidl"
+	"cosm/internal/xcode"
+)
+
+const bookableIDL = `
+// Reserves units of inventory, transactionally.
+module Bookable {
+    interface COSM_Operations {
+        // Add units to the activity's pending reservation.
+        void Reserve(in string activity, in long units);
+        // Report remaining free units.
+        long Free();
+    };
+};
+`
+
+// inventory is a transactional resource: free units plus activity-keyed
+// pending reservations.
+type inventory struct {
+	name string
+
+	mu      sync.Mutex
+	free    int
+	pending map[string]int
+}
+
+func (inv *inventory) Reserve(id string, units int) {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	inv.pending[id] += units
+}
+
+func (inv *inventory) Prepare(id string) error {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	if inv.pending[id] > inv.free {
+		return errors.New(inv.name + ": not enough capacity")
+	}
+	return nil
+}
+
+func (inv *inventory) Commit(id string) error {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	inv.free -= inv.pending[id]
+	delete(inv.pending, id)
+	return nil
+}
+
+func (inv *inventory) Abort(id string) error {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	delete(inv.pending, id)
+	return nil
+}
+
+func (inv *inventory) Free() int {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	return inv.free
+}
+
+// hostBookable publishes one transactional inventory service.
+func hostBookable(node *cosm.Node, name string, free int) (*inventory, ref.ServiceRef, error) {
+	base, err := sidl.Parse(bookableIDL)
+	if err != nil {
+		return nil, ref.ServiceRef{}, err
+	}
+	base.ServiceName = name
+	sid := activity.ExtendSID(base)
+	svc, err := cosm.NewService(sid)
+	if err != nil {
+		return nil, ref.ServiceRef{}, err
+	}
+	inv := &inventory{name: name, free: free, pending: map[string]int{}}
+	int32T := sidl.Basic(sidl.Int32)
+	svc.MustHandle("Reserve", func(call *cosm.Call) error {
+		id, err := call.Arg("activity")
+		if err != nil {
+			return err
+		}
+		units, err := call.Arg("units")
+		if err != nil {
+			return err
+		}
+		inv.Reserve(id.Str, int(units.Int))
+		return nil
+	})
+	svc.MustHandle("Free", func(call *cosm.Call) error {
+		call.Result = xcode.NewInt(int32T, int64(inv.Free()))
+		return nil
+	})
+	if err := activity.HandleParticipant(svc, inv); err != nil {
+		return nil, ref.ServiceRef{}, err
+	}
+	if err := node.Host(name, svc); err != nil {
+		return nil, ref.ServiceRef{}, err
+	}
+	return inv, node.MustRefFor(name), nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	node := cosm.NewNode()
+	if _, err := node.ListenAndServe("tcp:127.0.0.1:0"); err != nil {
+		return err
+	}
+	defer node.Close()
+
+	flights, flightRef, err := hostBookable(node, "AlsterAir", 6)
+	if err != nil {
+		return err
+	}
+	hotels, hotelRef, err := hostBookable(node, "ElbeHotel", 2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== AlsterAir: %d seats, ElbeHotel: %d rooms\n", flights.Free(), hotels.Free())
+
+	// The activity manager is itself a COSM service.
+	manager := activity.NewManager(node.Pool())
+	msvc, err := activity.NewService(manager)
+	if err != nil {
+		return err
+	}
+	if err := node.Host(activity.ServiceName, msvc); err != nil {
+		return err
+	}
+	am, err := activity.DialManager(ctx, node.Pool(), node.MustRefFor(activity.ServiceName))
+	if err != nil {
+		return err
+	}
+
+	reserve := func(id string, r ref.ServiceRef, units int) error {
+		conn, err := cosm.Bind(ctx, node.Pool(), r)
+		if err != nil {
+			return err
+		}
+		_, err = conn.Invoke(ctx, "Reserve",
+			xcode.NewString(sidl.Basic(sidl.String), id),
+			xcode.NewInt(sidl.Basic(sidl.Int32), int64(units)))
+		return err
+	}
+
+	// --- Trip 1: 2 seats + 2 rooms. Both providers can satisfy it.
+	trip1, err := am.Begin(ctx)
+	if err != nil {
+		return err
+	}
+	for _, r := range []ref.ServiceRef{flightRef, hotelRef} {
+		if err := am.Join(ctx, trip1, r); err != nil {
+			return err
+		}
+	}
+	if err := reserve(trip1, flightRef, 2); err != nil {
+		return err
+	}
+	if err := reserve(trip1, hotelRef, 2); err != nil {
+		return err
+	}
+	committed, err := am.Commit(ctx, trip1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n== trip 1 (2 seats + 2 rooms): committed=%v\n", committed)
+	fmt.Printf("   AlsterAir free=%d, ElbeHotel free=%d\n", flights.Free(), hotels.Free())
+
+	// --- Trip 2: 2 seats + 2 rooms again — the hotel is now full, so
+	// the whole activity aborts and the flight seats are NOT taken.
+	trip2, err := am.Begin(ctx)
+	if err != nil {
+		return err
+	}
+	for _, r := range []ref.ServiceRef{flightRef, hotelRef} {
+		if err := am.Join(ctx, trip2, r); err != nil {
+			return err
+		}
+	}
+	if err := reserve(trip2, flightRef, 2); err != nil {
+		return err
+	}
+	if err := reserve(trip2, hotelRef, 2); err != nil {
+		return err
+	}
+	committed, err = am.Commit(ctx, trip2)
+	if err != nil {
+		return err
+	}
+	status, err := am.Status(ctx, trip2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n== trip 2 (hotel oversubscribed): committed=%v, status=%s\n", committed, status)
+	fmt.Printf("   AlsterAir free=%d (unchanged — atomicity held), ElbeHotel free=%d\n",
+		flights.Free(), hotels.Free())
+
+	// --- The extension is invisible to base clients: a generic client
+	// bound with the *base* description still lists only Reserve/Free.
+	baseSID, err := sidl.Parse(bookableIDL)
+	if err != nil {
+		return err
+	}
+	baseSID.ServiceName = "AlsterAir"
+	servedSID, err := cosm.Describe(ctx, node.Pool(), flightRef)
+	if err != nil {
+		return err
+	}
+	if err := servedSID.ConformsTo(baseSID); err != nil {
+		return err
+	}
+	fmt.Printf("\n== served SID has %d ops and still conforms to the 2-op base description\n",
+		len(servedSID.Ops))
+	return nil
+}

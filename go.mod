@@ -1,0 +1,3 @@
+module cosm
+
+go 1.22

@@ -1,0 +1,440 @@
+package activity
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"cosm/internal/cosm"
+	"cosm/internal/ref"
+	"cosm/internal/sidl"
+	"cosm/internal/wire"
+	"cosm/internal/xcode"
+)
+
+// seatStore is a transactional test resource: a pool of seats with
+// activity-keyed pending reservations. Prepare votes no when the pending
+// reservation oversubscribes the pool.
+type seatStore struct {
+	mu      sync.Mutex
+	free    int
+	pending map[string]int
+}
+
+func newSeatStore(free int) *seatStore {
+	return &seatStore{free: free, pending: map[string]int{}}
+}
+
+func (s *seatStore) reserve(activityID string, seats int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending[activityID] += seats
+}
+
+func (s *seatStore) Prepare(activityID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending[activityID] > s.free {
+		return errors.New("not enough seats")
+	}
+	return nil
+}
+
+func (s *seatStore) Commit(activityID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.free -= s.pending[activityID]
+	delete(s.pending, activityID)
+	return nil
+}
+
+func (s *seatStore) Abort(activityID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.pending, activityID)
+	return nil
+}
+
+func (s *seatStore) Free() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.free
+}
+
+func (s *seatStore) pendingCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+const seatIDL = `
+// Reserves seats, transactionally.
+module SeatStore {
+    interface COSM_Operations {
+        // Add seats to the activity's pending reservation.
+        void Reserve(in string activity, in long seats);
+        // Report free seats.
+        long Free();
+    };
+};
+`
+
+// startSeatService hosts one transactional seat store.
+func startSeatService(t *testing.T, node *cosm.Node, name string, free int) (*seatStore, ref.ServiceRef) {
+	t.Helper()
+	baseSID, err := sidl.Parse(seatIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseSID.ServiceName = name
+	sid := ExtendSID(baseSID)
+	svc, err := cosm.NewService(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := newSeatStore(free)
+	int32T := sidl.Basic(sidl.Int32)
+	svc.MustHandle("Reserve", func(call *cosm.Call) error {
+		id, err := call.Arg("activity")
+		if err != nil {
+			return err
+		}
+		seats, err := call.Arg("seats")
+		if err != nil {
+			return err
+		}
+		store.reserve(id.Str, int(seats.Int))
+		return nil
+	})
+	svc.MustHandle("Free", func(call *cosm.Call) error {
+		call.Result = xcode.NewInt(int32T, int64(store.Free()))
+		return nil
+	})
+	if err := HandleParticipant(svc, store); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Host(name, svc); err != nil {
+		t.Fatal(err)
+	}
+	return store, node.MustRefFor(name)
+}
+
+func startNode(t *testing.T, loopName string) *cosm.Node {
+	t.Helper()
+	node := cosm.NewNode(cosm.WithNodeLog(func(string, ...any) {}))
+	if _, err := node.ListenAndServe("loop:" + loopName); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = node.Close() })
+	return node
+}
+
+func reserve(t *testing.T, pool *wire.Pool, r ref.ServiceRef, id string, seats int) {
+	t.Helper()
+	ctx := context.Background()
+	conn, err := cosm.Bind(ctx, pool, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = conn.Invoke(ctx, "Reserve",
+		xcode.NewString(sidl.Basic(sidl.String), id),
+		xcode.NewInt(sidl.Basic(sidl.Int32), int64(seats)))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoPhaseCommitAcrossServices(t *testing.T) {
+	node := startNode(t, "act-commit")
+	flights, flightRef := startSeatService(t, node, "FlightSeats", 10)
+	hotels, hotelRef := startSeatService(t, node, "HotelRooms", 5)
+
+	m := NewManager(node.Pool())
+	ctx := context.Background()
+
+	// Atomic trip booking: 2 flight seats + 2 hotel rooms.
+	id := m.Begin()
+	if err := m.Join(id, flightRef); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Join(id, hotelRef); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Join(id, hotelRef); err != nil { // duplicate join is a no-op
+		t.Fatal(err)
+	}
+	if ps, _ := m.Participants(id); len(ps) != 2 {
+		t.Fatalf("participants = %v", ps)
+	}
+	reserve(t, node.Pool(), flightRef, id, 2)
+	reserve(t, node.Pool(), hotelRef, id, 2)
+
+	committed, err := m.Commit(ctx, id)
+	if err != nil || !committed {
+		t.Fatalf("Commit = %v, %v", committed, err)
+	}
+	if flights.Free() != 8 || hotels.Free() != 3 {
+		t.Fatalf("free = %d flights, %d hotels", flights.Free(), hotels.Free())
+	}
+	if st, _ := m.Status(id); st != Committed {
+		t.Fatalf("status = %s", st)
+	}
+	// Commit is idempotent.
+	committed, err = m.Commit(ctx, id)
+	if err != nil || !committed {
+		t.Fatalf("repeat Commit = %v, %v", committed, err)
+	}
+}
+
+func TestPrepareVetoAbortsEverywhere(t *testing.T) {
+	node := startNode(t, "act-veto")
+	flights, flightRef := startSeatService(t, node, "FlightSeats", 10)
+	hotels, hotelRef := startSeatService(t, node, "HotelRooms", 1)
+
+	m := NewManager(node.Pool())
+	ctx := context.Background()
+
+	id := m.Begin()
+	for _, r := range []ref.ServiceRef{flightRef, hotelRef} {
+		if err := m.Join(id, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reserve(t, node.Pool(), flightRef, id, 2)
+	reserve(t, node.Pool(), hotelRef, id, 2) // oversubscribes the hotel
+
+	committed, err := m.Commit(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed {
+		t.Fatal("activity must abort when a participant vetoes")
+	}
+	// Nothing applied anywhere — atomicity across services.
+	if flights.Free() != 10 || hotels.Free() != 1 {
+		t.Fatalf("free = %d flights, %d hotels after abort", flights.Free(), hotels.Free())
+	}
+	// And the vetoing participant's pending state is discarded too.
+	if flights.pendingCount() != 0 || hotels.pendingCount() != 0 {
+		t.Fatalf("pending leaked: flights %d, hotels %d", flights.pendingCount(), hotels.pendingCount())
+	}
+	if st, _ := m.Status(id); st != Aborted {
+		t.Fatalf("status = %s", st)
+	}
+	// Commit after abort reports the aborted outcome.
+	committed, err = m.Commit(ctx, id)
+	if err != nil || committed {
+		t.Fatalf("Commit after abort = %v, %v", committed, err)
+	}
+}
+
+func TestExplicitAbort(t *testing.T) {
+	node := startNode(t, "act-abort")
+	flights, flightRef := startSeatService(t, node, "FlightSeats", 10)
+
+	m := NewManager(node.Pool())
+	ctx := context.Background()
+	id := m.Begin()
+	if err := m.Join(id, flightRef); err != nil {
+		t.Fatal(err)
+	}
+	reserve(t, node.Pool(), flightRef, id, 3)
+	if err := m.Abort(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if flights.Free() != 10 {
+		t.Fatalf("free = %d after abort", flights.Free())
+	}
+	// Abort is idempotent; commit afterwards fails cleanly.
+	if err := m.Abort(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if committed, err := m.Commit(ctx, id); err != nil || committed {
+		t.Fatalf("Commit after abort = %v, %v", committed, err)
+	}
+	// Joining a finished activity fails.
+	if err := m.Join(id, flightRef); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnknownActivityErrors(t *testing.T) {
+	m := NewManager(wire.NewPool())
+	ctx := context.Background()
+	if err := m.Join("ghost", ref.New("e", "s")); !errors.Is(err, ErrUnknownActivity) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := m.Commit(ctx, "ghost"); !errors.Is(err, ErrUnknownActivity) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := m.Abort(ctx, "ghost"); !errors.Is(err, ErrUnknownActivity) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := m.Status("ghost"); !errors.Is(err, ErrUnknownActivity) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := m.Participants("ghost"); !errors.Is(err, ErrUnknownActivity) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnreachableParticipantAborts(t *testing.T) {
+	node := startNode(t, "act-unreachable")
+	flights, flightRef := startSeatService(t, node, "FlightSeats", 10)
+	m := NewManager(node.Pool())
+	ctx := context.Background()
+	id := m.Begin()
+	if err := m.Join(id, flightRef); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Join(id, ref.New("loop:act-ghost-node", "Ghost")); err != nil {
+		t.Fatal(err)
+	}
+	reserve(t, node.Pool(), flightRef, id, 1)
+	committed, err := m.Commit(ctx, id)
+	if err != nil || committed {
+		t.Fatalf("Commit with unreachable participant = %v, %v", committed, err)
+	}
+	if flights.Free() != 10 {
+		t.Fatalf("free = %d", flights.Free())
+	}
+}
+
+func TestRemoteActivityManager(t *testing.T) {
+	// The manager itself as a COSM service, driven by its typed client.
+	node := startNode(t, "act-remote")
+	flights, flightRef := startSeatService(t, node, "FlightSeats", 4)
+
+	m := NewManager(node.Pool())
+	msvc, err := NewService(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Host(ServiceName, msvc); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	ac, err := DialManager(ctx, node.Pool(), node.MustRefFor(ServiceName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	id, err := ac.Begin(ctx)
+	if err != nil || id == "" {
+		t.Fatalf("Begin = %q, %v", id, err)
+	}
+	if err := ac.Join(ctx, id, flightRef); err != nil {
+		t.Fatal(err)
+	}
+	reserve(t, node.Pool(), flightRef, id, 4)
+	if status, err := ac.Status(ctx, id); err != nil || status != "active" {
+		t.Fatalf("Status = %q, %v", status, err)
+	}
+	committed, err := ac.Commit(ctx, id)
+	if err != nil || !committed {
+		t.Fatalf("Commit = %v, %v", committed, err)
+	}
+	if flights.Free() != 0 {
+		t.Fatalf("free = %d", flights.Free())
+	}
+	if status, _ := ac.Status(ctx, id); status != "committed" {
+		t.Fatalf("Status = %q", status)
+	}
+	// Remote errors propagate.
+	if err := ac.Join(ctx, "ghost", flightRef); err == nil {
+		t.Fatal("remote Join(ghost) must fail")
+	}
+	// Abort path through the facade.
+	id2, err := ac.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ac.Abort(ctx, id2); err != nil {
+		t.Fatal(err)
+	}
+	if status, _ := ac.Status(ctx, id2); status != "aborted" {
+		t.Fatalf("Status = %q", status)
+	}
+}
+
+func TestExtendedSIDStillConformsToBase(t *testing.T) {
+	// The participant extension is a record extension in the paper's
+	// sense: base clients see a conforming SID and never notice the
+	// transactional operations.
+	base, err := sidl.Parse(seatIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := ExtendSID(base)
+	if err := ext.ConformsTo(base); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.ConformsTo(ext); err == nil {
+		t.Fatal("base must not conform to the extension")
+	}
+	if _, ok := ext.Op(OpPrepare); !ok {
+		t.Fatal("extension lacks TxPrepare")
+	}
+	// The standalone participant IDL parses and matches the op names.
+	p, err := sidl.Parse(ParticipantIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []string{OpPrepare, OpCommit, OpAbort} {
+		if _, ok := p.Op(op); !ok {
+			t.Fatalf("ParticipantIDL lacks %s", op)
+		}
+	}
+}
+
+func TestConcurrentActivities(t *testing.T) {
+	node := startNode(t, "act-concurrent")
+	store, storeRef := startSeatService(t, node, "FlightSeats", 64)
+	m := NewManager(node.Pool())
+	ctx := context.Background()
+
+	const workers = 16
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := m.Begin()
+			if err := m.Join(id, storeRef); err != nil {
+				errs[i] = err
+				return
+			}
+			conn, err := cosm.Bind(ctx, node.Pool(), storeRef)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if _, err := conn.Invoke(ctx, "Reserve",
+				xcode.NewString(sidl.Basic(sidl.String), id),
+				xcode.NewInt(sidl.Basic(sidl.Int32), 2)); err != nil {
+				errs[i] = err
+				return
+			}
+			committed, err := m.Commit(ctx, id)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !committed {
+				errs[i] = fmt.Errorf("activity %s unexpectedly aborted", id)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	if got := store.Free(); got != 64-2*workers {
+		t.Fatalf("free = %d, want %d", got, 64-2*workers)
+	}
+}

@@ -1,0 +1,241 @@
+package browser
+
+import (
+	"context"
+	"fmt"
+
+	"cosm/internal/cosm"
+	"cosm/internal/ref"
+	"cosm/internal/sidl"
+	"cosm/internal/wire"
+	"cosm/internal/xcode"
+)
+
+// IDL is the browser's own service description — the browser is a COSM
+// service too, which is what enables browser cascades (Fig. 4).
+const IDL = `
+// Directory of innovative services: communicable SIDs plus references.
+module CosmBrowser {
+    struct Entry_t {
+        string name;
+        Object target;
+        string sidlText;
+    };
+    typedef sequence<Entry_t> Entries_t;
+    typedef sequence<string> Names_t;
+    interface COSM_Operations {
+        // Register a SID together with its service reference.
+        void RegisterSID(in string sidlText, in Object target);
+        // Remove a registration by service name.
+        void Withdraw(in string name);
+        // List registered service names.
+        Names_t List();
+        // Fetch one entry (SID text and reference) by service name.
+        Entry_t Get(in string name);
+        // Keyword search over names, operations and annotations.
+        Entries_t Search(in string keyword);
+    };
+};
+`
+
+// NewService wraps a Directory as a hosted COSM service.
+func NewService(d *Directory) (*cosm.Service, error) {
+	sid, err := sidl.Parse(IDL)
+	if err != nil {
+		return nil, fmt.Errorf("browser: internal IDL: %w", err)
+	}
+	svc, err := cosm.NewService(sid)
+	if err != nil {
+		return nil, err
+	}
+	strT := sidl.Basic(sidl.String)
+	refT := sidl.Basic(sidl.SvcRef)
+	entryT := sid.Type("Entry_t")
+	entriesT := sid.Type("Entries_t")
+	namesT := sid.Type("Names_t")
+
+	entryValue := func(e Entry) (*xcode.Value, error) {
+		text, err := e.SID.MarshalText()
+		if err != nil {
+			return nil, err
+		}
+		return xcode.NewStruct(entryT, map[string]*xcode.Value{
+			"name":     xcode.NewString(strT, e.Name),
+			"target":   xcode.NewRef(refT, e.Ref),
+			"sidlText": xcode.NewString(strT, string(text)),
+		})
+	}
+
+	svc.MustHandle("RegisterSID", func(call *cosm.Call) error {
+		text, err := call.Arg("sidlText")
+		if err != nil {
+			return err
+		}
+		target, err := call.Arg("target")
+		if err != nil {
+			return err
+		}
+		parsed, err := sidl.Parse(text.Str)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadSID, err)
+		}
+		return d.Register(parsed, target.Ref)
+	})
+	svc.MustHandle("Withdraw", func(call *cosm.Call) error {
+		name, err := call.Arg("name")
+		if err != nil {
+			return err
+		}
+		return d.Withdraw(name.Str)
+	})
+	svc.MustHandle("List", func(call *cosm.Call) error {
+		names := d.Names()
+		elems := make([]*xcode.Value, len(names))
+		for i, n := range names {
+			elems[i] = xcode.NewString(strT, n)
+		}
+		seq, err := xcode.NewSequence(namesT, elems...)
+		if err != nil {
+			return err
+		}
+		call.Result = seq
+		return nil
+	})
+	svc.MustHandle("Get", func(call *cosm.Call) error {
+		name, err := call.Arg("name")
+		if err != nil {
+			return err
+		}
+		e, err := d.Get(name.Str)
+		if err != nil {
+			return err
+		}
+		ev, err := entryValue(e)
+		if err != nil {
+			return err
+		}
+		call.Result = ev
+		return nil
+	})
+	svc.MustHandle("Search", func(call *cosm.Call) error {
+		keyword, err := call.Arg("keyword")
+		if err != nil {
+			return err
+		}
+		entries := d.Search(keyword.Str)
+		elems := make([]*xcode.Value, len(entries))
+		for i, e := range entries {
+			ev, err := entryValue(e)
+			if err != nil {
+				return err
+			}
+			elems[i] = ev
+		}
+		seq, err := xcode.NewSequence(entriesT, elems...)
+		if err != nil {
+			return err
+		}
+		call.Result = seq
+		return nil
+	})
+	return svc, nil
+}
+
+// Client is a typed wrapper over a dynamic binding to a remote browser.
+type Client struct {
+	conn *cosm.Conn
+	strT *sidl.Type
+	refT *sidl.Type
+}
+
+// DialBrowser binds to the browser behind r.
+func DialBrowser(ctx context.Context, pool *wire.Pool, r ref.ServiceRef) (*Client, error) {
+	conn, err := cosm.Bind(ctx, pool, r)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, strT: sidl.Basic(sidl.String), refT: sidl.Basic(sidl.SvcRef)}, nil
+}
+
+// RegisterSID registers a description and reference at the remote
+// browser (step 1 of Fig. 4).
+func (c *Client) RegisterSID(ctx context.Context, sid *sidl.SID, target ref.ServiceRef) error {
+	text, err := sid.MarshalText()
+	if err != nil {
+		return err
+	}
+	_, err = c.conn.Invoke(ctx, "RegisterSID",
+		xcode.NewString(c.strT, string(text)), xcode.NewRef(c.refT, target))
+	if err != nil {
+		return fmt.Errorf("browser: remote register: %w", err)
+	}
+	return nil
+}
+
+// Withdraw removes a registration at the remote browser.
+func (c *Client) Withdraw(ctx context.Context, name string) error {
+	_, err := c.conn.Invoke(ctx, "Withdraw", xcode.NewString(c.strT, name))
+	if err != nil {
+		return fmt.Errorf("browser: remote withdraw: %w", err)
+	}
+	return nil
+}
+
+// List returns the registered service names.
+func (c *Client) List(ctx context.Context) ([]string, error) {
+	res, err := c.conn.Invoke(ctx, "List")
+	if err != nil {
+		return nil, fmt.Errorf("browser: remote list: %w", err)
+	}
+	names := make([]string, 0, len(res.Value.Elems))
+	for _, e := range res.Value.Elems {
+		names = append(names, e.Str)
+	}
+	return names, nil
+}
+
+// Get fetches one entry by service name, parsing the SID text.
+func (c *Client) Get(ctx context.Context, name string) (Entry, error) {
+	res, err := c.conn.Invoke(ctx, "Get", xcode.NewString(c.strT, name))
+	if err != nil {
+		return Entry{}, fmt.Errorf("browser: remote get: %w", err)
+	}
+	return entryFromValue(res.Value)
+}
+
+// Search performs a keyword search at the remote browser.
+func (c *Client) Search(ctx context.Context, keyword string) ([]Entry, error) {
+	res, err := c.conn.Invoke(ctx, "Search", xcode.NewString(c.strT, keyword))
+	if err != nil {
+		return nil, fmt.Errorf("browser: remote search: %w", err)
+	}
+	entries := make([]Entry, 0, len(res.Value.Elems))
+	for _, ev := range res.Value.Elems {
+		e, err := entryFromValue(ev)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+func entryFromValue(v *xcode.Value) (Entry, error) {
+	name, err := v.Field("name")
+	if err != nil {
+		return Entry{}, err
+	}
+	target, err := v.Field("target")
+	if err != nil {
+		return Entry{}, err
+	}
+	text, err := v.Field("sidlText")
+	if err != nil {
+		return Entry{}, err
+	}
+	var sid sidl.SID
+	if err := sid.UnmarshalText([]byte(text.Str)); err != nil {
+		return Entry{}, fmt.Errorf("%w: %v", ErrBadSID, err)
+	}
+	return Entry{Name: name.Str, SID: &sid, Ref: target.Ref}, nil
+}

@@ -1,0 +1,166 @@
+// Package carrental implements the paper's running example — the remote
+// car rental server of sections 1, 2.1, 3.1 and 4.1 — as a complete
+// COSM service: the SIDL description (sidl.CarRentalIDL), a stateful
+// implementation honouring the FSM protocol, and helpers to publish the
+// service at browsers and traders.
+package carrental
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"cosm/internal/browser"
+	"cosm/internal/cosm"
+	"cosm/internal/ref"
+	"cosm/internal/sidl"
+	"cosm/internal/trader"
+	"cosm/internal/xcode"
+)
+
+// ErrNoSelection reports a Commit for a session that never selected a
+// car. With server-side FSM enforcement active this cannot happen; the
+// check is the application-level belt to the protocol's braces.
+var ErrNoSelection = errors.New("carrental: no car selected in this session")
+
+// Tariff is the per-model daily charge table of one rental company.
+type Tariff map[string]float64
+
+// DefaultTariff prices the three models of the paper's example.
+func DefaultTariff() Tariff {
+	return Tariff{"AUDI": 120, "FIAT_Uno": 80, "VW_Golf": 95}
+}
+
+// Service is the car rental business logic: per-session selections plus
+// a booking counter.
+type Service struct {
+	sid    *sidl.SID
+	tariff Tariff
+
+	mu         sync.Mutex
+	selections map[string]selection
+	bookings   int
+}
+
+type selection struct {
+	model  string
+	days   int64
+	charge float64
+}
+
+// Option configures a Service.
+type Option func(*Service)
+
+// WithTariff overrides the default tariff.
+func WithTariff(t Tariff) Option {
+	return func(s *Service) { s.tariff = t }
+}
+
+// New builds the car rental service and returns both the COSM service
+// (to host on a node) and the business object (to inspect in tests).
+func New(opts ...Option) (*cosm.Service, *Service, error) {
+	sid := sidl.CarRentalSID()
+	impl := &Service{
+		sid:        sid,
+		tariff:     DefaultTariff(),
+		selections: map[string]selection{},
+	}
+	for _, o := range opts {
+		o(impl)
+	}
+	svc, err := cosm.NewService(sid)
+	if err != nil {
+		return nil, nil, err
+	}
+	svc.MustHandle("SelectCar", impl.selectCar)
+	svc.MustHandle("Commit", impl.commit)
+	return svc, impl, nil
+}
+
+// SID returns the service description.
+func (s *Service) SID() *sidl.SID { return s.sid }
+
+// Bookings returns the number of committed bookings.
+func (s *Service) Bookings() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bookings
+}
+
+func (s *Service) selectCar(call *cosm.Call) error {
+	sel, err := call.Arg("selection")
+	if err != nil {
+		return err
+	}
+	model, err := sel.Field("model")
+	if err != nil {
+		return err
+	}
+	days, err := sel.Field("days")
+	if err != nil {
+		return err
+	}
+	if days.Int <= 0 {
+		return fmt.Errorf("carrental: days must be positive, got %d", days.Int)
+	}
+	modelName := model.EnumLiteral()
+	perDay, available := s.tariff[modelName]
+	charge := perDay * float64(days.Int)
+
+	out := xcode.Zero(s.sid.Type("SelectCarReturn_t"))
+	if err := out.SetField("available", xcode.NewBool(sidl.Basic(sidl.Bool), available)); err != nil {
+		return err
+	}
+	if available {
+		if err := out.SetField("charge", xcode.NewFloat(sidl.Basic(sidl.Float64), charge)); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.selections[call.Session] = selection{model: modelName, days: days.Int, charge: charge}
+		s.mu.Unlock()
+	}
+	call.Result = out
+	return nil
+}
+
+func (s *Service) commit(call *cosm.Call) error {
+	s.mu.Lock()
+	sel, ok := s.selections[call.Session]
+	if ok {
+		delete(s.selections, call.Session)
+		s.bookings++
+	}
+	n := s.bookings
+	s.mu.Unlock()
+	if !ok {
+		return ErrNoSelection
+	}
+	out := xcode.Zero(s.sid.Type("BookCarReturn_t"))
+	if err := out.SetField("ok", xcode.NewBool(sidl.Basic(sidl.Bool), true)); err != nil {
+		return err
+	}
+	confirmation := fmt.Sprintf("RES-%04d-%s-%dd", n, sel.model, sel.days)
+	if err := out.SetField("confirmation", xcode.NewString(sidl.Basic(sidl.String), confirmation)); err != nil {
+		return err
+	}
+	call.Result = out
+	return nil
+}
+
+// Publish registers the hosted service at a browser (mediation path)
+// and, when a trader client is given, also exports it as a typed offer
+// (trading path) — the integrated COSM publication of section 4.1.
+func Publish(ctx context.Context, sid *sidl.SID, r ref.ServiceRef, bc *browser.Client, tc *trader.Client) error {
+	if bc != nil {
+		if err := bc.RegisterSID(ctx, sid, r); err != nil {
+			return fmt.Errorf("carrental: browser registration: %w", err)
+		}
+	}
+	if tc != nil {
+		if _, err := tc.ExportSID(ctx, sid, r); err != nil {
+			return fmt.Errorf("carrental: trader export: %w", err)
+		}
+	}
+	return nil
+}

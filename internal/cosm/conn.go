@@ -1,0 +1,141 @@
+package cosm
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+
+	"cosm/internal/ref"
+	"cosm/internal/sidl"
+	"cosm/internal/wire"
+	"cosm/internal/xcode"
+)
+
+// Describe fetches the SID of the service behind r using the reserved
+// "_cosm.describe" meta-operation — the "SID transfer" arrow of Fig. 3.
+// Connections are drawn from pool.
+func Describe(ctx context.Context, pool *wire.Pool, r ref.ServiceRef) (*sidl.SID, error) {
+	client, err := pool.Get(r.Endpoint)
+	if err != nil {
+		return nil, err
+	}
+	body, err := client.Call(ctx, &wire.Request{Service: r.Service, Op: OpDescribe})
+	if err != nil {
+		return nil, fmt.Errorf("cosm: describe %s: %w", r, err)
+	}
+	var sid sidl.SID
+	if err := sid.UnmarshalText(body); err != nil {
+		return nil, fmt.Errorf("cosm: describe %s: %w", r, err)
+	}
+	return &sid, nil
+}
+
+// Ping probes liveness of the service behind r.
+func Ping(ctx context.Context, pool *wire.Pool, r ref.ServiceRef) error {
+	client, err := pool.Get(r.Endpoint)
+	if err != nil {
+		return err
+	}
+	_, err = client.Call(ctx, &wire.Request{Service: r.Service, Op: OpPing})
+	return err
+}
+
+// Result is the outcome of one dynamic invocation.
+type Result struct {
+	// Value is the operation result (nil for void operations).
+	Value *xcode.Value
+	// Outs holds out/inout values in parameter order.
+	Outs []*xcode.Value
+}
+
+// Out returns the out/inout value by parameter name.
+func (r *Result) Out(op sidl.Op, name string) (*xcode.Value, error) {
+	i := 0
+	for _, p := range op.Params {
+		if p.Dir == sidl.In {
+			continue
+		}
+		if p.Name == name {
+			return r.Outs[i], nil
+		}
+		i++
+	}
+	return nil, fmt.Errorf("%w: no out-parameter %q in op %s", ErrBadResult, name, op.Name)
+}
+
+// Conn is a client-side binding to one remote service: the reference,
+// its SID, a session identity for FSM tracking, and the shared transport
+// client. Conn performs dynamic marshalling only; protocol interception
+// and UI generation live in the generic client built on top of it.
+type Conn struct {
+	ref     ref.ServiceRef
+	sid     *sidl.SID
+	session string
+	client  *wire.Client
+}
+
+// Bind opens a binding to r, fetching the SID from the service itself.
+func Bind(ctx context.Context, pool *wire.Pool, r ref.ServiceRef) (*Conn, error) {
+	sid, err := Describe(ctx, pool, r)
+	if err != nil {
+		return nil, err
+	}
+	return BindWithSID(pool, r, sid)
+}
+
+// BindWithSID opens a binding using an already-known SID (for example
+// one obtained from a browser listing). No network traffic occurs until
+// the first invocation.
+func BindWithSID(pool *wire.Pool, r ref.ServiceRef, sid *sidl.SID) (*Conn, error) {
+	if sid == nil {
+		return nil, ErrNilService
+	}
+	client, err := pool.Get(r.Endpoint)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{ref: r, sid: sid, session: newSessionID(), client: client}, nil
+}
+
+func newSessionID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable environment breakage.
+		panic("cosm: crypto/rand unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Ref returns the bound service reference.
+func (c *Conn) Ref() ref.ServiceRef { return c.ref }
+
+// SID returns the bound service's description.
+func (c *Conn) SID() *sidl.SID { return c.sid }
+
+// Session returns the binding's session identity.
+func (c *Conn) Session() string { return c.session }
+
+// Invoke calls opName with the given in/inout arguments (positionally).
+// Argument types must conform to the declared parameter types; values of
+// extended subtypes are projected to the declared base types before
+// marshalling.
+func (c *Conn) Invoke(ctx context.Context, opName string, args ...*xcode.Value) (*Result, error) {
+	op, ok := c.sid.Op(opName)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q in %s", ErrUnknownOp, opName, c.sid.ServiceName)
+	}
+	body, err := encodeCallBody(op, c.session, args)
+	if err != nil {
+		return nil, err
+	}
+	respBody, err := c.client.Call(ctx, &wire.Request{Service: c.ref.Service, Op: opName, Body: body})
+	if err != nil {
+		return nil, err
+	}
+	result, outs, err := decodeCallResult(op, respBody)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Value: result, Outs: outs}, nil
+}

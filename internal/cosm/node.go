@@ -1,0 +1,101 @@
+package cosm
+
+import (
+	"errors"
+	"fmt"
+
+	"cosm/internal/ref"
+	"cosm/internal/wire"
+)
+
+// ErrNotServing is returned by reference-producing methods before the
+// node has a bound endpoint.
+var ErrNotServing = errors.New("cosm: node is not serving yet")
+
+// Node is one participant in the open service market: a wire server
+// hosting any number of SID-described services, plus a client pool for
+// outbound bindings. Traders, browsers, name servers and application
+// servers are all services hosted on Nodes.
+type Node struct {
+	server *wire.Server
+	pool   *wire.Pool
+}
+
+// NodeOption configures a Node.
+type NodeOption func(*Node)
+
+// WithNodeLog directs wire-level diagnostics to logf.
+func WithNodeLog(logf func(format string, args ...any)) NodeOption {
+	return func(n *Node) { n.server = wire.NewServer(wire.WithServerLog(logf)) }
+}
+
+// NewNode returns a node with no services.
+func NewNode(opts ...NodeOption) *Node {
+	n := &Node{
+		server: wire.NewServer(),
+		pool:   wire.NewPool(),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Host registers a service under a name on this node. The name is the
+// service component of references to it; by convention it equals the
+// SID's service name for application services and a well-known
+// "cosm.<role>" name for infrastructure services.
+func (n *Node) Host(name string, svc *Service) error {
+	if svc == nil {
+		return ErrNilService
+	}
+	return n.server.Register(name, wire.HandlerFunc(svc.serveCOSM))
+}
+
+// Unhost removes a hosted service.
+func (n *Node) Unhost(name string) { n.server.Unregister(name) }
+
+// ListenAndServe binds the node to an endpoint ("tcp:host:port" or
+// "loop:name") and starts serving. It returns the bound endpoint.
+func (n *Node) ListenAndServe(endpoint string) (string, error) {
+	return n.server.ListenAndServe(endpoint)
+}
+
+// Endpoint returns the node's bound endpoint ("" before ListenAndServe).
+func (n *Node) Endpoint() string { return n.server.Endpoint() }
+
+// RefFor returns the globally identifying reference for a service hosted
+// on this node.
+func (n *Node) RefFor(serviceName string) (ref.ServiceRef, error) {
+	ep := n.Endpoint()
+	if ep == "" {
+		return ref.ServiceRef{}, ErrNotServing
+	}
+	return ref.New(ep, serviceName), nil
+}
+
+// MustRefFor is RefFor for static wiring; it panics before serving.
+func (n *Node) MustRefFor(serviceName string) ref.ServiceRef {
+	r, err := n.RefFor(serviceName)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Pool exposes the node's outbound connection pool (shared by all Conns
+// the node opens).
+func (n *Node) Pool() *wire.Pool { return n.pool }
+
+// Close shuts the node down: the listener, all inbound connections, all
+// pooled outbound connections.
+func (n *Node) Close() error {
+	err := n.server.Close()
+	if perr := n.pool.Close(); err == nil {
+		err = perr
+	}
+	if err != nil {
+		return fmt.Errorf("cosm: close node: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,321 @@
+// Package fsm implements the finite-state-machine service protocol model
+// of the paper (section 3.1).
+//
+// An extended Service Interface Description may restrict the legal
+// invocation sequences of its operations by a finite state machine: a
+// list of (current state, operation, resulting state) tuples. The
+// paper's running example is the car rental service with states INIT and
+// SELECTED and transitions
+//
+//	(INIT, SelectCar, SELECTED)
+//	(SELECTED, SelectCar, SELECTED)
+//	(SELECTED, Commit, INIT)
+//
+// A Spec is the static machine description carried inside a SID; a
+// Session is the per-binding runtime tracker used by the generic client
+// (and optionally the server) to intercept and reject non-conforming
+// invocations locally, before any network traffic occurs (section 4.2).
+package fsm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Errors reported by Spec validation and Session stepping.
+var (
+	ErrNoStates      = errors.New("fsm: spec has no states")
+	ErrBadInitial    = errors.New("fsm: initial state not in state set")
+	ErrUnknownState  = errors.New("fsm: transition references unknown state")
+	ErrDupTransition = errors.New("fsm: duplicate transition source")
+	ErrIllegalOp     = errors.New("fsm: operation not allowed in current state")
+)
+
+// Transition is one allowed state transition: while in From, invoking
+// operation Op moves the session to To.
+type Transition struct {
+	From string
+	Op   string
+	To   string
+}
+
+// Spec is a static FSM protocol description. The zero value (no states)
+// is the "unrestricted" protocol: Restricted reports false and sessions
+// built from it allow every operation.
+type Spec struct {
+	// States is the set of communication states.
+	States []string
+	// Initial is the session's starting state; it must be in States.
+	Initial string
+	// Transitions lists the allowed transitions. At most one transition
+	// may exist per (From, Op) pair (the machine is deterministic).
+	Transitions []Transition
+}
+
+// Restricted reports whether the spec actually restricts invocations.
+func (s *Spec) Restricted() bool { return s != nil && len(s.States) > 0 }
+
+// Validate checks internal consistency: a non-empty state set, a valid
+// initial state, transitions over known states only, and determinism.
+func (s *Spec) Validate() error {
+	if !s.Restricted() {
+		return nil // unrestricted specs are trivially valid
+	}
+	states := make(map[string]bool, len(s.States))
+	for _, st := range s.States {
+		states[st] = true
+	}
+	if len(states) == 0 {
+		return ErrNoStates
+	}
+	if !states[s.Initial] {
+		return fmt.Errorf("%w: %q", ErrBadInitial, s.Initial)
+	}
+	seen := make(map[[2]string]string, len(s.Transitions))
+	for _, t := range s.Transitions {
+		if !states[t.From] {
+			return fmt.Errorf("%w: from %q", ErrUnknownState, t.From)
+		}
+		if !states[t.To] {
+			return fmt.Errorf("%w: to %q", ErrUnknownState, t.To)
+		}
+		key := [2]string{t.From, t.Op}
+		if prev, dup := seen[key]; dup {
+			return fmt.Errorf("%w: (%s, %s) -> both %s and %s", ErrDupTransition, t.From, t.Op, prev, t.To)
+		}
+		seen[key] = t.To
+	}
+	return nil
+}
+
+// Next returns the state reached by invoking op in state from, or
+// ok=false if the transition is not allowed.
+func (s *Spec) Next(from, op string) (to string, ok bool) {
+	for _, t := range s.Transitions {
+		if t.From == from && t.Op == op {
+			return t.To, true
+		}
+	}
+	return "", false
+}
+
+// AllowedOps returns the operations legal in the given state, sorted and
+// deduplicated. For an unrestricted spec it returns nil (meaning "all").
+func (s *Spec) AllowedOps(state string) []string {
+	if !s.Restricted() {
+		return nil
+	}
+	set := make(map[string]bool)
+	for _, t := range s.Transitions {
+		if t.From == state {
+			set[t.Op] = true
+		}
+	}
+	ops := make([]string, 0, len(set))
+	for op := range set {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	return ops
+}
+
+// Reachable returns the states reachable from Initial (including it).
+// Useful for spec linting: states outside this set are dead.
+func (s *Spec) Reachable() map[string]bool {
+	r := make(map[string]bool)
+	if !s.Restricted() {
+		return r
+	}
+	stack := []string{s.Initial}
+	r[s.Initial] = true
+	for len(stack) > 0 {
+		st := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range s.Transitions {
+			if t.From == st && !r[t.To] {
+				r[t.To] = true
+				stack = append(stack, t.To)
+			}
+		}
+	}
+	return r
+}
+
+// Clone returns a deep copy of the spec.
+func (s *Spec) Clone() *Spec {
+	if s == nil {
+		return nil
+	}
+	c := &Spec{
+		States:      append([]string(nil), s.States...),
+		Initial:     s.Initial,
+		Transitions: append([]Transition(nil), s.Transitions...),
+	}
+	return c
+}
+
+// Equal reports whether two specs describe the same machine (same state
+// set, initial state, and transition set, order-insensitive).
+func (s *Spec) Equal(o *Spec) bool {
+	if s.Restricted() != o.Restricted() {
+		return false
+	}
+	if !s.Restricted() {
+		return true
+	}
+	if s.Initial != o.Initial {
+		return false
+	}
+	ss := append([]string(nil), s.States...)
+	os := append([]string(nil), o.States...)
+	sort.Strings(ss)
+	sort.Strings(os)
+	if len(ss) != len(os) {
+		return false
+	}
+	for i := range ss {
+		if ss[i] != os[i] {
+			return false
+		}
+	}
+	key := func(t Transition) string { return t.From + "\x00" + t.Op + "\x00" + t.To }
+	st := make([]string, 0, len(s.Transitions))
+	ot := make([]string, 0, len(o.Transitions))
+	for _, t := range s.Transitions {
+		st = append(st, key(t))
+	}
+	for _, t := range o.Transitions {
+		ot = append(ot, key(t))
+	}
+	sort.Strings(st)
+	sort.Strings(ot)
+	if len(st) != len(ot) {
+		return false
+	}
+	for i := range st {
+		if st[i] != ot[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the spec in the paper's tuple notation, e.g.
+// "INIT: (INIT, SelectCar, SELECTED), (SELECTED, Commit, INIT)".
+func (s *Spec) String() string {
+	if !s.Restricted() {
+		return "<unrestricted>"
+	}
+	var b strings.Builder
+	b.WriteString(s.Initial)
+	b.WriteString(":")
+	for i, t := range s.Transitions {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, " (%s, %s, %s)", t.From, t.Op, t.To)
+	}
+	return b.String()
+}
+
+// Session tracks the communication state of one client/server binding.
+// It is safe for concurrent use: a binding may be driven by UI events
+// and background completions at once.
+type Session struct {
+	spec *Spec
+
+	mu    sync.Mutex
+	state string
+}
+
+// NewSession returns a session at the spec's initial state. A nil or
+// unrestricted spec yields a session that allows every operation.
+func NewSession(spec *Spec) *Session {
+	s := &Session{spec: spec}
+	if spec.Restricted() {
+		s.state = spec.Initial
+	}
+	return s
+}
+
+// State returns the current communication state ("" if unrestricted).
+func (s *Session) State() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Allowed reports whether invoking op is legal in the current state,
+// without changing state.
+func (s *Session) Allowed(op string) bool {
+	if !s.spec.Restricted() {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.spec.Next(s.state, op)
+	return ok
+}
+
+// Step attempts to invoke op: if the transition is legal the session
+// moves to the resulting state, otherwise ErrIllegalOp is returned and
+// the state is unchanged. This is the "local interception" of the paper.
+func (s *Session) Step(op string) error {
+	if !s.spec.Restricted() {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	to, ok := s.spec.Next(s.state, op)
+	if !ok {
+		return fmt.Errorf("%w: %q in state %q (allowed: %s)",
+			ErrIllegalOp, op, s.state, strings.Join(s.spec.AllowedOps(s.state), ", "))
+	}
+	s.state = to
+	return nil
+}
+
+// Reset moves the session back to the initial state.
+func (s *Session) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.spec.Restricted() {
+		s.state = s.spec.Initial
+	}
+}
+
+// Restore forces the session to a known state of the machine. It exists
+// for mirror resynchronisation: a client-side session that stepped
+// optimistically can move back when the invocation turns out not to
+// have reached the server's machine.
+func (s *Session) Restore(state string) error {
+	if !s.spec.Restricted() {
+		return nil
+	}
+	for _, st := range s.spec.States {
+		if st == state {
+			s.mu.Lock()
+			s.state = state
+			s.mu.Unlock()
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %q", ErrUnknownState, state)
+}
+
+// CarRentalSpec returns the paper's example machine; used across tests,
+// examples and benchmarks as the canonical restricted protocol.
+func CarRentalSpec() *Spec {
+	return &Spec{
+		States:  []string{"INIT", "SELECTED"},
+		Initial: "INIT",
+		Transitions: []Transition{
+			{From: "INIT", Op: "SelectCar", To: "SELECTED"},
+			{From: "SELECTED", Op: "SelectCar", To: "SELECTED"},
+			{From: "SELECTED", Op: "Commit", To: "INIT"},
+		},
+	}
+}

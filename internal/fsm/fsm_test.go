@@ -1,0 +1,232 @@
+package fsm
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		spec    *Spec
+		wantErr error
+	}{
+		{"nil is valid", nil, nil},
+		{"zero value is valid", &Spec{}, nil},
+		{"car rental", CarRentalSpec(), nil},
+		{
+			"bad initial",
+			&Spec{States: []string{"A"}, Initial: "B"},
+			ErrBadInitial,
+		},
+		{
+			"unknown from state",
+			&Spec{States: []string{"A"}, Initial: "A",
+				Transitions: []Transition{{From: "X", Op: "op", To: "A"}}},
+			ErrUnknownState,
+		},
+		{
+			"unknown to state",
+			&Spec{States: []string{"A"}, Initial: "A",
+				Transitions: []Transition{{From: "A", Op: "op", To: "X"}}},
+			ErrUnknownState,
+		},
+		{
+			"nondeterministic",
+			&Spec{States: []string{"A", "B"}, Initial: "A",
+				Transitions: []Transition{
+					{From: "A", Op: "op", To: "A"},
+					{From: "A", Op: "op", To: "B"},
+				}},
+			ErrDupTransition,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.spec.Validate()
+			if !errors.Is(err, tt.wantErr) {
+				t.Fatalf("Validate() = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSessionPaperExample(t *testing.T) {
+	// The exact sequence from section 3.1 of the paper.
+	s := NewSession(CarRentalSpec())
+	if got := s.State(); got != "INIT" {
+		t.Fatalf("initial state = %q, want INIT", got)
+	}
+	// Commit is illegal in INIT and must be intercepted locally.
+	if err := s.Step("Commit"); !errors.Is(err, ErrIllegalOp) {
+		t.Fatalf("Commit in INIT: err = %v, want ErrIllegalOp", err)
+	}
+	if got := s.State(); got != "INIT" {
+		t.Fatalf("state changed on rejected op: %q", got)
+	}
+	steps := []struct{ op, state string }{
+		{"SelectCar", "SELECTED"},
+		{"SelectCar", "SELECTED"}, // re-selection is allowed
+		{"Commit", "INIT"},
+	}
+	for _, st := range steps {
+		if err := s.Step(st.op); err != nil {
+			t.Fatalf("Step(%s): %v", st.op, err)
+		}
+		if got := s.State(); got != st.state {
+			t.Fatalf("after %s: state = %q, want %q", st.op, got, st.state)
+		}
+	}
+}
+
+func TestUnrestrictedSession(t *testing.T) {
+	for _, spec := range []*Spec{nil, {}} {
+		s := NewSession(spec)
+		for _, op := range []string{"anything", "goes", "here"} {
+			if !s.Allowed(op) {
+				t.Fatalf("unrestricted session disallowed %q", op)
+			}
+			if err := s.Step(op); err != nil {
+				t.Fatalf("unrestricted Step(%q): %v", op, err)
+			}
+		}
+	}
+}
+
+func TestAllowedOps(t *testing.T) {
+	spec := CarRentalSpec()
+	got := spec.AllowedOps("SELECTED")
+	want := []string{"Commit", "SelectCar"}
+	if len(got) != len(want) {
+		t.Fatalf("AllowedOps(SELECTED) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AllowedOps(SELECTED) = %v, want %v", got, want)
+		}
+	}
+	if ops := spec.AllowedOps("INIT"); len(ops) != 1 || ops[0] != "SelectCar" {
+		t.Fatalf("AllowedOps(INIT) = %v, want [SelectCar]", ops)
+	}
+	if ops := (&Spec{}).AllowedOps("X"); ops != nil {
+		t.Fatalf("unrestricted AllowedOps = %v, want nil", ops)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	spec := &Spec{
+		States:  []string{"A", "B", "DEAD"},
+		Initial: "A",
+		Transitions: []Transition{
+			{From: "A", Op: "go", To: "B"},
+			{From: "DEAD", Op: "x", To: "A"}, // DEAD has no inbound edge
+		},
+	}
+	r := spec.Reachable()
+	if !r["A"] || !r["B"] {
+		t.Fatalf("A and B must be reachable: %v", r)
+	}
+	if r["DEAD"] {
+		t.Fatal("DEAD must not be reachable")
+	}
+}
+
+func TestSessionReset(t *testing.T) {
+	s := NewSession(CarRentalSpec())
+	if err := s.Step("SelectCar"); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	if got := s.State(); got != "INIT" {
+		t.Fatalf("after Reset: state = %q, want INIT", got)
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	a := CarRentalSpec()
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone must equal original")
+	}
+	// Mutating the clone must not affect the original.
+	b.Transitions[0].Op = "Other"
+	if a.Equal(b) {
+		t.Fatal("mutated clone must differ")
+	}
+	if a.Transitions[0].Op != "SelectCar" {
+		t.Fatal("original mutated through clone")
+	}
+	// Order-insensitivity.
+	c := CarRentalSpec()
+	c.Transitions[0], c.Transitions[2] = c.Transitions[2], c.Transitions[0]
+	if !a.Equal(c) {
+		t.Fatal("Equal must be order-insensitive")
+	}
+	// Unrestricted comparisons.
+	var nilSpec *Spec
+	if !nilSpec.Equal(&Spec{}) {
+		t.Fatal("nil and zero specs are both unrestricted, must be Equal")
+	}
+	if nilSpec.Equal(a) {
+		t.Fatal("unrestricted must differ from restricted")
+	}
+}
+
+func TestConcurrentSession(t *testing.T) {
+	// Many goroutines race on a session; the state must always remain a
+	// valid state of the machine and rejected steps must not corrupt it.
+	s := NewSession(CarRentalSpec())
+	valid := map[string]bool{"INIT": true, "SELECTED": true}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			ops := []string{"SelectCar", "Commit", "Bogus"}
+			for j := 0; j < 200; j++ {
+				_ = s.Step(ops[rng.Intn(len(ops))])
+				if !valid[s.State()] {
+					t.Errorf("invalid state %q", s.State())
+					return
+				}
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+}
+
+// Property: for any legal step sequence executed on a valid spec, the
+// session state always equals the state computed by folding Next over
+// the sequence.
+func TestStepMatchesNextProperty(t *testing.T) {
+	spec := CarRentalSpec()
+	f := func(choices []uint8) bool {
+		s := NewSession(spec)
+		ops := []string{"SelectCar", "Commit", "Nope"}
+		model := spec.Initial
+		for _, c := range choices {
+			op := ops[int(c)%len(ops)]
+			if to, ok := spec.Next(model, op); ok {
+				if err := s.Step(op); err != nil {
+					return false
+				}
+				model = to
+			} else {
+				if err := s.Step(op); !errors.Is(err, ErrIllegalOp) {
+					return false
+				}
+			}
+			if s.State() != model {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

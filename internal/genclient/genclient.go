@@ -1,0 +1,251 @@
+// Package genclient implements the Generic Client of the COSM
+// architecture (paper sections 3.2 and 4.2, Fig. 3).
+//
+// A generic client lets a human user access an arbitrary, previously
+// unknown service with zero service-specific code: it fetches the
+// service's SID at bind time (SID transfer), generates the user
+// interface from it (GUI generation, package uiform), marshals
+// parameters dynamically (package xcode via the cosm runtime), and
+// intercepts invocations that violate the service's FSM protocol locally
+// — before any network traffic (section 4.2).
+//
+// Service references are first-class: when an invocation result carries
+// a SERVICEREFERENCE value, the user can bind to it directly out of the
+// user interface, producing the cascade of bindings of Fig. 4. Bindings
+// track their parent so the cascade is inspectable.
+package genclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"cosm/internal/browser"
+	"cosm/internal/cosm"
+	"cosm/internal/fsm"
+	"cosm/internal/ref"
+	"cosm/internal/sidl"
+	"cosm/internal/uiform"
+	"cosm/internal/wire"
+	"cosm/internal/xcode"
+)
+
+// Errors reported by the generic client.
+var (
+	// ErrProtocol wraps local FSM interceptions: the invocation was
+	// rejected before leaving the client.
+	ErrProtocol = errors.New("genclient: protocol violation intercepted locally")
+	// ErrNotARef reports a cascade attempt on a non-reference value.
+	ErrNotARef = errors.New("genclient: value is not a service reference")
+)
+
+// Client is a generic client: a factory for Bindings sharing one
+// connection pool, tracking the cascade of bindings it has opened.
+type Client struct {
+	pool *wire.Pool
+
+	mu       sync.Mutex
+	bindings []*Binding
+}
+
+// New returns a generic client drawing connections from pool.
+func New(pool *wire.Pool) *Client {
+	return &Client{pool: pool}
+}
+
+// Binding is one live binding: the dynamic connection, the local FSM
+// session mirror, and the generated forms.
+type Binding struct {
+	client  *Client
+	conn    *cosm.Conn
+	session *fsm.Session
+	forms   []*uiform.Form
+	parent  *Binding
+}
+
+// Bind opens a binding to r, fetching the SID from the service (the
+// "SID transfer" arrow of Fig. 3) and generating its user interface.
+func (c *Client) Bind(ctx context.Context, r ref.ServiceRef) (*Binding, error) {
+	conn, err := cosm.Bind(ctx, c.pool, r)
+	if err != nil {
+		return nil, err
+	}
+	return c.adopt(conn, nil), nil
+}
+
+// BindWithSID opens a binding with an already-known description (e.g. a
+// browser entry), avoiding the describe round trip.
+func (c *Client) BindWithSID(r ref.ServiceRef, sid *sidl.SID) (*Binding, error) {
+	conn, err := cosm.BindWithSID(c.pool, r, sid)
+	if err != nil {
+		return nil, err
+	}
+	return c.adopt(conn, nil), nil
+}
+
+// BindEntry opens a binding to a browser entry (step 3 of Fig. 4).
+func (c *Client) BindEntry(e browser.Entry) (*Binding, error) {
+	return c.BindWithSID(e.Ref, e.SID)
+}
+
+// Browse performs a keyword search at a browser service — the human
+// user's service selection step (step 2 of Fig. 4).
+func (c *Client) Browse(ctx context.Context, browserRef ref.ServiceRef, keyword string) ([]browser.Entry, error) {
+	bc, err := browser.DialBrowser(ctx, c.pool, browserRef)
+	if err != nil {
+		return nil, err
+	}
+	return bc.Search(ctx, keyword)
+}
+
+// BrowseAndBind searches at a browser and binds to the first hit.
+func (c *Client) BrowseAndBind(ctx context.Context, browserRef ref.ServiceRef, keyword string) (*Binding, error) {
+	entries, err := c.Browse(ctx, browserRef, keyword)
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("genclient: no service matching %q at %s", keyword, browserRef)
+	}
+	return c.BindEntry(entries[0])
+}
+
+func (c *Client) adopt(conn *cosm.Conn, parent *Binding) *Binding {
+	b := &Binding{
+		client:  c,
+		conn:    conn,
+		session: fsm.NewSession(conn.SID().FSM),
+		forms:   uiform.Generate(conn.SID()),
+		parent:  parent,
+	}
+	c.mu.Lock()
+	c.bindings = append(c.bindings, b)
+	c.mu.Unlock()
+	return b
+}
+
+// Bindings returns every binding opened through this client, in order.
+func (c *Client) Bindings() []*Binding {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Binding(nil), c.bindings...)
+}
+
+// SID returns the bound service's description.
+func (b *Binding) SID() *sidl.SID { return b.conn.SID() }
+
+// Ref returns the bound service reference.
+func (b *Binding) Ref() ref.ServiceRef { return b.conn.Ref() }
+
+// Parent returns the binding this one was cascaded from (nil for roots).
+func (b *Binding) Parent() *Binding { return b.parent }
+
+// Depth returns the binding's cascade depth (0 for roots).
+func (b *Binding) Depth() int {
+	d := 0
+	for p := b.parent; p != nil; p = p.parent {
+		d++
+	}
+	return d
+}
+
+// Forms returns the generated user interface, one form per operation.
+func (b *Binding) Forms() []*uiform.Form {
+	return append([]*uiform.Form(nil), b.forms...)
+}
+
+// Form returns the generated form for one operation.
+func (b *Binding) Form(opName string) (*uiform.Form, error) {
+	for _, f := range b.forms {
+		if f.Op.Name == opName {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q", uiform.ErrNoOp, opName)
+}
+
+// RenderUI renders the full generated user interface as text (Fig. 7).
+func (b *Binding) RenderUI() string {
+	return uiform.RenderAll(b.conn.SID())
+}
+
+// State returns the local mirror of the communication state ("" when the
+// protocol is unrestricted).
+func (b *Binding) State() string { return b.session.State() }
+
+// AllowedOps returns the operations legal in the current state (nil
+// means all).
+func (b *Binding) AllowedOps() []string {
+	return b.conn.SID().FSM.AllowedOps(b.session.State())
+}
+
+// Reset rewinds the local protocol mirror to the initial state (used
+// after an out-of-band resynchronisation with the server).
+func (b *Binding) Reset() { b.session.Reset() }
+
+// Invoke performs one dynamic invocation. Invocations that violate the
+// FSM protocol are intercepted locally and return ErrProtocol without
+// any network traffic — the property demonstrated in section 4.2.
+//
+// The local state mirror steps optimistically before the call; when the
+// invocation fails in a way that shows the server's machine did not
+// transition (marshalling errors, unknown operation, a server-side
+// protocol rejection), the mirror is restored. Application errors leave
+// the mirror stepped: the server transitioned before running the
+// handler.
+func (b *Binding) Invoke(ctx context.Context, opName string, args ...*xcode.Value) (*cosm.Result, error) {
+	prev := b.session.State()
+	if err := b.session.Step(opName); err != nil {
+		if errors.Is(err, fsm.ErrIllegalOp) {
+			return nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+		}
+		return nil, err
+	}
+	res, err := b.conn.Invoke(ctx, opName, args...)
+	if err != nil && !isServerHandlerError(err) {
+		// Best-effort resynchronisation; an unknown state would mean the
+		// SID changed under us, in which case the mirror stays ahead.
+		_ = b.session.Restore(prev)
+	}
+	return res, err
+}
+
+// isServerHandlerError reports whether the error proves the server-side
+// machine transitioned (the handler ran and failed).
+func isServerHandlerError(err error) bool {
+	var re *wire.RemoteError
+	return errors.As(err, &re) && re.Status == wire.StatusAppError
+}
+
+// InvokeForm builds the operation's arguments from textual user input
+// (keyed by widget path) and invokes it — the full Fig. 7 loop: form in,
+// typed invocation out.
+func (b *Binding) InvokeForm(ctx context.Context, opName string, inputs map[string]string) (*cosm.Result, error) {
+	form, err := b.Form(opName)
+	if err != nil {
+		return nil, err
+	}
+	args, err := form.BuildArgs(inputs)
+	if err != nil {
+		return nil, err
+	}
+	return b.Invoke(ctx, opName, args...)
+}
+
+// BindValue cascades: given a SERVICEREFERENCE value from a previous
+// result, it opens a child binding to the referenced service, with this
+// binding as parent (Fig. 4's consecutive binding establishments).
+func (b *Binding) BindValue(ctx context.Context, v *xcode.Value) (*Binding, error) {
+	if v == nil || v.Type.Kind != sidl.SvcRef {
+		return nil, ErrNotARef
+	}
+	if v.Ref.IsZero() {
+		return nil, fmt.Errorf("%w: nil reference", ErrNotARef)
+	}
+	conn, err := cosm.Bind(ctx, b.client.pool, v.Ref)
+	if err != nil {
+		return nil, err
+	}
+	return b.client.adopt(conn, b), nil
+}

@@ -1,0 +1,379 @@
+package genclient
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"cosm/internal/browser"
+	"cosm/internal/cosm"
+	"cosm/internal/ref"
+	"cosm/internal/sidl"
+	"cosm/internal/xcode"
+)
+
+// startCarRental hosts a minimal car rental service (with the paper's
+// FSM) and returns its node and reference. selectCount observes how many
+// SelectCar requests actually reached the server.
+func startCarRental(t *testing.T, loopName string, selectCount *int) (*cosm.Node, ref.ServiceRef) {
+	t.Helper()
+	sid := sidl.CarRentalSID()
+	svc, err := cosm.NewService(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.MustHandle("SelectCar", func(call *cosm.Call) error {
+		if selectCount != nil {
+			*selectCount++
+		}
+		out := xcode.Zero(sid.Type("SelectCarReturn_t"))
+		if err := out.SetField("available", xcode.NewBool(sidl.Basic(sidl.Bool), true)); err != nil {
+			return err
+		}
+		if err := out.SetField("charge", xcode.NewFloat(sidl.Basic(sidl.Float64), 80)); err != nil {
+			return err
+		}
+		call.Result = out
+		return nil
+	})
+	svc.MustHandle("Commit", func(call *cosm.Call) error {
+		out := xcode.Zero(sid.Type("BookCarReturn_t"))
+		if err := out.SetField("ok", xcode.NewBool(sidl.Basic(sidl.Bool), true)); err != nil {
+			return err
+		}
+		if err := out.SetField("confirmation", xcode.NewString(sidl.Basic(sidl.String), "RES-4711")); err != nil {
+			return err
+		}
+		call.Result = out
+		return nil
+	})
+	node := cosm.NewNode(cosm.WithNodeLog(func(string, ...any) {}))
+	if err := node.Host("CarRentalService", svc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.ListenAndServe("loop:" + loopName); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = node.Close() })
+	return node, node.MustRefFor("CarRentalService")
+}
+
+func TestBindGeneratesUI(t *testing.T) {
+	node, carRef := startCarRental(t, "gc-bind", nil)
+	gc := New(node.Pool())
+	b, err := gc.Bind(context.Background(), carRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.SID().ServiceName != "CarRentalService" {
+		t.Fatalf("SID = %q", b.SID().ServiceName)
+	}
+	forms := b.Forms()
+	if len(forms) != 2 {
+		t.Fatalf("forms = %d", len(forms))
+	}
+	ui := b.RenderUI()
+	if !strings.Contains(ui, "model: (AUDI | FIAT_Uno | VW_Golf)") {
+		t.Fatalf("UI lacks generated editor:\n%s", ui)
+	}
+	if _, err := b.Form("SelectCar"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Form("Ghost"); err == nil {
+		t.Fatal("Form(Ghost) must fail")
+	}
+	if b.Ref() != carRef || b.Depth() != 0 || b.Parent() != nil {
+		t.Fatalf("binding metadata: %v %d", b.Ref(), b.Depth())
+	}
+}
+
+func TestLocalFSMInterception(t *testing.T) {
+	var selects int
+	node, carRef := startCarRental(t, "gc-fsm", &selects)
+	gc := New(node.Pool())
+	ctx := context.Background()
+	b, err := gc.Bind(ctx, carRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := b.State(); got != "INIT" {
+		t.Fatalf("state = %q", got)
+	}
+	if ops := b.AllowedOps(); len(ops) != 1 || ops[0] != "SelectCar" {
+		t.Fatalf("AllowedOps = %v", ops)
+	}
+
+	// Commit in INIT: intercepted locally — the server never sees it.
+	_, err = b.Invoke(ctx, "Commit")
+	if !errors.Is(err, ErrProtocol) {
+		t.Fatalf("err = %v, want ErrProtocol", err)
+	}
+
+	// Legal sequence.
+	res, err := b.InvokeForm(ctx, "SelectCar", map[string]string{
+		"SelectCar.selection.model": "FIAT_Uno",
+		"SelectCar.selection.days":  "3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avail, _ := res.Value.Field("available"); !avail.Bool {
+		t.Fatalf("available = %s", res.Value)
+	}
+	if got := b.State(); got != "SELECTED" {
+		t.Fatalf("state after SelectCar = %q", got)
+	}
+	res, err = b.Invoke(ctx, "Commit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf, _ := res.Value.Field("confirmation"); conf.Str != "RES-4711" {
+		t.Fatalf("confirmation = %s", conf)
+	}
+	if got := b.State(); got != "INIT" {
+		t.Fatalf("state after Commit = %q", got)
+	}
+	if selects != 1 {
+		t.Fatalf("server saw %d SelectCar calls, want 1", selects)
+	}
+
+	// Reset rewinds the local mirror.
+	if _, err := b.Invoke(ctx, "SelectCar", xcode.Zero(b.SID().Type("SelectCar_t"))); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if got := b.State(); got != "INIT" {
+		t.Fatalf("state after Reset = %q", got)
+	}
+}
+
+func TestInvokeFormBadInput(t *testing.T) {
+	node, carRef := startCarRental(t, "gc-badform", nil)
+	gc := New(node.Pool())
+	ctx := context.Background()
+	b, err := gc.Bind(ctx, carRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.InvokeForm(ctx, "SelectCar", map[string]string{"SelectCar.selection.days": "lots"}); err == nil {
+		t.Fatal("bad input must fail before invocation")
+	}
+	if _, err := b.InvokeForm(ctx, "Ghost", nil); err == nil {
+		t.Fatal("unknown op must fail")
+	}
+	// The failed form build must not have stepped the FSM.
+	if b.State() != "INIT" {
+		t.Fatalf("state = %q", b.State())
+	}
+}
+
+func TestBrowseAndBind(t *testing.T) {
+	node, carRef := startCarRental(t, "gc-browse", nil)
+	// Host a browser on the same node and register the car service.
+	dir := browser.NewDirectory()
+	if err := dir.Register(sidl.CarRentalSID(), carRef); err != nil {
+		t.Fatal(err)
+	}
+	bsvc, err := browser.NewService(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Host(browser.ServiceName, bsvc); err != nil {
+		t.Fatal(err)
+	}
+	browserRef := node.MustRefFor(browser.ServiceName)
+
+	gc := New(node.Pool())
+	ctx := context.Background()
+
+	entries, err := gc.Browse(ctx, browserRef, "rental")
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("Browse = %v, %v", entries, err)
+	}
+
+	b, err := gc.BrowseAndBind(ctx, browserRef, "rental")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Ref() != carRef {
+		t.Fatalf("bound to %v", b.Ref())
+	}
+	// Binding from a browser entry carries the full SID, including the
+	// FSM — interception still works without a describe round trip.
+	if _, err := b.Invoke(ctx, "Commit"); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("err = %v", err)
+	}
+
+	if _, err := gc.BrowseAndBind(ctx, browserRef, "zeppelin"); err == nil {
+		t.Fatal("BrowseAndBind with no hits must fail")
+	}
+}
+
+// directoryIDL describes a tiny referral service whose result carries a
+// service reference — the cascade seed.
+const directoryIDL = `
+module PartnerDirectory {
+    interface COSM_Operations {
+        // Refer the caller to our partner's service.
+        Object GetPartner();
+    };
+};
+`
+
+func TestBindingCascade(t *testing.T) {
+	node, carRef := startCarRental(t, "gc-cascade", nil)
+
+	dirSID, err := sidl.Parse(directoryIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirSvc, err := cosm.NewService(dirSID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refT := sidl.Basic(sidl.SvcRef)
+	dirSvc.MustHandle("GetPartner", func(call *cosm.Call) error {
+		call.Result = xcode.NewRef(refT, carRef)
+		return nil
+	})
+	if err := node.Host("PartnerDirectory", dirSvc); err != nil {
+		t.Fatal(err)
+	}
+
+	gc := New(node.Pool())
+	ctx := context.Background()
+	root, err := gc.Bind(ctx, node.MustRefFor("PartnerDirectory"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := root.Invoke(ctx, "GetPartner")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The result is a first-class service reference: bind to it out of
+	// the "user interface" (Fig. 4).
+	child, err := root.BindValue(ctx, res.Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.SID().ServiceName != "CarRentalService" {
+		t.Fatalf("cascaded SID = %q", child.SID().ServiceName)
+	}
+	if child.Depth() != 1 || child.Parent() != root {
+		t.Fatalf("cascade depth = %d", child.Depth())
+	}
+	// The cascaded binding has its own generated UI and FSM session.
+	if _, err := child.Invoke(ctx, "Commit"); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := len(gc.Bindings()); got != 2 {
+		t.Fatalf("Bindings = %d", got)
+	}
+
+	// Cascade errors.
+	if _, err := root.BindValue(ctx, xcode.NewString(sidl.Basic(sidl.String), "x")); !errors.Is(err, ErrNotARef) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := root.BindValue(ctx, xcode.Zero(refT)); !errors.Is(err, ErrNotARef) {
+		t.Fatalf("nil ref err = %v", err)
+	}
+	if _, err := root.BindValue(ctx, nil); !errors.Is(err, ErrNotARef) {
+		t.Fatalf("nil value err = %v", err)
+	}
+}
+
+func TestUnrestrictedServiceAllowsEverything(t *testing.T) {
+	// A SID without an FSM module imposes no protocol: AllowedOps is nil
+	// and every op passes the local check.
+	node, _ := startCarRental(t, "gc-unrestricted", nil)
+	dirSID, err := sidl.Parse(directoryIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirSvc, err := cosm.NewService(dirSID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirSvc.MustHandle("GetPartner", func(call *cosm.Call) error {
+		call.Result = xcode.Zero(sidl.Basic(sidl.SvcRef))
+		return nil
+	})
+	if err := node.Host("PartnerDirectory", dirSvc); err != nil {
+		t.Fatal(err)
+	}
+	gc := New(node.Pool())
+	b, err := gc.Bind(context.Background(), node.MustRefFor("PartnerDirectory"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.State() != "" || b.AllowedOps() != nil {
+		t.Fatalf("unrestricted binding: state %q ops %v", b.State(), b.AllowedOps())
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := b.Invoke(context.Background(), "GetPartner"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMirrorRestoredOnNonHandlerFailure(t *testing.T) {
+	// A call that fails before reaching the handler (bad arity) must
+	// leave the local FSM mirror where it was.
+	node, carRef := startCarRental(t, "gc-mirror", nil)
+	gc := New(node.Pool())
+	ctx := context.Background()
+	b, err := gc.Bind(ctx, carRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Invoke(ctx, "SelectCar"); err == nil { // missing argument
+		t.Fatal("arity error expected")
+	}
+	if got := b.State(); got != "INIT" {
+		t.Fatalf("mirror stepped despite failed call: %q", got)
+	}
+	// A legal call still works and steps.
+	if _, err := b.Invoke(ctx, "SelectCar", xcode.Zero(b.SID().Type("SelectCar_t"))); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.State(); got != "SELECTED" {
+		t.Fatalf("state = %q", got)
+	}
+}
+
+func TestMirrorKeptOnApplicationError(t *testing.T) {
+	// An application error means the server's machine transitioned
+	// before the handler failed; the mirror must track it.
+	sid := sidl.CarRentalSID()
+	svc, err := cosm.NewService(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.MustHandle("SelectCar", func(call *cosm.Call) error {
+		return errors.New("fleet is in the harbour")
+	})
+	node := cosm.NewNode(cosm.WithNodeLog(func(string, ...any) {}))
+	if err := node.Host("CarRentalService", svc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.ListenAndServe("loop:gc-mirror-apperr"); err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	gc := New(node.Pool())
+	ctx := context.Background()
+	b, err := gc.Bind(ctx, node.MustRefFor("CarRentalService"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = b.Invoke(ctx, "SelectCar", xcode.Zero(sid.Type("SelectCar_t")))
+	if err == nil {
+		t.Fatal("application error expected")
+	}
+	if got := b.State(); got != "SELECTED" {
+		t.Fatalf("mirror must track the server's transition: %q", got)
+	}
+}

@@ -1,0 +1,424 @@
+// Package market implements a discrete-event simulator of the "Common
+// Open Service Market" scenario the paper argues from (sections 2.2 and
+// 2.3).
+//
+// The paper's quantitative claims are about *transition costs*: making
+// an innovative service available, adapting clients to it, and the
+// delay imposed by service type standardisation. The paper itself gives
+// no measurements — it is an architecture paper — so this simulator
+// turns its cost taxonomy into a parameterised model whose *shape*
+// reproduces the argument:
+//
+//   - Under a trading-only regime, a new service category is unusable
+//     until its service type is standardised ("service type
+//     standardisation by global agreement" plus registration), and every
+//     client pays a one-time adaptation cost (writing client code for
+//     the new interface).
+//   - Under browser mediation with generic clients, offers are usable
+//     immediately and client adaptation cost is ≈ 0, at the price of a
+//     per-use dynamic-invocation overhead.
+//   - The integrated COSM regime mediates immediately and trades after
+//     maturation, combining early availability with typed selection.
+//
+// The simulator is deterministic for a given seed; experiments E7 and
+// E8 of EXPERIMENTS.md sweep its parameters.
+package market
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Regime selects the market's discovery/access mechanism.
+type Regime uint8
+
+// The three regimes compared in the paper's argument.
+const (
+	// TradingOnly: ODP trader as specified, no mediation (section 2.2's
+	// critique target).
+	TradingOnly Regime = iota + 1
+	// MediationOnly: browser mediation with generic clients, no trader.
+	MediationOnly
+	// Integrated: COSM — mediation from day one, trading once the
+	// service type is standardised (section 4.1).
+	Integrated
+)
+
+// String names the regime.
+func (r Regime) String() string {
+	switch r {
+	case TradingOnly:
+		return "trading-only"
+	case MediationOnly:
+		return "mediation-only"
+	case Integrated:
+		return "integrated"
+	}
+	return fmt.Sprintf("Regime(%d)", uint8(r))
+}
+
+// Params configures a simulation run. Costs are in abstract cost units;
+// the paper's argument depends only on their ratios.
+type Params struct {
+	// Days is the simulated horizon.
+	Days int
+	// Seed drives all randomness deterministically.
+	Seed int64
+
+	// ProviderArrivalPerDay is the expected number of new providers per
+	// day.
+	ProviderArrivalPerDay float64
+	// ClientArrivalPerDay is the expected number of new clients per day.
+	ClientArrivalPerDay float64
+	// NewCategoryProb is the probability a new provider is *innovative*
+	// (opens a new service category) rather than competing in an
+	// existing one.
+	NewCategoryProb float64
+	// StandardisationDelayDays is the time from a category's first
+	// provider to an agreed, registered service type.
+	StandardisationDelayDays int
+	// UsesPerClientPerDay is each client's demand in service uses.
+	UsesPerClientPerDay float64
+
+	// CostProviderStubDev is the provider-side cost of adapter stub
+	// development and trader registration (trading path).
+	CostProviderStubDev float64
+	// CostProviderSIDAuthor is the provider-side cost of authoring a SID
+	// and registering at a browser (mediation path).
+	CostProviderSIDAuthor float64
+	// CostClientDev is the per-client, per-category cost of developing a
+	// conventional client application (trading path).
+	CostClientDev float64
+	// CostGenericUseOverhead is the per-use overhead of dynamic
+	// invocation through a generic client (mediation path).
+	CostGenericUseOverhead float64
+	// UseValue is the utility of one served use.
+	UseValue float64
+}
+
+// DefaultParams returns a baseline parameterisation used by the
+// experiments: standardisation takes ~3 months, client development costs
+// three orders of magnitude more than one dynamic invocation.
+func DefaultParams() Params {
+	return Params{
+		Days:                     365,
+		Seed:                     1994,
+		ProviderArrivalPerDay:    0.4,
+		ClientArrivalPerDay:      2,
+		NewCategoryProb:          0.25,
+		StandardisationDelayDays: 90,
+		UsesPerClientPerDay:      1,
+		CostProviderStubDev:      40,
+		CostProviderSIDAuthor:    8,
+		CostClientDev:            50,
+		CostGenericUseOverhead:   0.05,
+		UseValue:                 1,
+	}
+}
+
+// ErrParams reports an invalid parameterisation.
+var ErrParams = errors.New("market: invalid parameters")
+
+// Validate checks the parameterisation.
+func (p Params) Validate() error {
+	switch {
+	case p.Days <= 0:
+		return fmt.Errorf("%w: Days = %d", ErrParams, p.Days)
+	case p.ProviderArrivalPerDay < 0 || p.ClientArrivalPerDay < 0 || p.UsesPerClientPerDay < 0:
+		return fmt.Errorf("%w: negative arrival or demand rate", ErrParams)
+	case p.NewCategoryProb < 0 || p.NewCategoryProb > 1:
+		return fmt.Errorf("%w: NewCategoryProb = %g", ErrParams, p.NewCategoryProb)
+	case p.StandardisationDelayDays < 0:
+		return fmt.Errorf("%w: StandardisationDelayDays = %d", ErrParams, p.StandardisationDelayDays)
+	}
+	return nil
+}
+
+// DayPoint is one day of a run's cumulative timeline.
+type DayPoint struct {
+	Day            int
+	UsesServed     int
+	UnmetDemand    int
+	CumulativeCost float64
+	NetUtility     float64
+}
+
+// Metrics summarises one run.
+type Metrics struct {
+	Regime Regime
+	// Categories is the number of service categories that appeared.
+	Categories int
+	// Providers and Clients are the final population sizes.
+	Providers int
+	Clients   int
+	// UsesServed counts successfully served uses.
+	UsesServed int
+	// UnmetDemand counts uses requested while the category was
+	// inaccessible under the regime.
+	UnmetDemand int
+	// TimeToFirstUse maps category id to days from first provider to
+	// first served use (-1 if never served).
+	TimeToFirstUse []int
+	// FirstMoverShare is the mean, over categories with at least two
+	// providers and one served use, of the share of uses captured by
+	// the category's first provider — the quantitative form of section
+	// 2.2's "being the first pays most".
+	FirstMoverShare float64
+	// MeanTimeToFirstUse averages the served categories.
+	MeanTimeToFirstUse float64
+	// ProviderCost, ClientDevCost and OverheadCost split total cost by
+	// the paper's taxonomy.
+	ProviderCost  float64
+	ClientDevCost float64
+	OverheadCost  float64
+	// NetUtility = UsesServed*UseValue - total cost.
+	NetUtility float64
+	// Timeline holds per-day cumulative series (the figure data).
+	Timeline []DayPoint
+}
+
+// TotalCost sums the cost components.
+func (m Metrics) TotalCost() float64 {
+	return m.ProviderCost + m.ClientDevCost + m.OverheadCost
+}
+
+type category struct {
+	firstProviderDay int
+	standardisedDay  int // day the service type is usable via trader
+	providers        []*provider
+	firstUseDay      int // -1 until served
+}
+
+type provider struct {
+	arrivalDay int
+	usesServed int
+}
+
+type client struct {
+	category int
+	// paidDev marks categories×client trading adaptation already paid.
+	paidDev bool
+	// adopted is the provider this client settled on at its first served
+	// use; clients are loyal, which is what converts early visibility
+	// into lasting market share ("being the first pays most", §2.2).
+	adopted *provider
+}
+
+// Run simulates one regime and returns its metrics.
+func Run(p Params, regime Regime) (Metrics, error) {
+	if err := p.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	// Provider adoption draws use a separate stream so the arrival
+	// processes (providers, categories, clients) are bit-identical
+	// across regimes and the regimes stay directly comparable.
+	pickRng := rand.New(rand.NewSource(p.Seed + 1))
+	m := Metrics{Regime: regime}
+	var cats []*category
+	var clients []*client
+
+	arrivals := func(rate float64) int {
+		n := int(rate)
+		if rng.Float64() < rate-float64(n) {
+			n++
+		}
+		return n
+	}
+
+	for day := 0; day < p.Days; day++ {
+		// Provider arrivals.
+		for i := 0; i < arrivals(p.ProviderArrivalPerDay); i++ {
+			m.Providers++
+			var cat *category
+			if len(cats) == 0 || rng.Float64() < p.NewCategoryProb {
+				cat = &category{firstProviderDay: day, firstUseDay: -1,
+					standardisedDay: day + p.StandardisationDelayDays}
+				cats = append(cats, cat)
+			} else {
+				cat = cats[rng.Intn(len(cats))]
+			}
+			cat.providers = append(cat.providers, &provider{arrivalDay: day})
+			// Provider entry cost by regime (section 2.3's "making an
+			// innovative service available on the market").
+			switch regime {
+			case TradingOnly:
+				m.ProviderCost += p.CostProviderStubDev
+			case MediationOnly:
+				m.ProviderCost += p.CostProviderSIDAuthor
+			case Integrated:
+				// The SID carries the trader export (section 4.1): one
+				// authoring effort serves both paths.
+				m.ProviderCost += p.CostProviderSIDAuthor
+			}
+		}
+		// Client arrivals subscribe to a random existing category.
+		for i := 0; i < arrivals(p.ClientArrivalPerDay); i++ {
+			if len(cats) == 0 {
+				continue
+			}
+			m.Clients++
+			clients = append(clients, &client{category: rng.Intn(len(cats))})
+		}
+
+		// Demand. Each served use goes to one *visible* provider, chosen
+		// uniformly: visibility windows alone create (or erode) the
+		// first-mover advantage of section 2.2.
+		for _, c := range clients {
+			cat := cats[c.category]
+			for u := 0; u < arrivals(p.UsesPerClientPerDay); u++ {
+				served, overhead := serveUse(p, regime, day, cat, c, &m)
+				if !served {
+					m.UnmetDemand++
+					continue
+				}
+				m.UsesServed++
+				m.OverheadCost += overhead
+				if cat.firstUseDay < 0 {
+					cat.firstUseDay = day
+				}
+				if c.adopted == nil {
+					c.adopted = pickVisibleProvider(pickRng, regime, day, cat)
+				}
+				if c.adopted != nil {
+					c.adopted.usesServed++
+				}
+			}
+		}
+
+		m.Timeline = append(m.Timeline, DayPoint{
+			Day:            day,
+			UsesServed:     m.UsesServed,
+			UnmetDemand:    m.UnmetDemand,
+			CumulativeCost: m.TotalCost(),
+			NetUtility:     float64(m.UsesServed)*p.UseValue - m.TotalCost(),
+		})
+	}
+
+	m.Categories = len(cats)
+	m.FirstMoverShare = firstMoverShare(cats)
+	served := 0
+	for _, cat := range cats {
+		ttfu := -1
+		if cat.firstUseDay >= 0 {
+			ttfu = cat.firstUseDay - cat.firstProviderDay
+			m.MeanTimeToFirstUse += float64(ttfu)
+			served++
+		}
+		m.TimeToFirstUse = append(m.TimeToFirstUse, ttfu)
+	}
+	if served > 0 {
+		m.MeanTimeToFirstUse /= float64(served)
+	} else {
+		m.MeanTimeToFirstUse = -1
+	}
+	m.NetUtility = float64(m.UsesServed)*p.UseValue - m.TotalCost()
+	return m, nil
+}
+
+// pickVisibleProvider chooses uniformly among the providers a client can
+// see on the given day. Under mediation a provider is visible from its
+// arrival; under trading-only nobody is visible before standardisation,
+// after which *all* providers of the category surface simultaneously —
+// which is precisely what erodes the innovator's head start (§2.2).
+func pickVisibleProvider(rng *rand.Rand, regime Regime, day int, cat *category) *provider {
+	visible := cat.providers
+	if regime == TradingOnly {
+		if day < cat.standardisedDay {
+			return nil
+		}
+		// All providers that arrived before standardisation became
+		// visible at the same instant; later ones on arrival.
+	}
+	candidates := make([]*provider, 0, len(visible))
+	for _, prov := range visible {
+		if prov.arrivalDay <= day {
+			candidates = append(candidates, prov)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	return candidates[rng.Intn(len(candidates))]
+}
+
+// firstMoverShare averages the first provider's share of served uses
+// over categories with competition.
+func firstMoverShare(cats []*category) float64 {
+	sum, n := 0.0, 0
+	for _, cat := range cats {
+		if len(cat.providers) < 2 {
+			continue
+		}
+		total := 0
+		for _, prov := range cat.providers {
+			total += prov.usesServed
+		}
+		if total == 0 {
+			continue
+		}
+		sum += float64(cat.providers[0].usesServed) / float64(total)
+		n++
+	}
+	if n == 0 {
+		return -1
+	}
+	return sum / float64(n)
+}
+
+// serveUse decides whether one use can be served and at what overhead,
+// charging client adaptation costs as they occur.
+func serveUse(p Params, regime Regime, day int, cat *category, c *client, m *Metrics) (served bool, overhead float64) {
+	if len(cat.providers) == 0 {
+		return false, 0
+	}
+	switch regime {
+	case TradingOnly:
+		// Accessible only after standardisation, and the client must
+		// have paid for a conventional client application.
+		if day < cat.standardisedDay {
+			return false, 0
+		}
+		if !c.paidDev {
+			m.ClientDevCost += p.CostClientDev
+			c.paidDev = true
+		}
+		return true, 0
+	case MediationOnly:
+		// Generic client: immediate access, per-use overhead.
+		return true, p.CostGenericUseOverhead
+	case Integrated:
+		// Mediation immediately; after standardisation the trader offers
+		// typed selection, still driven by the generic client, so no
+		// client development cost ever arises.
+		return true, p.CostGenericUseOverhead
+	}
+	return false, 0
+}
+
+// CrossoverUses returns the analytic break-even point of section 2.3:
+// the number of uses per client/category at which paying the one-time
+// conventional-client development cost beats the generic client's
+// per-use overhead. Below it, mediation is strictly cheaper for the
+// client; above it, a matured (standardised, statically adapted) service
+// wins on marginal cost.
+func CrossoverUses(p Params) (float64, error) {
+	if p.CostGenericUseOverhead <= 0 {
+		return 0, fmt.Errorf("%w: CostGenericUseOverhead must be positive for a crossover", ErrParams)
+	}
+	return p.CostClientDev / p.CostGenericUseOverhead, nil
+}
+
+// Compare runs all three regimes on the same parameters and seed.
+func Compare(p Params) (map[Regime]Metrics, error) {
+	out := make(map[Regime]Metrics, 3)
+	for _, regime := range []Regime{TradingOnly, MediationOnly, Integrated} {
+		m, err := Run(p, regime)
+		if err != nil {
+			return nil, err
+		}
+		out[regime] = m
+	}
+	return out, nil
+}

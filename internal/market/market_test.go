@@ -1,0 +1,252 @@
+package market
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestRunDeterministic(t *testing.T) {
+	p := DefaultParams()
+	a, err := Run(p, Integrated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p, Integrated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.UsesServed != b.UsesServed || a.TotalCost() != b.TotalCost() || a.Categories != b.Categories {
+		t.Fatalf("simulation is not deterministic: %+v vs %+v", a, b)
+	}
+	if len(a.Timeline) != p.Days {
+		t.Fatalf("timeline = %d days, want %d", len(a.Timeline), p.Days)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"days", func(p *Params) { p.Days = 0 }},
+		{"negative rate", func(p *Params) { p.ProviderArrivalPerDay = -1 }},
+		{"bad prob", func(p *Params) { p.NewCategoryProb = 1.5 }},
+		{"negative delay", func(p *Params) { p.StandardisationDelayDays = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := DefaultParams()
+			tt.mut(&p)
+			if _, err := Run(p, Integrated); !errors.Is(err, ErrParams) {
+				t.Fatalf("err = %v, want ErrParams", err)
+			}
+		})
+	}
+}
+
+// TestSection22TimeToMarketShape verifies the paper's central section
+// 2.2 claim: under trading-only, innovative services are unusable for
+// roughly the standardisation delay, while mediation serves them
+// immediately.
+func TestSection22TimeToMarketShape(t *testing.T) {
+	p := DefaultParams()
+	results, err := Compare(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trading := results[TradingOnly]
+	mediation := results[MediationOnly]
+	integrated := results[Integrated]
+
+	if mediation.MeanTimeToFirstUse < 0 {
+		t.Fatal("mediation never served anything")
+	}
+	if trading.MeanTimeToFirstUse < float64(p.StandardisationDelayDays)*0.8 {
+		t.Fatalf("trading-only time to first use %.1f should be near the standardisation delay %d",
+			trading.MeanTimeToFirstUse, p.StandardisationDelayDays)
+	}
+	if mediation.MeanTimeToFirstUse > trading.MeanTimeToFirstUse/4 {
+		t.Fatalf("mediation time to first use %.1f should be far below trading %.1f",
+			mediation.MeanTimeToFirstUse, trading.MeanTimeToFirstUse)
+	}
+	if integrated.MeanTimeToFirstUse > mediation.MeanTimeToFirstUse+1 {
+		t.Fatalf("integrated %.1f should match mediation %.1f",
+			integrated.MeanTimeToFirstUse, mediation.MeanTimeToFirstUse)
+	}
+
+	// Trading-only loses demand to the standardisation window.
+	if trading.UnmetDemand <= mediation.UnmetDemand {
+		t.Fatalf("trading unmet %d should exceed mediation unmet %d",
+			trading.UnmetDemand, mediation.UnmetDemand)
+	}
+	if trading.UsesServed >= mediation.UsesServed {
+		t.Fatalf("trading served %d should be below mediation %d",
+			trading.UsesServed, mediation.UsesServed)
+	}
+}
+
+// TestSection23TransitionCostShape verifies the cost taxonomy claims:
+// client adaptation cost vanishes under mediation; provider entry is
+// cheaper; overhead cost is nonzero but small; integrated nets highest
+// utility under the default ratios.
+func TestSection23TransitionCostShape(t *testing.T) {
+	p := DefaultParams()
+	results, err := Compare(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trading := results[TradingOnly]
+	mediation := results[MediationOnly]
+	integrated := results[Integrated]
+
+	if mediation.ClientDevCost != 0 || integrated.ClientDevCost != 0 {
+		t.Fatalf("generic clients must incur no client development cost: %g %g",
+			mediation.ClientDevCost, integrated.ClientDevCost)
+	}
+	if trading.ClientDevCost == 0 {
+		t.Fatal("trading-only must incur client development cost")
+	}
+	if mediation.ProviderCost >= trading.ProviderCost {
+		t.Fatalf("SID authoring %g should undercut stub development %g",
+			mediation.ProviderCost, trading.ProviderCost)
+	}
+	if mediation.OverheadCost <= 0 {
+		t.Fatal("mediation must pay per-use overhead")
+	}
+	if trading.OverheadCost != 0 {
+		t.Fatal("static clients pay no per-use overhead")
+	}
+	if integrated.NetUtility < trading.NetUtility || integrated.NetUtility < mediation.NetUtility-1e-9 {
+		t.Fatalf("integrated net utility %.1f should dominate trading %.1f and mediation %.1f",
+			integrated.NetUtility, trading.NetUtility, mediation.NetUtility)
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	p := DefaultParams()
+	n, err := CrossoverUses(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.CostClientDev / p.CostGenericUseOverhead
+	if math.Abs(n-want) > 1e-9 {
+		t.Fatalf("CrossoverUses = %g, want %g", n, want)
+	}
+	// Below the crossover the generic client is cheaper; above it the
+	// one-time static investment wins (marginal costs).
+	below := (n - 1) * p.CostGenericUseOverhead
+	above := (n + 1) * p.CostGenericUseOverhead
+	if below >= p.CostClientDev || above <= p.CostClientDev {
+		t.Fatalf("crossover point inconsistent: below %.2f above %.2f dev %.2f",
+			below, above, p.CostClientDev)
+	}
+	p.CostGenericUseOverhead = 0
+	if _, err := CrossoverUses(p); !errors.Is(err, ErrParams) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTimelineMonotonic(t *testing.T) {
+	m, err := Run(DefaultParams(), MediationOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(m.Timeline); i++ {
+		prev, cur := m.Timeline[i-1], m.Timeline[i]
+		if cur.UsesServed < prev.UsesServed || cur.UnmetDemand < prev.UnmetDemand || cur.CumulativeCost < prev.CumulativeCost {
+			t.Fatalf("timeline not monotone at day %d: %+v -> %+v", i, prev, cur)
+		}
+		if cur.Day != i {
+			t.Fatalf("day index mismatch at %d", i)
+		}
+	}
+}
+
+func TestMetricsAccounting(t *testing.T) {
+	p := DefaultParams()
+	p.Days = 120
+	for _, regime := range []Regime{TradingOnly, MediationOnly, Integrated} {
+		t.Run(regime.String(), func(t *testing.T) {
+			m, err := Run(p, regime)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := float64(m.UsesServed)*p.UseValue - m.TotalCost(); math.Abs(got-m.NetUtility) > 1e-6 {
+				t.Fatalf("NetUtility %.3f != recomputed %.3f", m.NetUtility, got)
+			}
+			if len(m.TimeToFirstUse) != m.Categories {
+				t.Fatalf("TimeToFirstUse len %d != categories %d", len(m.TimeToFirstUse), m.Categories)
+			}
+			last := m.Timeline[len(m.Timeline)-1]
+			if last.UsesServed != m.UsesServed || last.UnmetDemand != m.UnmetDemand {
+				t.Fatalf("timeline end %+v != totals", last)
+			}
+		})
+	}
+}
+
+func TestRegimeString(t *testing.T) {
+	if TradingOnly.String() != "trading-only" || Regime(9).String() != "Regime(9)" {
+		t.Fatal("Regime.String broken")
+	}
+}
+
+func TestStandardisationDelaySweepShape(t *testing.T) {
+	// Longer standardisation hurts trading-only monotonically (more
+	// unmet demand) but leaves mediation untouched.
+	p := DefaultParams()
+	p.Days = 200
+	var prevUnmet int
+	for i, delay := range []int{10, 60, 150} {
+		p.StandardisationDelayDays = delay
+		tm, err := Run(p, TradingOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && tm.UnmetDemand < prevUnmet {
+			t.Fatalf("unmet demand fell from %d to %d as delay grew", prevUnmet, tm.UnmetDemand)
+		}
+		prevUnmet = tm.UnmetDemand
+
+		mm, err := Run(p, MediationOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mm.UnmetDemand != 0 {
+			t.Fatalf("mediation unmet demand = %d with delay %d", mm.UnmetDemand, delay)
+		}
+	}
+}
+
+// TestFirstMoverAdvantageShape verifies the §2.2 claim "being the first
+// pays most": under mediation the innovator's visibility head start
+// converts into a larger share of served uses, while trading-only's
+// standardisation window surfaces all pre-standardisation competitors at
+// once and erodes that advantage.
+func TestFirstMoverAdvantageShape(t *testing.T) {
+	p := DefaultParams()
+	p.Days = 365
+	med, err := Run(p, MediationOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trd, err := Run(p, TradingOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med.FirstMoverShare < 0 || trd.FirstMoverShare < 0 {
+		t.Fatalf("shares unavailable: med %v trd %v", med.FirstMoverShare, trd.FirstMoverShare)
+	}
+	if med.FirstMoverShare <= trd.FirstMoverShare {
+		t.Fatalf("mediation first-mover share %.3f should exceed trading-only %.3f",
+			med.FirstMoverShare, trd.FirstMoverShare)
+	}
+	// With uniform choice among visible providers, both shares stay
+	// sane fractions.
+	for _, s := range []float64{med.FirstMoverShare, trd.FirstMoverShare} {
+		if s <= 0 || s > 1 {
+			t.Fatalf("share out of range: %v", s)
+		}
+	}
+}

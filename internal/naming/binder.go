@@ -1,0 +1,117 @@
+package naming
+
+import (
+	"context"
+	"sync"
+
+	"cosm/internal/cosm"
+	"cosm/internal/ref"
+	"cosm/internal/sidl"
+	"cosm/internal/wire"
+)
+
+// Binder is the client-side binder function of the prototype
+// architecture (Fig. 6, service-support level): it resolves symbolic
+// names through a name server and establishes bindings, caching resolved
+// references and fetched SIDs so repeated bindings to the same service
+// avoid both the name-server round trip and the SID transfer. The cache
+// is the subject of the SID-cache ablation benchmark.
+type Binder struct {
+	pool  *wire.Pool
+	names *NameClient
+
+	mu       sync.Mutex
+	refCache map[string]ref.ServiceRef
+	sidCache map[ref.ServiceRef]*sidl.SID
+	caching  bool
+}
+
+// BinderOption configures a Binder.
+type BinderOption func(*Binder)
+
+// WithoutBinderCache disables reference and SID caching (every bind
+// resolves and describes afresh); used by the ablation benchmarks.
+func WithoutBinderCache() BinderOption {
+	return func(b *Binder) { b.caching = false }
+}
+
+// NewBinder returns a binder resolving through the given name client.
+func NewBinder(pool *wire.Pool, names *NameClient, opts ...BinderOption) *Binder {
+	b := &Binder{
+		pool:     pool,
+		names:    names,
+		refCache: map[string]ref.ServiceRef{},
+		sidCache: map[ref.ServiceRef]*sidl.SID{},
+		caching:  true,
+	}
+	for _, o := range opts {
+		o(b)
+	}
+	return b
+}
+
+// Resolve maps a symbolic name to a reference, using the cache when
+// enabled.
+func (b *Binder) Resolve(ctx context.Context, name string) (ref.ServiceRef, error) {
+	if b.caching {
+		b.mu.Lock()
+		r, ok := b.refCache[name]
+		b.mu.Unlock()
+		if ok {
+			return r, nil
+		}
+	}
+	r, err := b.names.Resolve(ctx, name)
+	if err != nil {
+		return ref.ServiceRef{}, err
+	}
+	if b.caching {
+		b.mu.Lock()
+		b.refCache[name] = r
+		b.mu.Unlock()
+	}
+	return r, nil
+}
+
+// BindName resolves a symbolic name and binds to the service behind it.
+func (b *Binder) BindName(ctx context.Context, name string) (*cosm.Conn, error) {
+	r, err := b.Resolve(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	return b.BindRef(ctx, r)
+}
+
+// BindRef binds to a known reference, fetching the SID unless cached.
+func (b *Binder) BindRef(ctx context.Context, r ref.ServiceRef) (*cosm.Conn, error) {
+	if b.caching {
+		b.mu.Lock()
+		sid, ok := b.sidCache[r]
+		b.mu.Unlock()
+		if ok {
+			return cosm.BindWithSID(b.pool, r, sid)
+		}
+	}
+	sid, err := cosm.Describe(ctx, b.pool, r)
+	if err != nil {
+		return nil, err
+	}
+	if b.caching {
+		b.mu.Lock()
+		b.sidCache[r] = sid
+		b.mu.Unlock()
+	}
+	return cosm.BindWithSID(b.pool, r, sid)
+}
+
+// Invalidate drops any cached state for a symbolic name and its
+// reference, forcing the next bind to resolve afresh (e.g. after a
+// service moved).
+func (b *Binder) Invalidate(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if r, ok := b.refCache[name]; ok {
+		delete(b.sidCache, r)
+	}
+	delete(b.refCache, name)
+}

@@ -1,0 +1,157 @@
+package naming
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"cosm/internal/cosm"
+	"cosm/internal/ref"
+	"cosm/internal/sidl"
+	"cosm/internal/wire"
+	"cosm/internal/xcode"
+)
+
+// NameClient is a typed wrapper over a dynamic binding to a remote name
+// server. It exists for the convenience of infrastructure code; a
+// generic client can of course drive the same service from its SID
+// alone.
+type NameClient struct {
+	conn *cosm.Conn
+	strT *sidl.Type
+	refT *sidl.Type
+}
+
+// DialNameServer binds to the name server behind r.
+func DialNameServer(ctx context.Context, pool *wire.Pool, r ref.ServiceRef) (*NameClient, error) {
+	conn, err := cosm.Bind(ctx, pool, r)
+	if err != nil {
+		return nil, err
+	}
+	return &NameClient{
+		conn: conn,
+		strT: sidl.Basic(sidl.String),
+		refT: sidl.Basic(sidl.SvcRef),
+	}, nil
+}
+
+// Register binds name to target at the remote name server.
+func (c *NameClient) Register(ctx context.Context, name string, target ref.ServiceRef) error {
+	_, err := c.conn.Invoke(ctx, "Register",
+		xcode.NewString(c.strT, name), xcode.NewRef(c.refT, target))
+	return wrapRemote(err)
+}
+
+// Rebind binds name to target, replacing an existing binding.
+func (c *NameClient) Rebind(ctx context.Context, name string, target ref.ServiceRef) error {
+	_, err := c.conn.Invoke(ctx, "Rebind",
+		xcode.NewString(c.strT, name), xcode.NewRef(c.refT, target))
+	return wrapRemote(err)
+}
+
+// Unregister removes the binding for name.
+func (c *NameClient) Unregister(ctx context.Context, name string) error {
+	_, err := c.conn.Invoke(ctx, "Unregister", xcode.NewString(c.strT, name))
+	return wrapRemote(err)
+}
+
+// Resolve returns the reference bound to name.
+func (c *NameClient) Resolve(ctx context.Context, name string) (ref.ServiceRef, error) {
+	res, err := c.conn.Invoke(ctx, "Resolve", xcode.NewString(c.strT, name))
+	if err != nil {
+		return ref.ServiceRef{}, wrapRemote(err)
+	}
+	return res.Value.Ref, nil
+}
+
+// List returns bindings by name prefix.
+func (c *NameClient) List(ctx context.Context, prefix string) ([]Entry, error) {
+	res, err := c.conn.Invoke(ctx, "List", xcode.NewString(c.strT, prefix))
+	if err != nil {
+		return nil, wrapRemote(err)
+	}
+	entries := make([]Entry, 0, len(res.Value.Elems))
+	for _, ev := range res.Value.Elems {
+		name, err := ev.Field("name")
+		if err != nil {
+			return nil, err
+		}
+		target, err := ev.Field("target")
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, Entry{Name: name.Str, Target: target.Ref})
+	}
+	return entries, nil
+}
+
+// GroupClient is a typed wrapper over a dynamic binding to a remote
+// group manager.
+type GroupClient struct {
+	conn *cosm.Conn
+	strT *sidl.Type
+}
+
+// DialGroups binds to the group manager behind r.
+func DialGroups(ctx context.Context, pool *wire.Pool, r ref.ServiceRef) (*GroupClient, error) {
+	conn, err := cosm.Bind(ctx, pool, r)
+	if err != nil {
+		return nil, err
+	}
+	return &GroupClient{conn: conn, strT: sidl.Basic(sidl.String)}, nil
+}
+
+// Join adds endpoint to group.
+func (c *GroupClient) Join(ctx context.Context, group, endpoint string) error {
+	_, err := c.conn.Invoke(ctx, "Join",
+		xcode.NewString(c.strT, group), xcode.NewString(c.strT, endpoint))
+	return wrapRemote(err)
+}
+
+// Leave removes endpoint from group.
+func (c *GroupClient) Leave(ctx context.Context, group, endpoint string) error {
+	_, err := c.conn.Invoke(ctx, "Leave",
+		xcode.NewString(c.strT, group), xcode.NewString(c.strT, endpoint))
+	return wrapRemote(err)
+}
+
+// Members returns the endpoints in group.
+func (c *GroupClient) Members(ctx context.Context, group string) ([]string, error) {
+	res, err := c.conn.Invoke(ctx, "Members", xcode.NewString(c.strT, group))
+	if err != nil {
+		return nil, wrapRemote(err)
+	}
+	return stringSeq(res.Value), nil
+}
+
+// Groups returns all group names.
+func (c *GroupClient) Groups(ctx context.Context) ([]string, error) {
+	res, err := c.conn.Invoke(ctx, "Groups")
+	if err != nil {
+		return nil, wrapRemote(err)
+	}
+	return stringSeq(res.Value), nil
+}
+
+func stringSeq(v *xcode.Value) []string {
+	out := make([]string, 0, len(v.Elems))
+	for _, e := range v.Elems {
+		out = append(out, e.Str)
+	}
+	return out
+}
+
+// wrapRemote preserves the transport error chain and re-maps the name
+// server's not-bound failure (which crosses the wire as message text
+// only) back onto ErrNotFound for errors.Is.
+func wrapRemote(err error) error {
+	if err == nil {
+		return nil
+	}
+	var re *wire.RemoteError
+	if errors.As(err, &re) && re.Status == wire.StatusAppError && strings.Contains(re.Msg, ErrNotFound.Error()) {
+		return fmt.Errorf("%w: %w", ErrNotFound, err)
+	}
+	return fmt.Errorf("naming: %w", err)
+}

@@ -1,0 +1,193 @@
+// Package naming implements the service-support level of the COSM
+// prototype architecture (Fig. 6): the name server, the binder and the
+// group manager.
+//
+// Both the name server and the group manager are themselves COSM
+// services, described by SIDs and hosted on ordinary nodes — the same
+// dogfooding the paper applies to browsers ("the browser may also act as
+// an application service as well"). Clients use the typed wrappers
+// NameClient and GroupClient, which perform dynamic invocations through
+// the cosm runtime.
+package naming
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"cosm/internal/ref"
+)
+
+// Well-known service names for infrastructure services hosted on nodes.
+const (
+	// ServiceName is the name server's hosted service name.
+	ServiceName = "cosm.naming"
+	// GroupServiceName is the group manager's hosted service name.
+	GroupServiceName = "cosm.groups"
+)
+
+// Errors reported by the registry (and surfaced through RPC as
+// application errors).
+var (
+	ErrNotFound  = errors.New("naming: name not bound")
+	ErrNameTaken = errors.New("naming: name already bound")
+	ErrBadName   = errors.New("naming: empty name")
+)
+
+// Registry is the name server's in-memory store: a flat map from names
+// to service references. It is safe for concurrent use and usable both
+// embedded (in-process) and behind the RPC facade.
+type Registry struct {
+	mu    sync.RWMutex
+	names map[string]ref.ServiceRef
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: map[string]ref.ServiceRef{}}
+}
+
+// Register binds name to target. Rebinding an existing name fails;
+// use Rebind for explicit replacement.
+func (r *Registry) Register(name string, target ref.ServiceRef) error {
+	if name == "" {
+		return ErrBadName
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.names[name]; exists {
+		return fmt.Errorf("%w: %q", ErrNameTaken, name)
+	}
+	r.names[name] = target
+	return nil
+}
+
+// Rebind binds name to target, replacing any existing binding.
+func (r *Registry) Rebind(name string, target ref.ServiceRef) error {
+	if name == "" {
+		return ErrBadName
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.names[name] = target
+	return nil
+}
+
+// Unregister removes the binding for name (no-op if absent).
+func (r *Registry) Unregister(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.names, name)
+}
+
+// Resolve returns the reference bound to name.
+func (r *Registry) Resolve(name string) (ref.ServiceRef, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	target, ok := r.names[name]
+	if !ok {
+		return ref.ServiceRef{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return target, nil
+}
+
+// Entry is one name binding.
+type Entry struct {
+	Name   string
+	Target ref.ServiceRef
+}
+
+// List returns all bindings whose name has the given prefix, sorted by
+// name. An empty prefix lists everything.
+func (r *Registry) List(prefix string) []Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	entries := make([]Entry, 0, len(r.names))
+	for name, target := range r.names {
+		if strings.HasPrefix(name, prefix) {
+			entries = append(entries, Entry{Name: name, Target: target})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	return entries
+}
+
+// Len returns the number of bindings.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.names)
+}
+
+// Groups is the group manager's in-memory store: named sets of endpoint
+// strings, backing the multicast/broadcast function of the communication
+// level.
+type Groups struct {
+	mu     sync.RWMutex
+	groups map[string]map[string]bool
+}
+
+// NewGroups returns an empty group store.
+func NewGroups() *Groups {
+	return &Groups{groups: map[string]map[string]bool{}}
+}
+
+// Join adds endpoint to group, creating the group if needed.
+func (g *Groups) Join(group, endpoint string) error {
+	if group == "" || endpoint == "" {
+		return ErrBadName
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	set, ok := g.groups[group]
+	if !ok {
+		set = map[string]bool{}
+		g.groups[group] = set
+	}
+	set[endpoint] = true
+	return nil
+}
+
+// Leave removes endpoint from group; empty groups disappear.
+func (g *Groups) Leave(group, endpoint string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	set, ok := g.groups[group]
+	if !ok {
+		return
+	}
+	delete(set, endpoint)
+	if len(set) == 0 {
+		delete(g.groups, group)
+	}
+}
+
+// Members returns the endpoints in group, sorted (nil if absent).
+func (g *Groups) Members(group string) []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	set, ok := g.groups[group]
+	if !ok {
+		return nil
+	}
+	members := make([]string, 0, len(set))
+	for m := range set {
+		members = append(members, m)
+	}
+	sort.Strings(members)
+	return members
+}
+
+// Names returns all group names, sorted.
+func (g *Groups) Names() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	names := make([]string, 0, len(g.groups))
+	for n := range g.groups {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

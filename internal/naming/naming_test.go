@@ -1,0 +1,311 @@
+package naming
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"cosm/internal/cosm"
+	"cosm/internal/ref"
+	"cosm/internal/sidl"
+	"cosm/internal/xcode"
+)
+
+func TestRegistryLocal(t *testing.T) {
+	reg := NewRegistry()
+	a := ref.New("tcp:h:1", "A")
+	b := ref.New("tcp:h:2", "B")
+
+	if err := reg.Register("svc/a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("svc/a", b); !errors.Is(err, ErrNameTaken) {
+		t.Fatalf("dup register err = %v", err)
+	}
+	if err := reg.Register("", a); !errors.Is(err, ErrBadName) {
+		t.Fatalf("empty name err = %v", err)
+	}
+	if err := reg.Rebind("svc/a", b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := reg.Resolve("svc/a")
+	if err != nil || got != b {
+		t.Fatalf("Resolve = %v, %v", got, err)
+	}
+	if _, err := reg.Resolve("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := reg.Register("svc/b", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("other", a); err != nil {
+		t.Fatal(err)
+	}
+	entries := reg.List("svc/")
+	if len(entries) != 2 || entries[0].Name != "svc/a" || entries[1].Name != "svc/b" {
+		t.Fatalf("List = %+v", entries)
+	}
+	if reg.Len() != 3 {
+		t.Fatalf("Len = %d", reg.Len())
+	}
+	reg.Unregister("svc/a")
+	if _, err := reg.Resolve("svc/a"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("unregister did not remove binding")
+	}
+}
+
+func TestGroupsLocal(t *testing.T) {
+	g := NewGroups()
+	if err := g.Join("", "e"); !errors.Is(err, ErrBadName) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := g.Join("traders", "tcp:h:1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Join("traders", "tcp:h:2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Join("traders", "tcp:h:1"); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if got := g.Members("traders"); len(got) != 2 || got[0] != "tcp:h:1" {
+		t.Fatalf("Members = %v", got)
+	}
+	if got := g.Members("ghost"); got != nil {
+		t.Fatalf("ghost Members = %v", got)
+	}
+	g.Leave("traders", "tcp:h:1")
+	g.Leave("ghost", "x") // no-op
+	if got := g.Members("traders"); len(got) != 1 {
+		t.Fatalf("Members = %v", got)
+	}
+	g.Leave("traders", "tcp:h:2")
+	if got := g.Names(); len(got) != 0 {
+		t.Fatalf("empty group not removed: %v", got)
+	}
+}
+
+// startNamingNode hosts a name server and a group manager on one node.
+func startNamingNode(t *testing.T, loopName string) (*cosm.Node, ref.ServiceRef, ref.ServiceRef) {
+	t.Helper()
+	node := cosm.NewNode(cosm.WithNodeLog(func(string, ...any) {}))
+	nameSvc, err := NewService(NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	groupSvc, err := NewGroupService(NewGroups())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Host(ServiceName, nameSvc); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Host(GroupServiceName, groupSvc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.ListenAndServe("loop:" + loopName); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = node.Close() })
+	return node, node.MustRefFor(ServiceName), node.MustRefFor(GroupServiceName)
+}
+
+func TestNameServiceRemote(t *testing.T) {
+	node, nameRef, _ := startNamingNode(t, "ns-remote")
+	ctx := context.Background()
+	nc, err := DialNameServer(ctx, node.Pool(), nameRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	target := ref.New("tcp:far:9", "CarRentalService")
+	if err := nc.Register(ctx, "market/cars", target); err != nil {
+		t.Fatal(err)
+	}
+	if err := nc.Register(ctx, "market/cars", target); err == nil {
+		t.Fatal("duplicate register must fail remotely")
+	}
+	got, err := nc.Resolve(ctx, "market/cars")
+	if err != nil || got != target {
+		t.Fatalf("Resolve = %v, %v", got, err)
+	}
+	if _, err := nc.Resolve(ctx, "nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Resolve(nope) err = %v, want ErrNotFound across the wire", err)
+	}
+
+	other := ref.New("tcp:far:10", "Other")
+	if err := nc.Rebind(ctx, "market/cars", other); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := nc.Resolve(ctx, "market/cars"); got != other {
+		t.Fatalf("after Rebind: %v", got)
+	}
+
+	if err := nc.Register(ctx, "market/bikes", target); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := nc.List(ctx, "market/")
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("List = %+v, %v", entries, err)
+	}
+	if entries[0].Name != "market/bikes" || entries[0].Target != target {
+		t.Fatalf("List[0] = %+v", entries[0])
+	}
+
+	if err := nc.Unregister(ctx, "market/cars"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nc.Resolve(ctx, "market/cars"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("unregistered name must not resolve")
+	}
+}
+
+func TestGroupServiceRemote(t *testing.T) {
+	node, _, groupRef := startNamingNode(t, "grp-remote")
+	ctx := context.Background()
+	gc, err := DialGroups(ctx, node.Pool(), groupRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gc.Join(ctx, "traders", "tcp:a:1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := gc.Join(ctx, "traders", "tcp:b:2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := gc.Join(ctx, "browsers", "tcp:c:3"); err != nil {
+		t.Fatal(err)
+	}
+	members, err := gc.Members(ctx, "traders")
+	if err != nil || len(members) != 2 {
+		t.Fatalf("Members = %v, %v", members, err)
+	}
+	groups, err := gc.Groups(ctx)
+	if err != nil || len(groups) != 2 || groups[0] != "browsers" {
+		t.Fatalf("Groups = %v, %v", groups, err)
+	}
+	if err := gc.Leave(ctx, "traders", "tcp:a:1"); err != nil {
+		t.Fatal(err)
+	}
+	members, _ = gc.Members(ctx, "traders")
+	if len(members) != 1 || members[0] != "tcp:b:2" {
+		t.Fatalf("Members after Leave = %v", members)
+	}
+	if err := gc.Join(ctx, "", "x"); err == nil {
+		t.Fatal("empty group must fail remotely")
+	}
+}
+
+func TestNameServiceIsDescribable(t *testing.T) {
+	// The name server is itself a COSM service: a generic client can
+	// fetch its SID and see its operations.
+	node, nameRef, _ := startNamingNode(t, "ns-describe")
+	sid, err := cosm.Describe(context.Background(), node.Pool(), nameRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sid.ServiceName != "CosmNaming" {
+		t.Fatalf("ServiceName = %q", sid.ServiceName)
+	}
+	if _, ok := sid.Op("Resolve"); !ok {
+		t.Fatal("Resolve missing from name server SID")
+	}
+}
+
+func TestBinder(t *testing.T) {
+	node, nameRef, _ := startNamingNode(t, "binder")
+	ctx := context.Background()
+
+	// Host an application service on the same node and register it.
+	sid := sidl.CarRentalSID()
+	svc, err := cosm.NewService(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.MustHandle("SelectCar", func(call *cosm.Call) error {
+		call.Result = xcode.Zero(sid.Type("SelectCarReturn_t"))
+		return nil
+	})
+	svc.MustHandle("Commit", func(call *cosm.Call) error {
+		call.Result = xcode.Zero(sid.Type("BookCarReturn_t"))
+		return nil
+	})
+	if err := node.Host("CarRentalService", svc); err != nil {
+		t.Fatal(err)
+	}
+	carRef := node.MustRefFor("CarRentalService")
+
+	nc, err := DialNameServer(ctx, node.Pool(), nameRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nc.Register(ctx, "rentals/hamburg", carRef); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, cached := range []bool{true, false} {
+		name := "cached"
+		opts := []BinderOption{}
+		if !cached {
+			name = "uncached"
+			opts = append(opts, WithoutBinderCache())
+		}
+		t.Run(name, func(t *testing.T) {
+			b := NewBinder(node.Pool(), nc, opts...)
+			conn, err := b.BindName(ctx, "rentals/hamburg")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if conn.SID().ServiceName != "CarRentalService" {
+				t.Fatalf("bound SID = %q", conn.SID().ServiceName)
+			}
+			if _, err := conn.Invoke(ctx, "SelectCar", xcode.Zero(sid.Type("SelectCar_t"))); err != nil {
+				t.Fatal(err)
+			}
+			// Second bind exercises the cache path (or its absence).
+			conn2, err := b.BindName(ctx, "rentals/hamburg")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if conn2.Ref() != carRef {
+				t.Fatalf("rebind ref = %v", conn2.Ref())
+			}
+			// Unknown names fail.
+			if _, err := b.BindName(ctx, "rentals/ghost"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("err = %v", err)
+			}
+		})
+	}
+}
+
+func TestBinderInvalidate(t *testing.T) {
+	node, nameRef, _ := startNamingNode(t, "binder-inv")
+	ctx := context.Background()
+	nc, err := DialNameServer(ctx, node.Pool(), nameRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := node.MustRefFor(ServiceName) // bind a name to the name server itself
+	if err := nc.Register(ctx, "self", target); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBinder(node.Pool(), nc)
+	if _, err := b.Resolve(ctx, "self"); err != nil {
+		t.Fatal(err)
+	}
+	// Rebind remotely; the cached reference is now stale until
+	// invalidated.
+	moved := ref.New(target.Endpoint, GroupServiceName)
+	if err := nc.Rebind(ctx, "self", moved); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := b.Resolve(ctx, "self")
+	if got != target {
+		t.Fatalf("expected stale cached ref, got %v", got)
+	}
+	b.Invalidate("self")
+	got, err = b.Resolve(ctx, "self")
+	if err != nil || got != moved {
+		t.Fatalf("after Invalidate: %v, %v", got, err)
+	}
+}

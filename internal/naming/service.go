@@ -1,0 +1,223 @@
+package naming
+
+import (
+	"fmt"
+
+	"cosm/internal/cosm"
+	"cosm/internal/ref"
+	"cosm/internal/sidl"
+	"cosm/internal/xcode"
+)
+
+// IDL is the name server's own service description: the name server is
+// a COSM service like any other and can therefore be described, browsed
+// and invoked generically.
+const IDL = `
+// Binds names to service references for one administrative domain.
+module CosmNaming {
+    struct Entry_t {
+        string name;
+        Object target;
+    };
+    typedef sequence<Entry_t> Entries_t;
+    interface COSM_Operations {
+        // Bind a name; fails if the name is already bound.
+        void Register(in string name, in Object target);
+        // Bind a name, replacing any existing binding.
+        void Rebind(in string name, in Object target);
+        // Remove a binding (no-op if absent).
+        void Unregister(in string name);
+        // Resolve a name to a service reference.
+        Object Resolve(in string name);
+        // List bindings by name prefix ("" lists all).
+        Entries_t List(in string prefix);
+    };
+};
+`
+
+// GroupIDL is the group manager's service description.
+const GroupIDL = `
+// Maintains named endpoint groups for multicast/broadcast.
+module CosmGroups {
+    typedef sequence<string> Members_t;
+    interface COSM_Operations {
+        void Join(in string group, in string endpoint);
+        void Leave(in string group, in string endpoint);
+        Members_t Members(in string group);
+        Members_t Groups();
+    };
+};
+`
+
+// NewService wraps a Registry as a hosted COSM service.
+func NewService(reg *Registry) (*cosm.Service, error) {
+	sid, err := sidl.Parse(IDL)
+	if err != nil {
+		return nil, fmt.Errorf("naming: internal IDL: %w", err)
+	}
+	svc, err := cosm.NewService(sid)
+	if err != nil {
+		return nil, err
+	}
+	refT := sidl.Basic(sidl.SvcRef)
+	strT := sidl.Basic(sidl.String)
+	entryT := sid.Type("Entry_t")
+	entriesT := sid.Type("Entries_t")
+
+	nameArg := func(call *cosm.Call) (string, error) {
+		v, err := call.Arg("name")
+		if err != nil {
+			return "", err
+		}
+		return v.Str, nil
+	}
+	targetArg := func(call *cosm.Call) (ref.ServiceRef, error) {
+		v, err := call.Arg("target")
+		if err != nil {
+			return ref.ServiceRef{}, err
+		}
+		return v.Ref, nil
+	}
+
+	svc.MustHandle("Register", func(call *cosm.Call) error {
+		name, err := nameArg(call)
+		if err != nil {
+			return err
+		}
+		target, err := targetArg(call)
+		if err != nil {
+			return err
+		}
+		return reg.Register(name, target)
+	})
+	svc.MustHandle("Rebind", func(call *cosm.Call) error {
+		name, err := nameArg(call)
+		if err != nil {
+			return err
+		}
+		target, err := targetArg(call)
+		if err != nil {
+			return err
+		}
+		return reg.Rebind(name, target)
+	})
+	svc.MustHandle("Unregister", func(call *cosm.Call) error {
+		name, err := nameArg(call)
+		if err != nil {
+			return err
+		}
+		reg.Unregister(name)
+		return nil
+	})
+	svc.MustHandle("Resolve", func(call *cosm.Call) error {
+		name, err := nameArg(call)
+		if err != nil {
+			return err
+		}
+		target, err := reg.Resolve(name)
+		if err != nil {
+			return err
+		}
+		call.Result = xcode.NewRef(refT, target)
+		return nil
+	})
+	svc.MustHandle("List", func(call *cosm.Call) error {
+		prefix, err := call.Arg("prefix")
+		if err != nil {
+			return err
+		}
+		entries := reg.List(prefix.Str)
+		elems := make([]*xcode.Value, len(entries))
+		for i, e := range entries {
+			ev, err := xcode.NewStruct(entryT, map[string]*xcode.Value{
+				"name":   xcode.NewString(strT, e.Name),
+				"target": xcode.NewRef(refT, e.Target),
+			})
+			if err != nil {
+				return err
+			}
+			elems[i] = ev
+		}
+		seq, err := xcode.NewSequence(entriesT, elems...)
+		if err != nil {
+			return err
+		}
+		call.Result = seq
+		return nil
+	})
+	return svc, nil
+}
+
+// NewGroupService wraps a Groups store as a hosted COSM service.
+func NewGroupService(groups *Groups) (*cosm.Service, error) {
+	sid, err := sidl.Parse(GroupIDL)
+	if err != nil {
+		return nil, fmt.Errorf("naming: internal group IDL: %w", err)
+	}
+	svc, err := cosm.NewService(sid)
+	if err != nil {
+		return nil, err
+	}
+	strT := sidl.Basic(sidl.String)
+	membersT := sid.Type("Members_t")
+
+	strArg := func(call *cosm.Call, name string) (string, error) {
+		v, err := call.Arg(name)
+		if err != nil {
+			return "", err
+		}
+		return v.Str, nil
+	}
+	strSeq := func(items []string) (*xcode.Value, error) {
+		elems := make([]*xcode.Value, len(items))
+		for i, s := range items {
+			elems[i] = xcode.NewString(strT, s)
+		}
+		return xcode.NewSequence(membersT, elems...)
+	}
+
+	svc.MustHandle("Join", func(call *cosm.Call) error {
+		group, err := strArg(call, "group")
+		if err != nil {
+			return err
+		}
+		endpoint, err := strArg(call, "endpoint")
+		if err != nil {
+			return err
+		}
+		return groups.Join(group, endpoint)
+	})
+	svc.MustHandle("Leave", func(call *cosm.Call) error {
+		group, err := strArg(call, "group")
+		if err != nil {
+			return err
+		}
+		endpoint, err := strArg(call, "endpoint")
+		if err != nil {
+			return err
+		}
+		groups.Leave(group, endpoint)
+		return nil
+	})
+	svc.MustHandle("Members", func(call *cosm.Call) error {
+		group, err := strArg(call, "group")
+		if err != nil {
+			return err
+		}
+		seq, err := strSeq(groups.Members(group))
+		if err != nil {
+			return err
+		}
+		call.Result = seq
+		return nil
+	})
+	svc.MustHandle("Groups", func(call *cosm.Call) error {
+		seq, err := strSeq(groups.Names())
+		if err != nil {
+			return err
+		}
+		call.Result = seq
+		return nil
+	})
+	return svc, nil
+}

@@ -1,0 +1,70 @@
+package sidl
+
+// CarRentalIDL is the paper's running example (sections 2.1, 3.1 and
+// 4.1) in this implementation's SIDL concrete syntax: the base IDL part
+// (types plus the COSM_Operations interface) extended by the trader
+// export, FSM protocol and UI annotation modules.
+const CarRentalIDL = `
+// Rents cars of several models at a daily charge.
+module CarRentalService {
+    enum CarModel_t { AUDI, FIAT_Uno, VW_Golf };
+    enum Currency_t { USD, DEM, FF, SFR, GBP };
+
+    struct SelectCar_t {
+        CarModel_t model;
+        string bookingDate;
+        long days;
+    };
+    struct SelectCarReturn_t {
+        boolean available;
+        double charge;
+        Currency_t currency;
+    };
+    struct BookCarReturn_t {
+        boolean ok;
+        string confirmation;
+    };
+
+    interface COSM_Operations {
+        // Check availability and price of a car model.
+        SelectCarReturn_t SelectCar(in SelectCar_t selection);
+        // Book the currently selected car.
+        BookCarReturn_t Commit();
+    };
+
+    module COSM_FSM {
+        initial INIT;
+        transition INIT SelectCar SELECTED;
+        transition SELECTED SelectCar SELECTED;
+        transition SELECTED Commit INIT;
+    };
+
+    module COSM_TraderExport {
+        const unsigned long ServiceID = 4711;
+        const string TOD = "CarRentalService";
+        const CarModel_t CarModel = FIAT_Uno;
+        const long long AverageMilage = 38000;
+        const double ChargePerDay = 80.0;
+        const Currency_t ChargeCurrency = USD;
+    };
+
+    module COSM_UI {
+        doc SelectCar "Choose a car model and booking date";
+        doc SelectCar.selection.model "The car model to rent";
+        doc Commit "Book the selected car";
+        widget SelectCar.selection.model choice;
+        widget SelectCar.selection.bookingDate text;
+    };
+};
+`
+
+// CarRentalSID parses CarRentalIDL; it panics on error, which would be a
+// programming bug since the source is a compile-time constant covered by
+// tests.
+func CarRentalSID() *SID {
+	sid, err := Parse(CarRentalIDL)
+	if err != nil {
+		panic("sidl: internal error parsing CarRentalIDL: " + err.Error())
+	}
+	return sid
+}

@@ -1,0 +1,215 @@
+package sidl
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRoundTripCarRental is the central codec property of the SID-as-
+// first-class-object design: marshalling a SID to its textual form and
+// re-parsing yields an equivalent description.
+func TestRoundTripCarRental(t *testing.T) {
+	orig := CarRentalSID()
+	text, err := orig.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again SID
+	if err := again.UnmarshalText(text); err != nil {
+		t.Fatalf("UnmarshalText: %v\ntext:\n%s", err, text)
+	}
+	assertSIDEquivalent(t, orig, &again)
+
+	// And once more: the canonical form must be a fixed point.
+	text2, err := again.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(text) != string(text2) {
+		t.Fatalf("canonical form is not a fixed point:\n--- first ---\n%s\n--- second ---\n%s", text, text2)
+	}
+}
+
+func assertSIDEquivalent(t *testing.T, a, b *SID) {
+	t.Helper()
+	if a.ServiceName != b.ServiceName {
+		t.Fatalf("ServiceName %q != %q", a.ServiceName, b.ServiceName)
+	}
+	if a.Doc != b.Doc {
+		t.Fatalf("Doc %q != %q", a.Doc, b.Doc)
+	}
+	if len(a.Types) != len(b.Types) {
+		t.Fatalf("len(Types) %d != %d", len(a.Types), len(b.Types))
+	}
+	for i := range a.Types {
+		if a.Types[i].Name != b.Types[i].Name || !a.Types[i].Equal(b.Types[i]) {
+			t.Fatalf("type %d: %s != %s", i, a.Types[i], b.Types[i])
+		}
+	}
+	if len(a.Ops) != len(b.Ops) {
+		t.Fatalf("len(Ops) %d != %d", len(a.Ops), len(b.Ops))
+	}
+	for i := range a.Ops {
+		ao, bo := a.Ops[i], b.Ops[i]
+		if ao.Doc != bo.Doc {
+			t.Fatalf("op %s doc %q != %q", ao.Name, ao.Doc, bo.Doc)
+		}
+		if !ao.Equal(bo) {
+			t.Fatalf("op %d differs: %+v vs %+v", i, ao, bo)
+		}
+	}
+	if len(a.Consts) != len(b.Consts) {
+		t.Fatalf("len(Consts) %d != %d", len(a.Consts), len(b.Consts))
+	}
+	for i := range a.Consts {
+		if a.Consts[i].Name != b.Consts[i].Name || !a.Consts[i].Value.Equal(b.Consts[i].Value) {
+			t.Fatalf("const %d differs", i)
+		}
+	}
+	if !a.FSM.Equal(b.FSM) {
+		t.Fatalf("FSM %s != %s", a.FSM, b.FSM)
+	}
+	switch {
+	case a.Trader == nil && b.Trader == nil:
+	case a.Trader == nil || b.Trader == nil:
+		t.Fatalf("trader presence differs")
+	default:
+		if a.Trader.ServiceID != b.Trader.ServiceID || a.Trader.TypeOfService != b.Trader.TypeOfService {
+			t.Fatalf("trader header differs: %+v vs %+v", a.Trader, b.Trader)
+		}
+		if len(a.Trader.Properties) != len(b.Trader.Properties) {
+			t.Fatalf("trader properties differ")
+		}
+		for i := range a.Trader.Properties {
+			if a.Trader.Properties[i] != b.Trader.Properties[i] {
+				t.Fatalf("trader property %d: %+v vs %+v", i, a.Trader.Properties[i], b.Trader.Properties[i])
+			}
+		}
+	}
+	if a.UI != nil || b.UI != nil {
+		for k, v := range a.UI.Docs {
+			if b.UI.Doc(k) != v {
+				t.Fatalf("UI doc %q differs", k)
+			}
+		}
+		for k, v := range a.UI.Widgets {
+			if b.UI.Widget(k) != v {
+				t.Fatalf("UI widget %q differs", k)
+			}
+		}
+		if len(a.UI.Docs) != len(b.UI.Docs) || len(a.UI.Widgets) != len(b.UI.Widgets) {
+			t.Fatalf("UI sizes differ")
+		}
+	}
+	if len(a.Unknown) != len(b.Unknown) {
+		t.Fatalf("len(Unknown) %d != %d", len(a.Unknown), len(b.Unknown))
+	}
+	for i := range a.Unknown {
+		if a.Unknown[i].Name != b.Unknown[i].Name {
+			t.Fatalf("unknown module %d name differs", i)
+		}
+	}
+}
+
+func TestRoundTripTypeZoo(t *testing.T) {
+	src := `
+module Zoo {
+    typedef sequence<sequence<double>> Matrix_t;
+    typedef enum { A, B } E_t;
+    struct S_t {
+        Matrix_t m;
+        E_t e;
+        sequence<octet> blob;
+        Object peer;
+        unsigned long long big;
+        short small;
+        boolean flag;
+    };
+    const boolean Yes = TRUE;
+    const double Pi = 3.25;
+    const string Who = "zoo \"keeper\"\n";
+    const E_t Choice = B;
+    interface COSM_Operations {
+        S_t Echo(in S_t v, out E_t pick);
+    };
+};
+`
+	first, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Parse(first.IDL())
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, first.IDL())
+	}
+	assertSIDEquivalent(t, first, again)
+	if c, ok := again.Const("Who"); !ok || c.Value.Str != "zoo \"keeper\"\n" {
+		t.Fatalf("string const escaping broken: %+v", c)
+	}
+	if c, ok := again.Const("Yes"); !ok || !c.Value.Bool {
+		t.Fatalf("bool const broken: %+v", c)
+	}
+}
+
+func TestFloatConstRelexesAsFloat(t *testing.T) {
+	// A whole-number float const must print with a decimal point so it
+	// re-parses as a float.
+	sid := &SID{
+		ServiceName: "S",
+		Consts:      []Const{{Name: "F", Type: Basic(Float64), Value: FloatLit(80)}},
+		Ops:         []Op{{Name: "Ping", Result: Basic(Void)}},
+	}
+	out := sid.IDL()
+	if !strings.Contains(out, "80.0") {
+		t.Fatalf("float const printed without decimal point:\n%s", out)
+	}
+	again, err := Parse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := again.Const("F")
+	if c.Value.Kind != LitFloat || c.Value.Float != 80 {
+		t.Fatalf("const F = %+v", c.Value)
+	}
+}
+
+func TestLitString(t *testing.T) {
+	tests := []struct {
+		lit  Lit
+		want string
+	}{
+		{BoolLit(true), "TRUE"},
+		{BoolLit(false), "FALSE"},
+		{IntLit(-42), "-42"},
+		{FloatLit(1.5), "1.5"},
+		{FloatLit(3), "3.0"},
+		{StringLit("a\"b"), `"a\"b"`},
+		{EnumLit("AUDI"), "AUDI"},
+	}
+	for _, tt := range tests {
+		if got := tt.lit.String(); got != tt.want {
+			t.Fatalf("Lit%+v.String() = %q, want %q", tt.lit, got, tt.want)
+		}
+	}
+}
+
+func TestIDLContainsPaperStructure(t *testing.T) {
+	// The rendered form must exhibit the embedding structure of the
+	// paper's section-4.1 listing: one top module, the COSM_Operations
+	// interface, and extension modules inside it.
+	out := CarRentalSID().IDL()
+	for _, want := range []string{
+		"module CarRentalService {",
+		"interface COSM_Operations {",
+		"module COSM_TraderExport {",
+		"const unsigned long ServiceID = 4711;",
+		`const string TOD = "CarRentalService";`,
+		"module COSM_FSM {",
+		"transition SELECTED Commit INIT;",
+		"module COSM_UI {",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("IDL output lacks %q:\n%s", want, out)
+		}
+	}
+}

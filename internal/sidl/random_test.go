@@ -1,0 +1,182 @@
+package sidl
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cosm/internal/fsm"
+)
+
+// randomSID builds a pseudo-random, valid SID: named types with
+// dependencies, operations over them, and random extension modules.
+// It drives the parser/printer round-trip property test.
+func randomSID(rng *rand.Rand) *SID {
+	sid := &SID{ServiceName: fmt.Sprintf("Svc%d", rng.Intn(1_000_000))}
+	if rng.Intn(2) == 0 {
+		sid.Doc = "A randomly generated service."
+	}
+
+	// Named types, declare-before-use.
+	nTypes := 1 + rng.Intn(6)
+	for i := 0; i < nTypes; i++ {
+		name := fmt.Sprintf("T%d_t", i)
+		sid.Types = append(sid.Types, randomNamedType(rng, sid, name))
+	}
+
+	// Constants over scalar types.
+	for i := rng.Intn(3); i > 0; i-- {
+		sid.Consts = append(sid.Consts, Const{
+			Name:  fmt.Sprintf("C%d", i),
+			Type:  Basic(Int64),
+			Value: IntLit(int64(rng.Intn(10000)) - 5000),
+		})
+	}
+
+	// Operations.
+	nOps := 1 + rng.Intn(5)
+	for i := 0; i < nOps; i++ {
+		op := Op{Name: fmt.Sprintf("Op%d", i), Result: randomRefType(rng, sid)}
+		if rng.Intn(4) == 0 {
+			op.Result = Basic(Void)
+		}
+		if rng.Intn(2) == 0 {
+			op.Doc = fmt.Sprintf("Does operation %d.", i)
+		}
+		for p := rng.Intn(3); p > 0; p-- {
+			dirs := []Dir{In, Out, InOut}
+			op.Params = append(op.Params, Param{
+				Name: fmt.Sprintf("p%d", p),
+				Dir:  dirs[rng.Intn(len(dirs))],
+				Type: randomRefType(rng, sid),
+			})
+		}
+		sid.Ops = append(sid.Ops, op)
+	}
+
+	// FSM over a subset of ops.
+	if rng.Intn(2) == 0 {
+		spec := &fsm.Spec{States: []string{"S0", "S1"}, Initial: "S0"}
+		seen := map[[2]string]bool{}
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			tr := fsm.Transition{
+				From: spec.States[rng.Intn(2)],
+				Op:   sid.Ops[rng.Intn(len(sid.Ops))].Name,
+				To:   spec.States[rng.Intn(2)],
+			}
+			key := [2]string{tr.From, tr.Op}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			spec.Transitions = append(spec.Transitions, tr)
+		}
+		// The textual form only mentions states appearing in the initial
+		// declaration or a transition; restrict the state set to those
+		// so the round trip is exact.
+		states := map[string]bool{spec.Initial: true}
+		ordered := []string{spec.Initial}
+		for _, tr := range spec.Transitions {
+			for _, s := range []string{tr.From, tr.To} {
+				if !states[s] {
+					states[s] = true
+					ordered = append(ordered, s)
+				}
+			}
+		}
+		spec.States = ordered
+		sid.FSM = spec
+	}
+
+	// Trader export.
+	if rng.Intn(2) == 0 {
+		te := &TraderExport{
+			ServiceID:     uint64(rng.Intn(100000)),
+			TypeOfService: sid.ServiceName + "Type",
+		}
+		te.Properties = append(te.Properties,
+			Property{Name: "PropA", Value: FloatLit(float64(rng.Intn(100)) + 0.5)},
+			Property{Name: "PropB", Value: StringLit("value b")},
+			Property{Name: "PropC", Value: BoolLit(rng.Intn(2) == 0)},
+		)
+		sid.Trader = te
+	}
+
+	// UI annotations on the first op.
+	if rng.Intn(2) == 0 {
+		sid.UI = &UISpec{
+			Docs:    map[string]string{sid.Ops[0].Name: "annotated op"},
+			Widgets: map[string]string{sid.Ops[0].Name: "button"},
+		}
+	}
+
+	// Unknown extension modules.
+	for i := rng.Intn(3); i > 0; i-- {
+		sid.Unknown = append(sid.Unknown, RawModule{
+			Name: fmt.Sprintf("COSM_Random%d", i),
+			Body: fmt.Sprintf("const long X = %d;", rng.Intn(100)),
+		})
+	}
+	return sid
+}
+
+// randomNamedType builds a named enum, struct or sequence typedef whose
+// member types reference only already-declared names.
+func randomNamedType(rng *rand.Rand, sid *SID, name string) *Type {
+	switch rng.Intn(3) {
+	case 0:
+		n := 1 + rng.Intn(4)
+		lits := make([]string, n)
+		for i := range lits {
+			lits[i] = fmt.Sprintf("%s_L%d", name[:len(name)-2], i)
+		}
+		return EnumOf(name, lits...)
+	case 1:
+		n := 1 + rng.Intn(4)
+		fields := make([]Field, n)
+		for i := range fields {
+			fields[i] = Field{Name: fmt.Sprintf("f%d", i), Type: randomRefType(rng, sid)}
+		}
+		return StructOf(name, fields...)
+	default:
+		seq := SequenceOf(randomRefType(rng, sid))
+		seq.Name = name
+		return seq
+	}
+}
+
+// randomRefType picks a scalar or an already-declared named type.
+func randomRefType(rng *rand.Rand, sid *SID) *Type {
+	if len(sid.Types) > 0 && rng.Intn(3) == 0 {
+		return sid.Types[rng.Intn(len(sid.Types))]
+	}
+	scalars := []Kind{Bool, Octet, Int16, Int32, Int64, UInt32, UInt64, Float32, Float64, String, SvcRef}
+	return Basic(scalars[rng.Intn(len(scalars))])
+}
+
+// TestRandomSIDRoundTripProperty is the parser/printer fuzz: any valid
+// SID must survive IDL rendering and re-parsing as an equivalent
+// description, and the canonical text must be a fixed point.
+func TestRandomSIDRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260706))
+	for i := 0; i < 300; i++ {
+		orig := randomSID(rng)
+		if err := orig.Validate(); err != nil {
+			t.Fatalf("iteration %d: generated invalid SID: %v", i, err)
+		}
+		text := orig.IDL()
+		parsed, err := Parse(text)
+		if err != nil {
+			t.Fatalf("iteration %d: re-parse failed: %v\n%s", i, err, text)
+		}
+		assertSIDEquivalent(t, orig, parsed)
+		text2 := parsed.IDL()
+		if text != text2 {
+			t.Fatalf("iteration %d: canonical form not a fixed point:\n--- a ---\n%s\n--- b ---\n%s", i, text, text2)
+		}
+		// Conformance reflexivity on random descriptions.
+		if err := parsed.ConformsTo(orig); err != nil {
+			t.Fatalf("iteration %d: parsed SID does not conform to original: %v", i, err)
+		}
+	}
+}

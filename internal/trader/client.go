@@ -1,0 +1,186 @@
+package trader
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"cosm/internal/cosm"
+	"cosm/internal/ref"
+	"cosm/internal/sidl"
+	"cosm/internal/wire"
+	"cosm/internal/xcode"
+)
+
+// Client is a typed wrapper over a dynamic binding to a remote trader.
+// It implements Federate, so a local trader can link remote traders into
+// a federation exactly like in-process ones.
+type Client struct {
+	conn *cosm.Conn
+	tt   *traderTypes
+	fid  string
+}
+
+var _ Federate = (*Client)(nil)
+
+// DialTrader binds to the trader behind r.
+func DialTrader(ctx context.Context, pool *wire.Pool, r ref.ServiceRef) (*Client, error) {
+	conn, err := cosm.Bind(ctx, pool, r)
+	if err != nil {
+		return nil, err
+	}
+	tt, err := newTraderTypes()
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, tt: tt, fid: r.String()}, nil
+}
+
+// FederationID identifies the remote trader by its reference.
+func (c *Client) FederationID() string { return c.fid }
+
+// Export registers an offer at the remote trader.
+func (c *Client) Export(ctx context.Context, serviceType string, target ref.ServiceRef, props []sidl.Property) (string, error) {
+	propsV, err := c.tt.propsValue(props)
+	if err != nil {
+		return "", err
+	}
+	res, err := c.conn.Invoke(ctx, "Export",
+		xcode.NewString(c.tt.strT, serviceType),
+		xcode.NewRef(c.tt.refT, target),
+		propsV)
+	if err != nil {
+		return "", fmt.Errorf("trader: remote export: %w", err)
+	}
+	return res.Value.Str, nil
+}
+
+// ExportLease registers an offer with a lease at the remote trader.
+// ttl is rounded down to whole seconds; zero means no expiry.
+func (c *Client) ExportLease(ctx context.Context, serviceType string, target ref.ServiceRef, props []sidl.Property, ttl time.Duration) (string, error) {
+	propsV, err := c.tt.propsValue(props)
+	if err != nil {
+		return "", err
+	}
+	res, err := c.conn.Invoke(ctx, "ExportLease",
+		xcode.NewString(c.tt.strT, serviceType),
+		xcode.NewRef(c.tt.refT, target),
+		propsV,
+		xcode.NewInt(sidl.Basic(sidl.Int64), int64(ttl/time.Second)))
+	if err != nil {
+		return "", fmt.Errorf("trader: remote export lease: %w", err)
+	}
+	return res.Value.Str, nil
+}
+
+// ExportSID registers an offer from SIDL text carrying a trader export.
+func (c *Client) ExportSID(ctx context.Context, sid *sidl.SID, target ref.ServiceRef) (string, error) {
+	text, err := sid.MarshalText()
+	if err != nil {
+		return "", err
+	}
+	res, err := c.conn.Invoke(ctx, "ExportSID",
+		xcode.NewString(c.tt.strT, string(text)),
+		xcode.NewRef(c.tt.refT, target))
+	if err != nil {
+		return "", fmt.Errorf("trader: remote export SID: %w", err)
+	}
+	return res.Value.Str, nil
+}
+
+// Withdraw removes an offer at the remote trader.
+func (c *Client) Withdraw(ctx context.Context, offerID string) error {
+	_, err := c.conn.Invoke(ctx, "Withdraw", xcode.NewString(c.tt.strT, offerID))
+	if err != nil {
+		return fmt.Errorf("trader: remote withdraw: %w", err)
+	}
+	return nil
+}
+
+// Replace replaces an offer's properties at the remote trader.
+func (c *Client) Replace(ctx context.Context, offerID string, props []sidl.Property) error {
+	propsV, err := c.tt.propsValue(props)
+	if err != nil {
+		return err
+	}
+	_, err = c.conn.Invoke(ctx, "Replace", xcode.NewString(c.tt.strT, offerID), propsV)
+	if err != nil {
+		return fmt.Errorf("trader: remote replace: %w", err)
+	}
+	return nil
+}
+
+// Import matches offers at the remote trader.
+func (c *Client) Import(ctx context.Context, req ImportRequest) ([]*Offer, error) {
+	reqV, err := c.tt.importReqValue(req)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.conn.Invoke(ctx, "Import", reqV)
+	if err != nil {
+		return nil, fmt.Errorf("trader: remote import: %w", err)
+	}
+	offers := make([]*Offer, 0, len(res.Value.Elems))
+	for _, ov := range res.Value.Elems {
+		o, err := offerFromValue(ov)
+		if err != nil {
+			return nil, err
+		}
+		offers = append(offers, o)
+	}
+	return offers, nil
+}
+
+// ImportOne returns the single best remote offer, or ErrNoOffer.
+func (c *Client) ImportOne(ctx context.Context, req ImportRequest) (*Offer, error) {
+	req.Max = 1
+	offers, err := c.Import(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if len(offers) == 0 {
+		return nil, fmt.Errorf("%w: type %q constraint %q", ErrNoOffer, req.Type, req.Constraint)
+	}
+	return offers[0], nil
+}
+
+// FederatedImport implements Federate over the wire.
+func (c *Client) FederatedImport(ctx context.Context, req ImportRequest) ([]*Offer, error) {
+	return c.Import(ctx, req)
+}
+
+// DefineTypeFromSID registers a service type at the remote trader's
+// management interface, derived from SIDL text with a trader export.
+func (c *Client) DefineTypeFromSID(ctx context.Context, sid *sidl.SID) error {
+	text, err := sid.MarshalText()
+	if err != nil {
+		return err
+	}
+	_, err = c.conn.Invoke(ctx, "DefineTypeFromSID", xcode.NewString(c.tt.strT, string(text)))
+	if err != nil {
+		return fmt.Errorf("trader: remote define type: %w", err)
+	}
+	return nil
+}
+
+// TypeNames lists the remote trader's registered service types.
+func (c *Client) TypeNames(ctx context.Context) ([]string, error) {
+	res, err := c.conn.Invoke(ctx, "TypeNames")
+	if err != nil {
+		return nil, fmt.Errorf("trader: remote type names: %w", err)
+	}
+	names := make([]string, 0, len(res.Value.Elems))
+	for _, e := range res.Value.Elems {
+		names = append(names, e.Str)
+	}
+	return names, nil
+}
+
+// RemoveType removes a service type at the remote trader.
+func (c *Client) RemoveType(ctx context.Context, name string) error {
+	_, err := c.conn.Invoke(ctx, "RemoveType", xcode.NewString(c.tt.strT, name))
+	if err != nil {
+		return fmt.Errorf("trader: remote remove type: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package trader
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cosm/internal/sidl"
+)
+
+// paperProps is the offer from the paper's section 4.1 listing.
+func paperProps() map[string]sidl.Lit {
+	return map[string]sidl.Lit{
+		"CarModel":       sidl.EnumLit("FIAT_Uno"),
+		"AverageMilage":  sidl.IntLit(38000),
+		"ChargePerDay":   sidl.FloatLit(80),
+		"ChargeCurrency": sidl.EnumLit("USD"),
+		"AirCon":         sidl.BoolLit(true),
+		"City":           sidl.StringLit("Hamburg"),
+	}
+}
+
+func TestConstraintMatch(t *testing.T) {
+	props := paperProps()
+	tests := []struct {
+		src  string
+		want bool
+	}{
+		{"", true},
+		{"   ", true},
+		{"CarModel == FIAT_Uno", true},
+		{"CarModel == AUDI", false},
+		{"CarModel != AUDI", true},
+		{"ChargePerDay < 85", true},
+		{"ChargePerDay < 80", false},
+		{"ChargePerDay <= 80", true},
+		{"ChargePerDay > 79.5", true},
+		{"ChargePerDay >= 80.0", true},
+		{"AverageMilage == 38000", true},
+		{"ChargePerDay < 85 && ChargeCurrency == USD", true},
+		{"ChargePerDay < 85 && ChargeCurrency == DEM", false},
+		{"ChargeCurrency == DEM || ChargeCurrency == USD", true},
+		{"!(ChargeCurrency == DEM)", true},
+		{"!AirCon", false},
+		{"AirCon", true},
+		{"AirCon == TRUE", true},
+		{"AirCon != FALSE", true},
+		{`City == "Hamburg"`, true},
+		{`City == "Bremen"`, false},
+		{`City < "Z"`, true},
+		// Operator precedence: && binds tighter than ||.
+		{"CarModel == AUDI && AirCon || City == \"Hamburg\"", true},
+		{"(CarModel == AUDI || AirCon) && City == \"Hamburg\"", true},
+		// Missing properties never match comparisons...
+		{"Ghost == 5", false},
+		{"Ghost < 5", false},
+		// ...and missing boolean properties are false.
+		{"GhostFlag", false},
+		// Mixed kinds never match.
+		{`ChargePerDay == "80"`, false},
+		{"City == 80", false},
+		{"AirCon == 1", false},
+		// Enum symbols support equality both ways around.
+		{"FIAT_Uno == CarModel", true},
+		// Numeric int/float unify.
+		{"AverageMilage > 37999.5", true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.src, func(t *testing.T) {
+			c, err := Compile(tt.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := c.Match(props); got != tt.want {
+				t.Fatalf("Match(%q) = %v, want %v", tt.src, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestConstraintErrors(t *testing.T) {
+	tests := []string{
+		"&&",
+		"a ==",
+		"== 5",
+		"(a == 5",
+		"a == 5)",
+		`City == "unterminated`,
+		"a == 5 extra",
+		"5",
+		`"lonely"`,
+		"a == 5 && ",
+		"!",
+		"a @ b",
+		"a == -",
+	}
+	for _, src := range tests {
+		t.Run(src, func(t *testing.T) {
+			if _, err := Compile(src); !errors.Is(err, ErrConstraint) {
+				t.Fatalf("Compile(%q) err = %v, want ErrConstraint", src, err)
+			}
+		})
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCompile of bad input should panic")
+		}
+	}()
+	MustCompile("((")
+}
+
+func TestNilConstraintMatchesAll(t *testing.T) {
+	var c *Constraint
+	if !c.Match(paperProps()) {
+		t.Fatal("nil constraint must match")
+	}
+	if MustCompile("").String() != "" {
+		t.Fatal("String should return source")
+	}
+}
+
+// Property: De Morgan — !(a && b) ≡ !a || !b over random boolean
+// property environments.
+func TestConstraintDeMorganProperty(t *testing.T) {
+	lhs := MustCompile("!(P && Q)")
+	rhs := MustCompile("!P || !Q")
+	f := func(p, q bool) bool {
+		env := map[string]sidl.Lit{"P": sidl.BoolLit(p), "Q": sidl.BoolLit(q)}
+		return lhs.Match(env) == rhs.Match(env)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: numeric trichotomy — exactly one of <, ==, > holds for any
+// pair of finite numbers.
+func TestConstraintTrichotomyProperty(t *testing.T) {
+	lt := MustCompile("X < Y")
+	eq := MustCompile("X == Y")
+	gt := MustCompile("X > Y")
+	f := func(x, y int32) bool {
+		env := map[string]sidl.Lit{"X": sidl.IntLit(int64(x)), "Y": sidl.IntLit(int64(y))}
+		n := 0
+		for _, c := range []*Constraint{lt, eq, gt} {
+			if c.Match(env) {
+				n++
+			}
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyParse(t *testing.T) {
+	for _, src := range []string{"", "first", "random", "min:ChargePerDay", "max:AverageMilage"} {
+		if _, err := ParsePolicy(src); err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", src, err)
+		}
+	}
+	for _, src := range []string{"best", "min:", "max:  ", "min", "cheapest:x"} {
+		if _, err := ParsePolicy(src); !errors.Is(err, ErrPolicy) {
+			t.Fatalf("ParsePolicy(%q) should fail", src)
+		}
+	}
+	p, _ := ParsePolicy("min:Charge")
+	if p.String() != "min:Charge" {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestConstraintDepthGuard(t *testing.T) {
+	deep := strings.Repeat("(", 500) + "a == 1" + strings.Repeat(")", 500)
+	if _, err := Compile(deep); !errors.Is(err, ErrConstraint) {
+		t.Fatalf("err = %v, want nesting guard", err)
+	}
+	ok := strings.Repeat("!", 32) + "Flag"
+	if _, err := Compile(ok); err != nil {
+		t.Fatalf("moderate nesting failed: %v", err)
+	}
+}

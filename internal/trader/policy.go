@@ -1,0 +1,109 @@
+package trader
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"cosm/internal/sidl"
+)
+
+// ErrPolicy reports an unknown or malformed selection policy.
+var ErrPolicy = errors.New("trader: bad selection policy")
+
+// Policy orders a matching offer set so that "best possible" offers
+// (section 2.1) come first. Supported forms:
+//
+//	"first"       — stable order (by offer id); the default
+//	"random"      — a uniformly random permutation (load spreading)
+//	"min:<Prop>"  — ascending by a numeric property, e.g. "min:ChargePerDay"
+//	"max:<Prop>"  — descending by a numeric property
+//
+// Offers lacking the ranked property sort last under min/max.
+type Policy struct {
+	src  string
+	kind policyKind
+	prop string
+}
+
+type policyKind uint8
+
+const (
+	policyFirst policyKind = iota + 1
+	policyRandom
+	policyMin
+	policyMax
+)
+
+// ParsePolicy parses a policy string; "" means "first".
+func ParsePolicy(src string) (Policy, error) {
+	s := strings.TrimSpace(src)
+	switch {
+	case s == "" || s == "first":
+		return Policy{src: s, kind: policyFirst}, nil
+	case s == "random":
+		return Policy{src: s, kind: policyRandom}, nil
+	case strings.HasPrefix(s, "min:"):
+		return parseRankPolicy(s, policyMin)
+	case strings.HasPrefix(s, "max:"):
+		return parseRankPolicy(s, policyMax)
+	default:
+		return Policy{}, fmt.Errorf("%w: %q", ErrPolicy, src)
+	}
+}
+
+func parseRankPolicy(s string, kind policyKind) (Policy, error) {
+	prop := strings.TrimSpace(s[4:])
+	if prop == "" {
+		return Policy{}, fmt.Errorf("%w: %q lacks a property name", ErrPolicy, s)
+	}
+	return Policy{src: s, kind: kind, prop: prop}, nil
+}
+
+// String returns the policy source text.
+func (p Policy) String() string { return p.src }
+
+// apply orders offers in place according to the policy. rng drives the
+// "random" policy and must be non-nil for it.
+func (p Policy) apply(offers []*Offer, rng *rand.Rand) {
+	switch p.kind {
+	case policyRandom:
+		rng.Shuffle(len(offers), func(i, j int) {
+			offers[i], offers[j] = offers[j], offers[i]
+		})
+	case policyMin, policyMax:
+		sort.SliceStable(offers, func(i, j int) bool {
+			vi, oki := numericProp(offers[i], p.prop)
+			vj, okj := numericProp(offers[j], p.prop)
+			switch {
+			case oki && okj:
+				if p.kind == policyMin {
+					return vi < vj
+				}
+				return vi > vj
+			case oki:
+				return true // ranked offers before unranked ones
+			default:
+				return false
+			}
+		})
+	default:
+		sort.SliceStable(offers, func(i, j int) bool { return offers[i].ID < offers[j].ID })
+	}
+}
+
+func numericProp(o *Offer, prop string) (float64, bool) {
+	l, ok := o.Props[prop]
+	if !ok {
+		return 0, false
+	}
+	switch l.Kind {
+	case sidl.LitInt:
+		return float64(l.Int), true
+	case sidl.LitFloat:
+		return l.Float, true
+	}
+	return 0, false
+}

@@ -1,0 +1,490 @@
+package trader
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+
+	"cosm/internal/cosm"
+	"cosm/internal/sidl"
+	"cosm/internal/typemgr"
+	"cosm/internal/xcode"
+)
+
+// ServiceName is the well-known hosted name of a trader service.
+const ServiceName = "cosm.trader"
+
+// IDL is the trader's own service description. Like the browser and the
+// name server, the trader is an ordinary COSM service: its operations
+// are invoked dynamically, and a generic client can browse it.
+const IDL = `
+// ODP trading function: typed service offers, constrained imports,
+// and a management interface for service types.
+module CosmTrader {
+    struct Prop_t {
+        string name;
+        string kind;
+        string text;
+    };
+    typedef sequence<Prop_t> Props_t;
+    struct Offer_t {
+        string id;
+        string serviceType;
+        Object target;
+        Props_t props;
+        // Lease expiry as Unix seconds; 0 means the offer never expires.
+        long long expiresUnix;
+    };
+    typedef sequence<Offer_t> Offers_t;
+    typedef sequence<string> Names_t;
+    struct ImportReq_t {
+        string serviceType;
+        string constraint;
+        string policy;
+        long max;
+        long hopLimit;
+        Names_t visited;
+    };
+    interface COSM_Operations {
+        // Register an offer of a known service type.
+        string Export(in string serviceType, in Object target, in Props_t props);
+        // Register an offer with a lease of ttlSeconds (0 = no expiry).
+        string ExportLease(in string serviceType, in Object target, in Props_t props, in long long ttlSeconds);
+        // Register an offer from SIDL text with a COSM_TraderExport module.
+        string ExportSID(in string sidlText, in Object target);
+        // Remove an offer.
+        void Withdraw(in string offerId);
+        // Replace an offer's properties.
+        void Replace(in string offerId, in Props_t props);
+        // Match offers (federation-aware).
+        Offers_t Import(in ImportReq_t req);
+        // Management interface: define a service type from SIDL text
+        // carrying a trader export (the maturation path of section 4.1).
+        void DefineTypeFromSID(in string sidlText);
+        // Management interface: list and remove service types.
+        Names_t TypeNames();
+        void RemoveType(in string name);
+    };
+};
+`
+
+func encodeLit(l sidl.Lit) (kind, text string) {
+	switch l.Kind {
+	case sidl.LitBool:
+		return "bool", strconv.FormatBool(l.Bool)
+	case sidl.LitInt:
+		return "int", strconv.FormatInt(l.Int, 10)
+	case sidl.LitFloat:
+		return "float", strconv.FormatFloat(l.Float, 'g', -1, 64)
+	case sidl.LitString:
+		return "string", l.Str
+	case sidl.LitEnum:
+		return "enum", l.Enum
+	}
+	return "", ""
+}
+
+func decodeLit(kind, text string) (sidl.Lit, error) {
+	switch kind {
+	case "bool":
+		b, err := strconv.ParseBool(text)
+		if err != nil {
+			return sidl.Lit{}, fmt.Errorf("trader: bad bool property %q: %w", text, err)
+		}
+		return sidl.BoolLit(b), nil
+	case "int":
+		i, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return sidl.Lit{}, fmt.Errorf("trader: bad int property %q: %w", text, err)
+		}
+		return sidl.IntLit(i), nil
+	case "float":
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return sidl.Lit{}, fmt.Errorf("trader: bad float property %q: %w", text, err)
+		}
+		return sidl.FloatLit(f), nil
+	case "string":
+		return sidl.StringLit(text), nil
+	case "enum":
+		return sidl.EnumLit(text), nil
+	}
+	return sidl.Lit{}, fmt.Errorf("trader: unknown property kind %q", kind)
+}
+
+// traderTypes caches the parsed IDL types used by both the service
+// facade and the typed client.
+type traderTypes struct {
+	sid     *sidl.SID
+	strT    *sidl.Type
+	refT    *sidl.Type
+	int32T  *sidl.Type
+	propT   *sidl.Type
+	propsT  *sidl.Type
+	offerT  *sidl.Type
+	offersT *sidl.Type
+	namesT  *sidl.Type
+	importT *sidl.Type
+}
+
+func newTraderTypes() (*traderTypes, error) {
+	sid, err := sidl.Parse(IDL)
+	if err != nil {
+		return nil, fmt.Errorf("trader: internal IDL: %w", err)
+	}
+	return &traderTypes{
+		sid:     sid,
+		strT:    sidl.Basic(sidl.String),
+		refT:    sidl.Basic(sidl.SvcRef),
+		int32T:  sidl.Basic(sidl.Int32),
+		propT:   sid.Type("Prop_t"),
+		propsT:  sid.Type("Props_t"),
+		offerT:  sid.Type("Offer_t"),
+		offersT: sid.Type("Offers_t"),
+		namesT:  sid.Type("Names_t"),
+		importT: sid.Type("ImportReq_t"),
+	}, nil
+}
+
+func (tt *traderTypes) propsValue(props []sidl.Property) (*xcode.Value, error) {
+	elems := make([]*xcode.Value, len(props))
+	for i, p := range props {
+		kind, text := encodeLit(p.Value)
+		pv, err := xcode.NewStruct(tt.propT, map[string]*xcode.Value{
+			"name": xcode.NewString(tt.strT, p.Name),
+			"kind": xcode.NewString(tt.strT, kind),
+			"text": xcode.NewString(tt.strT, text),
+		})
+		if err != nil {
+			return nil, err
+		}
+		elems[i] = pv
+	}
+	return xcode.NewSequence(tt.propsT, elems...)
+}
+
+func propsFromValue(v *xcode.Value) ([]sidl.Property, error) {
+	props := make([]sidl.Property, 0, len(v.Elems))
+	for _, pv := range v.Elems {
+		name, err := pv.Field("name")
+		if err != nil {
+			return nil, err
+		}
+		kind, err := pv.Field("kind")
+		if err != nil {
+			return nil, err
+		}
+		text, err := pv.Field("text")
+		if err != nil {
+			return nil, err
+		}
+		lit, err := decodeLit(kind.Str, text.Str)
+		if err != nil {
+			return nil, err
+		}
+		props = append(props, sidl.Property{Name: name.Str, Value: lit})
+	}
+	return props, nil
+}
+
+func (tt *traderTypes) offerValue(o *Offer) (*xcode.Value, error) {
+	props := make([]sidl.Property, 0, len(o.Props))
+	for _, name := range sortedPropNames(o.Props) {
+		props = append(props, sidl.Property{Name: name, Value: o.Props[name]})
+	}
+	propsV, err := tt.propsValue(props)
+	if err != nil {
+		return nil, err
+	}
+	var expires int64
+	if !o.Expires.IsZero() {
+		expires = o.Expires.Unix()
+	}
+	return xcode.NewStruct(tt.offerT, map[string]*xcode.Value{
+		"id":          xcode.NewString(tt.strT, o.ID),
+		"serviceType": xcode.NewString(tt.strT, o.Type),
+		"target":      xcode.NewRef(tt.refT, o.Ref),
+		"props":       propsV,
+		"expiresUnix": xcode.NewInt(sidl.Basic(sidl.Int64), expires),
+	})
+}
+
+func offerFromValue(v *xcode.Value) (*Offer, error) {
+	id, err := v.Field("id")
+	if err != nil {
+		return nil, err
+	}
+	st, err := v.Field("serviceType")
+	if err != nil {
+		return nil, err
+	}
+	target, err := v.Field("target")
+	if err != nil {
+		return nil, err
+	}
+	propsV, err := v.Field("props")
+	if err != nil {
+		return nil, err
+	}
+	props, err := propsFromValue(propsV)
+	if err != nil {
+		return nil, err
+	}
+	o := &Offer{ID: id.Str, Type: st.Str, Ref: target.Ref, Props: make(map[string]sidl.Lit, len(props))}
+	for _, p := range props {
+		o.Props[p.Name] = p.Value
+	}
+	if ev, err := v.Field("expiresUnix"); err == nil && ev.Int != 0 {
+		o.Expires = time.Unix(ev.Int, 0)
+	}
+	return o, nil
+}
+
+func sortedPropNames(props map[string]sidl.Lit) []string {
+	names := make([]string, 0, len(props))
+	for n := range props {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ { // insertion sort: tiny inputs
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+// NewService wraps a Trader as a hosted COSM service.
+func NewService(t *Trader) (*cosm.Service, error) {
+	tt, err := newTraderTypes()
+	if err != nil {
+		return nil, err
+	}
+	svc, err := cosm.NewService(tt.sid)
+	if err != nil {
+		return nil, err
+	}
+
+	strArg := func(call *cosm.Call, name string) (string, error) {
+		v, err := call.Arg(name)
+		if err != nil {
+			return "", err
+		}
+		return v.Str, nil
+	}
+	propsArg := func(call *cosm.Call) ([]sidl.Property, error) {
+		v, err := call.Arg("props")
+		if err != nil {
+			return nil, err
+		}
+		return propsFromValue(v)
+	}
+
+	svc.MustHandle("Export", func(call *cosm.Call) error {
+		serviceType, err := strArg(call, "serviceType")
+		if err != nil {
+			return err
+		}
+		target, err := call.Arg("target")
+		if err != nil {
+			return err
+		}
+		props, err := propsArg(call)
+		if err != nil {
+			return err
+		}
+		id, err := t.Export(serviceType, target.Ref, props)
+		if err != nil {
+			return err
+		}
+		call.Result = xcode.NewString(tt.strT, id)
+		return nil
+	})
+	svc.MustHandle("ExportLease", func(call *cosm.Call) error {
+		serviceType, err := strArg(call, "serviceType")
+		if err != nil {
+			return err
+		}
+		target, err := call.Arg("target")
+		if err != nil {
+			return err
+		}
+		props, err := propsArg(call)
+		if err != nil {
+			return err
+		}
+		ttl, err := call.Arg("ttlSeconds")
+		if err != nil {
+			return err
+		}
+		id, err := t.ExportLease(serviceType, target.Ref, props, time.Duration(ttl.Int)*time.Second)
+		if err != nil {
+			return err
+		}
+		call.Result = xcode.NewString(tt.strT, id)
+		return nil
+	})
+	svc.MustHandle("ExportSID", func(call *cosm.Call) error {
+		text, err := strArg(call, "sidlText")
+		if err != nil {
+			return err
+		}
+		target, err := call.Arg("target")
+		if err != nil {
+			return err
+		}
+		sid, err := sidl.Parse(text)
+		if err != nil {
+			return err
+		}
+		id, err := t.ExportSID(sid, target.Ref)
+		if err != nil {
+			return err
+		}
+		call.Result = xcode.NewString(tt.strT, id)
+		return nil
+	})
+	svc.MustHandle("Withdraw", func(call *cosm.Call) error {
+		id, err := strArg(call, "offerId")
+		if err != nil {
+			return err
+		}
+		return t.Withdraw(id)
+	})
+	svc.MustHandle("Replace", func(call *cosm.Call) error {
+		id, err := strArg(call, "offerId")
+		if err != nil {
+			return err
+		}
+		props, err := propsArg(call)
+		if err != nil {
+			return err
+		}
+		return t.Replace(id, props)
+	})
+	svc.MustHandle("Import", func(call *cosm.Call) error {
+		reqV, err := call.Arg("req")
+		if err != nil {
+			return err
+		}
+		req, err := importReqFromValue(reqV)
+		if err != nil {
+			return err
+		}
+		offers, err := t.Import(callContext(), req)
+		if err != nil {
+			return err
+		}
+		elems := make([]*xcode.Value, len(offers))
+		for i, o := range offers {
+			ov, err := tt.offerValue(o)
+			if err != nil {
+				return err
+			}
+			elems[i] = ov
+		}
+		seq, err := xcode.NewSequence(tt.offersT, elems...)
+		if err != nil {
+			return err
+		}
+		call.Result = seq
+		return nil
+	})
+	svc.MustHandle("DefineTypeFromSID", func(call *cosm.Call) error {
+		text, err := strArg(call, "sidlText")
+		if err != nil {
+			return err
+		}
+		sid, err := sidl.Parse(text)
+		if err != nil {
+			return err
+		}
+		st, err := typemgr.FromSID(sid)
+		if err != nil {
+			return err
+		}
+		return t.Types().Define(st)
+	})
+	svc.MustHandle("TypeNames", func(call *cosm.Call) error {
+		names := t.Types().Names()
+		elems := make([]*xcode.Value, len(names))
+		for i, n := range names {
+			elems[i] = xcode.NewString(tt.strT, n)
+		}
+		seq, err := xcode.NewSequence(tt.namesT, elems...)
+		if err != nil {
+			return err
+		}
+		call.Result = seq
+		return nil
+	})
+	svc.MustHandle("RemoveType", func(call *cosm.Call) error {
+		name, err := strArg(call, "name")
+		if err != nil {
+			return err
+		}
+		return t.Types().Remove(name)
+	})
+	return svc, nil
+}
+
+func importReqFromValue(v *xcode.Value) (ImportRequest, error) {
+	var req ImportRequest
+	fields := []struct {
+		name string
+		dst  *string
+	}{
+		{"serviceType", &req.Type},
+		{"constraint", &req.Constraint},
+		{"policy", &req.Policy},
+	}
+	for _, f := range fields {
+		fv, err := v.Field(f.name)
+		if err != nil {
+			return req, err
+		}
+		*f.dst = fv.Str
+	}
+	maxV, err := v.Field("max")
+	if err != nil {
+		return req, err
+	}
+	req.Max = int(maxV.Int)
+	hopV, err := v.Field("hopLimit")
+	if err != nil {
+		return req, err
+	}
+	req.HopLimit = int(hopV.Int)
+	visitedV, err := v.Field("visited")
+	if err != nil {
+		return req, err
+	}
+	for _, e := range visitedV.Elems {
+		req.visited = append(req.visited, e.Str)
+	}
+	return req, nil
+}
+
+func (tt *traderTypes) importReqValue(req ImportRequest) (*xcode.Value, error) {
+	visited := make([]*xcode.Value, len(req.visited))
+	for i, s := range req.visited {
+		visited[i] = xcode.NewString(tt.strT, s)
+	}
+	visitedSeq, err := xcode.NewSequence(tt.namesT, visited...)
+	if err != nil {
+		return nil, err
+	}
+	return xcode.NewStruct(tt.importT, map[string]*xcode.Value{
+		"serviceType": xcode.NewString(tt.strT, req.Type),
+		"constraint":  xcode.NewString(tt.strT, req.Constraint),
+		"policy":      xcode.NewString(tt.strT, req.Policy),
+		"max":         xcode.NewInt(tt.int32T, int64(req.Max)),
+		"hopLimit":    xcode.NewInt(tt.int32T, int64(req.HopLimit)),
+		"visited":     visitedSeq,
+	})
+}
+
+// callContext returns the context used for federated forwarding from
+// within a service handler. The wire layer has no per-request deadline
+// propagation (1994-faithful), so this is the background context.
+func callContext() context.Context { return context.Background() }

@@ -1,0 +1,202 @@
+package trader
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"cosm/internal/cosm"
+	"cosm/internal/ref"
+	"cosm/internal/sidl"
+	"cosm/internal/typemgr"
+)
+
+// startTraderNode hosts a trader service on a loopback node.
+func startTraderNode(t *testing.T, loopName, traderID string) (*cosm.Node, *Trader, ref.ServiceRef) {
+	t.Helper()
+	repo := typemgr.NewRepo()
+	st, err := typemgr.FromSID(sidl.CarRentalSID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Define(st); err != nil {
+		t.Fatal(err)
+	}
+	tr := New(traderID, repo)
+	svc, err := NewService(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := cosm.NewNode(cosm.WithNodeLog(func(string, ...any) {}))
+	if err := node.Host(ServiceName, svc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.ListenAndServe("loop:" + loopName); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = node.Close() })
+	return node, tr, node.MustRefFor(ServiceName)
+}
+
+func TestRemoteExportImportLifecycle(t *testing.T) {
+	node, _, traderRef := startTraderNode(t, "trd-lifecycle", "T1")
+	ctx := context.Background()
+	tc, err := DialTrader(ctx, node.Pool(), traderRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	target := carRef(1)
+	id, err := tc.Export(ctx, "CarRentalService", target, carProps("FIAT_Uno", 80, "USD"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == "" {
+		t.Fatal("empty offer id")
+	}
+
+	offers, err := tc.Import(ctx, ImportRequest{Type: "CarRentalService", Constraint: "CarModel == FIAT_Uno"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offers) != 1 || offers[0].Ref != target {
+		t.Fatalf("offers = %+v", offers)
+	}
+	// All property kinds survive the round trip.
+	o := offers[0]
+	if o.Props["CarModel"] != sidl.EnumLit("FIAT_Uno") {
+		t.Fatalf("CarModel = %+v", o.Props["CarModel"])
+	}
+	if o.Props["ChargePerDay"] != sidl.FloatLit(80) {
+		t.Fatalf("ChargePerDay = %+v", o.Props["ChargePerDay"])
+	}
+	if o.Props["AverageMilage"] != sidl.IntLit(38000) {
+		t.Fatalf("AverageMilage = %+v", o.Props["AverageMilage"])
+	}
+
+	if err := tc.Replace(ctx, id, carProps("FIAT_Uno", 75, "USD")); err != nil {
+		t.Fatal(err)
+	}
+	one, err := tc.ImportOne(ctx, ImportRequest{Type: "CarRentalService"})
+	if err != nil || one.Props["ChargePerDay"] != sidl.FloatLit(75) {
+		t.Fatalf("after replace: %+v, %v", one, err)
+	}
+
+	if err := tc.Withdraw(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.ImportOne(ctx, ImportRequest{Type: "CarRentalService"}); !errors.Is(err, ErrNoOffer) {
+		t.Fatalf("err = %v", err)
+	}
+	// Remote errors propagate.
+	if err := tc.Withdraw(ctx, id); err == nil {
+		t.Fatal("double remote withdraw must fail")
+	}
+}
+
+func TestRemoteExportSIDAndManagement(t *testing.T) {
+	node, _, traderRef := startTraderNode(t, "trd-mgmt", "T1")
+	ctx := context.Background()
+	tc, err := DialTrader(ctx, node.Pool(), traderRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The car-rental SID exports itself (its type is predefined).
+	sid := sidl.CarRentalSID()
+	target := carRef(4)
+	if _, err := tc.ExportSID(ctx, sid, target); err != nil {
+		t.Fatal(err)
+	}
+	one, err := tc.ImportOne(ctx, ImportRequest{Type: "CarRentalService"})
+	if err != nil || one.Ref != target {
+		t.Fatalf("offer = %+v, %v", one, err)
+	}
+
+	// Management: define a brand-new type remotely, list, remove.
+	bikes := sidl.CarRentalSID()
+	bikes.ServiceName = "BikeRentalService"
+	bikes.Trader.TypeOfService = "BikeRentalService"
+	if err := tc.DefineTypeFromSID(ctx, bikes); err != nil {
+		t.Fatal(err)
+	}
+	names, err := tc.TypeNames(ctx)
+	if err != nil || len(names) != 2 {
+		t.Fatalf("TypeNames = %v, %v", names, err)
+	}
+	if err := tc.RemoveType(ctx, "BikeRentalService"); err != nil {
+		t.Fatal(err)
+	}
+	names, _ = tc.TypeNames(ctx)
+	if len(names) != 1 {
+		t.Fatalf("after remove: %v", names)
+	}
+	if err := tc.RemoveType(ctx, "Ghost"); err == nil {
+		t.Fatal("removing unknown type must fail remotely")
+	}
+}
+
+func TestFederationOverWire(t *testing.T) {
+	// Trader A (local) links trader B (remote, via Client): an import at
+	// A with hop budget reaches offers exported only at B — the ODP
+	// "trader federation" of section 2.2, over the real wire.
+	nodeB, trB, refB := startTraderNode(t, "trd-fed-b", "B")
+	_ = trB
+	_, trA, _ := startTraderNode(t, "trd-fed-a", "A")
+
+	ctx := context.Background()
+	remoteB, err := DialTrader(ctx, nodeB.Pool(), refB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trA.Link(remoteB)
+
+	target := carRef(8)
+	if _, err := remoteB.Export(ctx, "CarRentalService", target, carProps("VW_Golf", 66, "DEM")); err != nil {
+		t.Fatal(err)
+	}
+
+	offers, err := trA.Import(ctx, ImportRequest{Type: "CarRentalService", HopLimit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offers) != 1 || offers[0].Ref != target {
+		t.Fatalf("federated offers = %+v", offers)
+	}
+	// Without hop budget the remote offer is invisible.
+	offers, err = trA.Import(ctx, ImportRequest{Type: "CarRentalService", HopLimit: 0})
+	if err != nil || len(offers) != 0 {
+		t.Fatalf("hop 0 offers = %+v, %v", offers, err)
+	}
+}
+
+func TestLitWireCodec(t *testing.T) {
+	lits := []sidl.Lit{
+		sidl.BoolLit(true),
+		sidl.BoolLit(false),
+		sidl.IntLit(-5),
+		sidl.FloatLit(3.5),
+		sidl.StringLit("hello world"),
+		sidl.EnumLit("AUDI"),
+	}
+	for _, l := range lits {
+		kind, text := encodeLit(l)
+		got, err := decodeLit(kind, text)
+		if err != nil {
+			t.Fatalf("decodeLit(%q, %q): %v", kind, text, err)
+		}
+		if got != l {
+			t.Fatalf("round trip: %+v vs %+v", got, l)
+		}
+	}
+	for _, bad := range [][2]string{
+		{"bool", "maybe"},
+		{"int", "x"},
+		{"float", "x"},
+		{"quaternion", "1"},
+	} {
+		if _, err := decodeLit(bad[0], bad[1]); err == nil {
+			t.Fatalf("decodeLit(%q, %q) should fail", bad[0], bad[1])
+		}
+	}
+}

@@ -1,0 +1,487 @@
+package trader
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"cosm/internal/ref"
+	"cosm/internal/sidl"
+	"cosm/internal/typemgr"
+)
+
+// Errors reported by the trader.
+var (
+	ErrOfferUnknown = errors.New("trader: unknown offer")
+	ErrNoOffer      = errors.New("trader: no matching offer")
+	ErrHopLimit     = errors.New("trader: federation hop limit exhausted")
+)
+
+// Offer is one exported service offer: the triangular relationship of
+// Fig. 1 stores these at the trader (step 1) and hands matching ones to
+// importers (step 3), which then bind directly (steps 4 and 5).
+type Offer struct {
+	// ID is the trader-assigned offer identifier, unique per trader.
+	ID string
+	// Type names the registered service type the offer belongs to.
+	Type string
+	// Ref is the exporter's service reference for direct binding.
+	Ref ref.ServiceRef
+	// Props holds the characterising attribute values.
+	Props map[string]sidl.Lit
+	// Expires is the lease expiry instant; the zero value means the
+	// offer never expires. Expired offers stop matching immediately and
+	// are reclaimed by PurgeExpired. Leases let providers in an open
+	// market disappear without leaving dangling offers behind — the
+	// liveness gap of 1994-era traders that failure tests demonstrate.
+	Expires time.Time
+}
+
+// expired reports whether the offer's lease has run out at time now.
+func (o *Offer) expired(now time.Time) bool {
+	return !o.Expires.IsZero() && now.After(o.Expires)
+}
+
+func (o *Offer) clone() *Offer {
+	c := &Offer{ID: o.ID, Type: o.Type, Ref: o.Ref, Props: make(map[string]sidl.Lit, len(o.Props)), Expires: o.Expires}
+	for k, v := range o.Props {
+		c.Props[k] = v
+	}
+	return c
+}
+
+// ImportRequest is one import call (step 2 of Fig. 1).
+type ImportRequest struct {
+	// Type is the requested service type.
+	Type string
+	// Constraint optionally filters by attribute values ("" matches all).
+	Constraint string
+	// Policy optionally orders the result ("" means "first").
+	Policy string
+	// Max bounds the number of returned offers (0 means all).
+	Max int
+	// HopLimit bounds federation forwarding; 0 searches only the local
+	// trader, 1 also its direct partners, and so on.
+	HopLimit int
+
+	// visited carries the trader IDs already consulted, for loop
+	// protection across federation links.
+	visited []string
+}
+
+// Federate is the linked-trader interface used for federation: both
+// *Trader (in-process links) and *Client (remote links) implement it.
+type Federate interface {
+	// FederatedImport answers an import on behalf of a partner trader.
+	FederatedImport(ctx context.Context, req ImportRequest) ([]*Offer, error)
+	// FederationID globally identifies the trader for loop protection.
+	FederationID() string
+}
+
+// Trader is the ODP trading function: an offer store over a service type
+// repository, with export/withdraw/replace/import operations, a
+// management interface, and optional federation links. Safe for
+// concurrent use.
+type Trader struct {
+	id    string
+	types *typemgr.Repo
+
+	mu     sync.RWMutex
+	seq    uint64
+	byType map[string]map[string]*Offer // type -> offer id -> offer
+	byID   map[string]*Offer
+	links  []Federate
+	rng    *rand.Rand
+
+	now          func() time.Time
+	useIndex     bool
+	compileCache map[string]*Constraint
+}
+
+// Option configures a Trader.
+type Option func(*Trader)
+
+// WithRandSeed seeds the "random" selection policy deterministically
+// (tests, reproducible benchmarks).
+func WithRandSeed(seed int64) Option {
+	return func(t *Trader) { t.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithoutOfferIndex makes imports scan all offers linearly instead of
+// using the per-type index; only the offer-index ablation benchmark
+// should want this.
+func WithoutOfferIndex() Option {
+	return func(t *Trader) { t.useIndex = false }
+}
+
+// WithoutConstraintCache disables the compiled-constraint cache, so
+// every import re-parses its constraint; only the constraint-compile
+// ablation benchmark should want this.
+func WithoutConstraintCache() Option {
+	return func(t *Trader) { t.compileCache = nil }
+}
+
+// WithClock injects a time source for lease handling (tests use a fake
+// clock).
+func WithClock(now func() time.Time) Option {
+	return func(t *Trader) { t.now = now }
+}
+
+// New returns a trader with the given identity over the given type
+// repository. The identity must be unique within a federation.
+func New(id string, types *typemgr.Repo, opts ...Option) *Trader {
+	t := &Trader{
+		id:           id,
+		types:        types,
+		byType:       map[string]map[string]*Offer{},
+		byID:         map[string]*Offer{},
+		rng:          rand.New(rand.NewSource(1)),
+		now:          time.Now,
+		useIndex:     true,
+		compileCache: map[string]*Constraint{},
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// Types exposes the management interface: the underlying service type
+// repository (insert and delete service type entries, section 2.1).
+func (t *Trader) Types() *typemgr.Repo { return t.types }
+
+// FederationID implements Federate.
+func (t *Trader) FederationID() string { return t.id }
+
+// Link adds a federation partner consulted by imports with HopLimit > 0.
+func (t *Trader) Link(partner Federate) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.links = append(t.links, partner)
+}
+
+// Export registers a service offer (step 1 of Fig. 1): the offer must
+// name a registered service type and carry values for all of the type's
+// attributes. It returns the assigned offer ID. The offer never expires;
+// use ExportLease for leased offers.
+func (t *Trader) Export(serviceType string, r ref.ServiceRef, props []sidl.Property) (string, error) {
+	return t.ExportLease(serviceType, r, props, 0)
+}
+
+// ExportLease registers an offer with a lease: after ttl the offer stops
+// matching and is reclaimed by PurgeExpired. ttl zero means no expiry.
+func (t *Trader) ExportLease(serviceType string, r ref.ServiceRef, props []sidl.Property, ttl time.Duration) (string, error) {
+	if ttl < 0 {
+		return "", fmt.Errorf("trader: negative lease %v", ttl)
+	}
+	if err := t.types.CheckOffer(serviceType, props); err != nil {
+		return "", err
+	}
+	propMap := make(map[string]sidl.Lit, len(props))
+	for _, p := range props {
+		propMap[p.Name] = p.Value
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	id := t.id + "/o" + strconv.FormatUint(t.seq, 10)
+	offer := &Offer{ID: id, Type: serviceType, Ref: r, Props: propMap}
+	if ttl > 0 {
+		offer.Expires = t.now().Add(ttl)
+	}
+	byID, ok := t.byType[serviceType]
+	if !ok {
+		byID = map[string]*Offer{}
+		t.byType[serviceType] = byID
+	}
+	byID[id] = offer
+	t.byID[id] = offer
+	return id, nil
+}
+
+// ExportSID registers an offer directly from a SID carrying a
+// COSM_TraderExport module — the integration path of section 4.1. The
+// service type is taken from the export's TOD field.
+func (t *Trader) ExportSID(sid *sidl.SID, r ref.ServiceRef) (string, error) {
+	if sid.Trader == nil {
+		return "", fmt.Errorf("%w: SID %s has no trader export", typemgr.ErrBadType, sid.ServiceName)
+	}
+	return t.Export(sid.Trader.TypeOfService, r, sid.Trader.Properties)
+}
+
+// Withdraw removes an offer by ID.
+func (t *Trader) Withdraw(offerID string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	offer, ok := t.byID[offerID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrOfferUnknown, offerID)
+	}
+	delete(t.byID, offerID)
+	delete(t.byType[offer.Type], offerID)
+	if len(t.byType[offer.Type]) == 0 {
+		delete(t.byType, offer.Type)
+	}
+	return nil
+}
+
+// Replace atomically replaces the properties of an existing offer (the
+// "replacing of exported services" operation of section 2.1). The new
+// properties must still satisfy the offer's service type.
+func (t *Trader) Replace(offerID string, props []sidl.Property) error {
+	t.mu.RLock()
+	offer, ok := t.byID[offerID]
+	t.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrOfferUnknown, offerID)
+	}
+	if err := t.types.CheckOffer(offer.Type, props); err != nil {
+		return err
+	}
+	propMap := make(map[string]sidl.Lit, len(props))
+	for _, p := range props {
+		propMap[p.Name] = p.Value
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Re-check under the write lock: the offer may have been withdrawn.
+	offer, ok = t.byID[offerID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrOfferUnknown, offerID)
+	}
+	offer.Props = propMap
+	return nil
+}
+
+// OfferCount returns the number of stored, unexpired offers.
+func (t *Trader) OfferCount() int {
+	now := t.now()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, o := range t.byID {
+		if !o.expired(now) {
+			n++
+		}
+	}
+	return n
+}
+
+// Offers returns a snapshot of all stored, unexpired offers, sorted by
+// ID — the management view a trader operator inspects.
+func (t *Trader) Offers() []*Offer {
+	now := t.now()
+	t.mu.RLock()
+	out := make([]*Offer, 0, len(t.byID))
+	for _, o := range t.byID {
+		if !o.expired(now) {
+			out = append(out, o.clone())
+		}
+	}
+	t.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// PurgeExpired removes offers whose lease has run out and returns how
+// many were reclaimed.
+func (t *Trader) PurgeExpired() int {
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for id, o := range t.byID {
+		if !o.expired(now) {
+			continue
+		}
+		delete(t.byID, id)
+		delete(t.byType[o.Type], id)
+		if len(t.byType[o.Type]) == 0 {
+			delete(t.byType, o.Type)
+		}
+		n++
+	}
+	return n
+}
+
+// Import matches a request against the local offer store and, when the
+// request's hop limit permits, against federated partner traders
+// (step 2/3 of Fig. 1). Results are constraint-filtered, policy-ordered,
+// deduplicated by service reference, and truncated to Max.
+func (t *Trader) Import(ctx context.Context, req ImportRequest) ([]*Offer, error) {
+	constraint, err := t.compile(req.Constraint)
+	if err != nil {
+		return nil, err
+	}
+	policy, err := ParsePolicy(req.Policy)
+	if err != nil {
+		return nil, err
+	}
+
+	matches, err := t.localMatches(req.Type, constraint)
+	if err != nil {
+		return nil, err
+	}
+
+	if req.HopLimit > 0 {
+		partnerOffers := t.federatedMatches(ctx, req)
+		matches = append(matches, partnerOffers...)
+	}
+
+	// Deduplicate by target reference: the same service exported at two
+	// federated traders is still one service.
+	seen := make(map[ref.ServiceRef]bool, len(matches))
+	unique := matches[:0]
+	for _, o := range matches {
+		if seen[o.Ref] {
+			continue
+		}
+		seen[o.Ref] = true
+		unique = append(unique, o)
+	}
+	matches = unique
+
+	t.mu.Lock()
+	policy.apply(matches, t.rng)
+	t.mu.Unlock()
+
+	if req.Max > 0 && len(matches) > req.Max {
+		matches = matches[:req.Max]
+	}
+	return matches, nil
+}
+
+// ImportOne returns the single best offer, or ErrNoOffer.
+func (t *Trader) ImportOne(ctx context.Context, req ImportRequest) (*Offer, error) {
+	req.Max = 1
+	offers, err := t.Import(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if len(offers) == 0 {
+		return nil, fmt.Errorf("%w: type %q constraint %q", ErrNoOffer, req.Type, req.Constraint)
+	}
+	return offers[0], nil
+}
+
+// FederatedImport implements Federate for in-process links.
+func (t *Trader) FederatedImport(ctx context.Context, req ImportRequest) ([]*Offer, error) {
+	return t.Import(ctx, req)
+}
+
+func (t *Trader) compile(src string) (*Constraint, error) {
+	t.mu.RLock()
+	cached, ok := t.compileCache[src]
+	t.mu.RUnlock()
+	if ok {
+		return cached, nil
+	}
+	c, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	if t.compileCache != nil {
+		t.compileCache[src] = c
+	}
+	t.mu.Unlock()
+	return c, nil
+}
+
+// localMatches returns cloned matching offers from the local store.
+func (t *Trader) localMatches(reqType string, constraint *Constraint) ([]*Offer, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	var candidates []*Offer
+	if t.useIndex {
+		// Typed lookup: the requested type's offers plus offers of every
+		// stored type that conforms to it.
+		for storedType, offers := range t.byType {
+			ok := storedType == reqType
+			if !ok {
+				conf, err := t.types.Conforms(storedType, reqType)
+				if err != nil {
+					// Unknown stored types cannot conform; skip them.
+					continue
+				}
+				ok = conf
+			}
+			if !ok {
+				continue
+			}
+			for _, o := range offers {
+				candidates = append(candidates, o)
+			}
+		}
+	} else {
+		// Ablation path: linear scan over every offer.
+		for _, o := range t.byID {
+			ok := o.Type == reqType
+			if !ok {
+				conf, err := t.types.Conforms(o.Type, reqType)
+				if err != nil {
+					continue
+				}
+				ok = conf
+			}
+			if ok {
+				candidates = append(candidates, o)
+			}
+		}
+	}
+
+	now := t.now()
+	matches := make([]*Offer, 0, len(candidates))
+	for _, o := range candidates {
+		if o.expired(now) {
+			continue
+		}
+		if constraint.Match(o.Props) {
+			matches = append(matches, o.clone())
+		}
+	}
+	sort.Slice(matches, func(i, j int) bool { return matches[i].ID < matches[j].ID })
+	return matches, nil
+}
+
+// federatedMatches consults partner traders, decrementing the hop limit
+// and carrying the visited set for loop protection. Partner failures are
+// tolerated: federation widens the search best-effort.
+func (t *Trader) federatedMatches(ctx context.Context, req ImportRequest) []*Offer {
+	t.mu.RLock()
+	links := append([]Federate(nil), t.links...)
+	t.mu.RUnlock()
+
+	visited := append(append([]string(nil), req.visited...), t.id)
+	sub := req
+	sub.HopLimit--
+	sub.Policy = "" // ordering happens once, at the originating trader
+	sub.Max = 0
+	sub.visited = visited
+
+	var out []*Offer
+	for _, link := range links {
+		skip := false
+		for _, v := range visited {
+			if v == link.FederationID() {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		offers, err := link.FederatedImport(ctx, sub)
+		if err != nil {
+			continue
+		}
+		out = append(out, offers...)
+	}
+	return out
+}

@@ -1,0 +1,292 @@
+package typemgr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"cosm/internal/sidl"
+)
+
+// carRentalType builds the paper's CarRentalService type as defined in
+// section 2.1.
+func carRentalType() *ServiceType {
+	carModel := sidl.EnumOf("CarModel_t", "AUDI", "FIAT_Uno", "VW_Golf")
+	currency := sidl.EnumOf("Currency_t", "USD", "DEM", "FF", "SFR", "GBP")
+	return &ServiceType{
+		Name: "CarRentalService",
+		Attrs: []AttrDef{
+			{Name: "CarModel", Type: carModel},
+			{Name: "AverageMilage", Type: sidl.Basic(sidl.Int64)},
+			{Name: "ChargePerDay", Type: sidl.Basic(sidl.Float64)},
+			{Name: "ChargeCurrency", Type: currency},
+		},
+		Signature: []sidl.Op{
+			{Name: "SelectCar", Result: sidl.Basic(sidl.Bool),
+				Params: []sidl.Param{{Name: "selection", Dir: sidl.In, Type: sidl.Basic(sidl.String)}}},
+			{Name: "Commit", Result: sidl.Basic(sidl.Bool)},
+		},
+	}
+}
+
+func TestDefineLookupRemove(t *testing.T) {
+	r := NewRepo()
+	st := carRentalType()
+	if err := r.Define(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Define(st); !errors.Is(err, ErrTypeExists) {
+		t.Fatalf("dup Define err = %v", err)
+	}
+	got, err := r.Lookup("CarRentalService")
+	if err != nil || got.Name != "CarRentalService" {
+		t.Fatalf("Lookup = %+v, %v", got, err)
+	}
+	if _, err := r.Lookup("Ghost"); !errors.Is(err, ErrTypeUnknown) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := r.Names(); len(got) != 1 || got[0] != "CarRentalService" {
+		t.Fatalf("Names = %v", got)
+	}
+	if err := r.Remove("Ghost"); !errors.Is(err, ErrTypeUnknown) {
+		t.Fatalf("Remove(Ghost) err = %v", err)
+	}
+	if err := r.Remove("CarRentalService"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestValidateRejectsMalformedTypes(t *testing.T) {
+	r := NewRepo()
+	tests := []struct {
+		name string
+		st   *ServiceType
+	}{
+		{"empty name", &ServiceType{}},
+		{"dup attr", &ServiceType{Name: "T", Attrs: []AttrDef{
+			{Name: "a", Type: sidl.Basic(sidl.Int32)},
+			{Name: "a", Type: sidl.Basic(sidl.Int32)},
+		}}},
+		{"nil attr type", &ServiceType{Name: "T", Attrs: []AttrDef{{Name: "a"}}}},
+		{"dup op", &ServiceType{Name: "T", Signature: []sidl.Op{
+			{Name: "F", Result: sidl.Basic(sidl.Void)},
+			{Name: "F", Result: sidl.Basic(sidl.Void)},
+		}}},
+		{"nil result", &ServiceType{Name: "T", Signature: []sidl.Op{{Name: "F"}}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := r.Define(tt.st); !errors.Is(err, ErrBadType) {
+				t.Fatalf("err = %v, want ErrBadType", err)
+			}
+		})
+	}
+}
+
+func TestSubtypeHierarchy(t *testing.T) {
+	r := NewRepo()
+	base := carRentalType()
+	if err := r.Define(base); err != nil {
+		t.Fatal(err)
+	}
+
+	// A luxury subtype: same signature plus an extra attribute.
+	lux := carRentalType()
+	lux.Name = "LuxuryCarRentalService"
+	lux.Super = "CarRentalService"
+	lux.Attrs = append(lux.Attrs, AttrDef{Name: "Chauffeur", Type: sidl.Basic(sidl.Bool)})
+	if err := r.Define(lux); err != nil {
+		t.Fatal(err)
+	}
+
+	ok, err := r.Conforms("LuxuryCarRentalService", "CarRentalService")
+	if err != nil || !ok {
+		t.Fatalf("Conforms = %v, %v", ok, err)
+	}
+	ok, err = r.Conforms("CarRentalService", "LuxuryCarRentalService")
+	if err != nil || ok {
+		t.Fatalf("reverse Conforms = %v, %v", ok, err)
+	}
+	if ok, _ := r.Conforms("CarRentalService", "CarRentalService"); !ok {
+		t.Fatal("reflexive conformance must hold")
+	}
+	if _, err := r.Conforms("Ghost", "CarRentalService"); !errors.Is(err, ErrTypeUnknown) {
+		t.Fatalf("err = %v", err)
+	}
+
+	// Supertypes with registered subtypes cannot be removed.
+	if err := r.Remove("CarRentalService"); !errors.Is(err, ErrTypeInUse) {
+		t.Fatalf("Remove err = %v", err)
+	}
+	if err := r.Remove("LuxuryCarRentalService"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove("CarRentalService"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefineSubtypeChecksConformance(t *testing.T) {
+	r := NewRepo()
+	if err := r.Define(carRentalType()); err != nil {
+		t.Fatal(err)
+	}
+	// A declared subtype missing a base attribute must be rejected.
+	bad := &ServiceType{Name: "Bad", Super: "CarRentalService"}
+	if err := r.Define(bad); !errors.Is(err, sidl.ErrNotConformant) {
+		t.Fatalf("err = %v", err)
+	}
+	// Unknown supertype.
+	orphan := &ServiceType{Name: "Orphan", Super: "Ghost"}
+	if err := r.Define(orphan); !errors.Is(err, ErrTypeUnknown) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStructuralConformanceWithoutDeclaredSuper(t *testing.T) {
+	// Two independently defined types: one happens to extend the other
+	// structurally. Conforms must detect it without Super links.
+	r := NewRepo()
+	base := carRentalType()
+	if err := r.Define(base); err != nil {
+		t.Fatal(err)
+	}
+	indep := carRentalType()
+	indep.Name = "HanseCarRental"
+	indep.Attrs = append(indep.Attrs, AttrDef{Name: "HarbourView", Type: sidl.Basic(sidl.Bool)})
+	indep.Signature = append(indep.Signature, sidl.Op{Name: "Extra", Result: sidl.Basic(sidl.Void)})
+	if err := r.Define(indep); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := r.Conforms("HanseCarRental", "CarRentalService")
+	if err != nil || !ok {
+		t.Fatalf("structural Conforms = %v, %v", ok, err)
+	}
+	// Signature drift breaks conformance.
+	drift := carRentalType()
+	drift.Name = "DriftRental"
+	drift.Signature[0].Result = sidl.Basic(sidl.Float64)
+	if err := r.Define(drift); err != nil {
+		t.Fatal(err)
+	}
+	ok, err = r.Conforms("DriftRental", "CarRentalService")
+	if err != nil || ok {
+		t.Fatalf("drifted Conforms = %v, %v", ok, err)
+	}
+}
+
+func TestCheckOffer(t *testing.T) {
+	r := NewRepo()
+	if err := r.Define(carRentalType()); err != nil {
+		t.Fatal(err)
+	}
+	good := []sidl.Property{
+		{Name: "CarModel", Value: sidl.EnumLit("FIAT_Uno")},
+		{Name: "AverageMilage", Value: sidl.IntLit(38000)},
+		{Name: "ChargePerDay", Value: sidl.FloatLit(80)},
+		{Name: "ChargeCurrency", Value: sidl.EnumLit("USD")},
+		{Name: "ExtraProp", Value: sidl.StringLit("allowed")},
+	}
+	if err := r.CheckOffer("CarRentalService", good); err != nil {
+		t.Fatal(err)
+	}
+	missing := good[:3]
+	if err := r.CheckOffer("CarRentalService", missing); !errors.Is(err, ErrMissingAttr) {
+		t.Fatalf("err = %v", err)
+	}
+	bad := append([]sidl.Property{}, good...)
+	bad[0] = sidl.Property{Name: "CarModel", Value: sidl.StringLit("FIAT_Uno")}
+	if err := r.CheckOffer("CarRentalService", bad); !errors.Is(err, ErrAttrMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+	wrongEnum := append([]sidl.Property{}, good...)
+	wrongEnum[0] = sidl.Property{Name: "CarModel", Value: sidl.EnumLit("TRABANT")}
+	if err := r.CheckOffer("CarRentalService", wrongEnum); !errors.Is(err, ErrAttrMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := r.CheckOffer("Ghost", good); !errors.Is(err, ErrTypeUnknown) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFromSID(t *testing.T) {
+	sid := sidl.CarRentalSID()
+	st, err := FromSID(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Name != "CarRentalService" {
+		t.Fatalf("Name = %q", st.Name)
+	}
+	if len(st.Signature) != 2 {
+		t.Fatalf("Signature = %d ops", len(st.Signature))
+	}
+	a, ok := st.Attr("CarModel")
+	if !ok || a.Type.Kind != sidl.Enum || a.Type.Name != "CarModel_t" {
+		t.Fatalf("CarModel attr = %+v, %v", a, ok)
+	}
+	if a, ok := st.Attr("ChargePerDay"); !ok || a.Type.Kind != sidl.Float64 {
+		t.Fatalf("ChargePerDay attr = %+v", a)
+	}
+	// The derived type accepts the SID's own trader export as an offer.
+	r := NewRepo()
+	if err := r.Define(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckOffer(st.Name, sid.Trader.Properties); err != nil {
+		t.Fatalf("SID's own export must type-check: %v", err)
+	}
+	// Ops lookup.
+	if _, ok := st.Op("SelectCar"); !ok {
+		t.Fatal("Op(SelectCar) missing")
+	}
+	if _, ok := st.Op("Ghost"); ok {
+		t.Fatal("Op(Ghost) present")
+	}
+}
+
+func TestFromSIDErrors(t *testing.T) {
+	sid := sidl.CarRentalSID()
+	sid.Trader = nil
+	if _, err := FromSID(sid); !errors.Is(err, ErrBadType) {
+		t.Fatalf("err = %v", err)
+	}
+	sid2 := sidl.CarRentalSID()
+	sid2.Trader.Properties = append(sid2.Trader.Properties,
+		sidl.Property{Name: "Rogue", Value: sidl.EnumLit("NOT_DECLARED")})
+	if _, err := FromSID(sid2); !errors.Is(err, ErrBadType) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConcurrentRepo(t *testing.T) {
+	r := NewRepo()
+	done := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func(i int) {
+			st := carRentalType()
+			st.Name = fmt.Sprintf("T%d", i)
+			if err := r.Define(st); err != nil {
+				done <- err
+				return
+			}
+			if _, err := r.Lookup(st.Name); err != nil {
+				done <- err
+				return
+			}
+			_, err := r.Conforms(st.Name, st.Name)
+			done <- err
+		}(i)
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Len() != 16 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}

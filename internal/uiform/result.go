@@ -1,0 +1,74 @@
+package uiform
+
+import (
+	"fmt"
+	"strings"
+
+	"cosm/internal/sidl"
+	"cosm/internal/xcode"
+)
+
+// RenderResult presents an operation's return values the same way the
+// entry form presents its parameters (section 4.2: "return values can be
+// presented in the same way by the user interface"): a read-only display
+// dialog with one labelled field per result element, recursing into
+// records and sequences.
+func RenderResult(serviceName string, op sidl.Op, result *xcode.Value, outs []*xcode.Value) string {
+	var b strings.Builder
+	title := serviceName + " :: " + op.Name + " — result"
+	line := strings.Repeat("-", len(title)+4)
+	fmt.Fprintf(&b, "%s\n| %s |\n%s\n", line, title, line)
+	shown := false
+	if result != nil && result.Type.Kind != sidl.Void {
+		renderValue(&b, "result", result, 1)
+		shown = true
+	}
+	i := 0
+	for _, p := range op.Params {
+		if p.Dir == sidl.In {
+			continue
+		}
+		if i < len(outs) {
+			renderValue(&b, p.Name, outs[i], 1)
+			shown = true
+		}
+		i++
+	}
+	if !shown {
+		b.WriteString("  (no result values)\n")
+	}
+	b.WriteString("  [ OK ]\n")
+	return b.String()
+}
+
+// renderValue writes one labelled display line (or a nested block for
+// records and sequences).
+func renderValue(b *strings.Builder, label string, v *xcode.Value, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if v == nil {
+		fmt.Fprintf(b, "%s%s: <none>\n", indent, label)
+		return
+	}
+	switch v.Type.Kind {
+	case sidl.Struct:
+		fmt.Fprintf(b, "%s+-- %s --\n", indent, label)
+		for i, f := range v.Type.Fields {
+			renderValue(b, f.Name, v.Fields[i], depth+1)
+		}
+	case sidl.Sequence:
+		fmt.Fprintf(b, "%s%s (%d items):\n", indent, label, len(v.Elems))
+		for i, e := range v.Elems {
+			renderValue(b, fmt.Sprintf("[%d]", i), e, depth+1)
+		}
+	case sidl.SvcRef:
+		if v.Ref.IsZero() {
+			fmt.Fprintf(b, "%s%s: <nil reference>\n", indent, label)
+		} else {
+			// A reference result is itself a binding opportunity — the
+			// cascade seed of Fig. 4 rendered as an actionable control.
+			fmt.Fprintf(b, "%s%s: [ Bind -> %s ]\n", indent, label, v.Ref)
+		}
+	default:
+		fmt.Fprintf(b, "%s%s: %s\n", indent, label, v)
+	}
+}

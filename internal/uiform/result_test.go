@@ -1,0 +1,94 @@
+package uiform
+
+import (
+	"strings"
+	"testing"
+
+	"cosm/internal/ref"
+	"cosm/internal/sidl"
+	"cosm/internal/xcode"
+)
+
+func TestRenderResultStruct(t *testing.T) {
+	sid := sidl.CarRentalSID()
+	op, _ := sid.Op("SelectCar")
+	result := xcode.Zero(sid.Type("SelectCarReturn_t"))
+	if err := result.SetField("available", xcode.NewBool(sidl.Basic(sidl.Bool), true)); err != nil {
+		t.Fatal(err)
+	}
+	if err := result.SetField("charge", xcode.NewFloat(sidl.Basic(sidl.Float64), 240)); err != nil {
+		t.Fatal(err)
+	}
+	out := RenderResult("CarRentalService", op, result, nil)
+	for _, want := range []string{
+		"CarRentalService :: SelectCar — result",
+		"+-- result --",
+		"available: true",
+		"charge: 240",
+		"currency: USD",
+		"[ OK ]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("result dialog lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderResultVoidAndOuts(t *testing.T) {
+	src := `
+module M {
+    interface COSM_Operations {
+        void Split(in long v, out long half, inout long acc);
+        void Nothing();
+    };
+};
+`
+	sid, err := sidl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, _ := sid.Op("Split")
+	int32T := sidl.Basic(sidl.Int32)
+	out := RenderResult("M", split, nil, []*xcode.Value{
+		xcode.NewInt(int32T, 5), xcode.NewInt(int32T, 15),
+	})
+	if !strings.Contains(out, "half: 5") || !strings.Contains(out, "acc: 15") {
+		t.Fatalf("out params missing:\n%s", out)
+	}
+	if strings.Contains(out, "result:") {
+		t.Fatalf("void op must not show a result line:\n%s", out)
+	}
+
+	nothing, _ := sid.Op("Nothing")
+	out = RenderResult("M", nothing, nil, nil)
+	if !strings.Contains(out, "(no result values)") {
+		t.Fatalf("empty dialog missing placeholder:\n%s", out)
+	}
+}
+
+func TestRenderResultSequenceAndRef(t *testing.T) {
+	seqT := sidl.SequenceOf(sidl.Basic(sidl.String))
+	op := sidl.Op{Name: "List", Result: seqT}
+	seq, err := xcode.NewSequence(seqT,
+		xcode.NewString(sidl.Basic(sidl.String), "a"),
+		xcode.NewString(sidl.Basic(sidl.String), "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderResult("M", op, seq, nil)
+	if !strings.Contains(out, "result (2 items):") || !strings.Contains(out, `[0]: "a"`) {
+		t.Fatalf("sequence rendering broken:\n%s", out)
+	}
+
+	refT := sidl.Basic(sidl.SvcRef)
+	refOp := sidl.Op{Name: "GetPartner", Result: refT}
+	r := xcode.NewRef(refT, ref.New("tcp:h:1", "Partner"))
+	out = RenderResult("M", refOp, r, nil)
+	if !strings.Contains(out, "[ Bind -> cosm://tcp:h:1/Partner ]") {
+		t.Fatalf("reference result must render as a bind control:\n%s", out)
+	}
+	out = RenderResult("M", refOp, xcode.Zero(refT), nil)
+	if !strings.Contains(out, "<nil reference>") {
+		t.Fatalf("nil reference rendering broken:\n%s", out)
+	}
+}

@@ -1,0 +1,419 @@
+// Package uiform implements the UIMS (user interface management system)
+// side of the COSM generic client: automatic generation of typed entry
+// forms from Service Interface Descriptions.
+//
+// The paper (sections 3.2 and 4.2, Figs. 3 and 7) requires "a
+// well-defined relationship of linguistic service description elements
+// to corresponding (graphical) user interface management system
+// components": type definitions, operation signatures and textual
+// annotations become value editors, buttons and labels, generated with
+// no service-specific code. The 1994 prototype rendered Motif-style
+// forms; this implementation generates the same artefact — a widget tree
+// — and renders it as text, which preserves exactly the property the
+// paper demonstrates (automatic generation from the SID) without a
+// display substrate.
+//
+// The inverse direction is implemented too: BuildArgs converts textual
+// user input, addressed by widget path, into typed xcode values, so a
+// command-line UI can drive any remote service from its SID alone.
+package uiform
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cosm/internal/ref"
+	"cosm/internal/sidl"
+	"cosm/internal/xcode"
+)
+
+// Errors reported by form generation and input binding.
+var (
+	ErrNoOp     = errors.New("uiform: no such operation")
+	ErrBadPath  = errors.New("uiform: no widget at path")
+	ErrBadInput = errors.New("uiform: cannot parse input")
+)
+
+// WidgetKind classifies the generated value editors.
+type WidgetKind uint8
+
+// Widget kinds. The mapping from SIDL types is fixed (Fig. 7): scalars
+// become entry fields, enums become choice widgets, booleans become
+// checkboxes, structs become group boxes, sequences become list editors,
+// and service references become bind buttons — the controller element
+// that effects a further binding out of the user interface (section
+// 3.2).
+const (
+	TextField WidgetKind = iota + 1
+	IntField
+	UIntField
+	FloatField
+	Checkbox
+	Choice
+	GroupBox
+	ListEditor
+	BindButton
+)
+
+// String returns the widget kind name.
+func (k WidgetKind) String() string {
+	switch k {
+	case TextField:
+		return "text"
+	case IntField:
+		return "int"
+	case UIntField:
+		return "uint"
+	case FloatField:
+		return "float"
+	case Checkbox:
+		return "check"
+	case Choice:
+		return "choice"
+	case GroupBox:
+		return "group"
+	case ListEditor:
+		return "list"
+	case BindButton:
+		return "bind"
+	}
+	return fmt.Sprintf("WidgetKind(%d)", uint8(k))
+}
+
+// Widget is one generated user-interface element.
+type Widget struct {
+	// Path addresses the widget: "op.param" or "op.param.field...".
+	Path string
+	// Label is the display label (the last path segment).
+	Label string
+	// Kind is the editor class.
+	Kind WidgetKind
+	// Doc is the natural-language annotation from the SID's COSM_UI
+	// module (or the operation doc comment), if any.
+	Doc string
+	// Hint is the raw widget hint from the SID, if any.
+	Hint string
+	// Options lists the choices for Choice widgets (enum literals).
+	Options []string
+	// Children are the member widgets of a GroupBox, or the single
+	// element prototype of a ListEditor.
+	Children []*Widget
+	// Type is the SIDL type the widget edits.
+	Type *sidl.Type
+}
+
+// Form is the generated dialog for one operation: entry widgets for the
+// in/inout parameters and an invoke button semantic for the operation
+// itself.
+type Form struct {
+	// Service is the SID's service name.
+	Service string
+	// Op is the operation the form invokes.
+	Op sidl.Op
+	// Doc is the operation annotation.
+	Doc string
+	// Params holds one widget per in/inout parameter.
+	Params []*Widget
+	// ResultType is the operation result type (Void for none).
+	ResultType *sidl.Type
+}
+
+// Generate builds one form per operation of the SID, in declaration
+// order — the "GUI generation" arrow of Fig. 3.
+func Generate(sid *sidl.SID) []*Form {
+	forms := make([]*Form, 0, len(sid.Ops))
+	for _, op := range sid.Ops {
+		forms = append(forms, generateForm(sid, op))
+	}
+	return forms
+}
+
+// GenerateForm builds the form for one operation.
+func GenerateForm(sid *sidl.SID, opName string) (*Form, error) {
+	op, ok := sid.Op(opName)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoOp, opName)
+	}
+	return generateForm(sid, op), nil
+}
+
+func generateForm(sid *sidl.SID, op sidl.Op) *Form {
+	doc := op.Doc
+	if uiDoc := sid.UI.Doc(op.Name); uiDoc != "" {
+		doc = uiDoc
+	}
+	f := &Form{Service: sid.ServiceName, Op: op, Doc: doc, ResultType: op.Result}
+	for _, p := range op.Params {
+		if p.Dir == sidl.Out {
+			continue
+		}
+		path := op.Name + "." + p.Name
+		f.Params = append(f.Params, generateWidget(sid, path, p.Name, p.Type))
+	}
+	return f
+}
+
+func generateWidget(sid *sidl.SID, path, label string, t *sidl.Type) *Widget {
+	w := &Widget{
+		Path:  path,
+		Label: label,
+		Doc:   sid.UI.Doc(path),
+		Hint:  sid.UI.Widget(path),
+		Type:  t,
+	}
+	switch t.Kind {
+	case sidl.Bool:
+		w.Kind = Checkbox
+	case sidl.Octet, sidl.Int16, sidl.Int32, sidl.Int64:
+		w.Kind = IntField
+	case sidl.UInt32, sidl.UInt64:
+		w.Kind = UIntField
+	case sidl.Float32, sidl.Float64:
+		w.Kind = FloatField
+	case sidl.String:
+		w.Kind = TextField
+	case sidl.Enum:
+		w.Kind = Choice
+		w.Options = append([]string(nil), t.Literals...)
+	case sidl.SvcRef:
+		w.Kind = BindButton
+	case sidl.Struct:
+		w.Kind = GroupBox
+		for _, field := range t.Fields {
+			w.Children = append(w.Children,
+				generateWidget(sid, path+"."+field.Name, field.Name, field.Type))
+		}
+	case sidl.Sequence:
+		w.Kind = ListEditor
+		w.Children = []*Widget{generateWidget(sid, path+"[]", "element", t.Elem)}
+	default:
+		w.Kind = TextField
+	}
+	return w
+}
+
+// WidgetAt returns the widget addressed by a dotted path relative to the
+// form's operation (e.g. "SelectCar.selection.model").
+func (f *Form) WidgetAt(path string) (*Widget, error) {
+	for _, p := range f.Params {
+		if p.Path == path {
+			return p, nil
+		}
+		if strings.HasPrefix(path, p.Path+".") || strings.HasPrefix(path, p.Path+"[]") {
+			if w := findWidget(p, path); w != nil {
+				return w, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+}
+
+func findWidget(w *Widget, path string) *Widget {
+	if w.Path == path {
+		return w
+	}
+	for _, c := range w.Children {
+		if found := findWidget(c, path); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// CountWidgets returns the total number of widgets in the form
+// (benchmarked in the Fig. 7 experiment).
+func (f *Form) CountWidgets() int {
+	n := 0
+	var walk func(*Widget)
+	walk = func(w *Widget) {
+		n++
+		for _, c := range w.Children {
+			walk(c)
+		}
+	}
+	for _, p := range f.Params {
+		walk(p)
+	}
+	return n
+}
+
+// Render draws the form as text: the 1994 prototype's Motif dialog,
+// reproduced as a fixed-width layout (Fig. 7).
+func (f *Form) Render() string {
+	var b strings.Builder
+	title := f.Service + " :: " + f.Op.Name
+	line := strings.Repeat("=", len(title)+4)
+	fmt.Fprintf(&b, "%s\n| %s |\n%s\n", line, title, line)
+	if f.Doc != "" {
+		fmt.Fprintf(&b, "  %s\n", f.Doc)
+	}
+	for _, p := range f.Params {
+		renderWidget(&b, p, 1)
+	}
+	if f.ResultType.Kind != sidl.Void {
+		fmt.Fprintf(&b, "  => returns %s\n", f.ResultType)
+	}
+	fmt.Fprintf(&b, "  [ Invoke %s ]   [ Cancel ]\n", f.Op.Name)
+	return b.String()
+}
+
+func renderWidget(b *strings.Builder, w *Widget, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch w.Kind {
+	case Checkbox:
+		fmt.Fprintf(b, "%s[ ] %s", indent, w.Label)
+	case Choice:
+		fmt.Fprintf(b, "%s%s: (%s)", indent, w.Label, strings.Join(w.Options, " | "))
+	case GroupBox:
+		fmt.Fprintf(b, "%s+-- %s --", indent, w.Label)
+	case ListEditor:
+		fmt.Fprintf(b, "%s%s: [ + add / - remove ]", indent, w.Label)
+	case BindButton:
+		fmt.Fprintf(b, "%s[ Bind -> %s ]", indent, w.Label)
+	default:
+		fmt.Fprintf(b, "%s%s: [%s_________]", indent, w.Label, w.Kind)
+	}
+	if w.Doc != "" {
+		fmt.Fprintf(b, "   (%s)", w.Doc)
+	}
+	b.WriteByte('\n')
+	for _, c := range w.Children {
+		renderWidget(b, c, depth+1)
+	}
+}
+
+// RenderAll renders every form of a SID, separated by blank lines — the
+// full generated user interface for a service.
+func RenderAll(sid *sidl.SID) string {
+	forms := Generate(sid)
+	parts := make([]string, len(forms))
+	for i, f := range forms {
+		parts[i] = f.Render()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// BuildArgs converts textual inputs, keyed by widget path, into the
+// typed argument values for the form's operation. Unaddressed fields
+// keep their zero values. Sequence inputs address the whole sequence
+// path with comma-separated element texts (scalar elements only).
+func (f *Form) BuildArgs(inputs map[string]string) ([]*xcode.Value, error) {
+	args := make([]*xcode.Value, len(f.Params))
+	for i, p := range f.Params {
+		args[i] = xcode.Zero(p.Type)
+	}
+	for path, text := range inputs {
+		idx := -1
+		for i, p := range f.Params {
+			if path == p.Path || strings.HasPrefix(path, p.Path+".") {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+		}
+		rest := strings.TrimPrefix(path, f.Params[idx].Path)
+		rest = strings.TrimPrefix(rest, ".")
+		newV, err := setPath(args[idx], rest, text)
+		if err != nil {
+			return nil, fmt.Errorf("input %q: %w", path, err)
+		}
+		args[idx] = newV
+	}
+	return args, nil
+}
+
+// setPath returns v with the element at the dotted path replaced by the
+// parsed text.
+func setPath(v *xcode.Value, path, text string) (*xcode.Value, error) {
+	if path == "" {
+		return parseScalar(v.Type, text)
+	}
+	if v.Type.Kind != sidl.Struct {
+		return nil, fmt.Errorf("%w: path %q into non-record type %s", ErrBadPath, path, v.Type)
+	}
+	head, rest := path, ""
+	if i := strings.IndexByte(path, '.'); i >= 0 {
+		head, rest = path[:i], path[i+1:]
+	}
+	field, err := v.Field(head)
+	if err != nil {
+		return nil, err
+	}
+	newField, err := setPath(field, rest, text)
+	if err != nil {
+		return nil, err
+	}
+	out := v.Clone()
+	if err := out.SetField(head, newField); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseScalar parses user text into a value of a leaf (or sequence)
+// type.
+func parseScalar(t *sidl.Type, text string) (*xcode.Value, error) {
+	text = strings.TrimSpace(text)
+	switch t.Kind {
+	case sidl.Bool:
+		b, err := strconv.ParseBool(text)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %q as boolean", ErrBadInput, text)
+		}
+		return xcode.NewBool(t, b), nil
+	case sidl.Octet, sidl.Int16, sidl.Int32, sidl.Int64:
+		i, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %q as integer", ErrBadInput, text)
+		}
+		return xcode.NewInt(t, i), nil
+	case sidl.UInt32, sidl.UInt64:
+		u, err := strconv.ParseUint(text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %q as unsigned integer", ErrBadInput, text)
+		}
+		return xcode.NewUint(t, u), nil
+	case sidl.Float32, sidl.Float64:
+		fl, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %q as float", ErrBadInput, text)
+		}
+		return xcode.NewFloat(t, fl), nil
+	case sidl.String:
+		return xcode.NewString(t, text), nil
+	case sidl.Enum:
+		v, err := xcode.NewEnum(t, text)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %q is not one of %s", ErrBadInput, text, strings.Join(t.Literals, ", "))
+		}
+		return v, nil
+	case sidl.SvcRef:
+		if text == "" {
+			return xcode.Zero(t), nil
+		}
+		r, err := ref.Parse(text)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %q as service reference", ErrBadInput, text)
+		}
+		return xcode.NewRef(t, r), nil
+	case sidl.Sequence:
+		if text == "" {
+			return xcode.Zero(t), nil
+		}
+		parts := strings.Split(text, ",")
+		elems := make([]*xcode.Value, len(parts))
+		for i, part := range parts {
+			ev, err := parseScalar(t.Elem, part)
+			if err != nil {
+				return nil, fmt.Errorf("element %d: %w", i, err)
+			}
+			elems[i] = ev
+		}
+		return xcode.NewSequence(t, elems...)
+	}
+	return nil, fmt.Errorf("%w: type %s has no textual editor", ErrBadInput, t)
+}

@@ -1,0 +1,294 @@
+package uiform
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cosm/internal/ref"
+	"cosm/internal/sidl"
+	"cosm/internal/xcode"
+)
+
+func TestGenerateCarRentalForms(t *testing.T) {
+	sid := sidl.CarRentalSID()
+	forms := Generate(sid)
+	if len(forms) != 2 {
+		t.Fatalf("forms = %d, want 2 (one per operation)", len(forms))
+	}
+
+	sel := forms[0]
+	if sel.Op.Name != "SelectCar" || sel.Service != "CarRentalService" {
+		t.Fatalf("form 0 = %+v", sel)
+	}
+	// The COSM_UI doc overrides the op doc comment.
+	if sel.Doc != "Choose a car model and booking date" {
+		t.Fatalf("doc = %q", sel.Doc)
+	}
+	if len(sel.Params) != 1 {
+		t.Fatalf("params = %d", len(sel.Params))
+	}
+
+	// The selection parameter is a group box with three members.
+	group := sel.Params[0]
+	if group.Kind != GroupBox || len(group.Children) != 3 {
+		t.Fatalf("group = %+v", group)
+	}
+	model := group.Children[0]
+	if model.Kind != Choice {
+		t.Fatalf("model widget = %s", model.Kind)
+	}
+	if len(model.Options) != 3 || model.Options[1] != "FIAT_Uno" {
+		t.Fatalf("model options = %v", model.Options)
+	}
+	if model.Doc != "The car model to rent" {
+		t.Fatalf("model doc = %q", model.Doc)
+	}
+	if model.Hint != "choice" {
+		t.Fatalf("model hint = %q", model.Hint)
+	}
+	if date := group.Children[1]; date.Kind != TextField {
+		t.Fatalf("bookingDate widget = %s", date.Kind)
+	}
+	if days := group.Children[2]; days.Kind != IntField {
+		t.Fatalf("days widget = %s", days.Kind)
+	}
+
+	// Commit has no parameters and a struct result.
+	commit := forms[1]
+	if len(commit.Params) != 0 || commit.ResultType.Name != "BookCarReturn_t" {
+		t.Fatalf("commit form = %+v", commit)
+	}
+}
+
+func TestWidgetKindsForAllTypes(t *testing.T) {
+	src := `
+module Zoo {
+    enum E_t { A, B };
+    struct Inner_t { boolean flag; };
+    struct All_t {
+        boolean b;
+        octet o;
+        short s;
+        long l;
+        long long ll;
+        unsigned long ul;
+        unsigned long long ull;
+        float f;
+        double d;
+        string str;
+        E_t e;
+        Object peer;
+        Inner_t inner;
+        sequence<long> nums;
+    };
+    interface COSM_Operations {
+        void Touch(in All_t v);
+    };
+};
+`
+	sid, err := sidl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	form, err := GenerateForm(sid, "Touch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	group := form.Params[0]
+	want := map[string]WidgetKind{
+		"b": Checkbox, "o": IntField, "s": IntField, "l": IntField,
+		"ll": IntField, "ul": UIntField, "ull": UIntField,
+		"f": FloatField, "d": FloatField, "str": TextField,
+		"e": Choice, "peer": BindButton, "inner": GroupBox, "nums": ListEditor,
+	}
+	for _, c := range group.Children {
+		if want[c.Label] != c.Kind {
+			t.Fatalf("widget %q = %s, want %s", c.Label, c.Kind, want[c.Label])
+		}
+	}
+	// The list editor exposes an element prototype.
+	nums, err := form.WidgetAt("Touch.v.nums")
+	if err != nil || len(nums.Children) != 1 || nums.Children[0].Kind != IntField {
+		t.Fatalf("nums = %+v, %v", nums, err)
+	}
+	// Widget count: All_t group + 14 members + inner.flag + nums element
+	// = 17 widgets.
+	if n := form.CountWidgets(); n != 17 {
+		t.Fatalf("CountWidgets = %d", n)
+	}
+}
+
+func TestGenerateFormErrors(t *testing.T) {
+	sid := sidl.CarRentalSID()
+	if _, err := GenerateForm(sid, "Ghost"); !errors.Is(err, ErrNoOp) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWidgetAt(t *testing.T) {
+	sid := sidl.CarRentalSID()
+	form, err := GenerateForm(sid, "SelectCar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := form.WidgetAt("SelectCar.selection.model")
+	if err != nil || w.Kind != Choice {
+		t.Fatalf("WidgetAt = %+v, %v", w, err)
+	}
+	if w, err := form.WidgetAt("SelectCar.selection"); err != nil || w.Kind != GroupBox {
+		t.Fatalf("WidgetAt(param) = %+v, %v", w, err)
+	}
+	if _, err := form.WidgetAt("SelectCar.bogus.path"); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRenderContainsFig7Elements(t *testing.T) {
+	// The rendered dialog must exhibit the Fig. 7 structure: a titled
+	// form with a value editor per SID element and an invoke button.
+	sid := sidl.CarRentalSID()
+	out := RenderAll(sid)
+	for _, want := range []string{
+		"CarRentalService :: SelectCar",
+		"model: (AUDI | FIAT_Uno | VW_Golf)",
+		"(The car model to rent)",
+		"bookingDate:",
+		"days:",
+		"[ Invoke SelectCar ]",
+		"CarRentalService :: Commit",
+		"=> returns BookCarReturn_t",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered form lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBuildArgsCarRental(t *testing.T) {
+	sid := sidl.CarRentalSID()
+	form, err := GenerateForm(sid, "SelectCar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	args, err := form.BuildArgs(map[string]string{
+		"SelectCar.selection.model":       "VW_Golf",
+		"SelectCar.selection.bookingDate": "1994-06-21",
+		"SelectCar.selection.days":        "3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(args) != 1 {
+		t.Fatalf("args = %d", len(args))
+	}
+	sel := args[0]
+	if f, _ := sel.Field("model"); f.EnumLiteral() != "VW_Golf" {
+		t.Fatalf("model = %s", f)
+	}
+	if f, _ := sel.Field("bookingDate"); f.Str != "1994-06-21" {
+		t.Fatalf("bookingDate = %s", f)
+	}
+	if f, _ := sel.Field("days"); f.Int != 3 {
+		t.Fatalf("days = %s", f)
+	}
+}
+
+func TestBuildArgsDefaultsAndErrors(t *testing.T) {
+	sid := sidl.CarRentalSID()
+	form, err := GenerateForm(sid, "SelectCar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No inputs: all zero values.
+	args, err := form.BuildArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := args[0].Field("model"); f.EnumLiteral() != "AUDI" {
+		t.Fatalf("zero model = %s", f)
+	}
+
+	tests := []struct {
+		name   string
+		inputs map[string]string
+		want   error
+	}{
+		{"unknown path", map[string]string{"SelectCar.nope": "x"}, ErrBadPath},
+		{"unknown param", map[string]string{"Other.p": "x"}, ErrBadPath},
+		{"bad int", map[string]string{"SelectCar.selection.days": "three"}, ErrBadInput},
+		{"bad enum", map[string]string{"SelectCar.selection.model": "TRABANT"}, ErrBadInput},
+		{"path into scalar", map[string]string{"SelectCar.selection.days.deeper": "1"}, ErrBadPath},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := form.BuildArgs(tt.inputs); !errors.Is(err, tt.want) {
+				t.Fatalf("err = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseScalarKinds(t *testing.T) {
+	seqT := sidl.SequenceOf(sidl.Basic(sidl.Int32))
+	refT := sidl.Basic(sidl.SvcRef)
+	tests := []struct {
+		name  string
+		typ   *sidl.Type
+		text  string
+		check func(*xcode.Value) bool
+		bad   bool
+	}{
+		{"bool", sidl.Basic(sidl.Bool), "true", func(v *xcode.Value) bool { return v.Bool }, false},
+		{"bad bool", sidl.Basic(sidl.Bool), "yep", nil, true},
+		{"uint", sidl.Basic(sidl.UInt64), "18446744073709551615", func(v *xcode.Value) bool { return v.Uint == ^uint64(0) }, false},
+		{"bad uint", sidl.Basic(sidl.UInt32), "-1", nil, true},
+		{"float", sidl.Basic(sidl.Float64), " 2.5 ", func(v *xcode.Value) bool { return v.Float == 2.5 }, false},
+		{"bad float", sidl.Basic(sidl.Float32), "pi", nil, true},
+		{"seq", seqT, "1, 2,3", func(v *xcode.Value) bool { return len(v.Elems) == 3 && v.Elems[2].Int == 3 }, false},
+		{"empty seq", seqT, "", func(v *xcode.Value) bool { return len(v.Elems) == 0 }, false},
+		{"bad seq elem", seqT, "1,x", nil, true},
+		{"ref", refT, "cosm://tcp:h:1/svc", func(v *xcode.Value) bool { return v.Ref == ref.New("tcp:h:1", "svc") }, false},
+		{"empty ref", refT, "", func(v *xcode.Value) bool { return v.Ref.IsZero() }, false},
+		{"bad ref", refT, "http://x", nil, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			v, err := parseScalar(tt.typ, tt.text)
+			if tt.bad {
+				if !errors.Is(err, ErrBadInput) {
+					t.Fatalf("err = %v, want ErrBadInput", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !tt.check(v) {
+				t.Fatalf("parsed value = %s", v)
+			}
+		})
+	}
+}
+
+func TestBuildArgsDoesNotAliasZeroTemplate(t *testing.T) {
+	// Two BuildArgs calls must produce independent values.
+	sid := sidl.CarRentalSID()
+	form, err := GenerateForm(sid, "SelectCar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := form.BuildArgs(map[string]string{"SelectCar.selection.days": "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := form.BuildArgs(map[string]string{"SelectCar.selection.days": "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, _ := a[0].Field("days")
+	fb, _ := b[0].Field("days")
+	if fa.Int != 1 || fb.Int != 2 {
+		t.Fatalf("aliasing: %d %d", fa.Int, fb.Int)
+	}
+}

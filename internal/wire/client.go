@@ -1,0 +1,242 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client-side errors.
+var (
+	// ErrClientClosed is returned by calls on a closed client, including
+	// calls in flight when the connection breaks.
+	ErrClientClosed = errors.New("wire: client closed")
+	// ErrRemote wraps failures reported by the remote node (application
+	// errors, unknown services or operations, protocol violations).
+	ErrRemote = errors.New("wire: remote error")
+)
+
+// RemoteError is the client-side view of a non-OK response. It wraps
+// ErrRemote and preserves the status class so callers can distinguish,
+// e.g., an FSM protocol violation from an application error.
+type RemoteError struct {
+	Status Status
+	Msg    string
+}
+
+// Error formats the remote failure.
+func (e *RemoteError) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("wire: remote error: %s", e.Status)
+	}
+	return fmt.Sprintf("wire: remote error: %s: %s", e.Status, e.Msg)
+}
+
+// Unwrap makes errors.Is(err, ErrRemote) hold for all remote errors.
+func (e *RemoteError) Unwrap() error { return ErrRemote }
+
+// Client is a multiplexing RPC client for one endpoint. Concurrent Call
+// invocations share the connection; responses are correlated by frame
+// id. Clients are safe for concurrent use.
+type Client struct {
+	endpoint string
+	conn     net.Conn
+
+	writeMu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *Response
+	closed  bool
+	readErr error
+
+	readDone chan struct{}
+}
+
+// Dial connects an RPC client to an endpoint ("tcp:..." or "loop:...").
+func Dial(endpoint string) (*Client, error) {
+	conn, err := DialConn(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		endpoint: endpoint,
+		conn:     conn,
+		pending:  map[uint64]chan *Response{},
+		readDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Endpoint returns the endpoint this client is connected to.
+func (c *Client) Endpoint() string { return c.endpoint }
+
+func (c *Client) readLoop() {
+	defer close(c.readDone)
+	for {
+		f, err := readFrame(c.conn)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		if f.ftype != frameResponse {
+			c.failAll(fmt.Errorf("%w: unexpected frame type %d", ErrBadFrame, f.ftype))
+			return
+		}
+		resp, err := decodeResponse(f.payload)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[f.id]
+		delete(c.pending, f.id)
+		c.mu.Unlock()
+		if ok {
+			ch <- resp // buffered; never blocks
+		}
+	}
+}
+
+// failAll marks the client broken and wakes all waiters.
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		c.readErr = err
+	}
+	pending := c.pending
+	c.pending = map[uint64]chan *Response{}
+	c.mu.Unlock()
+	_ = c.conn.Close()
+	for _, ch := range pending {
+		close(ch) // receivers translate a closed channel into ErrClientClosed
+	}
+}
+
+// Call performs one RPC: it sends the request and waits for the matching
+// response or ctx cancellation. On a non-OK status it returns a
+// *RemoteError wrapping ErrRemote.
+func (c *Client) Call(ctx context.Context, req *Request) ([]byte, error) {
+	ch := make(chan *Response, 1)
+	c.mu.Lock()
+	if c.closed {
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, closeErr(err)
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := writeFrame(c.conn, frame{ftype: frameRequest, id: id, payload: encodeRequest(req)})
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("wire: send %s/%s: %w", req.Service, req.Op, err)
+	}
+
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.readErr
+			c.mu.Unlock()
+			return nil, closeErr(err)
+		}
+		if resp.Status != StatusOK {
+			return nil, &RemoteError{Status: resp.Status, Msg: resp.ErrMsg}
+		}
+		return resp.Body, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("wire: call %s/%s: %w", req.Service, req.Op, ctx.Err())
+	}
+}
+
+func closeErr(cause error) error {
+	if cause == nil {
+		return ErrClientClosed
+	}
+	return fmt.Errorf("%w: %v", ErrClientClosed, cause)
+}
+
+// Close tears down the connection; in-flight calls fail with
+// ErrClientClosed. Safe to call multiple times.
+func (c *Client) Close() error {
+	c.failAll(nil)
+	<-c.readDone
+	return nil
+}
+
+// Pool is a cache of Clients keyed by endpoint, used by the binder: a
+// node talking to many peers reuses one connection per peer. The zero
+// value is not usable; call NewPool.
+type Pool struct {
+	mu      sync.Mutex
+	clients map[string]*Client
+	closed  bool
+}
+
+// NewPool returns an empty client pool.
+func NewPool() *Pool {
+	return &Pool{clients: map[string]*Client{}}
+}
+
+// Get returns a connected client for endpoint, dialing if needed. A
+// previously cached client that has since broken is replaced.
+func (p *Pool) Get(endpoint string) (*Client, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrClientClosed
+	}
+	if c, ok := p.clients[endpoint]; ok {
+		c.mu.Lock()
+		broken := c.closed
+		c.mu.Unlock()
+		if !broken {
+			return c, nil
+		}
+		delete(p.clients, endpoint)
+	}
+	c, err := Dial(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	p.clients[endpoint] = c
+	return c, nil
+}
+
+// Drop removes and closes the cached client for endpoint, if any.
+func (p *Pool) Drop(endpoint string) {
+	p.mu.Lock()
+	c, ok := p.clients[endpoint]
+	delete(p.clients, endpoint)
+	p.mu.Unlock()
+	if ok {
+		_ = c.Close()
+	}
+}
+
+// Close closes all cached clients.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	clients := p.clients
+	p.clients = map[string]*Client{}
+	p.closed = true
+	p.mu.Unlock()
+	for _, c := range clients {
+		_ = c.Close()
+	}
+	return nil
+}

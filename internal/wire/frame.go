@@ -1,0 +1,199 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame layout: a fixed header followed by the payload.
+//
+//	0      2      3       4            12           16
+//	+------+------+-------+------------+------------+----------+
+//	| "CW" | ver  | ftype | id (be64)  | len (be32) | payload  |
+//	+------+------+-------+------------+------------+----------+
+//
+// id correlates responses with requests over one multiplexed connection.
+const (
+	frameHeaderLen = 16
+	protoVersion   = 1
+
+	frameRequest  = 1
+	frameResponse = 2
+)
+
+// MaxFramePayload bounds a frame payload; larger frames are rejected on
+// both send and receive.
+const MaxFramePayload = 16 << 20
+
+// Framing errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFramePayload")
+	ErrBadFrame      = errors.New("wire: malformed frame")
+)
+
+var frameMagic = [2]byte{'C', 'W'}
+
+type frame struct {
+	ftype   byte
+	id      uint64
+	payload []byte
+}
+
+func writeFrame(w io.Writer, f frame) error {
+	if len(f.payload) > MaxFramePayload {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(f.payload))
+	}
+	hdr := make([]byte, frameHeaderLen, frameHeaderLen+len(f.payload))
+	hdr[0], hdr[1] = frameMagic[0], frameMagic[1]
+	hdr[2] = protoVersion
+	hdr[3] = f.ftype
+	binary.BigEndian.PutUint64(hdr[4:], f.id)
+	binary.BigEndian.PutUint32(hdr[12:], uint32(len(f.payload)))
+	// One Write call per frame keeps frames atomic with respect to the
+	// connection-level write mutex held by the caller.
+	buf := append(hdr, f.payload...)
+	_, err := w.Write(buf)
+	return err
+}
+
+func readFrame(r io.Reader) (frame, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	if hdr[0] != frameMagic[0] || hdr[1] != frameMagic[1] {
+		return frame{}, fmt.Errorf("%w: bad magic %x", ErrBadFrame, hdr[:2])
+	}
+	if hdr[2] != protoVersion {
+		return frame{}, fmt.Errorf("%w: version %d", ErrBadFrame, hdr[2])
+	}
+	ftype := hdr[3]
+	if ftype != frameRequest && ftype != frameResponse {
+		return frame{}, fmt.Errorf("%w: frame type %d", ErrBadFrame, ftype)
+	}
+	n := binary.BigEndian.Uint32(hdr[12:])
+	if n > MaxFramePayload {
+		return frame{}, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return frame{}, fmt.Errorf("%w: truncated payload: %v", ErrBadFrame, err)
+	}
+	return frame{ftype: ftype, id: binary.BigEndian.Uint64(hdr[4:]), payload: payload}, nil
+}
+
+// Request is one RPC request: a service name, an operation name, and an
+// opaque body (encoded by the layer above, typically xcode).
+type Request struct {
+	Service string
+	Op      string
+	Body    []byte
+}
+
+// Status is the outcome class of a response.
+type Status uint8
+
+// Response statuses.
+const (
+	// StatusOK: the operation executed; Body holds the encoded result.
+	StatusOK Status = iota + 1
+	// StatusAppError: the service's handler returned an error; ErrMsg
+	// carries its text.
+	StatusAppError
+	// StatusNoService: the node hosts no service with the given name.
+	StatusNoService
+	// StatusNoOp: the service hosts no such operation.
+	StatusNoOp
+	// StatusProtocol: the invocation violated the service's FSM protocol.
+	StatusProtocol
+	// StatusBadRequest: the request body could not be decoded.
+	StatusBadRequest
+)
+
+// String returns a short name for the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusAppError:
+		return "application error"
+	case StatusNoService:
+		return "no such service"
+	case StatusNoOp:
+		return "no such operation"
+	case StatusProtocol:
+		return "protocol violation"
+	case StatusBadRequest:
+		return "bad request"
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// Response is the reply to one Request.
+type Response struct {
+	Status Status
+	ErrMsg string
+	Body   []byte
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func consumeString(data []byte, limit int) (string, []byte, error) {
+	n, size := binary.Uvarint(data)
+	if size <= 0 {
+		return "", nil, fmt.Errorf("%w: truncated string length", ErrBadFrame)
+	}
+	data = data[size:]
+	if n > uint64(limit) || uint64(len(data)) < n {
+		return "", nil, fmt.Errorf("%w: string length %d", ErrBadFrame, n)
+	}
+	return string(data[:n]), data[n:], nil
+}
+
+const maxNameLen = 4096
+
+func encodeRequest(r *Request) []byte {
+	buf := make([]byte, 0, len(r.Service)+len(r.Op)+len(r.Body)+16)
+	buf = appendString(buf, r.Service)
+	buf = appendString(buf, r.Op)
+	return append(buf, r.Body...)
+}
+
+func decodeRequest(payload []byte) (*Request, error) {
+	service, rest, err := consumeString(payload, maxNameLen)
+	if err != nil {
+		return nil, err
+	}
+	op, rest, err := consumeString(rest, maxNameLen)
+	if err != nil {
+		return nil, err
+	}
+	return &Request{Service: service, Op: op, Body: rest}, nil
+}
+
+func encodeResponse(r *Response) []byte {
+	buf := make([]byte, 0, len(r.ErrMsg)+len(r.Body)+16)
+	buf = append(buf, byte(r.Status))
+	buf = appendString(buf, r.ErrMsg)
+	return append(buf, r.Body...)
+}
+
+func decodeResponse(payload []byte) (*Response, error) {
+	if len(payload) < 1 {
+		return nil, fmt.Errorf("%w: empty response", ErrBadFrame)
+	}
+	status := Status(payload[0])
+	if status < StatusOK || status > StatusBadRequest {
+		return nil, fmt.Errorf("%w: status %d", ErrBadFrame, payload[0])
+	}
+	msg, rest, err := consumeString(payload[1:], MaxFramePayload)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{Status: status, ErrMsg: msg, Body: rest}, nil
+}

@@ -1,0 +1,260 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+)
+
+// Handler executes one operation of one service. Implementations are
+// invoked concurrently. The returned response's Body is opaque to the
+// wire layer. A Handler must not retain req.Body past its return.
+type Handler interface {
+	ServeCOSM(remote string, req *Request) *Response
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(remote string, req *Request) *Response
+
+// ServeCOSM calls f.
+func (f HandlerFunc) ServeCOSM(remote string, req *Request) *Response { return f(remote, req) }
+
+// Server registration errors.
+var (
+	ErrServiceExists = errors.New("wire: service already registered")
+	ErrServerClosed  = errors.New("wire: server closed")
+)
+
+// Server hosts named services behind one listener. One server instance
+// corresponds to one COSM "node": the trader, browser, name server and
+// application services of the prototype are all Handlers registered at a
+// Server. The zero value is not usable; call NewServer.
+type Server struct {
+	logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	services map[string]Handler
+	ln       Listener
+	conns    map[net.Conn]bool
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithServerLog directs server diagnostics to logf (default: log.Printf
+// for connection-level errors only).
+func WithServerLog(logf func(format string, args ...any)) ServerOption {
+	return func(s *Server) { s.logf = logf }
+}
+
+// NewServer returns an empty server.
+func NewServer(opts ...ServerOption) *Server {
+	s := &Server{
+		services: map[string]Handler{},
+		conns:    map[net.Conn]bool{},
+		logf:     func(format string, args ...any) { log.Printf(format, args...) },
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Register adds a named service. Registering a duplicate name is an
+// error: service identity must be stable for the node's lifetime.
+func (s *Server) Register(name string, h Handler) error {
+	if name == "" || h == nil {
+		return fmt.Errorf("wire: Register(%q) with empty name or nil handler", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.services[name]; dup {
+		return fmt.Errorf("%w: %q", ErrServiceExists, name)
+	}
+	s.services[name] = h
+	return nil
+}
+
+// Unregister removes a named service; unknown names are a no-op.
+func (s *Server) Unregister(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.services, name)
+}
+
+// ServiceNames returns the registered service names (unordered).
+func (s *Server) ServiceNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.services))
+	for n := range s.services {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Serve starts accepting connections on ln and returns immediately. The
+// listener is owned by the server from here on: Close closes it.
+func (s *Server) Serve(ln Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	if s.ln != nil {
+		s.mu.Unlock()
+		return errors.New("wire: server already serving")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// ListenAndServe creates a listener for endpoint and serves on it,
+// returning the bound endpoint (useful with ephemeral TCP ports).
+func (s *Server) ListenAndServe(endpoint string) (string, error) {
+	ln, err := Listen(endpoint)
+	if err != nil {
+		return "", err
+	}
+	if err := s.Serve(ln); err != nil {
+		_ = ln.Close()
+		return "", err
+	}
+	return ln.Endpoint(), nil
+}
+
+// Endpoint returns the serving endpoint ("" before Serve).
+func (s *Server) Endpoint() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Endpoint()
+}
+
+func (s *Server) acceptLoop(ln Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			// Closed listener: quiet shutdown. Anything else is logged.
+			if !errors.Is(err, net.ErrClosed) {
+				s.logf("wire: accept: %v", err)
+			}
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+
+	remote := conn.RemoteAddr().String()
+	// Responses from concurrent handlers are serialized by writeMu.
+	var writeMu sync.Mutex
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			// EOF and closed-connection errors are normal client
+			// departures; framing errors are worth a log line.
+			if errors.Is(err, ErrBadFrame) || errors.Is(err, ErrFrameTooLarge) {
+				s.logf("wire: %s: %v", remote, err)
+			}
+			return
+		}
+		if f.ftype != frameRequest {
+			s.logf("wire: %s: unexpected frame type %d", remote, f.ftype)
+			return
+		}
+		req, err := decodeRequest(f.payload)
+		if err != nil {
+			s.respond(conn, &writeMu, f.id, &Response{Status: StatusBadRequest, ErrMsg: err.Error()})
+			continue
+		}
+		s.mu.Lock()
+		h, ok := s.services[req.Service]
+		s.mu.Unlock()
+		if !ok {
+			s.respond(conn, &writeMu, f.id, &Response{Status: StatusNoService, ErrMsg: req.Service})
+			continue
+		}
+		// Each request runs in its own goroutine so one slow operation
+		// does not block the connection (the multiplexing that Sun RPC
+		// over TCP lacks, but DCE-style RPC provides).
+		handlers.Add(1)
+		go func(id uint64, req *Request) {
+			defer handlers.Done()
+			resp := h.ServeCOSM(remote, req)
+			if resp == nil {
+				resp = &Response{Status: StatusAppError, ErrMsg: "nil response from handler"}
+			}
+			s.respond(conn, &writeMu, id, resp)
+		}(f.id, req)
+	}
+}
+
+func (s *Server) respond(conn net.Conn, writeMu *sync.Mutex, id uint64, resp *Response) {
+	writeMu.Lock()
+	defer writeMu.Unlock()
+	if err := writeFrame(conn, frame{ftype: frameResponse, id: id, payload: encodeResponse(resp)}); err != nil {
+		// The read side will observe the broken connection and clean up.
+		s.logf("wire: write response: %v", err)
+	}
+}
+
+// Close stops the listener, closes all connections, and waits for all
+// handler goroutines to finish. Safe to call multiple times.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}

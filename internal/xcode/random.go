@@ -1,0 +1,68 @@
+package xcode
+
+import (
+	"math/rand"
+	"strconv"
+
+	"cosm/internal/ref"
+	"cosm/internal/sidl"
+)
+
+// Random returns a pseudo-random value of type t, driven by rng. It is
+// used by property tests (codec round trips must hold for arbitrary
+// values) and by benchmark workload generators.
+func Random(rng *rand.Rand, t *sidl.Type) *Value {
+	switch t.Kind {
+	case sidl.Void:
+		return &Value{Type: t}
+	case sidl.Bool:
+		return &Value{Type: t, Bool: rng.Intn(2) == 1}
+	case sidl.Octet:
+		return &Value{Type: t, Int: int64(rng.Intn(256))}
+	case sidl.Int16:
+		return &Value{Type: t, Int: int64(int16(rng.Uint64()))}
+	case sidl.Int32:
+		return &Value{Type: t, Int: int64(int32(rng.Uint64()))}
+	case sidl.Int64:
+		return &Value{Type: t, Int: int64(rng.Uint64())}
+	case sidl.UInt32:
+		return &Value{Type: t, Uint: uint64(uint32(rng.Uint64()))}
+	case sidl.UInt64:
+		return &Value{Type: t, Uint: rng.Uint64()}
+	case sidl.Float32:
+		return &Value{Type: t, Float: float64(float32(rng.NormFloat64() * 100))}
+	case sidl.Float64:
+		return &Value{Type: t, Float: rng.NormFloat64() * 1e6}
+	case sidl.String:
+		n := rng.Intn(24)
+		b := make([]byte, n)
+		const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789 _-"
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return &Value{Type: t, Str: string(b)}
+	case sidl.Enum:
+		return &Value{Type: t, Ord: rng.Intn(len(t.Literals))}
+	case sidl.SvcRef:
+		if rng.Intn(4) == 0 {
+			return &Value{Type: t} // nil reference
+		}
+		r := ref.New("tcp:10.0.0."+strconv.Itoa(rng.Intn(255))+":"+strconv.Itoa(1024+rng.Intn(60000)),
+			"svc"+strconv.Itoa(rng.Intn(1000)))
+		return &Value{Type: t, Ref: r}
+	case sidl.Sequence:
+		n := rng.Intn(5)
+		v := &Value{Type: t, Elems: make([]*Value, n)}
+		for i := range v.Elems {
+			v.Elems[i] = Random(rng, t.Elem)
+		}
+		return v
+	case sidl.Struct:
+		v := &Value{Type: t, Fields: make([]*Value, len(t.Fields))}
+		for i, f := range t.Fields {
+			v.Fields[i] = Random(rng, f.Type)
+		}
+		return v
+	}
+	panic("xcode: Random of unknown kind " + t.Kind.String())
+}
