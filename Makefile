@@ -1,0 +1,27 @@
+# COSM build/verification entry points. `make check` is the gate every
+# change must pass: build, vet, full tests, and the race detector over
+# the whole tree (the resilience layer is concurrency-heavy).
+
+GO ?= go
+
+.PHONY: check build vet test race bench chaos
+
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+chaos:
+	$(GO) run ./cmd/marketsim -chaos

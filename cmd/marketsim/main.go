@@ -8,6 +8,12 @@
 //	marketsim                         # default parameters, summary table
 //	marketsim -days 730 -delay 120    # two years, slower standardisation
 //	marketsim -timeline               # also dump the cumulative series
+//	marketsim -chaos                  # live market under fault injection
+//
+// With -chaos the command instead stands up a real market (trader,
+// browser, three providers) over local TCP, injects transport faults on
+// the client side, crashes the cheapest provider mid-run, and reports
+// how retries, bind failover and the trader's liveness sweeper cope.
 package main
 
 import (
@@ -36,8 +42,15 @@ func run(args []string) error {
 	fs.Float64Var(&p.CostClientDev, "clientdev", p.CostClientDev, "per-client static adaptation cost")
 	fs.Float64Var(&p.CostGenericUseOverhead, "overhead", p.CostGenericUseOverhead, "per-use generic-client overhead")
 	timeline := fs.Bool("timeline", false, "print the per-day cumulative series")
+	chaos := fs.Bool("chaos", false, "run the live fault-injection market instead of the discrete-event simulation")
+	cc := registerChaosFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *chaos {
+		cc.seed = p.Seed
+		return runChaos(os.Stdout, *cc)
 	}
 
 	results, err := market.Compare(p)

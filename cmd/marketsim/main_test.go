@@ -55,6 +55,37 @@ func TestTimelineFlag(t *testing.T) {
 	}
 }
 
+// TestChaosMode runs the live fault-injection market end to end: all
+// bookings must complete despite injected faults and a mid-run provider
+// crash, and the sweeper must withdraw the dead offer.
+func TestChaosMode(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-chaos", "-chaos-bookings", "4", "-seed", "7"})
+	})
+	if err != nil {
+		t.Fatalf("chaos run failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"COSM chaos market: seed 7",
+		// Booking counts depend on the injected fault schedule meeting
+		// real TCP timing, so assert the invariants, not exact tallies:
+		// the cheapest provider serves phase 1, its successor phase 2.
+		"phase 1 (all live):",
+		"ElbeRental=",
+		"crashed ElbeRental (cheapest)",
+		"phase 2 (failover):",
+		"AlsterCars=",
+		// The sweeps run over a clean transport: deterministic.
+		"sweep 1: checked=3 healthy=2 suspected=1 withdrawn=0",
+		"sweep 2: checked=3 healthy=2 suspected=0 withdrawn=1",
+		"post-sweep import: 2 offer(s) remain",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestBadFlags(t *testing.T) {
 	if _, err := capture(t, func() error { return run([]string{"-days", "banana"}) }); err == nil {
 		t.Fatal("bad flag value must fail")

@@ -102,6 +102,73 @@ func TestFailureProviderCrashMidSession(t *testing.T) {
 	}
 }
 
+// TestFailureResilientImportBind is the resilient counterpart of
+// TestFailureProviderCrashMidSession: with the failover binding path
+// there is no manual workaround. The cheapest provider is crashed, yet
+// a single ImportBind call books successfully against the next-best
+// offer, and the trader's sweeper first suspects and then withdraws
+// the dead offer — within one sweep each, no real time elapsing.
+func TestFailureResilientImportBind(t *testing.T) {
+	ctx := context.Background()
+	in := startInfra(t, "fail-resilient")
+
+	cheap := startProvider(t, in, "CheapestCars", carrental.Tariff{"FIAT_Uno": 60})
+	solid := startProvider(t, in, "SturdyCars", carrental.Tariff{"FIAT_Uno": 75})
+	crashProviderNode(t, cheap.Endpoint)
+
+	// One call: import (cheapest first), fail over past the dead
+	// provider, bind the live one. Fast-fail policy: one attempt is
+	// enough to prove the endpoint dead (connection refused).
+	pool := wire.NewPool(wire.WithCallPolicy(wire.CallPolicy{
+		MaxAttempts: 1, AttemptTimeout: 5 * time.Second,
+	}))
+	defer pool.Close()
+	conn, offer, err := trader.ImportBind(ctx, in.trd, pool, trader.ImportRequest{
+		Type:   "CarRentalService",
+		Policy: "min:ChargePerDay",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offer.Ref != solid {
+		t.Fatalf("failover bound %v, want %v", offer.Ref, solid)
+	}
+
+	// The booking completes through the generic client on the adopted
+	// binding, FSM interception included.
+	gc := genclient.New(pool)
+	binding := gc.Adopt(conn)
+	if _, err := binding.InvokeForm(ctx, "SelectCar", map[string]string{
+		"SelectCar.selection.model": "FIAT_Uno",
+		"SelectCar.selection.days":  "2",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := binding.Invoke(ctx, "Commit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf, _ := res.Value.Field("confirmation"); !strings.Contains(conf.Str, "FIAT_Uno-2d") {
+		t.Fatalf("confirmation = %v", conf)
+	}
+
+	// The sweeper runs on the trader side over its own pool. Sweep 1
+	// suspects the dead offer, sweep 2 withdraws it: deterministic,
+	// driven synchronously — no sweep interval needs to elapse.
+	sweeper := trader.NewSweeper(in.trader, in.node.Pool(), trader.WithFailThreshold(2))
+	defer sweeper.Close()
+	if rep := sweeper.SweepOnce(ctx); rep.Suspected != 1 || rep.Withdrawn != 0 {
+		t.Fatalf("sweep 1 = %+v, want the dead offer suspected", rep)
+	}
+	if rep := sweeper.SweepOnce(ctx); rep.Withdrawn != 1 {
+		t.Fatalf("sweep 2 = %+v, want the dead offer withdrawn", rep)
+	}
+	offers, err := in.trd.Import(ctx, trader.ImportRequest{Type: "CarRentalService"})
+	if err != nil || len(offers) != 1 || offers[0].Ref != solid {
+		t.Fatalf("post-sweep offers = %v, %v; want only the live provider", offers, err)
+	}
+}
+
 // crashProviderNode kills the provider node serving endpoint (tracked
 // in the liveNodes registry by startProvider): listener and all
 // connections drop, simulating a provider crash.

@@ -14,13 +14,11 @@ import (
 
 // Describe fetches the SID of the service behind r using the reserved
 // "_cosm.describe" meta-operation — the "SID transfer" arrow of Fig. 3.
-// Connections are drawn from pool.
+// Connections are drawn from pool, under the pool's retry/breaker
+// policy: describing is read-only and idempotent, so connection-class
+// failures are retried transparently.
 func Describe(ctx context.Context, pool *wire.Pool, r ref.ServiceRef) (*sidl.SID, error) {
-	client, err := pool.Get(r.Endpoint)
-	if err != nil {
-		return nil, err
-	}
-	body, err := client.Call(ctx, &wire.Request{Service: r.Service, Op: OpDescribe})
+	body, err := pool.Call(ctx, r.Endpoint, &wire.Request{Service: r.Service, Op: OpDescribe})
 	if err != nil {
 		return nil, fmt.Errorf("cosm: describe %s: %w", r, err)
 	}
@@ -31,13 +29,12 @@ func Describe(ctx context.Context, pool *wire.Pool, r ref.ServiceRef) (*sidl.SID
 	return &sid, nil
 }
 
-// Ping probes liveness of the service behind r.
+// Ping probes liveness of the service behind r. Like Describe it is
+// idempotent and runs under the pool's retry/breaker policy, so a
+// returned error means the service stayed unreachable across the
+// policy's attempts — not one unlucky packet.
 func Ping(ctx context.Context, pool *wire.Pool, r ref.ServiceRef) error {
-	client, err := pool.Get(r.Endpoint)
-	if err != nil {
-		return err
-	}
-	_, err = client.Call(ctx, &wire.Request{Service: r.Service, Op: OpPing})
+	_, err := pool.Call(ctx, r.Endpoint, &wire.Request{Service: r.Service, Op: OpPing})
 	return err
 }
 
@@ -65,14 +62,24 @@ func (r *Result) Out(op sidl.Op, name string) (*xcode.Value, error) {
 }
 
 // Conn is a client-side binding to one remote service: the reference,
-// its SID, a session identity for FSM tracking, and the shared transport
-// client. Conn performs dynamic marshalling only; protocol interception
-// and UI generation live in the generic client built on top of it.
+// its SID, a session identity for FSM tracking, and the pool the
+// transport client is drawn from. Conn performs dynamic marshalling
+// only; protocol interception and UI generation live in the generic
+// client built on top of it.
+//
+// Each invocation fetches the endpoint's client from the pool, so a
+// binding survives a broken connection: the next Invoke dials fresh
+// instead of failing forever on the poisoned client. For stateless
+// services that is fully transparent. For FSM-guarded services the
+// server keys protocol state by (remote, session); a redial changes
+// the remote, so the server sees a fresh session in its initial state
+// and rejects out-of-order operations — the binding fails safe rather
+// than silently resuming mid-protocol.
 type Conn struct {
 	ref     ref.ServiceRef
 	sid     *sidl.SID
 	session string
-	client  *wire.Client
+	pool    *wire.Pool
 }
 
 // Bind opens a binding to r, fetching the SID from the service itself.
@@ -91,11 +98,13 @@ func BindWithSID(pool *wire.Pool, r ref.ServiceRef, sid *sidl.SID) (*Conn, error
 	if sid == nil {
 		return nil, ErrNilService
 	}
-	client, err := pool.Get(r.Endpoint)
-	if err != nil {
+	// Probe connectivity now so binding to a dead provider fails at
+	// bind time (the trader's failover path depends on that), not on
+	// the first invocation.
+	if _, err := pool.Get(r.Endpoint); err != nil {
 		return nil, err
 	}
-	return &Conn{ref: r, sid: sid, session: newSessionID(), client: client}, nil
+	return &Conn{ref: r, sid: sid, session: newSessionID(), pool: pool}, nil
 }
 
 func newSessionID() string {
@@ -129,7 +138,14 @@ func (c *Conn) Invoke(ctx context.Context, opName string, args ...*xcode.Value) 
 	if err != nil {
 		return nil, err
 	}
-	respBody, err := c.client.Call(ctx, &wire.Request{Service: c.ref.Service, Op: opName, Body: body})
+	// One dial, one send, no transparent retry: the operation may not
+	// be idempotent, and replaying it could execute it twice. Callers
+	// that want recovery re-run their protocol from the top.
+	client, err := c.pool.Get(c.ref.Endpoint)
+	if err != nil {
+		return nil, err
+	}
+	respBody, err := client.Call(ctx, &wire.Request{Service: c.ref.Service, Op: opName, Body: body})
 	if err != nil {
 		return nil, err
 	}

@@ -111,6 +111,13 @@ func (c *Client) BrowseAndBind(ctx context.Context, browserRef ref.ServiceRef, k
 	return c.BindEntry(entries[0])
 }
 
+// Adopt wraps an externally-established connection (for example one
+// produced by the trader's failover binding path) into a Binding, so
+// FSM interception and form generation apply to it like any other.
+func (c *Client) Adopt(conn *cosm.Conn) *Binding {
+	return c.adopt(conn, nil)
+}
+
 func (c *Client) adopt(conn *cosm.Conn, parent *Binding) *Binding {
 	b := &Binding{
 		client:  c,

@@ -35,6 +35,8 @@ module CosmTrader {
         Props_t props;
         // Lease expiry as Unix seconds; 0 means the offer never expires.
         long long expiresUnix;
+        // Liveness: true when the trader's sweeper suspects the provider.
+        boolean suspect;
     };
     typedef sequence<Offer_t> Offers_t;
     typedef sequence<string> Names_t;
@@ -207,6 +209,7 @@ func (tt *traderTypes) offerValue(o *Offer) (*xcode.Value, error) {
 		"target":      xcode.NewRef(tt.refT, o.Ref),
 		"props":       propsV,
 		"expiresUnix": xcode.NewInt(sidl.Basic(sidl.Int64), expires),
+		"suspect":     xcode.NewBool(sidl.Basic(sidl.Bool), o.Suspect),
 	})
 }
 
@@ -237,6 +240,9 @@ func offerFromValue(v *xcode.Value) (*Offer, error) {
 	}
 	if ev, err := v.Field("expiresUnix"); err == nil && ev.Int != 0 {
 		o.Expires = time.Unix(ev.Int, 0)
+	}
+	if sv, err := v.Field("suspect"); err == nil {
+		o.Suspect = sv.Bool
 	}
 	return o, nil
 }

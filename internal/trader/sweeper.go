@@ -1,0 +1,226 @@
+package trader
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"cosm/internal/cosm"
+	"cosm/internal/ref"
+	"cosm/internal/wire"
+)
+
+// PingFunc probes one provider for liveness. The default pings the
+// service behind the offer's reference with cosm.Ping over a Pool
+// (which already retries connection-class failures), so an error means
+// the provider stayed unreachable across the pool's attempts.
+type PingFunc func(ctx context.Context, target ref.ServiceRef) error
+
+// Sweeper is the trader's offer liveness monitor — the facility
+// 1994-era traders lack (clients had to work around stale offers by
+// hand; see failure_test.go). It periodically probes every stored
+// offer's provider: a provider that fails a probe has its offers
+// marked suspect (deprioritised by Import); a provider that stays dead
+// for FailThreshold consecutive sweeps has its offers withdrawn. Each
+// sweep also reclaims expired leases (PurgeExpired).
+//
+// Create with NewSweeper, then either run it in the background with
+// Start/Close or drive it deterministically with SweepOnce (tests use
+// a tick channel via WithSweepTick, reusing the trader's WithClock
+// fake-clock style).
+type Sweeper struct {
+	t        *Trader
+	ping     PingFunc
+	interval time.Duration
+	timeout  time.Duration
+	thresh   int
+	tick     <-chan time.Time
+	logf     func(format string, args ...any)
+
+	mu    sync.Mutex
+	fails map[string]int // offer ID -> consecutive failed probes
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	done      chan struct{}
+	stopped   chan struct{}
+}
+
+// SweeperOption configures a Sweeper.
+type SweeperOption func(*Sweeper)
+
+// WithSweepInterval sets the background sweep period (default 30s).
+func WithSweepInterval(d time.Duration) SweeperOption {
+	return func(sw *Sweeper) { sw.interval = d }
+}
+
+// WithSweepTimeout bounds one whole sweep, probes included
+// (default 10s).
+func WithSweepTimeout(d time.Duration) SweeperOption {
+	return func(sw *Sweeper) { sw.timeout = d }
+}
+
+// WithFailThreshold sets how many consecutive failed probes withdraw
+// an offer (default 2: one sweep marks suspect, the next withdraws).
+// A threshold of 1 withdraws on the first failed probe.
+func WithFailThreshold(n int) SweeperOption {
+	return func(sw *Sweeper) { sw.thresh = n }
+}
+
+// WithPingFunc substitutes the liveness probe (tests inject failures
+// without a network).
+func WithPingFunc(ping PingFunc) SweeperOption {
+	return func(sw *Sweeper) { sw.ping = ping }
+}
+
+// WithSweepTick substitutes the background timer with an external tick
+// channel, so tests drive sweeps with a fake clock.
+func WithSweepTick(tick <-chan time.Time) SweeperOption {
+	return func(sw *Sweeper) { sw.tick = tick }
+}
+
+// WithSweeperLog directs sweep diagnostics to logf (default: silent).
+func WithSweeperLog(logf func(format string, args ...any)) SweeperOption {
+	return func(sw *Sweeper) { sw.logf = logf }
+}
+
+// NewSweeper returns a sweeper over t probing providers through pool.
+// The sweeper does not run until Start (or SweepOnce) is called.
+func NewSweeper(t *Trader, pool *wire.Pool, opts ...SweeperOption) *Sweeper {
+	sw := &Sweeper{
+		t: t,
+		ping: func(ctx context.Context, target ref.ServiceRef) error {
+			return cosm.Ping(ctx, pool, target)
+		},
+		interval: 30 * time.Second,
+		timeout:  10 * time.Second,
+		thresh:   2,
+		logf:     func(string, ...any) {},
+		fails:    map[string]int{},
+		done:     make(chan struct{}),
+		stopped:  make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(sw)
+	}
+	if sw.thresh < 1 {
+		sw.thresh = 1
+	}
+	return sw
+}
+
+// Start launches the background sweep loop. Safe to call once; use
+// Close to stop it.
+func (sw *Sweeper) Start() {
+	sw.startOnce.Do(func() {
+		go sw.loop()
+	})
+}
+
+func (sw *Sweeper) loop() {
+	defer close(sw.stopped)
+	tick := sw.tick
+	if tick == nil {
+		ticker := time.NewTicker(sw.interval)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+	for {
+		select {
+		case <-sw.done:
+			return
+		case <-tick:
+			ctx, cancel := context.WithTimeout(context.Background(), sw.timeout)
+			sw.SweepOnce(ctx)
+			cancel()
+		}
+	}
+}
+
+// Close stops the background loop and waits for an in-flight sweep to
+// finish. Safe to call multiple times, and before Start.
+func (sw *Sweeper) Close() error {
+	sw.stopOnce.Do(func() { close(sw.done) })
+	sw.startOnce.Do(func() { close(sw.stopped) }) // never started: nothing to wait for
+	<-sw.stopped
+	return nil
+}
+
+// SweepReport summarises one sweep.
+type SweepReport struct {
+	// Checked counts offers probed this sweep.
+	Checked int
+	// Healthy counts offers whose provider answered.
+	Healthy int
+	// Suspected counts offers newly or still marked suspect.
+	Suspected int
+	// Withdrawn counts offers withdrawn for staying dead.
+	Withdrawn int
+	// Expired counts offers reclaimed because their lease ran out.
+	Expired int
+}
+
+// SweepOnce performs one synchronous sweep: reclaim expired leases,
+// probe every offer's provider once (one probe per distinct provider
+// service, shared by all its offers), then mark or withdraw.
+func (sw *Sweeper) SweepOnce(ctx context.Context) SweepReport {
+	var rep SweepReport
+	rep.Expired = sw.t.PurgeExpired()
+
+	offers := sw.t.Offers()
+
+	// One probe per distinct provider reference: a provider exporting
+	// ten offers is pinged once, and all ten share the verdict.
+	verdict := map[ref.ServiceRef]error{}
+	for _, o := range offers {
+		if _, seen := verdict[o.Ref]; seen {
+			continue
+		}
+		verdict[o.Ref] = sw.ping(ctx, o.Ref)
+	}
+
+	live := map[string]bool{} // offer IDs still stored, for stale-state GC
+	for _, o := range offers {
+		rep.Checked++
+		err := verdict[o.Ref]
+		if err == nil {
+			rep.Healthy++
+			sw.mu.Lock()
+			delete(sw.fails, o.ID)
+			sw.mu.Unlock()
+			if o.Suspect {
+				_ = sw.t.MarkSuspect(o.ID, false)
+			}
+			live[o.ID] = true
+			continue
+		}
+		sw.mu.Lock()
+		sw.fails[o.ID]++
+		n := sw.fails[o.ID]
+		sw.mu.Unlock()
+		if n >= sw.thresh {
+			if werr := sw.t.Withdraw(o.ID); werr == nil {
+				rep.Withdrawn++
+				sw.logf("trader: sweeper withdrew %s (%s unreachable %d sweeps: %v)", o.ID, o.Ref, n, err)
+			}
+			sw.mu.Lock()
+			delete(sw.fails, o.ID)
+			sw.mu.Unlock()
+			continue
+		}
+		rep.Suspected++
+		_ = sw.t.MarkSuspect(o.ID, true)
+		sw.logf("trader: sweeper suspects %s (%s unreachable: %v)", o.ID, o.Ref, err)
+		live[o.ID] = true
+	}
+
+	// Drop failure counts for offers withdrawn or replaced out of band.
+	sw.mu.Lock()
+	for id := range sw.fails {
+		if !live[id] {
+			delete(sw.fails, id)
+		}
+	}
+	sw.mu.Unlock()
+	return rep
+}

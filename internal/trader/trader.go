@@ -40,6 +40,12 @@ type Offer struct {
 	// market disappear without leaving dangling offers behind — the
 	// liveness gap of 1994-era traders that failure tests demonstrate.
 	Expires time.Time
+	// Suspect marks an offer whose provider failed its most recent
+	// liveness probe (see Sweeper). Suspect offers still match — the
+	// failure may have been a transient network hiccup and the bind
+	// failover path skips dead providers anyway — but importers and
+	// operators can see the flag and prefer healthy offers.
+	Suspect bool
 }
 
 // expired reports whether the offer's lease has run out at time now.
@@ -48,7 +54,7 @@ func (o *Offer) expired(now time.Time) bool {
 }
 
 func (o *Offer) clone() *Offer {
-	c := &Offer{ID: o.ID, Type: o.Type, Ref: o.Ref, Props: make(map[string]sidl.Lit, len(o.Props)), Expires: o.Expires}
+	c := &Offer{ID: o.ID, Type: o.Type, Ref: o.Ref, Props: make(map[string]sidl.Lit, len(o.Props)), Expires: o.Expires, Suspect: o.Suspect}
 	for k, v := range o.Props {
 		c.Props[k] = v
 	}
@@ -258,6 +264,20 @@ func (t *Trader) Replace(offerID string, props []sidl.Property) error {
 	return nil
 }
 
+// MarkSuspect flags or clears the liveness suspicion on an offer (see
+// Offer.Suspect). It is called by the Sweeper; operators can also set
+// it by hand through the management view.
+func (t *Trader) MarkSuspect(offerID string, suspect bool) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	offer, ok := t.byID[offerID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrOfferUnknown, offerID)
+	}
+	offer.Suspect = suspect
+	return nil
+}
+
 // OfferCount returns the number of stored, unexpired offers.
 func (t *Trader) OfferCount() int {
 	now := t.now()
@@ -349,6 +369,15 @@ func (t *Trader) Import(ctx context.Context, req ImportRequest) ([]*Offer, error
 	t.mu.Lock()
 	policy.apply(matches, t.rng)
 	t.mu.Unlock()
+
+	// Stable partition: healthy offers precede suspect ones, each class
+	// keeping its policy order. A suspect provider may be fine (the
+	// probe failure could be transient), but importers walking the list
+	// front-to-back — in particular the bind failover path — should
+	// reach live providers first.
+	sort.SliceStable(matches, func(i, j int) bool {
+		return !matches[i].Suspect && matches[j].Suspect
+	})
 
 	if req.Max > 0 && len(matches) > req.Max {
 		matches = matches[:req.Max]

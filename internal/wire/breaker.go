@@ -1,0 +1,139 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned by Pool.Get and Pool.Call while an
+// endpoint's circuit breaker is open: the endpoint has failed
+// repeatedly and callers fail fast instead of stalling on it.
+var ErrCircuitOpen = errors.New("wire: circuit open")
+
+// BreakerPolicy configures the per-endpoint circuit breakers of a Pool.
+type BreakerPolicy struct {
+	// Threshold is the number of consecutive dial/transport failures
+	// that opens the circuit. Values below 1 disable the breaker.
+	Threshold int
+	// Cooldown is how long an open circuit rejects callers before
+	// allowing a single half-open probe.
+	Cooldown time.Duration
+}
+
+// DefaultBreakerPolicy returns the breaker configuration of a fresh
+// Pool.
+func DefaultBreakerPolicy() BreakerPolicy {
+	return BreakerPolicy{Threshold: 8, Cooldown: 2 * time.Second}
+}
+
+// enabled reports whether the policy describes an active breaker.
+func (bp BreakerPolicy) enabled() bool { return bp.Threshold >= 1 }
+
+// Breaker states: closed (healthy), open (failing fast), half-open
+// (one probe in flight after the cooldown).
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// BreakerState is the observable state of one endpoint's breaker.
+type BreakerState string
+
+// Observable breaker states (Pool.BreakerState).
+const (
+	BreakerClosed   BreakerState = "closed"
+	BreakerOpen     BreakerState = "open"
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// breaker is one endpoint's circuit breaker. All methods are
+// goroutine-safe; time is injected by the Pool for testability.
+type breaker struct {
+	policy BreakerPolicy
+
+	mu       sync.Mutex
+	state    int
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // instant of the closed/half-open -> open transition
+}
+
+func newBreaker(policy BreakerPolicy) *breaker {
+	return &breaker{policy: policy}
+}
+
+// allow decides whether a caller may use the endpoint now. While open
+// it returns ErrCircuitOpen until the cooldown elapses, then admits
+// exactly one caller as the half-open probe; further callers keep
+// failing fast until the probe reports success or failure.
+func (b *breaker) allow(now time.Time) error {
+	if !b.policy.enabled() {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerHalfOpen:
+		return fmt.Errorf("%w: probe in flight", ErrCircuitOpen)
+	default: // open
+		if now.Sub(b.openedAt) < b.policy.Cooldown {
+			return fmt.Errorf("%w: cooling down", ErrCircuitOpen)
+		}
+		b.state = breakerHalfOpen // this caller is the probe
+		return nil
+	}
+}
+
+// success records a healthy interaction (successful dial or call, or
+// any response proving the endpoint is alive) and closes the circuit.
+func (b *breaker) success() {
+	if !b.policy.enabled() {
+		return
+	}
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.mu.Unlock()
+}
+
+// failure records a dial/transport failure. It returns true when this
+// failure opened the circuit (for pool statistics).
+func (b *breaker) failure(now time.Time) bool {
+	if !b.policy.enabled() {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		// The probe failed: back to open, restart the cooldown.
+		b.state = breakerOpen
+		b.openedAt = now
+		return true
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.policy.Threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+			return true
+		}
+	}
+	return false
+}
+
+// current reports the observable state.
+func (b *breaker) current() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return BreakerOpen
+	case breakerHalfOpen:
+		return BreakerHalfOpen
+	}
+	return BreakerClosed
+}

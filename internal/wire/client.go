@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Client-side errors.
@@ -37,6 +39,12 @@ func (e *RemoteError) Error() string {
 // Unwrap makes errors.Is(err, ErrRemote) hold for all remote errors.
 func (e *RemoteError) Unwrap() error { return ErrRemote }
 
+// defaultWriteStall caps how long one frame write may block on a stuck
+// peer socket when the caller's context has no deadline of its own. A
+// write that exceeds it breaks the connection: past that point the
+// frame may be half-sent and the stream is unusable anyway.
+const defaultWriteStall = 30 * time.Second
+
 // Client is a multiplexing RPC client for one endpoint. Concurrent Call
 // invocations share the connection; responses are correlated by frame
 // id. Clients are safe for concurrent use.
@@ -61,6 +69,14 @@ func Dial(endpoint string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewClientConn(endpoint, conn), nil
+}
+
+// NewClientConn wraps an already-established transport connection in an
+// RPC client. The client owns conn from here on. Most callers want Dial
+// or a Pool; this constructor exists for custom transports such as the
+// fault-injecting FaultNet.
+func NewClientConn(endpoint string, conn net.Conn) *Client {
 	c := &Client{
 		endpoint: endpoint,
 		conn:     conn,
@@ -68,7 +84,7 @@ func Dial(endpoint string) (*Client, error) {
 		readDone: make(chan struct{}),
 	}
 	go c.readLoop()
-	return c, nil
+	return c
 }
 
 // Endpoint returns the endpoint this client is connected to.
@@ -117,6 +133,13 @@ func (c *Client) failAll(err error) {
 	}
 }
 
+// broken reports whether the client can no longer carry calls.
+func (c *Client) broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
 // Call performs one RPC: it sends the request and waits for the matching
 // response or ctx cancellation. On a non-OK status it returns a
 // *RemoteError wrapping ErrRemote.
@@ -133,13 +156,24 @@ func (c *Client) Call(ctx context.Context, req *Request) ([]byte, error) {
 	c.pending[id] = ch
 	c.mu.Unlock()
 
+	// A write deadline (the caller's, capped at defaultWriteStall)
+	// bounds the time one stuck peer socket can hold writeMu: without
+	// it a single wedged write would block every concurrent caller of
+	// this client forever.
+	deadline := time.Now().Add(defaultWriteStall)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
 	c.writeMu.Lock()
+	_ = c.conn.SetWriteDeadline(deadline)
 	err := writeFrame(c.conn, frame{ftype: frameRequest, id: id, payload: encodeRequest(req)})
+	_ = c.conn.SetWriteDeadline(time.Time{})
 	c.writeMu.Unlock()
 	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
+		// A failed write may have left a partial frame on the stream;
+		// the connection is unusable for every caller, not just this
+		// one.
+		c.failAll(err)
 		return nil, fmt.Errorf("wire: send %s/%s: %w", req.Service, req.Op, err)
 	}
 
@@ -178,43 +212,308 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// Pool is a cache of Clients keyed by endpoint, used by the binder: a
-// node talking to many peers reuses one connection per peer. The zero
-// value is not usable; call NewPool.
-type Pool struct {
-	mu      sync.Mutex
-	clients map[string]*Client
-	closed  bool
+// PoolStats counts resilience events across a Pool's lifetime
+// (monotonic, goroutine-safe).
+type PoolStats struct {
+	// Dials and DialFailures count dial attempts and their failures.
+	Dials        uint64
+	DialFailures uint64
+	// Retries counts extra attempts made by Call beyond the first.
+	Retries uint64
+	// FailFast counts requests rejected immediately by an open
+	// circuit breaker.
+	FailFast uint64
+	// BreakerOpens counts closed/half-open -> open transitions.
+	BreakerOpens uint64
 }
 
-// NewPool returns an empty client pool.
-func NewPool() *Pool {
-	return &Pool{clients: map[string]*Client{}}
+// Pool is a cache of Clients keyed by endpoint, used by the binder: a
+// node talking to many peers reuses one connection per peer.
+//
+// Beyond caching, the Pool is the resilience layer of the stack:
+//   - dials happen outside the pool lock with per-endpoint
+//     singleflight, so one slow dial neither blocks other endpoints
+//     nor is duplicated by concurrent callers;
+//   - each endpoint has a circuit breaker (closed -> open after
+//     consecutive failures -> half-open probe after a cooldown), so a
+//     black-holed endpoint fails fast instead of stalling every
+//     caller;
+//   - Call performs one logical RPC under the pool's CallPolicy,
+//     retrying connection-class failures with exponential backoff.
+//
+// The zero value is not usable; call NewPool.
+type Pool struct {
+	dialer        func(endpoint string) (net.Conn, error)
+	policy        CallPolicy
+	breakerPolicy BreakerPolicy
+	now           func() time.Time
+
+	mu       sync.Mutex
+	clients  map[string]*Client
+	dialing  map[string]*dialCall
+	breakers map[string]*breaker
+	closed   bool
+
+	dials        atomic.Uint64
+	dialFailures atomic.Uint64
+	retries      atomic.Uint64
+	failFast     atomic.Uint64
+	breakerOpens atomic.Uint64
+}
+
+// dialCall is one in-flight dial shared by all concurrent Gets for the
+// same endpoint (per-endpoint singleflight).
+type dialCall struct {
+	done chan struct{}
+	c    *Client
+	err  error
+}
+
+// PoolOption configures a Pool.
+type PoolOption func(*Pool)
+
+// WithDialer substitutes the transport dialer (default DialConn). The
+// fault-injecting FaultNet plugs in here.
+func WithDialer(dial func(endpoint string) (net.Conn, error)) PoolOption {
+	return func(p *Pool) { p.dialer = dial }
+}
+
+// WithCallPolicy sets the retry/backoff policy used by Call.
+func WithCallPolicy(policy CallPolicy) PoolOption {
+	return func(p *Pool) { p.policy = policy }
+}
+
+// WithBreakerPolicy sets the per-endpoint circuit breaker policy. A
+// Threshold below 1 disables breaking entirely.
+func WithBreakerPolicy(policy BreakerPolicy) PoolOption {
+	return func(p *Pool) { p.breakerPolicy = policy }
+}
+
+// WithPoolClock injects the time source driving breaker cooldowns
+// (tests use a fake clock).
+func WithPoolClock(now func() time.Time) PoolOption {
+	return func(p *Pool) { p.now = now }
+}
+
+// NewPool returns an empty client pool with the default call and
+// breaker policies.
+func NewPool(opts ...PoolOption) *Pool {
+	p := &Pool{
+		dialer:        DialConn,
+		policy:        DefaultCallPolicy(),
+		breakerPolicy: DefaultBreakerPolicy(),
+		now:           time.Now,
+		clients:       map[string]*Client{},
+		dialing:       map[string]*dialCall{},
+		breakers:      map[string]*breaker{},
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Policy returns the pool's call policy.
+func (p *Pool) Policy() CallPolicy { return p.policy }
+
+// Stats returns a snapshot of the pool's resilience counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Dials:        p.dials.Load(),
+		DialFailures: p.dialFailures.Load(),
+		Retries:      p.retries.Load(),
+		FailFast:     p.failFast.Load(),
+		BreakerOpens: p.breakerOpens.Load(),
+	}
+}
+
+// breakerFor returns the endpoint's breaker, creating it lazily.
+// Callers must hold p.mu.
+func (p *Pool) breakerFor(endpoint string) *breaker {
+	b, ok := p.breakers[endpoint]
+	if !ok {
+		b = newBreaker(p.breakerPolicy)
+		p.breakers[endpoint] = b
+	}
+	return b
+}
+
+// BreakerState reports the observable circuit state for endpoint.
+// Endpoints never seen (or with breaking disabled) read as closed.
+func (p *Pool) BreakerState(endpoint string) BreakerState {
+	p.mu.Lock()
+	b, ok := p.breakers[endpoint]
+	p.mu.Unlock()
+	if !ok {
+		return BreakerClosed
+	}
+	return b.current()
+}
+
+// noteFailure feeds a dial/transport failure into the endpoint's
+// breaker.
+func (p *Pool) noteFailure(endpoint string) {
+	p.mu.Lock()
+	b := p.breakerFor(endpoint)
+	p.mu.Unlock()
+	if b.failure(p.now()) {
+		p.breakerOpens.Add(1)
+	}
+}
+
+// noteSuccess feeds evidence of a live endpoint into its breaker.
+func (p *Pool) noteSuccess(endpoint string) {
+	p.mu.Lock()
+	b, ok := p.breakers[endpoint]
+	p.mu.Unlock()
+	if ok {
+		b.success()
+	}
 }
 
 // Get returns a connected client for endpoint, dialing if needed. A
-// previously cached client that has since broken is replaced.
+// previously cached client that has since broken is replaced. The dial
+// itself runs outside the pool lock: concurrent Gets for the same
+// endpoint share one dial, and a slow dial to one endpoint does not
+// block Gets for others. While the endpoint's circuit breaker is open,
+// Get fails fast with ErrCircuitOpen.
 func (p *Pool) Get(endpoint string) (*Client, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
-		return nil, ErrClientClosed
-	}
-	if c, ok := p.clients[endpoint]; ok {
-		c.mu.Lock()
-		broken := c.closed
-		c.mu.Unlock()
-		if !broken {
-			return c, nil
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil, ErrClientClosed
 		}
-		delete(p.clients, endpoint)
+		if c, ok := p.clients[endpoint]; ok {
+			if !c.broken() {
+				p.mu.Unlock()
+				return c, nil
+			}
+			delete(p.clients, endpoint)
+		}
+		if dc, ok := p.dialing[endpoint]; ok {
+			// During half-open the in-flight dial is the breaker's
+			// single probe: everyone else fails fast instead of
+			// queueing behind a dial to a likely-dead endpoint.
+			if b, known := p.breakers[endpoint]; known && b.current() == BreakerHalfOpen {
+				p.mu.Unlock()
+				p.failFast.Add(1)
+				return nil, fmt.Errorf("%w: probe in flight (endpoint %s)", ErrCircuitOpen, endpoint)
+			}
+			p.mu.Unlock()
+			<-dc.done
+			if dc.err != nil {
+				return nil, dc.err
+			}
+			if !dc.c.broken() {
+				return dc.c, nil
+			}
+			continue // the shared dial died immediately; start over
+		}
+		b := p.breakerFor(endpoint)
+		if err := b.allow(p.now()); err != nil {
+			p.mu.Unlock()
+			p.failFast.Add(1)
+			return nil, fmt.Errorf("%w (endpoint %s)", err, endpoint)
+		}
+		dc := &dialCall{done: make(chan struct{})}
+		p.dialing[endpoint] = dc
+		dial := p.dialer
+		p.mu.Unlock()
+
+		p.dials.Add(1)
+		conn, err := dial(endpoint)
+		var c *Client
+		if err == nil {
+			c = NewClientConn(endpoint, conn)
+		}
+
+		p.mu.Lock()
+		delete(p.dialing, endpoint)
+		closed := p.closed
+		if err == nil && !closed {
+			p.clients[endpoint] = c
+		}
+		p.mu.Unlock()
+
+		if err != nil {
+			p.dialFailures.Add(1)
+			if b.failure(p.now()) {
+				p.breakerOpens.Add(1)
+			}
+			dc.err = err
+			close(dc.done)
+			return nil, err
+		}
+		if closed {
+			_ = c.Close()
+			dc.err = ErrClientClosed
+			close(dc.done)
+			return nil, ErrClientClosed
+		}
+		b.success() // a completed dial is evidence of a live endpoint
+		dc.c = c
+		close(dc.done)
+		return c, nil
 	}
-	c, err := Dial(endpoint)
-	if err != nil {
-		return nil, err
+}
+
+// Call performs one logical RPC against endpoint under the pool's
+// CallPolicy: per-attempt timeouts, bounded retries with exponential
+// backoff and jitter, and the endpoint's circuit breaker. Only
+// connection-class failures are retried (see Transient); remote
+// application errors return immediately, since the operation may have
+// executed. Each retry drops the broken cached client first, so the
+// next attempt dials fresh.
+func (p *Pool) Call(ctx context.Context, endpoint string, req *Request) ([]byte, error) {
+	return p.CallWith(ctx, endpoint, req, p.policy)
+}
+
+// CallWith is Call under an explicit policy.
+func (p *Pool) CallWith(ctx context.Context, endpoint string, req *Request, policy CallPolicy) ([]byte, error) {
+	attempts := policy.attempts()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		c, err := p.Get(endpoint)
+		if err == nil {
+			actx, cancel := policy.attemptCtx(ctx)
+			var body []byte
+			body, err = c.Call(actx, req)
+			cancel()
+			if err == nil {
+				p.noteSuccess(endpoint)
+				return body, nil
+			}
+			if !Transient(err) {
+				if errors.Is(err, ErrRemote) {
+					// Any remote response proves the endpoint alive.
+					p.noteSuccess(endpoint)
+				}
+				return nil, err
+			}
+			// Connection-class failure: the cached client is suspect.
+			p.Drop(endpoint)
+			p.noteFailure(endpoint)
+		}
+		lastErr = err
+		if attempt >= attempts {
+			break
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		if d := policy.backoff(attempt); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, fmt.Errorf("wire: call %s/%s: %w", req.Service, req.Op, ctx.Err())
+			case <-t.C:
+			}
+		}
+		p.retries.Add(1)
 	}
-	p.clients[endpoint] = c
-	return c, nil
+	return nil, fmt.Errorf("wire: call %s/%s: %d attempt(s) failed: %w", req.Service, req.Op, attempts, lastErr)
 }
 
 // Drop removes and closes the cached client for endpoint, if any.

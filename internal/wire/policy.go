@@ -1,0 +1,117 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// CallPolicy bounds one logical RPC performed through a Pool: how long
+// each attempt may take, how many attempts are made, and how attempts
+// are spaced. The policy retries only *connection-class* failures —
+// errors that prove the request never executed (dial failures, broken
+// connections, per-attempt timeouts). Remote application errors are
+// never retried: the request reached a handler that may have had
+// side effects (see Transient).
+type CallPolicy struct {
+	// MaxAttempts is the total number of attempts (first try included).
+	// Values below 1 mean 1: a single attempt, no retries.
+	MaxAttempts int
+	// AttemptTimeout bounds each individual attempt; 0 leaves attempts
+	// bounded only by the caller's context.
+	AttemptTimeout time.Duration
+	// BackoffBase is the delay before the first retry; each further
+	// retry doubles it, capped at BackoffMax.
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential growth (0 means no cap).
+	BackoffMax time.Duration
+	// Jitter is the fraction of each backoff delay that is randomised
+	// away (0 disables jitter, 0.5 subtracts up to half the delay).
+	// Jitter desynchronises retry storms from many clients hitting the
+	// same recovering endpoint.
+	Jitter float64
+}
+
+// DefaultCallPolicy returns the policy a fresh Pool uses: three
+// attempts with short exponential backoff, each attempt bounded so one
+// black-holed endpoint cannot absorb a caller for long.
+func DefaultCallPolicy() CallPolicy {
+	return CallPolicy{
+		MaxAttempts:    3,
+		AttemptTimeout: 5 * time.Second,
+		BackoffBase:    20 * time.Millisecond,
+		BackoffMax:     500 * time.Millisecond,
+		Jitter:         0.5,
+	}
+}
+
+// attempts normalises MaxAttempts.
+func (p CallPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoff returns the delay before retry number retry (1-based).
+func (p CallPolicy) backoff(retry int) time.Duration {
+	d := p.BackoffBase
+	if d <= 0 {
+		return 0
+	}
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if p.BackoffMax > 0 && d >= p.BackoffMax {
+			d = p.BackoffMax
+			break
+		}
+	}
+	if p.BackoffMax > 0 && d > p.BackoffMax {
+		d = p.BackoffMax
+	}
+	if p.Jitter > 0 {
+		cut := int64(float64(d) * p.Jitter)
+		if cut > 0 {
+			d -= time.Duration(rand.Int63n(cut + 1))
+		}
+	}
+	return d
+}
+
+// attemptCtx derives the per-attempt context.
+func (p CallPolicy) attemptCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if p.AttemptTimeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, p.AttemptTimeout)
+}
+
+// Transient reports whether err is a connection-class failure that a
+// fresh attempt (possibly on a fresh connection) may repair without
+// risking duplicate execution:
+//
+//   - dial failures, broken/closed connections, and per-attempt
+//     timeouts never reached a handler — always safe to retry;
+//   - StatusBadRequest remote errors were rejected by the server
+//     *before* dispatch (the body could not be decoded), so the
+//     operation did not run — safe to retry, and exactly what an
+//     in-flight corruption looks like from the caller;
+//   - all other remote errors (application errors, protocol
+//     violations, unknown service/operation) prove the request was
+//     dispatched or deterministically rejected — retrying is unsafe or
+//     pointless and callers must handle them;
+//   - context.Canceled means the caller gave up — never retried.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return re.Status == StatusBadRequest
+	}
+	return !errors.Is(err, ErrRemote)
+}

@@ -6,6 +6,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 )
 
 // Handler executes one operation of one service. Implementations are
@@ -226,7 +227,12 @@ func (s *Server) serveConn(conn net.Conn) {
 func (s *Server) respond(conn net.Conn, writeMu *sync.Mutex, id uint64, resp *Response) {
 	writeMu.Lock()
 	defer writeMu.Unlock()
-	if err := writeFrame(conn, frame{ftype: frameResponse, id: id, payload: encodeResponse(resp)}); err != nil {
+	// Bound the write so one wedged client socket cannot hold writeMu
+	// and stall every concurrent handler response on this connection.
+	_ = conn.SetWriteDeadline(time.Now().Add(defaultWriteStall))
+	err := writeFrame(conn, frame{ftype: frameResponse, id: id, payload: encodeResponse(resp)})
+	_ = conn.SetWriteDeadline(time.Time{})
+	if err != nil {
 		// The read side will observe the broken connection and clean up.
 		s.logf("wire: write response: %v", err)
 	}
