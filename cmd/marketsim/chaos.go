@@ -147,7 +147,7 @@ func runChaos(w io.Writer, cc chaosConfig) error {
 		CorruptProb:   cc.corrupt,
 		Latency:       cc.latency,
 		LatencyJitter: cc.latency / 2,
-	}, wire.DialConn)
+	}, wire.DialConnContext)
 	pool := wire.NewPool(wire.WithDialer(faults.Dial))
 	defer pool.Close()
 	gc := genclient.New(pool)

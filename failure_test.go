@@ -202,7 +202,7 @@ func TestFailureGarbageCallBody(t *testing.T) {
 	}
 	defer node.Close()
 
-	client, err := node.Pool().Get("loop:fail-garbage")
+	client, err := node.Pool().Get(ctx, "loop:fail-garbage")
 	if err != nil {
 		t.Fatal(err)
 	}

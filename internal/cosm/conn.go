@@ -100,8 +100,10 @@ func BindWithSID(pool *wire.Pool, r ref.ServiceRef, sid *sidl.SID) (*Conn, error
 	}
 	// Probe connectivity now so binding to a dead provider fails at
 	// bind time (the trader's failover path depends on that), not on
-	// the first invocation.
-	if _, err := pool.Get(r.Endpoint); err != nil {
+	// the first invocation. The probe runs under the pool dialer's own
+	// bound (BindWithSID takes no context by design: with a cached SID
+	// no RPC happens here, only at most one dial).
+	if _, err := pool.Get(context.Background(), r.Endpoint); err != nil {
 		return nil, err
 	}
 	return &Conn{ref: r, sid: sid, session: newSessionID(), pool: pool}, nil
@@ -141,7 +143,7 @@ func (c *Conn) Invoke(ctx context.Context, opName string, args ...*xcode.Value) 
 	// One dial, one send, no transparent retry: the operation may not
 	// be idempotent, and replaying it could execute it twice. Callers
 	// that want recovery re-run their protocol from the top.
-	client, err := c.pool.Get(c.ref.Endpoint)
+	client, err := c.pool.Get(ctx, c.ref.Endpoint)
 	if err != nil {
 		return nil, err
 	}

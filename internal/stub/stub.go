@@ -181,7 +181,7 @@ type Client struct {
 // Unlike the generic client it transfers no SID: the interface knowledge
 // is compiled in.
 func Dial(pool *wire.Pool, r ref.ServiceRef, session string) (*Client, error) {
-	c, err := pool.Get(r.Endpoint)
+	c, err := pool.Get(context.Background(), r.Endpoint)
 	if err != nil {
 		return nil, err
 	}

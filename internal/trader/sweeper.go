@@ -29,13 +29,14 @@ type PingFunc func(ctx context.Context, target ref.ServiceRef) error
 // a tick channel via WithSweepTick, reusing the trader's WithClock
 // fake-clock style).
 type Sweeper struct {
-	t        *Trader
-	ping     PingFunc
-	interval time.Duration
-	timeout  time.Duration
-	thresh   int
-	tick     <-chan time.Time
-	logf     func(format string, args ...any)
+	t            *Trader
+	ping         PingFunc
+	interval     time.Duration
+	timeout      time.Duration
+	probeTimeout time.Duration
+	thresh       int
+	tick         <-chan time.Time
+	logf         func(format string, args ...any)
 
 	mu    sync.Mutex
 	fails map[string]int // offer ID -> consecutive failed probes
@@ -55,9 +56,17 @@ func WithSweepInterval(d time.Duration) SweeperOption {
 }
 
 // WithSweepTimeout bounds one whole sweep, probes included
-// (default 10s).
+// (default 10s). Providers not yet probed when the budget runs out are
+// skipped, not failed — see SweepOnce.
 func WithSweepTimeout(d time.Duration) SweeperOption {
 	return func(sw *Sweeper) { sw.timeout = d }
+}
+
+// WithProbeTimeout bounds each individual provider probe (default 2s),
+// so one black-holed provider cannot eat the whole sweep budget and
+// starve — or worse, falsely condemn — the providers probed after it.
+func WithProbeTimeout(d time.Duration) SweeperOption {
+	return func(sw *Sweeper) { sw.probeTimeout = d }
 }
 
 // WithFailThreshold sets how many consecutive failed probes withdraw
@@ -92,13 +101,14 @@ func NewSweeper(t *Trader, pool *wire.Pool, opts ...SweeperOption) *Sweeper {
 		ping: func(ctx context.Context, target ref.ServiceRef) error {
 			return cosm.Ping(ctx, pool, target)
 		},
-		interval: 30 * time.Second,
-		timeout:  10 * time.Second,
-		thresh:   2,
-		logf:     func(string, ...any) {},
-		fails:    map[string]int{},
-		done:     make(chan struct{}),
-		stopped:  make(chan struct{}),
+		interval:     30 * time.Second,
+		timeout:      10 * time.Second,
+		probeTimeout: 2 * time.Second,
+		thresh:       2,
+		logf:         func(string, ...any) {},
+		fails:        map[string]int{},
+		done:         make(chan struct{}),
+		stopped:      make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(sw)
@@ -158,11 +168,22 @@ type SweepReport struct {
 	Withdrawn int
 	// Expired counts offers reclaimed because their lease ran out.
 	Expired int
+	// Skipped counts offers not probed because the sweep budget ran
+	// out first. Skipped offers keep their failure streak untouched.
+	Skipped int
 }
 
 // SweepOnce performs one synchronous sweep: reclaim expired leases,
 // probe every offer's provider once (one probe per distinct provider
 // service, shared by all its offers), then mark or withdraw.
+//
+// Each probe runs under its own probe timeout, so one black-holed
+// provider costs at most that much of the sweep budget. If the sweep
+// ctx itself expires, the remaining providers record *no* verdict this
+// sweep — their offers are skipped, never counted as failures: a probe
+// cut short by the sweeper's own budget says nothing about the
+// provider, and treating it as death would let one slow provider
+// cascade into market-wide withdrawals of healthy offers.
 func (sw *Sweeper) SweepOnce(ctx context.Context) SweepReport {
 	var rep SweepReport
 	rep.Expired = sw.t.PurgeExpired()
@@ -176,13 +197,33 @@ func (sw *Sweeper) SweepOnce(ctx context.Context) SweepReport {
 		if _, seen := verdict[o.Ref]; seen {
 			continue
 		}
-		verdict[o.Ref] = sw.ping(ctx, o.Ref)
+		if ctx.Err() != nil {
+			break // sweep budget exhausted: no verdicts for the rest
+		}
+		pctx, cancel := context.WithTimeout(ctx, sw.probeTimeout)
+		err := sw.ping(pctx, o.Ref)
+		cancel()
+		if err != nil && ctx.Err() != nil {
+			// The sweep budget — not the per-probe one — expired while
+			// this probe ran: the failure proves nothing about the
+			// provider. Record no verdict for it (or any later one).
+			break
+		}
+		verdict[o.Ref] = err
 	}
 
-	live := map[string]bool{} // offer IDs still stored, for stale-state GC
+	// tracked collects offer IDs whose failure streak must survive this
+	// sweep (healthy, suspect, or skipped offers still stored); the GC
+	// below drops streaks for everything else.
+	tracked := map[string]bool{}
 	for _, o := range offers {
+		err, ok := verdict[o.Ref]
+		if !ok {
+			rep.Skipped++
+			tracked[o.ID] = true // unprobed: streak carries over unchanged
+			continue
+		}
 		rep.Checked++
-		err := verdict[o.Ref]
 		if err == nil {
 			rep.Healthy++
 			sw.mu.Lock()
@@ -191,7 +232,7 @@ func (sw *Sweeper) SweepOnce(ctx context.Context) SweepReport {
 			if o.Suspect {
 				_ = sw.t.MarkSuspect(o.ID, false)
 			}
-			live[o.ID] = true
+			tracked[o.ID] = true
 			continue
 		}
 		sw.mu.Lock()
@@ -211,13 +252,16 @@ func (sw *Sweeper) SweepOnce(ctx context.Context) SweepReport {
 		rep.Suspected++
 		_ = sw.t.MarkSuspect(o.ID, true)
 		sw.logf("trader: sweeper suspects %s (%s unreachable: %v)", o.ID, o.Ref, err)
-		live[o.ID] = true
+		tracked[o.ID] = true
+	}
+	if rep.Skipped > 0 {
+		sw.logf("trader: sweep budget exhausted, %d offer(s) not probed", rep.Skipped)
 	}
 
 	// Drop failure counts for offers withdrawn or replaced out of band.
 	sw.mu.Lock()
 	for id := range sw.fails {
-		if !live[id] {
+		if !tracked[id] {
 			delete(sw.fails, id)
 		}
 	}

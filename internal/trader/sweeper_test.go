@@ -141,6 +141,74 @@ func TestSweeperRecovery(t *testing.T) {
 	}
 }
 
+// TestSweeperBlackholedProviderDoesNotPoisonOthers: one provider that
+// never answers (its probe runs into the per-probe timeout) must not
+// eat the sweep budget and drag healthy providers into bogus
+// suspect/withdraw verdicts.
+func TestSweeperBlackholedProviderDoesNotPoisonOthers(t *testing.T) {
+	tr := New("sweep-bh", newCarRepo(t))
+	blackholed, healthy := carRef(1), carRef(2)
+	ping := func(ctx context.Context, r ref.ServiceRef) error {
+		if r == blackholed {
+			<-ctx.Done() // never answers; only the probe timeout ends this
+			return ctx.Err()
+		}
+		return nil
+	}
+	sw := NewSweeper(tr, nil, WithPingFunc(ping), WithProbeTimeout(20*time.Millisecond))
+	t.Cleanup(func() { _ = sw.Close() })
+	if _, err := tr.Export("CarRentalService", blackholed, carProps("FIAT_Uno", 70, "USD")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Export("CarRentalService", healthy, carProps("FIAT_Uno", 80, "USD")); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	rep := sw.SweepOnce(ctx)
+	if rep.Checked != 2 || rep.Healthy != 1 || rep.Suspected != 1 || rep.Skipped != 0 {
+		t.Fatalf("report = %+v; the healthy provider must not share the black hole's fate", rep)
+	}
+	for _, o := range tr.Offers() {
+		if o.Ref == healthy && o.Suspect {
+			t.Fatal("healthy provider marked suspect behind a black-holed one")
+		}
+	}
+}
+
+// TestSweeperBudgetExhaustionSkipsInsteadOfFailing: a sweep whose
+// budget is already gone probes nothing — and counts nothing as a
+// failure. Unprobed offers keep their streak: they neither advance
+// toward withdrawal nor lose the failures already observed.
+func TestSweeperBudgetExhaustionSkipsInsteadOfFailing(t *testing.T) {
+	tr, fp, sw := newSweeperFixture(t, WithFailThreshold(2))
+	if _, err := tr.Export("CarRentalService", carRef(1), carProps("FIAT_Uno", 70, "USD")); err != nil {
+		t.Fatal(err)
+	}
+	fp.setDead(carRef(1), true)
+
+	if rep := sw.SweepOnce(context.Background()); rep.Suspected != 1 {
+		t.Fatalf("sweep 1 = %+v, want one suspect", rep)
+	}
+
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep := sw.SweepOnce(expired)
+	if rep.Skipped != 1 || rep.Checked != 0 || rep.Suspected != 0 || rep.Withdrawn != 0 {
+		t.Fatalf("budgetless sweep = %+v, want 1 skip and no verdicts", rep)
+	}
+	if tr.OfferCount() != 1 {
+		t.Fatal("budgetless sweep withdrew an offer")
+	}
+
+	// The streak survived the skip: the next genuine failure is the
+	// second strike and withdraws.
+	if rep := sw.SweepOnce(context.Background()); rep.Withdrawn != 1 {
+		t.Fatalf("sweep 3 = %+v, want withdrawal (streak preserved across skip)", rep)
+	}
+}
+
 // TestSweeperProbesOncePerProvider: many offers behind one reference
 // share a single probe per sweep.
 func TestSweeperProbesOncePerProvider(t *testing.T) {

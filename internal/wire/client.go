@@ -243,7 +243,7 @@ type PoolStats struct {
 //
 // The zero value is not usable; call NewPool.
 type Pool struct {
-	dialer        func(endpoint string) (net.Conn, error)
+	dialer        func(ctx context.Context, endpoint string) (net.Conn, error)
 	policy        CallPolicy
 	breakerPolicy BreakerPolicy
 	now           func() time.Time
@@ -272,9 +272,25 @@ type dialCall struct {
 // PoolOption configures a Pool.
 type PoolOption func(*Pool)
 
-// WithDialer substitutes the transport dialer (default DialConn). The
-// fault-injecting FaultNet plugs in here.
-func WithDialer(dial func(endpoint string) (net.Conn, error)) PoolOption {
+// defaultDialTimeout bounds a pool dial even when the caller's context
+// carries no deadline of its own: a black-holed endpoint (SYN drop)
+// must not absorb a dialer — and its singleflight followers — for the
+// OS TCP timeout (~2 minutes).
+const defaultDialTimeout = 10 * time.Second
+
+// defaultDial is the pool's default dialer: DialConnContext under the
+// caller's context, capped at defaultDialTimeout.
+func defaultDial(ctx context.Context, endpoint string) (net.Conn, error) {
+	ctx, cancel := context.WithTimeout(ctx, defaultDialTimeout)
+	defer cancel()
+	return DialConnContext(ctx, endpoint)
+}
+
+// WithDialer substitutes the transport dialer (default: DialConnContext
+// capped at defaultDialTimeout). The fault-injecting FaultNet plugs in
+// here. The dialer must honour ctx: a dial outliving its context defeats
+// Get's and Call's timeout guarantees.
+func WithDialer(dial func(ctx context.Context, endpoint string) (net.Conn, error)) PoolOption {
 	return func(p *Pool) { p.dialer = dial }
 }
 
@@ -299,7 +315,7 @@ func WithPoolClock(now func() time.Time) PoolOption {
 // breaker policies.
 func NewPool(opts ...PoolOption) *Pool {
 	p := &Pool{
-		dialer:        DialConn,
+		dialer:        defaultDial,
 		policy:        DefaultCallPolicy(),
 		breakerPolicy: DefaultBreakerPolicy(),
 		now:           time.Now,
@@ -373,11 +389,14 @@ func (p *Pool) noteSuccess(endpoint string) {
 
 // Get returns a connected client for endpoint, dialing if needed. A
 // previously cached client that has since broken is replaced. The dial
-// itself runs outside the pool lock: concurrent Gets for the same
-// endpoint share one dial, and a slow dial to one endpoint does not
-// block Gets for others. While the endpoint's circuit breaker is open,
-// Get fails fast with ErrCircuitOpen.
-func (p *Pool) Get(endpoint string) (*Client, error) {
+// itself runs outside the pool lock under ctx (capped by the dialer's
+// own bound, defaultDialTimeout for the default dialer): concurrent
+// Gets for the same endpoint share one dial, a slow dial to one
+// endpoint does not block Gets for others, and a caller whose ctx
+// expires stops waiting even if the shared dial is still in flight.
+// While the endpoint's circuit breaker is open, Get fails fast with
+// ErrCircuitOpen.
+func (p *Pool) Get(ctx context.Context, endpoint string) (*Client, error) {
 	for {
 		p.mu.Lock()
 		if p.closed {
@@ -401,7 +420,11 @@ func (p *Pool) Get(endpoint string) (*Client, error) {
 				return nil, fmt.Errorf("%w: probe in flight (endpoint %s)", ErrCircuitOpen, endpoint)
 			}
 			p.mu.Unlock()
-			<-dc.done
+			select {
+			case <-dc.done:
+			case <-ctx.Done():
+				return nil, fmt.Errorf("wire: dial %s: %w", endpoint, ctx.Err())
+			}
 			if dc.err != nil {
 				return nil, dc.err
 			}
@@ -422,7 +445,7 @@ func (p *Pool) Get(endpoint string) (*Client, error) {
 		p.mu.Unlock()
 
 		p.dials.Add(1)
-		conn, err := dial(endpoint)
+		conn, err := dial(ctx, endpoint)
 		var c *Client
 		if err == nil {
 			c = NewClientConn(endpoint, conn)
@@ -459,12 +482,14 @@ func (p *Pool) Get(endpoint string) (*Client, error) {
 }
 
 // Call performs one logical RPC against endpoint under the pool's
-// CallPolicy: per-attempt timeouts, bounded retries with exponential
-// backoff and jitter, and the endpoint's circuit breaker. Only
-// connection-class failures are retried (see Transient); remote
-// application errors return immediately, since the operation may have
-// executed. Each retry drops the broken cached client first, so the
-// next attempt dials fresh.
+// CallPolicy: per-attempt timeouts (covering dial and call alike),
+// bounded retries with exponential backoff and jitter, and the
+// endpoint's circuit breaker. Only connection-class failures are
+// retried (see Transient); remote application errors return
+// immediately. Because a timed-out attempt may nonetheless have
+// executed server-side (only the response was late), Call must carry
+// idempotent operations only — non-idempotent invocations go through
+// Client.Call directly, exactly once (see cosm.Conn.Invoke).
 func (p *Pool) Call(ctx context.Context, endpoint string, req *Request) ([]byte, error) {
 	return p.CallWith(ctx, endpoint, req, p.policy)
 }
@@ -473,28 +498,38 @@ func (p *Pool) Call(ctx context.Context, endpoint string, req *Request) ([]byte,
 func (p *Pool) CallWith(ctx context.Context, endpoint string, req *Request, policy CallPolicy) ([]byte, error) {
 	attempts := policy.attempts()
 	var lastErr error
-	for attempt := 1; ; attempt++ {
-		c, err := p.Get(endpoint)
+	attempt := 1
+	for ; ; attempt++ {
+		actx, cancel := policy.attemptCtx(ctx)
+		c, err := p.Get(actx, endpoint)
 		if err == nil {
-			actx, cancel := policy.attemptCtx(ctx)
 			var body []byte
 			body, err = c.Call(actx, req)
-			cancel()
 			if err == nil {
+				cancel()
 				p.noteSuccess(endpoint)
 				return body, nil
 			}
 			if !Transient(err) {
+				cancel()
 				if errors.Is(err, ErrRemote) {
 					// Any remote response proves the endpoint alive.
 					p.noteSuccess(endpoint)
 				}
 				return nil, err
 			}
-			// Connection-class failure: the cached client is suspect.
-			p.Drop(endpoint)
-			p.noteFailure(endpoint)
+			// Connection-class failure. Only a broken client condemns
+			// the shared connection: on a per-attempt timeout with the
+			// connection still live, the client is kept — dropping it
+			// would fail every concurrent in-flight call multiplexed on
+			// it — and no breaker failure is recorded against a merely
+			// slow endpoint.
+			if c.broken() {
+				p.Drop(endpoint)
+				p.noteFailure(endpoint)
+			}
 		}
+		cancel()
 		lastErr = err
 		if attempt >= attempts {
 			break
@@ -513,7 +548,7 @@ func (p *Pool) CallWith(ctx context.Context, endpoint string, req *Request, poli
 		}
 		p.retries.Add(1)
 	}
-	return nil, fmt.Errorf("wire: call %s/%s: %d attempt(s) failed: %w", req.Service, req.Op, attempts, lastErr)
+	return nil, fmt.Errorf("wire: call %s/%s: %d of %d attempt(s) failed: %w", req.Service, req.Op, attempt, attempts, lastErr)
 }
 
 // Drop removes and closes the cached client for endpoint, if any.

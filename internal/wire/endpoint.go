@@ -12,6 +12,7 @@
 package wire
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -58,22 +59,32 @@ func Listen(endpoint string) (Listener, error) {
 	}
 }
 
-// DialConn opens a raw transport connection to an endpoint. Most callers
-// want Dial (which returns an RPC *Client) instead.
+// DialConn opens a raw transport connection to an endpoint with no
+// deadline of its own (the OS connect timeout applies). Most callers
+// want Dial (which returns an RPC *Client) or DialConnContext instead.
 func DialConn(endpoint string) (net.Conn, error) {
+	return DialConnContext(context.Background(), endpoint)
+}
+
+// DialConnContext opens a raw transport connection to an endpoint,
+// honouring ctx cancellation and deadline while connecting: a dial to a
+// black-holed address gives up when ctx does instead of hanging for the
+// OS TCP timeout.
+func DialConnContext(ctx context.Context, endpoint string) (net.Conn, error) {
 	scheme, rest, err := splitEndpoint(endpoint)
 	if err != nil {
 		return nil, err
 	}
 	switch scheme {
 	case "tcp":
-		c, err := net.Dial("tcp", rest)
+		var d net.Dialer
+		c, err := d.DialContext(ctx, "tcp", rest)
 		if err != nil {
 			return nil, fmt.Errorf("wire: dial %s: %w", endpoint, err)
 		}
 		return c, nil
 	case "loop":
-		return defaultLoopNet.dial(rest)
+		return defaultLoopNet.dial(ctx, rest)
 	default:
 		return nil, fmt.Errorf("%w: unknown scheme %q", ErrBadEndpoint, scheme)
 	}
@@ -121,7 +132,7 @@ func (n *loopNet) listen(name string) (*loopListener, error) {
 	return l, nil
 }
 
-func (n *loopNet) dial(name string) (net.Conn, error) {
+func (n *loopNet) dial(ctx context.Context, name string) (net.Conn, error) {
 	n.mu.Lock()
 	l, ok := n.listeners[name]
 	n.mu.Unlock()
@@ -136,6 +147,10 @@ func (n *loopNet) dial(name string) (net.Conn, error) {
 		_ = client.Close()
 		_ = server.Close()
 		return nil, fmt.Errorf("%w: %q", ErrLoopUnknown, name)
+	case <-ctx.Done():
+		_ = client.Close()
+		_ = server.Close()
+		return nil, fmt.Errorf("wire: dial loop:%s: %w", name, ctx.Err())
 	}
 }
 

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -52,16 +53,16 @@ type FaultStats struct {
 }
 
 // FaultNet is a deterministic fault-injecting transport: it wraps a
-// dialer (typically DialConn) and returns connections that inject
-// latency, resets, drops and corruption under a seeded RNG. Plug it
-// into a Pool with WithDialer to exercise every layer above the wire
-// against realistic network damage:
+// dialer (typically DialConnContext) and returns connections that
+// inject latency, resets, drops and corruption under a seeded RNG.
+// Plug it into a Pool with WithDialer to exercise every layer above
+// the wire against realistic network damage:
 //
-//	faults := wire.NewFaultNet(wire.FaultConfig{Seed: 7, ResetProb: 0.05}, wire.DialConn)
+//	faults := wire.NewFaultNet(wire.FaultConfig{Seed: 7, ResetProb: 0.05}, wire.DialConnContext)
 //	pool := wire.NewPool(wire.WithDialer(faults.Dial))
 type FaultNet struct {
 	cfg  FaultConfig
-	next func(endpoint string) (net.Conn, error)
+	next func(ctx context.Context, endpoint string) (net.Conn, error)
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -74,7 +75,7 @@ type FaultNet struct {
 }
 
 // NewFaultNet returns a fault-injecting wrapper around next.
-func NewFaultNet(cfg FaultConfig, next func(endpoint string) (net.Conn, error)) *FaultNet {
+func NewFaultNet(cfg FaultConfig, next func(ctx context.Context, endpoint string) (net.Conn, error)) *FaultNet {
 	return &FaultNet{cfg: cfg, next: next, rng: rand.New(rand.NewSource(cfg.Seed))}
 }
 
@@ -115,13 +116,13 @@ func (f *FaultNet) corruptIndex(n int) int {
 
 // Dial opens a connection through the wrapped dialer, possibly failing
 // by injection.
-func (f *FaultNet) Dial(endpoint string) (net.Conn, error) {
+func (f *FaultNet) Dial(ctx context.Context, endpoint string) (net.Conn, error) {
 	f.dials.Add(1)
 	if f.cfg.DialErrorProb > 0 && f.roll() < f.cfg.DialErrorProb {
 		f.dialErrors.Add(1)
 		return nil, fmt.Errorf("%w: dial %s refused", ErrInjectedFault, endpoint)
 	}
-	conn, err := f.next(endpoint)
+	conn, err := f.next(ctx, endpoint)
 	if err != nil {
 		return nil, err
 	}

@@ -74,7 +74,7 @@ func (g *Group) Broadcast(ctx context.Context, req *Request) []GroupResult {
 		go func(i int, endpoint string) {
 			defer wg.Done()
 			results[i] = GroupResult{Endpoint: endpoint}
-			client, err := g.pool.Get(endpoint)
+			client, err := g.pool.Get(ctx, endpoint)
 			if err != nil {
 				results[i].Err = err
 				return
@@ -94,7 +94,7 @@ func (g *Group) Broadcast(ctx context.Context, req *Request) []GroupResult {
 func (g *Group) Anycast(ctx context.Context, req *Request) ([]byte, error) {
 	var lastErr error = ErrClientClosed
 	for _, m := range g.Members() {
-		client, err := g.pool.Get(m)
+		client, err := g.pool.Get(ctx, m)
 		if err != nil {
 			lastErr = err
 			continue

@@ -9,11 +9,13 @@ import (
 
 // CallPolicy bounds one logical RPC performed through a Pool: how long
 // each attempt may take, how many attempts are made, and how attempts
-// are spaced. The policy retries only *connection-class* failures —
-// errors that prove the request never executed (dial failures, broken
-// connections, per-attempt timeouts). Remote application errors are
-// never retried: the request reached a handler that may have had
-// side effects (see Transient).
+// are spaced. The policy retries only *connection-class* failures
+// (dial failures, broken connections, per-attempt timeouts). Remote
+// application errors are never retried: the request reached a handler
+// that may have had side effects (see Transient). Note that a
+// per-attempt *timeout* is retried even though the attempt may have
+// executed server-side with only the response late — which is why
+// Pool.Call is reserved for idempotent operations.
 type CallPolicy struct {
 	// MaxAttempts is the total number of attempts (first try included).
 	// Values below 1 mean 1: a single attempt, no retries.
@@ -88,11 +90,16 @@ func (p CallPolicy) attemptCtx(ctx context.Context) (context.Context, context.Ca
 }
 
 // Transient reports whether err is a connection-class failure that a
-// fresh attempt (possibly on a fresh connection) may repair without
-// risking duplicate execution:
+// fresh attempt (possibly on a fresh connection) may repair:
 //
-//   - dial failures, broken/closed connections, and per-attempt
-//     timeouts never reached a handler — always safe to retry;
+//   - dial failures and broken/closed connections never reached a
+//     handler — always safe to retry;
+//   - per-attempt timeouts (context.DeadlineExceeded) are classified
+//     transient too, but with a caveat: the request may have been fully
+//     written and executed server-side with only the response late, so
+//     a retry can execute the operation twice. This is why Pool.Call —
+//     the only place this classification drives retries — is reserved
+//     for idempotent operations (Describe, Ping, binding setup);
 //   - StatusBadRequest remote errors were rejected by the server
 //     *before* dispatch (the body could not be decoded), so the
 //     operation did not run — safe to retry, and exactly what an

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -46,12 +47,12 @@ func TestPoolSingleflightDial(t *testing.T) {
 
 	var dials atomic.Int32
 	release := make(chan struct{})
-	p := NewPool(WithDialer(func(endpoint string) (net.Conn, error) {
+	p := NewPool(WithDialer(func(ctx context.Context, endpoint string) (net.Conn, error) {
 		if endpoint == "loop:sf-slow" {
 			dials.Add(1)
 			<-release
 		}
-		return DialConn(endpoint)
+		return DialConnContext(ctx, endpoint)
 	}))
 	defer p.Close()
 
@@ -64,7 +65,7 @@ func TestPoolSingleflightDial(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, errs[i] = p.Get(slowEP)
+			_, errs[i] = p.Get(context.Background(), slowEP)
 		}(i)
 	}
 
@@ -72,7 +73,7 @@ func TestPoolSingleflightDial(t *testing.T) {
 	// the dial is provably outside the pool lock.
 	fastDone := make(chan error, 1)
 	go func() {
-		_, err := p.Get(fastEP)
+		_, err := p.Get(context.Background(), fastEP)
 		fastDone <- err
 	}()
 	select {
@@ -102,7 +103,7 @@ func TestPoolSingleflightDialFailure(t *testing.T) {
 	var dials atomic.Int32
 	release := make(chan struct{})
 	dialErr := errors.New("host unreachable")
-	p := NewPool(WithDialer(func(string) (net.Conn, error) {
+	p := NewPool(WithDialer(func(context.Context, string) (net.Conn, error) {
 		dials.Add(1)
 		<-release
 		return nil, dialErr
@@ -116,7 +117,7 @@ func TestPoolSingleflightDialFailure(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, errs[i] = p.Get("loop:sf-dead")
+			_, errs[i] = p.Get(context.Background(), "loop:sf-dead")
 		}(i)
 	}
 	// Let the callers pile onto the in-flight dial, then fail it.
@@ -145,13 +146,13 @@ func TestPoolReplacesBrokenClient(t *testing.T) {
 	p := NewPool()
 	defer p.Close()
 
-	c1, err := p.Get(bound)
+	c1, err := p.Get(context.Background(), bound)
 	if err != nil {
 		t.Fatal(err)
 	}
 	_ = c1.Close() // simulate the connection dying under the pool
 
-	c2, err := p.Get(bound)
+	c2, err := p.Get(context.Background(), bound)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,11 +174,11 @@ func TestPoolCallRetriesTransient(t *testing.T) {
 
 	var dials atomic.Int32
 	p := NewPool(
-		WithDialer(func(endpoint string) (net.Conn, error) {
+		WithDialer(func(ctx context.Context, endpoint string) (net.Conn, error) {
 			if dials.Add(1) <= 2 {
 				return nil, errors.New("injected dial failure")
 			}
-			return DialConn(endpoint)
+			return DialConnContext(ctx, endpoint)
 		}),
 		WithCallPolicy(CallPolicy{MaxAttempts: 3, BackoffBase: time.Millisecond}),
 	)
@@ -247,6 +248,98 @@ func TestPoolCallRetriesBadRequest(t *testing.T) {
 	}
 }
 
+// TestTimeoutKeepsSharedClientAndBreaker: a per-attempt timeout against
+// a slow but live server must not drop the shared multiplexed client —
+// that would fail every concurrent in-flight call on the endpoint — and
+// must not feed the endpoint's breaker: slow is not dead.
+func TestTimeoutKeepsSharedClientAndBreaker(t *testing.T) {
+	_, bound := startServer(t, "loop:slow-live", map[string]Handler{
+		"slow": HandlerFunc(func(_ string, req *Request) *Response {
+			time.Sleep(150 * time.Millisecond)
+			return &Response{Status: StatusOK, Body: []byte("late")}
+		}),
+	})
+	p := NewPool(WithBreakerPolicy(BreakerPolicy{Threshold: 2, Cooldown: time.Minute}))
+	defer p.Close()
+
+	c1, err := p.Get(context.Background(), bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	impatient := CallPolicy{MaxAttempts: 1, AttemptTimeout: 30 * time.Millisecond}
+	for i := 0; i < 4; i++ {
+		_, err := p.CallWith(context.Background(), bound, &Request{Service: "slow", Op: "x"}, impatient)
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("call %d err = %v, want DeadlineExceeded", i, err)
+		}
+	}
+	if c1.broken() {
+		t.Fatal("per-attempt timeouts broke the shared client")
+	}
+	c2, err := p.Get(context.Background(), bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != c1 {
+		t.Fatal("per-attempt timeout dropped the shared client from the pool")
+	}
+	if st := p.BreakerState(bound); st != BreakerClosed {
+		t.Fatalf("breaker = %s after timeouts on a live endpoint, want closed", st)
+	}
+	// A patient caller still gets through on the same connection.
+	patient := CallPolicy{MaxAttempts: 1, AttemptTimeout: 5 * time.Second}
+	if body, err := p.CallWith(context.Background(), bound, &Request{Service: "slow", Op: "x"}, patient); err != nil || string(body) != "late" {
+		t.Fatalf("patient call = %q, %v; want the late response", body, err)
+	}
+}
+
+// TestDialHonorsAttemptContext: a black-holed endpoint — the dial never
+// completes — must cost a caller at most the per-attempt timeout per
+// attempt, not the OS connect timeout (~2 minutes).
+func TestDialHonorsAttemptContext(t *testing.T) {
+	p := NewPool(
+		WithDialer(func(ctx context.Context, _ string) (net.Conn, error) {
+			<-ctx.Done() // SYN black hole: nothing ever answers
+			return nil, ctx.Err()
+		}),
+		WithCallPolicy(CallPolicy{MaxAttempts: 2, AttemptTimeout: 50 * time.Millisecond, BackoffBase: time.Millisecond}),
+	)
+	defer p.Close()
+
+	start := time.Now()
+	_, err := p.Call(context.Background(), "loop:blackhole", &Request{Service: "s", Op: "o"})
+	if err == nil {
+		t.Fatal("call against a black hole succeeded")
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("call took %v; the attempt timeout did not bound the black-holed dial", el)
+	}
+	if !strings.Contains(err.Error(), "2 of 2 attempt(s) failed") {
+		t.Fatalf("err = %v, want 2 of 2 attempts reported", err)
+	}
+}
+
+// TestCallReportsActualAttemptCount: when the caller's context dies
+// before the retry budget is spent, the terminal error reports the
+// attempts that actually ran, not the policy maximum.
+func TestCallReportsActualAttemptCount(t *testing.T) {
+	p := NewPool(
+		WithDialer(func(context.Context, string) (net.Conn, error) {
+			return nil, errors.New("down")
+		}),
+		WithCallPolicy(CallPolicy{MaxAttempts: 5}),
+	)
+	defer p.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := p.Call(ctx, "loop:x", &Request{Service: "s", Op: "o"})
+	if err == nil || !strings.Contains(err.Error(), "1 of 5 attempt(s) failed") {
+		t.Fatalf("err = %v, want 1 of 5 attempts reported", err)
+	}
+}
+
 // fakeClock is a mutable clock for breaker tests.
 type fakeClock struct {
 	mu  sync.Mutex
@@ -273,7 +366,7 @@ func TestBreakerLifecycle(t *testing.T) {
 	dialOK := atomic.Bool{}
 	var dials atomic.Int32
 	p := NewPool(
-		WithDialer(func(string) (net.Conn, error) {
+		WithDialer(func(context.Context, string) (net.Conn, error) {
 			dials.Add(1)
 			if !dialOK.Load() {
 				return nil, errors.New("down")
@@ -289,7 +382,7 @@ func TestBreakerLifecycle(t *testing.T) {
 	ep := "loop:breaker-ep"
 	// Two consecutive dial failures open the circuit.
 	for i := 0; i < 2; i++ {
-		if _, err := p.Get(ep); err == nil {
+		if _, err := p.Get(context.Background(), ep); err == nil {
 			t.Fatal("Get against a dead endpoint must fail")
 		}
 	}
@@ -302,7 +395,7 @@ func TestBreakerLifecycle(t *testing.T) {
 
 	// While open, callers fail fast without dialing.
 	before := dials.Load()
-	if _, err := p.Get(ep); !errors.Is(err, ErrCircuitOpen) {
+	if _, err := p.Get(context.Background(), ep); !errors.Is(err, ErrCircuitOpen) {
 		t.Fatalf("err = %v, want ErrCircuitOpen", err)
 	}
 	if dials.Load() != before {
@@ -315,20 +408,20 @@ func TestBreakerLifecycle(t *testing.T) {
 	// Cooldown elapses but the endpoint is still down: the half-open
 	// probe fails and the circuit reopens.
 	clk.Advance(2 * time.Minute)
-	if _, err := p.Get(ep); err == nil || errors.Is(err, ErrCircuitOpen) {
+	if _, err := p.Get(context.Background(), ep); err == nil || errors.Is(err, ErrCircuitOpen) {
 		t.Fatalf("probe err = %v, want the real dial error", err)
 	}
 	if st := p.BreakerState(ep); st != BreakerOpen {
 		t.Fatalf("state after failed probe = %s, want open (reopened)", st)
 	}
-	if _, err := p.Get(ep); !errors.Is(err, ErrCircuitOpen) {
+	if _, err := p.Get(context.Background(), ep); !errors.Is(err, ErrCircuitOpen) {
 		t.Fatalf("err right after failed probe = %v, want ErrCircuitOpen", err)
 	}
 
 	// Endpoint recovers; next probe closes the circuit.
 	clk.Advance(2 * time.Minute)
 	dialOK.Store(true)
-	if _, err := p.Get(ep); err != nil {
+	if _, err := p.Get(context.Background(), ep); err != nil {
 		t.Fatalf("probe after recovery: %v", err)
 	}
 	if st := p.BreakerState(ep); st != BreakerClosed {
@@ -348,7 +441,7 @@ func TestBreakerHalfOpenAdmitsSingleProbe(t *testing.T) {
 	release := make(chan struct{})
 	var dials atomic.Int32
 	p := NewPool(
-		WithDialer(func(string) (net.Conn, error) {
+		WithDialer(func(context.Context, string) (net.Conn, error) {
 			if dials.Add(1) > 1 {
 				close(probeStarted)
 				<-release
@@ -361,19 +454,19 @@ func TestBreakerHalfOpenAdmitsSingleProbe(t *testing.T) {
 	defer p.Close()
 
 	ep := "loop:half-open"
-	if _, err := p.Get(ep); err == nil {
+	if _, err := p.Get(context.Background(), ep); err == nil {
 		t.Fatal("first Get must fail")
 	}
 	clk.Advance(2 * time.Second)
 
 	probeErr := make(chan error, 1)
 	go func() {
-		_, err := p.Get(ep)
+		_, err := p.Get(context.Background(), ep)
 		probeErr <- err
 	}()
 	<-probeStarted
 	// Probe is parked inside its dial; everyone else must fail fast.
-	if _, err := p.Get(ep); !errors.Is(err, ErrCircuitOpen) {
+	if _, err := p.Get(context.Background(), ep); !errors.Is(err, ErrCircuitOpen) {
 		t.Fatalf("err while probe in flight = %v, want ErrCircuitOpen", err)
 	}
 	close(release)
@@ -439,10 +532,10 @@ func TestFaultNetDeterminism(t *testing.T) {
 		CorruptProb: 0.2,
 	}
 	runSchedule := func() FaultStats {
-		f := NewFaultNet(cfg, func(string) (net.Conn, error) { return discardConn{}, nil })
+		f := NewFaultNet(cfg, func(context.Context, string) (net.Conn, error) { return discardConn{}, nil })
 		buf := make([]byte, 64)
 		for i := 0; i < 20; i++ {
-			conn, err := f.Dial("loop:determinism")
+			conn, err := f.Dial(context.Background(), "loop:determinism")
 			if err != nil {
 				continue
 			}
@@ -466,8 +559,8 @@ func TestFaultNetDeterminism(t *testing.T) {
 // ErrInjectedFault and are counted.
 func TestFaultNetDialErrors(t *testing.T) {
 	f := NewFaultNet(FaultConfig{Seed: 3, DialErrorProb: 1},
-		func(string) (net.Conn, error) { return discardConn{}, nil })
-	if _, err := f.Dial("loop:x"); !errors.Is(err, ErrInjectedFault) {
+		func(context.Context, string) (net.Conn, error) { return discardConn{}, nil })
+	if _, err := f.Dial(context.Background(), "loop:x"); !errors.Is(err, ErrInjectedFault) {
 		t.Fatalf("err = %v, want ErrInjectedFault", err)
 	}
 	if s := f.Stats(); s.Dials != 1 || s.DialErrors != 1 {
@@ -484,7 +577,7 @@ func TestPoolSurvivesFaultyTransport(t *testing.T) {
 	// see the failure. (A corrupted payload byte can pass undetected —
 	// the frame layer has no checksum — so corruption recovery is not a
 	// guarantee this test could assert.)
-	f := NewFaultNet(FaultConfig{Seed: 11, ResetProb: 0.05}, DialConn)
+	f := NewFaultNet(FaultConfig{Seed: 11, ResetProb: 0.05}, DialConnContext)
 	p := NewPool(
 		WithDialer(f.Dial),
 		WithCallPolicy(CallPolicy{

@@ -365,11 +365,11 @@ func TestPoolReusesClients(t *testing.T) {
 	_, bound := startServer(t, "loop:pool", map[string]Handler{"echo": echoHandler()})
 	p := NewPool()
 	defer p.Close()
-	c1, err := p.Get(bound)
+	c1, err := p.Get(context.Background(), bound)
 	if err != nil {
 		t.Fatal(err)
 	}
-	c2, err := p.Get(bound)
+	c2, err := p.Get(context.Background(), bound)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,7 +378,7 @@ func TestPoolReusesClients(t *testing.T) {
 	}
 	// A broken client is replaced on the next Get.
 	_ = c1.Close()
-	c3, err := p.Get(bound)
+	c3, err := p.Get(context.Background(), bound)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -397,7 +397,7 @@ func TestPoolReusesClients(t *testing.T) {
 func TestPoolClosed(t *testing.T) {
 	p := NewPool()
 	_ = p.Close()
-	if _, err := p.Get("loop:whatever"); !errors.Is(err, ErrClientClosed) {
+	if _, err := p.Get(context.Background(), "loop:whatever"); !errors.Is(err, ErrClientClosed) {
 		t.Fatalf("err = %v", err)
 	}
 }
