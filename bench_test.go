@@ -13,10 +13,13 @@ package bench
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"cosm/internal/activity"
 	"cosm/internal/browser"
@@ -945,6 +948,135 @@ module Inv {
 		return ref.ServiceRef{}, err
 	}
 	return node.RefFor(name)
+}
+
+// ---------------------------------------------------------------------
+// E9 / overload — admission control and load shedding
+// ---------------------------------------------------------------------
+
+// BenchmarkOverload_Saturation drives a server whose true service
+// capacity is one request per `work` interval (a single internal slot)
+// with far more concurrent callers than it can serve — beyond
+// saturation. The unbounded variant queues everything inside the
+// server, so the latency of served requests grows with the backlog;
+// with admission control the excess is shed immediately with
+// StatusOverloaded and the p99 of what *is* served stays bounded by
+// MaxInFlight + MaxQueue. Reported metrics: p99 of served requests,
+// served throughput, and the shed / client-timeout fractions.
+func BenchmarkOverload_Saturation(b *testing.B) {
+	const (
+		workers = 32
+		work    = 2 * time.Millisecond
+	)
+	cases := []struct {
+		name   string
+		policy wire.AdmissionPolicy
+	}{
+		{"unbounded", wire.AdmissionPolicy{}},
+		{"shedding", wire.AdmissionPolicy{MaxInFlight: 4, MaxQueue: 4, QueueWait: 4 * work}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			// One service slot: the bottleneck is the resource behind the
+			// handler, not goroutine scheduling.
+			slot := make(chan struct{}, 1)
+			h := wire.HandlerFunc(func(ctx context.Context, _ string, _ *wire.Request) *wire.Response {
+				select {
+				case slot <- struct{}{}:
+				case <-ctx.Done():
+					return &wire.Response{Status: wire.StatusAppError, ErrMsg: "deadline before service"}
+				}
+				defer func() { <-slot }()
+				select {
+				case <-time.After(work):
+					return &wire.Response{Status: wire.StatusOK}
+				case <-ctx.Done():
+					return &wire.Response{Status: wire.StatusAppError, ErrMsg: "deadline during service"}
+				}
+			})
+			s := wire.NewServer(wire.WithServerLog(func(string, ...any) {}), wire.WithAdmission(tc.policy))
+			if err := s.Register("svc", h); err != nil {
+				b.Fatal(err)
+			}
+			endpoint, err := s.ListenAndServe("loop:bench-overload-" + tc.name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			req := &wire.Request{Service: "svc", Op: "Work"}
+
+			// One connection per worker: independent clients, so a shed
+			// storm on one connection cannot queue behind another's reads.
+			clients := make([]*wire.Client, workers)
+			for w := range clients {
+				c, err := wire.Dial(endpoint)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				clients[w] = c
+			}
+
+			var (
+				mu       sync.Mutex
+				served   []time.Duration
+				sheds    int
+				timeouts int
+			)
+			calls := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(c *wire.Client) {
+					defer wg.Done()
+					var lat []time.Duration
+					shed, timedOut := 0, 0
+					for range calls {
+						ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+						t0 := time.Now()
+						_, err := c.Call(ctx, req)
+						d := time.Since(t0)
+						cancel()
+						var remote *wire.RemoteError
+						switch {
+						case err == nil:
+							lat = append(lat, d)
+						case errors.As(err, &remote) && remote.Status == wire.StatusOverloaded:
+							shed++
+						default:
+							timedOut++
+						}
+					}
+					mu.Lock()
+					served = append(served, lat...)
+					sheds += shed
+					timeouts += timedOut
+					mu.Unlock()
+				}(clients[w])
+			}
+			b.ResetTimer()
+			t0 := time.Now()
+			for i := 0; i < b.N; i++ {
+				calls <- struct{}{}
+			}
+			close(calls)
+			wg.Wait()
+			elapsed := time.Since(t0)
+			b.StopTimer()
+
+			if len(served) > 0 {
+				sort.Slice(served, func(i, j int) bool { return served[i] < served[j] })
+				idx := len(served) * 99 / 100
+				if idx >= len(served) {
+					idx = len(served) - 1
+				}
+				b.ReportMetric(float64(served[idx])/float64(time.Millisecond), "p99-ms")
+				b.ReportMetric(float64(len(served))/elapsed.Seconds(), "served-per-sec")
+			}
+			b.ReportMetric(float64(sheds)/float64(b.N), "shed-frac")
+			b.ReportMetric(float64(timeouts)/float64(b.N), "timeout-frac")
+		})
+	}
 }
 
 // BenchmarkAblation_Transport compares the loopback and TCP transports

@@ -20,6 +20,7 @@ import (
 
 	"cosm/internal/browser"
 	"cosm/internal/cosm"
+	"cosm/internal/daemon"
 	"cosm/internal/ref"
 )
 
@@ -40,6 +41,7 @@ func run(args []string, sig <-chan os.Signal) error {
 		listen = fs.String("listen", "tcp:127.0.0.1:7002", "endpoint to serve on (tcp:host:port or loop:name)")
 		parent = fs.String("parent", "", "parent browser reference cosm://endpoint/service to register at")
 	)
+	df := daemon.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,7 +51,7 @@ func run(args []string, sig <-chan os.Signal) error {
 	if err != nil {
 		return err
 	}
-	node := cosm.NewNode()
+	node := cosm.NewNode(df.NodeOptions()...)
 	if err := node.Host(browser.ServiceName, svc); err != nil {
 		return err
 	}
@@ -60,6 +62,9 @@ func run(args []string, sig <-chan os.Signal) error {
 	defer node.Close()
 	self := ref.New(endpoint, browser.ServiceName)
 
+	// In a cascade, deregister withdraws this browser's SID from the
+	// parent so cascaded lookups stop routing here during the drain.
+	var deregister func(context.Context) error
 	if *parent != "" {
 		ctx := context.Background()
 		parentRef, err := ref.Parse(*parent)
@@ -74,10 +79,12 @@ func run(args []string, sig <-chan os.Signal) error {
 			return err
 		}
 		log.Printf("registered own SID at parent %s", parentRef)
+		name := svc.SID().ServiceName
+		deregister = func(ctx context.Context) error { return pc.Withdraw(ctx, name) }
 	}
 
 	log.Printf("browser serving at %s", self)
 	s := <-sig
-	log.Printf("received %v, shutting down", s)
-	return nil
+	log.Printf("received %v, draining", s)
+	return df.Drain(node, deregister, log.Printf)
 }

@@ -6,6 +6,10 @@
 //	carrentald -listen tcp:127.0.0.1:7010 \
 //	           -browser cosm://tcp:127.0.0.1:7002/cosm.browser \
 //	           -trader  cosm://tcp:127.0.0.1:7001/cosm.trader
+//
+// On SIGINT/SIGTERM the daemon deregisters first (withdraws its trader
+// offer and browser entry, so clients fail over to other providers)
+// and then drains: in-flight rentals finish under -drain-timeout.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"cosm/internal/browser"
 	"cosm/internal/carrental"
 	"cosm/internal/cosm"
+	"cosm/internal/daemon"
 	"cosm/internal/ref"
 	"cosm/internal/trader"
 )
@@ -42,6 +47,7 @@ func run(args []string, sig <-chan os.Signal) error {
 		traderRef  = fs.String("trader", "", "trader reference to export the offer at (trading path)")
 		name       = fs.String("name", "CarRentalService", "service name to host under")
 	)
+	df := daemon.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,7 +56,7 @@ func run(args []string, sig <-chan os.Signal) error {
 	if err != nil {
 		return err
 	}
-	node := cosm.NewNode()
+	node := cosm.NewNode(df.NodeOptions()...)
 	if err := node.Host(*name, svc); err != nil {
 		return err
 	}
@@ -82,12 +88,16 @@ func run(args []string, sig <-chan os.Signal) error {
 			return err
 		}
 	}
-	if err := carrental.Publish(ctx, impl.SID(), self, bc, tc); err != nil {
+	pub, err := carrental.Publish(ctx, impl.SID(), self, bc, tc)
+	if err != nil {
 		return err
 	}
 
 	log.Printf("car rental serving at %s (browser=%v trader=%v)", self, bc != nil, tc != nil)
 	s := <-sig
-	log.Printf("received %v: %d bookings served, shutting down", s, impl.Bookings())
-	return nil
+	log.Printf("received %v: %d bookings served, draining", s, impl.Bookings())
+
+	// Deregister before draining: once the offer and browser entry are
+	// gone, new importers bind elsewhere while in-flight rentals finish.
+	return df.Drain(node, pub.Unpublish, log.Printf)
 }

@@ -120,6 +120,15 @@ func TestDaemonPublishesAndBooks(t *testing.T) {
 	if err := <-done; err != nil {
 		t.Fatal(err)
 	}
+
+	// Shutdown deregisters: the browser entry and the trader offer are
+	// withdrawn, so new importers are routed to other providers.
+	if entries, _ := bc.Search(ctx, "car"); len(entries) != 0 {
+		t.Fatalf("browser entries after shutdown = %v", entries)
+	}
+	if _, err := tc.ImportOne(ctx, trader.ImportRequest{Type: "CarRentalService"}); err == nil {
+		t.Fatal("trader offer must be withdrawn after shutdown")
+	}
 }
 
 func TestDaemonErrors(t *testing.T) {

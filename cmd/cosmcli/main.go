@@ -14,6 +14,13 @@
 //	cosmcli session  cosm://.../CarRentalService 'SelectCar a.b=c ...' 'Commit'
 //	cosmcli import   cosm://.../cosm.trader CarRentalService \
 //	                 -constraint 'ChargePerDay < 100' -policy min:ChargePerDay
+//
+// The global -timeout flag (before the subcommand) bounds the whole
+// command; the deadline is propagated on the wire, so overloaded or
+// hung servers fail the command instead of wedging it. In the repl the
+// timeout applies per invocation.
+//
+//	cosmcli -timeout 5s describe cosm://.../CarRentalService
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"cosm/internal/genclient"
 	"cosm/internal/ref"
@@ -40,7 +48,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: cosmcli <describe|ui|browse|invoke|session|repl|import> <ref> [args...]")
+	return fmt.Errorf("usage: cosmcli [-timeout d] <describe|ui|browse|invoke|session|repl|import> <ref> [args...]")
 }
 
 func run(args []string) error {
@@ -48,6 +56,12 @@ func run(args []string) error {
 }
 
 func runWithInput(args []string, stdin io.Reader) error {
+	global := flag.NewFlagSet("cosmcli", flag.ContinueOnError)
+	timeout := global.Duration("timeout", 0, "deadline for the whole command, propagated on the wire (0 = none; per invocation in the repl)")
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	args = global.Args()
 	if len(args) < 2 {
 		return usage()
 	}
@@ -62,6 +76,11 @@ func runWithInput(args []string, stdin io.Reader) error {
 	defer pool.Close()
 	gc := genclient.New(pool)
 	ctx := context.Background()
+	if *timeout > 0 && cmd != "repl" {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	switch cmd {
 	case "describe":
@@ -133,7 +152,7 @@ func runWithInput(args []string, stdin io.Reader) error {
 		if err != nil {
 			return err
 		}
-		return repl(ctx, b, stdin)
+		return repl(ctx, b, stdin, *timeout)
 
 	case "import":
 		fs := flag.NewFlagSet("import", flag.ContinueOnError)
@@ -178,8 +197,10 @@ func runWithInput(args []string, stdin io.Reader) error {
 
 // repl is the interactive generic client of the paper's user level: the
 // human browses the generated user interface and drives the service by
-// hand, with the FSM restricting what is offered at each step.
-func repl(ctx context.Context, b *genclient.Binding, stdin io.Reader) error {
+// hand, with the FSM restricting what is offered at each step. A
+// non-zero timeout bounds each invocation (a whole-session deadline
+// would expire while the human is thinking).
+func repl(ctx context.Context, b *genclient.Binding, stdin io.Reader, timeout time.Duration) error {
 	fmt.Printf("bound to %s (%s) — 'help' for commands\n", b.SID().ServiceName, b.Ref())
 	printPrompt(b)
 	scanner := bufio.NewScanner(stdin)
@@ -222,7 +243,13 @@ func repl(ctx context.Context, b *genclient.Binding, stdin io.Reader) error {
 				fmt.Println("unrestricted protocol")
 			}
 		default:
-			if err := invokeOne(ctx, b, fields[0], fields[1:]); err != nil {
+			ictx, cancel := ctx, context.CancelFunc(func() {})
+			if timeout > 0 {
+				ictx, cancel = context.WithTimeout(ctx, timeout)
+			}
+			err := invokeOne(ictx, b, fields[0], fields[1:])
+			cancel()
+			if err != nil {
 				fmt.Println("error:", err)
 			}
 		}

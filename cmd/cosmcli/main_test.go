@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"io"
 	"os"
 	"strings"
@@ -188,6 +190,28 @@ func TestImportCommand(t *testing.T) {
 	})
 	if err != nil || !strings.Contains(out, "no matching offers") {
 		t.Fatalf("import(no match) = %q, %v", out, err)
+	}
+}
+
+func TestTimeoutFlag(t *testing.T) {
+	carRef, _, traderRef := startMarket(t, "cli-timeout")
+	// A generous timeout leaves the commands unaffected...
+	out, err := capture(t, func() error {
+		return run([]string{"-timeout", "30s", "describe", carRef})
+	})
+	if err != nil || !strings.Contains(out, "module CarRentalService {") {
+		t.Fatalf("describe with timeout = %q, %v", out, err)
+	}
+	// ...while an already-expired one fails every subcommand up front:
+	// the deadline is checked before the request is even sent.
+	for _, args := range [][]string{
+		{"-timeout", "1ns", "describe", carRef},
+		{"-timeout", "1ns", "invoke", carRef, "SelectCar"},
+		{"-timeout", "1ns", "import", traderRef, "CarRentalService"},
+	} {
+		if _, err := capture(t, func() error { return run(args) }); !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("run(%v) = %v, want deadline exceeded", args, err)
+		}
 	}
 }
 

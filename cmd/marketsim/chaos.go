@@ -92,6 +92,7 @@ func runChaos(w io.Writer, cc chaosConfig) error {
 		name   string
 		tariff float64
 		node   *cosm.Node
+		pub    *carrental.Publication
 	}
 	providers := []*provider{
 		{name: "AlsterCars", tariff: 85},
@@ -126,7 +127,7 @@ func runChaos(w io.Writer, cc chaosConfig) error {
 				sid.Trader.Properties[i].Value = sidl.FloatLit(p.tariff)
 			}
 		}
-		if err := carrental.Publish(ctx, sid, p.node.MustRefFor(p.name), brw, trd); err != nil {
+		if p.pub, err = carrental.Publish(ctx, sid, p.node.MustRefFor(p.name), brw, trd); err != nil {
 			return err
 		}
 	}
@@ -252,6 +253,29 @@ func runChaos(w io.Writer, cc chaosConfig) error {
 		return err
 	}
 	fmt.Fprintf(w, "post-sweep import: %d offer(s) remain (dead offer withdrawn)\n", len(offers))
+
+	// Phase 3: retire a live provider *gracefully* — deregister first
+	// (withdraw offer + browser entry), then drain. Unlike the crash
+	// above, no sweeps are needed: importers simply stop seeing the
+	// offer and bind to the remaining provider.
+	var retiree *provider
+	for _, p := range providers {
+		if p != victim && (retiree == nil || p.tariff < retiree.tariff) {
+			retiree = p
+		}
+	}
+	drainCtx, cancelDrain := context.WithTimeout(ctx, 5*time.Second)
+	if err := retiree.pub.Unpublish(drainCtx); err != nil {
+		cancelDrain()
+		return err
+	}
+	if err := retiree.node.Shutdown(drainCtx); err != nil {
+		cancelDrain()
+		return err
+	}
+	cancelDrain()
+	fmt.Fprintf(w, "gracefully drained %s (offer withdrawn before shutdown)\n", retiree.name)
+	runPhase("phase 3 (after drain)")
 
 	fs := faults.Stats()
 	ps := pool.Stats()

@@ -14,6 +14,7 @@ import (
 	"syscall"
 
 	"cosm/internal/cosm"
+	"cosm/internal/daemon"
 	"cosm/internal/naming"
 	"cosm/internal/ref"
 )
@@ -32,6 +33,7 @@ func main() {
 func run(args []string, sig <-chan os.Signal) error {
 	fs := flag.NewFlagSet("namesrvd", flag.ContinueOnError)
 	listen := fs.String("listen", "tcp:127.0.0.1:7000", "endpoint to serve on (tcp:host:port or loop:name)")
+	df := daemon.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -44,7 +46,7 @@ func run(args []string, sig <-chan os.Signal) error {
 	if err != nil {
 		return err
 	}
-	node := cosm.NewNode()
+	node := cosm.NewNode(df.NodeOptions()...)
 	if err := node.Host(naming.ServiceName, nameSvc); err != nil {
 		return err
 	}
@@ -60,6 +62,6 @@ func run(args []string, sig <-chan os.Signal) error {
 	log.Printf("name server at %s", ref.New(endpoint, naming.ServiceName))
 	log.Printf("group manager at %s", ref.New(endpoint, naming.GroupServiceName))
 	s := <-sig
-	log.Printf("received %v, shutting down", s)
-	return nil
+	log.Printf("received %v, draining", s)
+	return df.Drain(node, nil, log.Printf)
 }

@@ -22,6 +22,7 @@ import (
 	"syscall"
 
 	"cosm/internal/cosm"
+	"cosm/internal/daemon"
 	"cosm/internal/ref"
 	"cosm/internal/sidl"
 	"cosm/internal/trader"
@@ -57,6 +58,7 @@ func run(args []string, sig <-chan os.Signal) error {
 	)
 	fs.Var(&typeFiles, "type", "SIDL file with a COSM_TraderExport module to preload as a service type (repeatable)")
 	fs.Var(&links, "link", "partner trader reference cosm://endpoint/service (repeatable)")
+	df := daemon.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -86,7 +88,7 @@ func run(args []string, sig <-chan os.Signal) error {
 	if err != nil {
 		return err
 	}
-	node := cosm.NewNode()
+	node := cosm.NewNode(df.NodeOptions()...)
 	if err := node.Host(trader.ServiceName, svc); err != nil {
 		return err
 	}
@@ -112,6 +114,8 @@ func run(args []string, sig <-chan os.Signal) error {
 
 	log.Printf("trader %q serving at %s", *id, ref.New(endpoint, trader.ServiceName))
 	s := <-sig
-	log.Printf("received %v, shutting down", s)
-	return nil
+	log.Printf("received %v, draining", s)
+	// The trader registers nothing at other services; its exporters own
+	// their offers. Draining lets in-flight imports/exports complete.
+	return df.Drain(node, nil, log.Printf)
 }

@@ -125,7 +125,7 @@ func run() error {
 			}
 		}
 		self := node.MustRefFor(co.name)
-		if err := carrental.Publish(ctx, sid, self, bc, tc); err != nil {
+		if _, err := carrental.Publish(ctx, sid, self, bc, tc); err != nil {
 			return err
 		}
 		fmt.Printf("== %s published at %s (FIAT_Uno at %.0f/day)\n", co.name, self, fiat)

@@ -136,7 +136,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := carrental.Publish(ctx, providerSID, providerRef, munichBC, munichTC); err != nil {
+	if _, err := carrental.Publish(ctx, providerSID, providerRef, munichBC, munichTC); err != nil {
 		return err
 	}
 	fmt.Println("== IsarCars published in munich only:", providerRef)

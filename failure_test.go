@@ -169,6 +169,168 @@ func TestFailureResilientImportBind(t *testing.T) {
 	}
 }
 
+// TestFailureGracefulDrainFailsOver is the graceful counterpart of the
+// crash tests: a provider retires by deregistering (offer and browser
+// entry withdrawn) and then draining. During the drain, the in-flight
+// call completes, new requests to the draining node are shed with
+// StatusOverloaded, and new bookings fail over to the remaining
+// provider through a plain ImportBind — no sweeps, no stale offers.
+func TestFailureGracefulDrainFailsOver(t *testing.T) {
+	ctx := context.Background()
+	in := startInfra(t, "fail-drain")
+
+	// Provider A (the retiree, cheapest) hosts the published car rental
+	// plus a Slow service carrying the in-flight call across the drain.
+	nodeA := cosm.NewNode(cosm.WithNodeLog(func(string, ...any) {}))
+	defer nodeA.Close()
+	svcA, implA, err := carrental.New(carrental.WithTariff(carrental.Tariff{"FIAT_Uno": 65}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nodeA.Host("DrainCars", svcA); err != nil {
+		t.Fatal(err)
+	}
+	slowSID, err := sidl.Parse(`
+module SlowOp {
+    interface COSM_Operations {
+        void Slow();
+    };
+};
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowSvc, err := cosm.NewService(slowSID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	slowSvc.MustHandle("Slow", func(*cosm.Call) error {
+		started <- struct{}{}
+		<-release
+		return nil
+	})
+	if err := nodeA.Host("SlowOp", slowSvc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nodeA.ListenAndServe("tcp:127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	sidA := implA.SID().Clone()
+	sidA.ServiceName = "DrainCars"
+	for i, p := range sidA.Trader.Properties {
+		if p.Name == "ChargePerDay" {
+			sidA.Trader.Properties[i].Value = sidl.FloatLit(65)
+		}
+	}
+	refA := nodeA.MustRefFor("DrainCars")
+	pubA, err := carrental.Publish(ctx, sidA, refA, in.brw, in.trd)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	refB := startProvider(t, in, "StayCars", carrental.Tariff{"FIAT_Uno": 90})
+
+	// Before the drain, A is the best offer.
+	offer, err := in.trd.ImportOne(ctx, trader.ImportRequest{
+		Type: "CarRentalService", Policy: "min:ChargePerDay",
+	})
+	if err != nil || offer.Ref != refA {
+		t.Fatalf("offer = %+v, %v; want %v", offer, err, refA)
+	}
+
+	pool := wire.NewPool()
+	defer pool.Close()
+
+	// Put one call in flight on A, confirmed to have entered the handler.
+	connS, err := cosm.Bind(ctx, pool, nodeA.MustRefFor("SlowOp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowDone := make(chan error, 1)
+	go func() {
+		_, err := connS.Invoke(ctx, "Slow")
+		slowDone <- err
+	}()
+	<-started
+
+	// Retire A: deregister, then drain. The drain blocks on the Slow
+	// call, so the node stays in the draining state until we release it.
+	drained := make(chan error, 1)
+	go func() {
+		dctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		defer cancel()
+		if err := pubA.Unpublish(dctx); err != nil {
+			drained <- err
+			return
+		}
+		drained <- nodeA.Shutdown(dctx)
+	}()
+
+	// Deregistration is visible to importers: poll until A's offer is
+	// gone from the trader.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		offers, err := in.trd.Import(ctx, trader.ImportRequest{Type: "CarRentalService"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stale := false
+		for _, o := range offers {
+			if o.Ref == refA {
+				stale = true
+			}
+		}
+		if !stale {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("offer of the draining provider never withdrawn")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// New bookings fail over to B through a plain import->bind.
+	conn, offer2, err := trader.ImportBind(ctx, in.trd, pool, trader.ImportRequest{
+		Type: "CarRentalService", Policy: "min:ChargePerDay",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offer2.Ref != refB {
+		t.Fatalf("bound %v during drain, want %v", offer2.Ref, refB)
+	}
+	gc := genclient.New(pool)
+	binding := gc.Adopt(conn)
+	if _, err := binding.InvokeForm(ctx, "SelectCar", map[string]string{
+		"SelectCar.selection.model": "FIAT_Uno",
+		"SelectCar.selection.days":  "1",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := binding.Invoke(ctx, "Commit"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A sheds new work while draining instead of accepting it.
+	_, err = pool.Call(ctx, refA.Endpoint, &wire.Request{Service: "DrainCars", Op: "Describe"})
+	var remote *wire.RemoteError
+	if !errors.As(err, &remote) || remote.Status != wire.StatusOverloaded {
+		t.Fatalf("call during drain = %v, want StatusOverloaded", err)
+	}
+
+	// The in-flight call survives the whole retirement: zero failed
+	// in-flight calls during the drain.
+	close(release)
+	if err := <-slowDone; err != nil {
+		t.Fatalf("in-flight call failed during drain: %v", err)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
 // crashProviderNode kills the provider node serving endpoint (tracked
 // in the liveNodes registry by startProvider): listener and all
 // connections drop, simulating a provider crash.

@@ -131,7 +131,7 @@ func startProvider(t *testing.T, in *infraNode, name string, tariff carrental.Ta
 		}
 	}
 	self := node.MustRefFor(name)
-	if err := carrental.Publish(context.Background(), sid, self, in.brw, in.trd); err != nil {
+	if _, err := carrental.Publish(context.Background(), sid, self, in.brw, in.trd); err != nil {
 		t.Fatal(err)
 	}
 	return self

@@ -148,19 +148,56 @@ func (s *Service) commit(call *cosm.Call) error {
 	return nil
 }
 
+// Publication records where a service was published, so it can be
+// withdrawn symmetrically when the provider shuts down.
+type Publication struct {
+	// Name is the SID service name registered at the browser ("" when no
+	// browser was involved).
+	Name string
+	// OfferID is the trader offer id ("" when no trader was involved).
+	OfferID string
+
+	bc *browser.Client
+	tc *trader.Client
+}
+
 // Publish registers the hosted service at a browser (mediation path)
 // and, when a trader client is given, also exports it as a typed offer
-// (trading path) — the integrated COSM publication of section 4.1.
-func Publish(ctx context.Context, sid *sidl.SID, r ref.ServiceRef, bc *browser.Client, tc *trader.Client) error {
+// (trading path) — the integrated COSM publication of section 4.1. The
+// returned Publication lets the provider deregister on shutdown.
+func Publish(ctx context.Context, sid *sidl.SID, r ref.ServiceRef, bc *browser.Client, tc *trader.Client) (*Publication, error) {
+	pub := &Publication{bc: bc, tc: tc}
 	if bc != nil {
 		if err := bc.RegisterSID(ctx, sid, r); err != nil {
-			return fmt.Errorf("carrental: browser registration: %w", err)
+			return nil, fmt.Errorf("carrental: browser registration: %w", err)
 		}
+		pub.Name = sid.ServiceName
 	}
 	if tc != nil {
-		if _, err := tc.ExportSID(ctx, sid, r); err != nil {
-			return fmt.Errorf("carrental: trader export: %w", err)
+		id, err := tc.ExportSID(ctx, sid, r)
+		if err != nil {
+			return nil, fmt.Errorf("carrental: trader export: %w", err)
+		}
+		pub.OfferID = id
+	}
+	return pub, nil
+}
+
+// Unpublish withdraws the publication: the trader offer first (so
+// importers stop being routed here), then the browser entry. Errors are
+// joined, not short-circuited — a dead trader must not leave the
+// browser entry stale too.
+func (p *Publication) Unpublish(ctx context.Context) error {
+	var errs []error
+	if p.tc != nil && p.OfferID != "" {
+		if err := p.tc.Withdraw(ctx, p.OfferID); err != nil {
+			errs = append(errs, fmt.Errorf("carrental: trader withdraw: %w", err))
 		}
 	}
-	return nil
+	if p.bc != nil && p.Name != "" {
+		if err := p.bc.Withdraw(ctx, p.Name); err != nil {
+			errs = append(errs, fmt.Errorf("carrental: browser withdraw: %w", err))
+		}
+	}
+	return errors.Join(errs...)
 }

@@ -204,8 +204,12 @@ func TestPublishIntegrated(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if err := Publish(ctx, sidl.CarRentalSID(), carRef, bc, tc); err != nil {
+	pub, err := Publish(ctx, sidl.CarRentalSID(), carRef, bc, tc)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if pub.Name != "CarRentalService" || pub.OfferID == "" {
+		t.Fatalf("publication = %+v", pub)
 	}
 
 	// Reachable through the browser (mediation)...
@@ -221,5 +225,16 @@ func TestPublishIntegrated(t *testing.T) {
 	})
 	if err != nil || offer.Ref != carRef {
 		t.Fatalf("trader offer = %+v, %v", offer, err)
+	}
+
+	// Unpublish withdraws both registrations symmetrically.
+	if err := pub.Unpublish(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if entries, _ := bc.Search(ctx, "car"); len(entries) != 0 {
+		t.Fatalf("browser entries after unpublish = %v", entries)
+	}
+	if _, err := tc.ImportOne(ctx, trader.ImportRequest{Type: "CarRentalService"}); err == nil {
+		t.Fatal("trader offer must be withdrawn after unpublish")
 	}
 }

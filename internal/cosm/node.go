@@ -1,6 +1,7 @@
 package cosm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -21,24 +22,41 @@ type Node struct {
 	pool   *wire.Pool
 }
 
+// nodeConfig accumulates options so they compose (a log option and an
+// admission option must both reach the one wire.Server).
+type nodeConfig struct {
+	serverOpts []wire.ServerOption
+}
+
 // NodeOption configures a Node.
-type NodeOption func(*Node)
+type NodeOption func(*nodeConfig)
 
 // WithNodeLog directs wire-level diagnostics to logf.
 func WithNodeLog(logf func(format string, args ...any)) NodeOption {
-	return func(n *Node) { n.server = wire.NewServer(wire.WithServerLog(logf)) }
+	return func(c *nodeConfig) {
+		c.serverOpts = append(c.serverOpts, wire.WithServerLog(logf))
+	}
+}
+
+// WithNodeAdmission bounds the node's inbound concurrency (see
+// wire.AdmissionPolicy): beyond the limits the node sheds requests with
+// wire.StatusOverloaded instead of accumulating unbounded goroutines.
+func WithNodeAdmission(p wire.AdmissionPolicy) NodeOption {
+	return func(c *nodeConfig) {
+		c.serverOpts = append(c.serverOpts, wire.WithAdmission(p))
+	}
 }
 
 // NewNode returns a node with no services.
 func NewNode(opts ...NodeOption) *Node {
-	n := &Node{
-		server: wire.NewServer(),
+	var cfg nodeConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Node{
+		server: wire.NewServer(cfg.serverOpts...),
 		pool:   wire.NewPool(),
 	}
-	for _, o := range opts {
-		o(n)
-	}
-	return n
 }
 
 // Host registers a service under a name on this node. The name is the
@@ -87,8 +105,29 @@ func (n *Node) MustRefFor(serviceName string) ref.ServiceRef {
 // the node opens).
 func (n *Node) Pool() *wire.Pool { return n.pool }
 
-// Close shuts the node down: the listener, all inbound connections, all
-// pooled outbound connections.
+// ServerStats returns the node's inbound overload counters.
+func (n *Node) ServerStats() wire.ServerStats { return n.server.Stats() }
+
+// Shutdown drains the node gracefully: new inbound requests are shed,
+// in-flight handlers finish under ctx's deadline, and then everything —
+// listener, inbound connections, pooled outbound connections — is torn
+// down. Deregistration (withdrawing offers, SIDs) is the caller's job
+// and must happen *before* Shutdown so clients fail over instead of
+// finding a draining endpoint.
+func (n *Node) Shutdown(ctx context.Context) error {
+	err := n.server.Shutdown(ctx)
+	if perr := n.pool.Close(); err == nil {
+		err = perr
+	}
+	if err != nil {
+		return fmt.Errorf("cosm: shutdown node: %w", err)
+	}
+	return nil
+}
+
+// Close shuts the node down immediately: the listener, all inbound
+// connections (their in-flight work is cancelled), all pooled outbound
+// connections. Use Shutdown for a graceful drain.
 func (n *Node) Close() error {
 	err := n.server.Close()
 	if perr := n.pool.Close(); err == nil {

@@ -15,6 +15,7 @@
 package cosm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -49,6 +50,9 @@ var (
 // non-void operations) and fills Out (one slot per out/inout parameter,
 // pre-populated with zero values).
 type Call struct {
+	// Ctx carries the caller's propagated deadline and cancellation (see
+	// wire.Handler); long-running handlers should honour it.
+	Ctx context.Context
 	// Remote is the transport address of the calling node.
 	Remote string
 	// Session identifies the client binding for FSM tracking.
@@ -165,8 +169,9 @@ func (s *Service) MustHandle(opName string, h OpHandler) {
 }
 
 // serveCOSM dispatches one wire request. It implements wire.Handler via
-// the adapter in node.go.
-func (s *Service) serveCOSM(remote string, req *wire.Request) *wire.Response {
+// the adapter in node.go. ctx carries the caller's propagated deadline
+// and is handed to the operation handler via Call.Ctx.
+func (s *Service) serveCOSM(ctx context.Context, remote string, req *wire.Request) *wire.Response {
 	switch req.Op {
 	case OpDescribe:
 		text, err := s.sid.MarshalText()
@@ -201,7 +206,7 @@ func (s *Service) serveCOSM(remote string, req *wire.Request) *wire.Response {
 		}
 	}
 
-	call := &Call{Remote: remote, Session: session, Op: op, In: in}
+	call := &Call{Ctx: ctx, Remote: remote, Session: session, Op: op, In: in}
 	for _, p := range op.Params {
 		if p.Dir != sidl.In {
 			call.Out = append(call.Out, xcode.Zero(p.Type))

@@ -1,0 +1,65 @@
+// Package daemon holds the overload-protection plumbing shared by the
+// COSM daemons (traderd, browserd, namesrvd, carrentald): the admission
+// control flags and the SIGTERM drain sequence. Every daemon exposes
+// the same knobs —
+//
+//	-max-inflight   bound on concurrently served requests
+//	-max-queue      admission queue beyond that bound
+//	-queue-wait     cap on one request's queueing time
+//	-drain-timeout  grace period for in-flight work on shutdown
+//
+// — so operators tune one vocabulary across the whole market.
+package daemon
+
+import (
+	"context"
+	"flag"
+	"time"
+
+	"cosm/internal/cosm"
+	"cosm/internal/wire"
+)
+
+// Flags are the shared daemon tuning knobs, registered by Register.
+type Flags struct {
+	MaxInFlight  int
+	MaxQueue     int
+	QueueWait    time.Duration
+	DrainTimeout time.Duration
+}
+
+// Register installs the shared flags on fs with the common defaults
+// (admission control off, 10s drain).
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.IntVar(&f.MaxInFlight, "max-inflight", 0, "max concurrently served requests (0 = unlimited)")
+	fs.IntVar(&f.MaxQueue, "max-queue", 0, "admission queue length beyond max-inflight")
+	fs.DurationVar(&f.QueueWait, "queue-wait", 100*time.Millisecond, "max time a request may queue for admission")
+	fs.DurationVar(&f.DrainTimeout, "drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	return f
+}
+
+// NodeOptions converts the flags into cosm.NewNode options.
+func (f *Flags) NodeOptions() []cosm.NodeOption {
+	return []cosm.NodeOption{cosm.WithNodeAdmission(wire.AdmissionPolicy{
+		MaxInFlight: f.MaxInFlight,
+		MaxQueue:    f.MaxQueue,
+		QueueWait:   f.QueueWait,
+	})}
+}
+
+// Drain performs the graceful-shutdown sequence: deregister first (so
+// clients fail over to live providers instead of a draining endpoint),
+// then drain the node under the configured timeout. deregister may be
+// nil; its error is reported but does not abort the drain — a dead
+// registry must not prevent local cleanup.
+func (f *Flags) Drain(node *cosm.Node, deregister func(ctx context.Context) error, logf func(format string, args ...any)) error {
+	ctx, cancel := context.WithTimeout(context.Background(), f.DrainTimeout)
+	defer cancel()
+	if deregister != nil {
+		if err := deregister(ctx); err != nil {
+			logf("deregistration: %v", err)
+		}
+	}
+	return node.Shutdown(ctx)
+}

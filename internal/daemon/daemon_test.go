@@ -1,0 +1,108 @@
+package daemon
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"cosm/internal/cosm"
+	"cosm/internal/ref"
+	"cosm/internal/wire"
+)
+
+func TestRegisterDefaultsAndParsing(t *testing.T) {
+	fs := flag.NewFlagSet("d", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.MaxInFlight != 0 || f.MaxQueue != 0 {
+		t.Fatalf("admission defaults = %+v, want off", f)
+	}
+	if f.QueueWait != 100*time.Millisecond || f.DrainTimeout != 10*time.Second {
+		t.Fatalf("timing defaults = %+v", f)
+	}
+
+	fs = flag.NewFlagSet("d", flag.ContinueOnError)
+	f = Register(fs)
+	if err := fs.Parse([]string{
+		"-max-inflight", "8", "-max-queue", "4",
+		"-queue-wait", "50ms", "-drain-timeout", "2s",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := &Flags{MaxInFlight: 8, MaxQueue: 4, QueueWait: 50 * time.Millisecond, DrainTimeout: 2 * time.Second}
+	if *f != *want {
+		t.Fatalf("parsed = %+v, want %+v", f, want)
+	}
+	if opts := f.NodeOptions(); len(opts) != 1 {
+		t.Fatalf("NodeOptions = %d options", len(opts))
+	}
+}
+
+func TestDrainShutsDownNode(t *testing.T) {
+	f := &Flags{DrainTimeout: 5 * time.Second}
+	node := cosm.NewNode(cosm.WithNodeLog(func(string, ...any) {}))
+	endpoint, err := node.ListenAndServe("loop:daemon-drain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deregistered := false
+	if err := f.Drain(node, func(ctx context.Context) error {
+		if _, ok := ctx.Deadline(); !ok {
+			t.Error("deregister ctx carries no deadline")
+		}
+		deregistered = true
+		return nil
+	}, func(string, ...any) {}); err != nil {
+		t.Fatal(err)
+	}
+	if !deregistered {
+		t.Fatal("deregister never ran")
+	}
+	// The node is down: its endpoint no longer accepts connections.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	pool := wire.NewPool()
+	defer pool.Close()
+	if err := cosm.Ping(ctx, pool, ref.New(endpoint, "anything")); err == nil {
+		t.Fatal("node still serving after Drain")
+	}
+}
+
+// A failing deregistration is reported but must not abort the drain:
+// a dead registry cannot be allowed to prevent local cleanup.
+func TestDrainDeregistrationErrorIsNonFatal(t *testing.T) {
+	f := &Flags{DrainTimeout: 5 * time.Second}
+	node := cosm.NewNode(cosm.WithNodeLog(func(string, ...any) {}))
+	if _, err := node.ListenAndServe("loop:daemon-drain-err"); err != nil {
+		t.Fatal(err)
+	}
+	var logged strings.Builder
+	err := f.Drain(node, func(context.Context) error {
+		return errors.New("registry unreachable")
+	}, func(format string, args ...any) {
+		fmt.Fprintf(&logged, format, args...)
+	})
+	if err != nil {
+		t.Fatalf("Drain = %v, want nil despite deregistration failure", err)
+	}
+	if !strings.Contains(logged.String(), "registry unreachable") {
+		t.Fatalf("deregistration failure not logged: %q", logged.String())
+	}
+}
+
+func TestDrainNilDeregister(t *testing.T) {
+	f := &Flags{DrainTimeout: 5 * time.Second}
+	node := cosm.NewNode(cosm.WithNodeLog(func(string, ...any) {}))
+	if _, err := node.ListenAndServe("loop:daemon-drain-nil"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Drain(node, nil, func(string, ...any) {}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -228,7 +228,7 @@ type Impl interface {
 // server. Note what is lost versus the cosm runtime: the service cannot
 // be described, browsed, or protocol-checked.
 func Handler(impl Impl) wire.Handler {
-	return wire.HandlerFunc(func(_ string, req *wire.Request) *wire.Response {
+	return wire.HandlerFunc(func(_ context.Context, _ string, req *wire.Request) *wire.Response {
 		// Skip the session chunk: the static server keeps no protocol
 		// state.
 		_, rest, err := consumeChunk(req.Body)

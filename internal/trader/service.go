@@ -1,7 +1,6 @@
 package trader
 
 import (
-	"context"
 	"fmt"
 	"strconv"
 	"time"
@@ -377,7 +376,7 @@ func NewService(t *Trader) (*cosm.Service, error) {
 		if err != nil {
 			return err
 		}
-		offers, err := t.Import(callContext(), req)
+		offers, err := t.Import(call.Ctx, req)
 		if err != nil {
 			return err
 		}
@@ -489,8 +488,3 @@ func (tt *traderTypes) importReqValue(req ImportRequest) (*xcode.Value, error) {
 		"visited":     visitedSeq,
 	})
 }
-
-// callContext returns the context used for federated forwarding from
-// within a service handler. The wire layer has no per-request deadline
-// propagation (1994-faithful), so this is the background context.
-func callContext() context.Context { return context.Background() }

@@ -481,7 +481,11 @@ func (t *Trader) localMatches(reqType string, constraint *Constraint) ([]*Offer,
 
 // federatedMatches consults partner traders, decrementing the hop limit
 // and carrying the visited set for loop protection. Partner failures are
-// tolerated: federation widens the search best-effort.
+// tolerated: federation widens the search best-effort, and the links are
+// queried concurrently so one dead or black-holed partner costs nothing
+// but its own (bounded) attempt. When ctx carries a deadline, collection
+// stops with enough headroom left for the caller to assemble and return
+// the partial result: slow links are abandoned, live links still count.
 func (t *Trader) federatedMatches(ctx context.Context, req ImportRequest) []*Offer {
 	t.mu.RLock()
 	links := append([]Federate(nil), t.links...)
@@ -494,7 +498,10 @@ func (t *Trader) federatedMatches(ctx context.Context, req ImportRequest) []*Off
 	sub.Max = 0
 	sub.visited = visited
 
-	var out []*Offer
+	asked := 0
+	// Buffered to link count: a link that answers after the cutoff
+	// deposits its result and exits instead of leaking a goroutine.
+	results := make(chan []*Offer, len(links))
 	for _, link := range links {
 		skip := false
 		for _, v := range visited {
@@ -506,11 +513,43 @@ func (t *Trader) federatedMatches(ctx context.Context, req ImportRequest) []*Off
 		if skip {
 			continue
 		}
-		offers, err := link.FederatedImport(ctx, sub)
-		if err != nil {
-			continue
+		asked++
+		go func(link Federate) {
+			offers, err := link.FederatedImport(ctx, sub)
+			if err != nil {
+				offers = nil
+			}
+			results <- offers
+		}(link)
+	}
+
+	// Stop collecting at the deadline minus a margin for the originating
+	// trader's own ordering and marshalling work.
+	var cutoff <-chan time.Time
+	if deadline, ok := ctx.Deadline(); ok {
+		rem := time.Until(deadline)
+		margin := rem / 5
+		if margin < time.Millisecond {
+			margin = time.Millisecond
 		}
-		out = append(out, offers...)
+		if margin > 250*time.Millisecond {
+			margin = 250 * time.Millisecond
+		}
+		timer := time.NewTimer(rem - margin)
+		defer timer.Stop()
+		cutoff = timer.C
+	}
+
+	var out []*Offer
+	for i := 0; i < asked; i++ {
+		select {
+		case offers := <-results:
+			out = append(out, offers...)
+		case <-cutoff:
+			return out
+		case <-ctx.Done():
+			return out
+		}
 	}
 	return out
 }

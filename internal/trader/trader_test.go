@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"cosm/internal/ref"
 	"cosm/internal/sidl"
@@ -293,6 +294,67 @@ func TestFederationDeduplicates(t *testing.T) {
 	offers, err := a.Import(ctx, ImportRequest{Type: "CarRentalService", HopLimit: 1})
 	if err != nil || len(offers) != 1 {
 		t.Fatalf("dedup offers = %+v, %v", offers, err)
+	}
+}
+
+// blackholeFederate simulates a dead federation partner: the query never
+// answers until the caller's context gives up.
+type blackholeFederate struct{ id string }
+
+func (f *blackholeFederate) FederationID() string { return f.id }
+
+func (f *blackholeFederate) FederatedImport(ctx context.Context, _ ImportRequest) ([]*Offer, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// A federated import over a dead link must still return the partial
+// results from live links within the caller's deadline, instead of
+// hanging on (or failing because of) the black-holed partner.
+func TestFederationPartialResultsOverDeadLink(t *testing.T) {
+	a := New("A", newCarRepo(t))
+	live := New("B", newCarRepo(t))
+	a.Link(&blackholeFederate{id: "DEAD"})
+	a.Link(live)
+	if _, err := live.Export("CarRentalService", carRef(7), carProps("AUDI", 70, "USD")); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	offers, err := a.Import(ctx, ImportRequest{Type: "CarRentalService", HopLimit: 1})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("Import over dead link: %v", err)
+	}
+	if len(offers) != 1 || offers[0].Ref != carRef(7) {
+		t.Fatalf("offers = %+v, want the live link's offer", offers)
+	}
+	if elapsed > 400*time.Millisecond {
+		t.Fatalf("import took %v, must finish within the caller's deadline", elapsed)
+	}
+}
+
+// Without any live results the query still returns (empty) by the
+// deadline rather than hanging.
+func TestFederationAllLinksDeadReturnsByDeadline(t *testing.T) {
+	a := New("A", newCarRepo(t))
+	a.Link(&blackholeFederate{id: "D1"})
+	a.Link(&blackholeFederate{id: "D2"})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	offers, err := a.Import(ctx, ImportRequest{Type: "CarRentalService", HopLimit: 1})
+	if err != nil {
+		t.Fatalf("Import: %v", err)
+	}
+	if len(offers) != 0 {
+		t.Fatalf("offers = %+v, want none", offers)
+	}
+	if elapsed := time.Since(start); elapsed > 300*time.Millisecond {
+		t.Fatalf("import took %v, want ~deadline", elapsed)
 	}
 }
 

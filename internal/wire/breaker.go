@@ -100,6 +100,26 @@ func (b *breaker) success() {
 	b.mu.Unlock()
 }
 
+// shed records a StatusOverloaded response. A shed is weighed
+// distinctly from both success and failure: the endpoint answered, so
+// it is provably alive — a half-open probe that gets shed closes the
+// circuit rather than reopening it — but an overloaded answer is not
+// a healthy interaction, so it does not forgive the consecutive-failure
+// streak the way success() does. A flapping endpoint that alternates
+// connection failures with sheds still trips the breaker.
+func (b *breaker) shed() {
+	if !b.policy.enabled() {
+		return
+	}
+	b.mu.Lock()
+	if b.state == breakerHalfOpen || b.state == breakerOpen {
+		// Liveness proof: stop failing fast so callers can back off on
+		// the server's own hint instead of the breaker's cooldown.
+		b.state = breakerClosed
+	}
+	b.mu.Unlock()
+}
+
 // failure records a dial/transport failure. It returns true when this
 // failure opened the circuit (for pool statistics).
 func (b *breaker) failure(now time.Time) bool {

@@ -26,6 +26,9 @@ var (
 type RemoteError struct {
 	Status Status
 	Msg    string
+	// RetryAfter is the server's backoff hint on StatusOverloaded
+	// (zero when the server gave none).
+	RetryAfter time.Duration
 }
 
 // Error formats the remote failure.
@@ -102,7 +105,7 @@ func (c *Client) readLoop() {
 			c.failAll(fmt.Errorf("%w: unexpected frame type %d", ErrBadFrame, f.ftype))
 			return
 		}
-		resp, err := decodeResponse(f.payload)
+		resp, err := decodeResponse(f.version, f.payload)
 		if err != nil {
 			c.failAll(err)
 			return
@@ -141,9 +144,20 @@ func (c *Client) broken() bool {
 }
 
 // Call performs one RPC: it sends the request and waits for the matching
-// response or ctx cancellation. On a non-OK status it returns a
-// *RemoteError wrapping ErrRemote.
+// response or ctx cancellation. A ctx deadline is stamped into the
+// request frame as a TTL, propagating the caller's remaining budget to
+// the server; abandoning the call (ctx cancelled or expired) sends a
+// best-effort cancel frame so server-side work stops too. On a non-OK
+// status it returns a *RemoteError wrapping ErrRemote.
 func (c *Client) Call(ctx context.Context, req *Request) ([]byte, error) {
+	var ttl uint64
+	if d, ok := ctx.Deadline(); ok {
+		// An already-expired budget is not worth a round trip.
+		if !time.Now().Before(d) {
+			return nil, fmt.Errorf("wire: call %s/%s: %w", req.Service, req.Op, context.DeadlineExceeded)
+		}
+		ttl = ttlOf(d, time.Now())
+	}
 	ch := make(chan *Response, 1)
 	c.mu.Lock()
 	if c.closed {
@@ -166,7 +180,7 @@ func (c *Client) Call(ctx context.Context, req *Request) ([]byte, error) {
 	}
 	c.writeMu.Lock()
 	_ = c.conn.SetWriteDeadline(deadline)
-	err := writeFrame(c.conn, frame{ftype: frameRequest, id: id, payload: encodeRequest(req)})
+	err := writeFrame(c.conn, frame{ftype: frameRequest, id: id, ttl: ttl, payload: encodeRequest(req)})
 	_ = c.conn.SetWriteDeadline(time.Time{})
 	c.writeMu.Unlock()
 	if err != nil {
@@ -186,14 +200,34 @@ func (c *Client) Call(ctx context.Context, req *Request) ([]byte, error) {
 			return nil, closeErr(err)
 		}
 		if resp.Status != StatusOK {
-			return nil, &RemoteError{Status: resp.Status, Msg: resp.ErrMsg}
+			return nil, &RemoteError{Status: resp.Status, Msg: resp.ErrMsg, RetryAfter: resp.RetryAfter}
 		}
 		return resp.Body, nil
 	case <-ctx.Done():
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
+		// Tell the server the caller has given up so it can cancel the
+		// request's context. Best-effort: a lost cancel only means the
+		// server finishes work nobody will read.
+		c.sendCancel(id)
 		return nil, fmt.Errorf("wire: call %s/%s: %w", req.Service, req.Op, ctx.Err())
+	}
+}
+
+// sendCancel emits a cancel frame for id; failures break the connection
+// like any other failed write (a half-sent frame poisons the stream).
+func (c *Client) sendCancel(id uint64) {
+	if c.broken() {
+		return
+	}
+	c.writeMu.Lock()
+	_ = c.conn.SetWriteDeadline(time.Now().Add(defaultWriteStall))
+	err := writeFrame(c.conn, frame{ftype: frameCancel, id: id})
+	_ = c.conn.SetWriteDeadline(time.Time{})
+	c.writeMu.Unlock()
+	if err != nil {
+		c.failAll(err)
 	}
 }
 
@@ -225,6 +259,9 @@ type PoolStats struct {
 	FailFast uint64
 	// BreakerOpens counts closed/half-open -> open transitions.
 	BreakerOpens uint64
+	// Sheds counts StatusOverloaded responses received: attempts the
+	// server rejected under admission control or while draining.
+	Sheds uint64
 }
 
 // Pool is a cache of Clients keyed by endpoint, used by the binder: a
@@ -259,6 +296,7 @@ type Pool struct {
 	retries      atomic.Uint64
 	failFast     atomic.Uint64
 	breakerOpens atomic.Uint64
+	sheds        atomic.Uint64
 }
 
 // dialCall is one in-flight dial shared by all concurrent Gets for the
@@ -340,6 +378,7 @@ func (p *Pool) Stats() PoolStats {
 		Retries:      p.retries.Load(),
 		FailFast:     p.failFast.Load(),
 		BreakerOpens: p.breakerOpens.Load(),
+		Sheds:        p.sheds.Load(),
 	}
 }
 
@@ -384,6 +423,20 @@ func (p *Pool) noteSuccess(endpoint string) {
 	p.mu.Unlock()
 	if ok {
 		b.success()
+	}
+}
+
+// noteShed feeds a StatusOverloaded response into the endpoint's
+// breaker. A shed is weighed distinctly from connection death: it
+// proves the endpoint alive (closing a half-open circuit) without
+// excusing earlier connection failures the way a success would.
+func (p *Pool) noteShed(endpoint string) {
+	p.sheds.Add(1)
+	p.mu.Lock()
+	b, ok := p.breakers[endpoint]
+	p.mu.Unlock()
+	if ok {
+		b.shed()
 	}
 }
 
@@ -500,6 +553,7 @@ func (p *Pool) CallWith(ctx context.Context, endpoint string, req *Request, poli
 	var lastErr error
 	attempt := 1
 	for ; ; attempt++ {
+		var retryAfter time.Duration
 		actx, cancel := policy.attemptCtx(ctx)
 		c, err := p.Get(actx, endpoint)
 		if err == nil {
@@ -518,13 +572,27 @@ func (p *Pool) CallWith(ctx context.Context, endpoint string, req *Request, poli
 				}
 				return nil, err
 			}
-			// Connection-class failure. Only a broken client condemns
-			// the shared connection: on a per-attempt timeout with the
-			// connection still live, the client is kept — dropping it
-			// would fail every concurrent in-flight call multiplexed on
-			// it — and no breaker failure is recorded against a merely
-			// slow endpoint.
-			if c.broken() {
+			var remote *RemoteError
+			switch {
+			case errors.As(err, &remote):
+				// A transient remote response (overloaded shed, expired
+				// deadline): the request provably did not execute and the
+				// endpoint is provably alive — back off and retry,
+				// honouring the server's hint, without condemning the
+				// connection.
+				if remote.Status == StatusOverloaded {
+					p.noteShed(endpoint)
+					retryAfter = remote.RetryAfter
+				} else {
+					p.noteSuccess(endpoint)
+				}
+			case c.broken():
+				// Connection-class failure. Only a broken client condemns
+				// the shared connection: on a per-attempt timeout with the
+				// connection still live, the client is kept — dropping it
+				// would fail every concurrent in-flight call multiplexed
+				// on it — and no breaker failure is recorded against a
+				// merely slow endpoint.
 				p.Drop(endpoint)
 				p.noteFailure(endpoint)
 			}
@@ -537,7 +605,14 @@ func (p *Pool) CallWith(ctx context.Context, endpoint string, req *Request, poli
 		if ctx.Err() != nil {
 			break
 		}
-		if d := policy.backoff(attempt); d > 0 {
+		// An overloaded server's retry-after hint takes precedence over a
+		// shorter policy backoff: retrying into a shedding server sooner
+		// than it asked only feeds the overload.
+		d := policy.backoff(attempt)
+		if retryAfter > d {
+			d = retryAfter
+		}
+		if d > 0 {
 			t := time.NewTimer(d)
 			select {
 			case <-ctx.Done():

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 )
 
 // Frame layout: a fixed header followed by the payload.
@@ -15,12 +16,33 @@ import (
 //	+------+------+-------+------------+------------+----------+
 //
 // id correlates responses with requests over one multiplexed connection.
+//
+// Version 2 extends version 1 compatibly:
+//
+//   - request frames carry an 8-byte big-endian TTL (microseconds of
+//     caller budget remaining at send time; 0 = unbounded) between the
+//     fixed header and the payload, propagating the caller's deadline
+//     to the server. A TTL is relative, not absolute, so it survives
+//     clock skew between nodes;
+//   - a new cancel frame type (no payload) tells the server the caller
+//     of the identified request has given up, so server-side work can
+//     be cancelled;
+//   - response payloads carry a retry-after hint (see
+//     encodeResponse).
+//
+// Readers accept both versions: a v1 request is simply one without a
+// deadline, which is exactly the pre-v2 semantics.
 const (
 	frameHeaderLen = 16
-	protoVersion   = 1
+	frameTTLLen    = 8
+	protoVersion   = 2
+	minProtoVer    = 1
 
 	frameRequest  = 1
 	frameResponse = 2
+	// frameCancel (v2+) carries no payload; its id names the request
+	// whose server-side work should be cancelled.
+	frameCancel = 3
 )
 
 // MaxFramePayload bounds a frame payload; larger frames are rejected on
@@ -36,8 +58,13 @@ var (
 var frameMagic = [2]byte{'C', 'W'}
 
 type frame struct {
+	version byte
 	ftype   byte
 	id      uint64
+	// ttl is the caller's remaining budget for request frames
+	// (microseconds; 0 means no deadline). Only meaningful when
+	// ftype == frameRequest and version >= 2.
+	ttl     uint64
 	payload []byte
 }
 
@@ -45,12 +72,19 @@ func writeFrame(w io.Writer, f frame) error {
 	if len(f.payload) > MaxFramePayload {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(f.payload))
 	}
-	hdr := make([]byte, frameHeaderLen, frameHeaderLen+len(f.payload))
+	ext := 0
+	if f.ftype == frameRequest {
+		ext = frameTTLLen
+	}
+	hdr := make([]byte, frameHeaderLen+ext, frameHeaderLen+ext+len(f.payload))
 	hdr[0], hdr[1] = frameMagic[0], frameMagic[1]
 	hdr[2] = protoVersion
 	hdr[3] = f.ftype
 	binary.BigEndian.PutUint64(hdr[4:], f.id)
 	binary.BigEndian.PutUint32(hdr[12:], uint32(len(f.payload)))
+	if ext > 0 {
+		binary.BigEndian.PutUint64(hdr[frameHeaderLen:], f.ttl)
+	}
 	// One Write call per frame keeps frames atomic with respect to the
 	// connection-level write mutex held by the caller.
 	buf := append(hdr, f.payload...)
@@ -66,12 +100,27 @@ func readFrame(r io.Reader) (frame, error) {
 	if hdr[0] != frameMagic[0] || hdr[1] != frameMagic[1] {
 		return frame{}, fmt.Errorf("%w: bad magic %x", ErrBadFrame, hdr[:2])
 	}
-	if hdr[2] != protoVersion {
-		return frame{}, fmt.Errorf("%w: version %d", ErrBadFrame, hdr[2])
+	version := hdr[2]
+	if version < minProtoVer || version > protoVersion {
+		return frame{}, fmt.Errorf("%w: version %d", ErrBadFrame, version)
 	}
 	ftype := hdr[3]
-	if ftype != frameRequest && ftype != frameResponse {
+	switch ftype {
+	case frameRequest, frameResponse:
+	case frameCancel:
+		if version < 2 {
+			return frame{}, fmt.Errorf("%w: cancel frame in version %d", ErrBadFrame, version)
+		}
+	default:
 		return frame{}, fmt.Errorf("%w: frame type %d", ErrBadFrame, ftype)
+	}
+	f := frame{version: version, ftype: ftype, id: binary.BigEndian.Uint64(hdr[4:])}
+	if ftype == frameRequest && version >= 2 {
+		var ttl [frameTTLLen]byte
+		if _, err := io.ReadFull(r, ttl[:]); err != nil {
+			return frame{}, fmt.Errorf("%w: truncated deadline: %v", ErrBadFrame, err)
+		}
+		f.ttl = binary.BigEndian.Uint64(ttl[:])
 	}
 	n := binary.BigEndian.Uint32(hdr[12:])
 	if n > MaxFramePayload {
@@ -81,7 +130,23 @@ func readFrame(r io.Reader) (frame, error) {
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return frame{}, fmt.Errorf("%w: truncated payload: %v", ErrBadFrame, err)
 	}
-	return frame{ftype: ftype, id: binary.BigEndian.Uint64(hdr[4:]), payload: payload}, nil
+	f.payload = payload
+	return f, nil
+}
+
+// ttlOf converts a context deadline into the frame TTL field: the
+// remaining budget in microseconds, at least 1 so a propagated deadline
+// is never mistaken for "no deadline".
+func ttlOf(deadline time.Time, now time.Time) uint64 {
+	rem := deadline.Sub(now)
+	if rem <= 0 {
+		return 1
+	}
+	us := uint64(rem / time.Microsecond)
+	if us == 0 {
+		us = 1
+	}
+	return us
 }
 
 // Request is one RPC request: a service name, an operation name, and an
@@ -110,6 +175,15 @@ const (
 	StatusProtocol
 	// StatusBadRequest: the request body could not be decoded.
 	StatusBadRequest
+	// StatusOverloaded (v2): the server shed the request before
+	// dispatching it — admission limits were exceeded or the server is
+	// draining. The handler did not run, so retrying is always safe;
+	// RetryAfter carries the server's backoff hint.
+	StatusOverloaded
+	// StatusDeadlineExpired (v2): the request's propagated deadline had
+	// already expired before dispatch, so the server refused to burn
+	// cycles on work whose caller has given up. The handler did not run.
+	StatusDeadlineExpired
 )
 
 // String returns a short name for the status.
@@ -127,6 +201,10 @@ func (s Status) String() string {
 		return "protocol violation"
 	case StatusBadRequest:
 		return "bad request"
+	case StatusOverloaded:
+		return "overloaded"
+	case StatusDeadlineExpired:
+		return "deadline expired"
 	}
 	return fmt.Sprintf("Status(%d)", uint8(s))
 }
@@ -136,6 +214,10 @@ type Response struct {
 	Status Status
 	ErrMsg string
 	Body   []byte
+	// RetryAfter is the server's backoff hint on StatusOverloaded:
+	// roughly how long the caller should wait before retrying. Zero
+	// means no hint.
+	RetryAfter time.Duration
 }
 
 func appendString(dst []byte, s string) []byte {
@@ -176,24 +258,43 @@ func decodeRequest(payload []byte) (*Request, error) {
 	return &Request{Service: service, Op: op, Body: rest}, nil
 }
 
+// Response payload layouts:
+//
+//	v1: status, errmsg, body
+//	v2: status, retry-after (uvarint ms), errmsg, body
+//
+// The version of the enclosing frame selects the layout, so a v2 node
+// still decodes responses from a v1 peer.
+
 func encodeResponse(r *Response) []byte {
-	buf := make([]byte, 0, len(r.ErrMsg)+len(r.Body)+16)
+	buf := make([]byte, 0, len(r.ErrMsg)+len(r.Body)+24)
 	buf = append(buf, byte(r.Status))
+	buf = binary.AppendUvarint(buf, uint64(r.RetryAfter/time.Millisecond))
 	buf = appendString(buf, r.ErrMsg)
 	return append(buf, r.Body...)
 }
 
-func decodeResponse(payload []byte) (*Response, error) {
+func decodeResponse(version byte, payload []byte) (*Response, error) {
 	if len(payload) < 1 {
 		return nil, fmt.Errorf("%w: empty response", ErrBadFrame)
 	}
 	status := Status(payload[0])
-	if status < StatusOK || status > StatusBadRequest {
+	if status < StatusOK || status > StatusDeadlineExpired {
 		return nil, fmt.Errorf("%w: status %d", ErrBadFrame, payload[0])
 	}
-	msg, rest, err := consumeString(payload[1:], MaxFramePayload)
+	rest := payload[1:]
+	var retryAfter time.Duration
+	if version >= 2 {
+		ms, size := binary.Uvarint(rest)
+		if size <= 0 {
+			return nil, fmt.Errorf("%w: truncated retry-after", ErrBadFrame)
+		}
+		rest = rest[size:]
+		retryAfter = time.Duration(ms) * time.Millisecond
+	}
+	msg, rest, err := consumeString(rest, MaxFramePayload)
 	if err != nil {
 		return nil, err
 	}
-	return &Response{Status: status, ErrMsg: msg, Body: rest}, nil
+	return &Response{Status: status, ErrMsg: msg, Body: rest, RetryAfter: retryAfter}, nil
 }

@@ -104,6 +104,14 @@ func (p CallPolicy) attemptCtx(ctx context.Context) (context.Context, context.Ca
 //     *before* dispatch (the body could not be decoded), so the
 //     operation did not run — safe to retry, and exactly what an
 //     in-flight corruption looks like from the caller;
+//   - StatusOverloaded responses were shed *before* dispatch under
+//     admission control (or during a drain): the handler provably did
+//     not run, so retrying — after the server's retry-after hint — is
+//     always safe;
+//   - StatusDeadlineExpired responses were rejected *before* dispatch
+//     because the propagated deadline had passed: the handler did not
+//     run, and a fresh attempt (with whatever budget the caller has
+//     left) is safe;
 //   - all other remote errors (application errors, protocol
 //     violations, unknown service/operation) prove the request was
 //     dispatched or deterministically rejected — retrying is unsafe or
@@ -118,7 +126,11 @@ func Transient(err error) bool {
 	}
 	var re *RemoteError
 	if errors.As(err, &re) {
-		return re.Status == StatusBadRequest
+		switch re.Status {
+		case StatusBadRequest, StatusOverloaded, StatusDeadlineExpired:
+			return true
+		}
+		return false
 	}
 	return !errors.Is(err, ErrRemote)
 }

@@ -202,7 +202,7 @@ func TestPoolCallRetriesTransient(t *testing.T) {
 func TestPoolCallGivesUpOnRemoteError(t *testing.T) {
 	var handlerRuns atomic.Int32
 	_, bound := startServer(t, "loop:no-retry-remote", map[string]Handler{
-		"svc": HandlerFunc(func(_ string, _ *Request) *Response {
+		"svc": HandlerFunc(func(_ context.Context, _ string, _ *Request) *Response {
 			handlerRuns.Add(1)
 			return &Response{Status: StatusAppError, ErrMsg: "no cars left"}
 		}),
@@ -229,7 +229,7 @@ func TestPoolCallGivesUpOnRemoteError(t *testing.T) {
 func TestPoolCallRetriesBadRequest(t *testing.T) {
 	var runs atomic.Int32
 	_, bound := startServer(t, "loop:retry-badreq", map[string]Handler{
-		"svc": HandlerFunc(func(_ string, _ *Request) *Response {
+		"svc": HandlerFunc(func(_ context.Context, _ string, _ *Request) *Response {
 			if runs.Add(1) == 1 {
 				return &Response{Status: StatusBadRequest, ErrMsg: "garbled"}
 			}
@@ -254,7 +254,7 @@ func TestPoolCallRetriesBadRequest(t *testing.T) {
 // must not feed the endpoint's breaker: slow is not dead.
 func TestTimeoutKeepsSharedClientAndBreaker(t *testing.T) {
 	_, bound := startServer(t, "loop:slow-live", map[string]Handler{
-		"slow": HandlerFunc(func(_ string, req *Request) *Response {
+		"slow": HandlerFunc(func(_ context.Context, _ string, req *Request) *Response {
 			time.Sleep(150 * time.Millisecond)
 			return &Response{Status: StatusOK, Body: []byte("late")}
 		}),

@@ -1,26 +1,35 @@
 package wire
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
 	"net"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Handler executes one operation of one service. Implementations are
-// invoked concurrently. The returned response's Body is opaque to the
-// wire layer. A Handler must not retain req.Body past its return.
+// invoked concurrently. ctx carries the caller's propagated deadline
+// (if the request frame had one) and is cancelled when the caller
+// abandons the call, the connection breaks, or the server shuts down;
+// long-running handlers should honour it. The returned response's Body
+// is opaque to the wire layer. A Handler must not retain req.Body past
+// its return.
 type Handler interface {
-	ServeCOSM(remote string, req *Request) *Response
+	ServeCOSM(ctx context.Context, remote string, req *Request) *Response
 }
 
 // HandlerFunc adapts a function to the Handler interface.
-type HandlerFunc func(remote string, req *Request) *Response
+type HandlerFunc func(ctx context.Context, remote string, req *Request) *Response
 
 // ServeCOSM calls f.
-func (f HandlerFunc) ServeCOSM(remote string, req *Request) *Response { return f(remote, req) }
+func (f HandlerFunc) ServeCOSM(ctx context.Context, remote string, req *Request) *Response {
+	return f(ctx, remote, req)
+}
 
 // Server registration errors.
 var (
@@ -28,20 +37,95 @@ var (
 	ErrServerClosed  = errors.New("wire: server closed")
 )
 
+// AdmissionPolicy bounds the work a Server accepts — the overload
+// protection of the market's hotspots (trader, browser). A server
+// beyond its limits sheds requests with StatusOverloaded instead of
+// accumulating unbounded goroutines, so admitted requests keep bounded
+// latency while excess load fails fast and backs off client-side.
+type AdmissionPolicy struct {
+	// MaxInFlight caps concurrently executing handlers across the whole
+	// server; 0 means unlimited (no admission control at all).
+	MaxInFlight int
+	// MaxPerConn caps dispatched-but-unfinished requests per connection
+	// (queued included), so one greedy client cannot monopolise the
+	// server-wide budget; 0 means unlimited.
+	MaxPerConn int
+	// MaxQueue caps requests waiting for an in-flight slot (FIFO);
+	// beyond it requests are shed immediately. 0 means no queue: a
+	// saturated server sheds at once.
+	MaxQueue int
+	// QueueWait caps how long one request may wait for admission; a
+	// request that queues longer is shed. 0 applies a default of 100ms
+	// when queueing is enabled.
+	QueueWait time.Duration
+	// RetryAfter is the backoff hint attached to shed responses; 0
+	// derives it from QueueWait.
+	RetryAfter time.Duration
+}
+
+const defaultQueueWait = 100 * time.Millisecond
+
+func (p AdmissionPolicy) queueWait() time.Duration {
+	if p.QueueWait > 0 {
+		return p.QueueWait
+	}
+	return defaultQueueWait
+}
+
+func (p AdmissionPolicy) retryAfter() time.Duration {
+	if p.RetryAfter > 0 {
+		return p.RetryAfter
+	}
+	return p.queueWait()
+}
+
+// ServerStats counts overload-protection events across a Server's
+// lifetime (monotonic, goroutine-safe).
+type ServerStats struct {
+	// Served counts requests whose handler ran to completion.
+	Served uint64
+	// Shed counts requests rejected with StatusOverloaded.
+	Shed uint64
+	// Expired counts requests rejected with StatusDeadlineExpired
+	// before their handler ran.
+	Expired uint64
+	// Panics counts handler panics converted into StatusAppError.
+	Panics uint64
+}
+
 // Server hosts named services behind one listener. One server instance
 // corresponds to one COSM "node": the trader, browser, name server and
 // application services of the prototype are all Handlers registered at a
 // Server. The zero value is not usable; call NewServer.
 type Server struct {
-	logf func(format string, args ...any)
+	logf      func(format string, args ...any)
+	admission AdmissionPolicy
+
+	// sem holds one token per executing handler when MaxInFlight > 0.
+	sem    chan struct{}
+	queued atomic.Int64
+
+	served  atomic.Uint64
+	shed    atomic.Uint64
+	expired atomic.Uint64
+	panics  atomic.Uint64
+
+	// baseCtx parents every request context; baseCancel fires on Close
+	// so abandoned handlers observe the shutdown.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
 
 	mu       sync.Mutex
 	services map[string]Handler
 	ln       Listener
 	conns    map[net.Conn]bool
 	closed   bool
+	draining bool
 
 	wg sync.WaitGroup
+	// inflight tracks dispatched requests (queued or executing);
+	// Shutdown waits for it before tearing connections down.
+	inflight sync.WaitGroup
 }
 
 // ServerOption configures a Server.
@@ -53,6 +137,13 @@ func WithServerLog(logf func(format string, args ...any)) ServerOption {
 	return func(s *Server) { s.logf = logf }
 }
 
+// WithAdmission bounds the server's concurrent work (see
+// AdmissionPolicy). Without this option the server admits everything,
+// preserving the pre-overload-protection behaviour.
+func WithAdmission(p AdmissionPolicy) ServerOption {
+	return func(s *Server) { s.admission = p }
+}
+
 // NewServer returns an empty server.
 func NewServer(opts ...ServerOption) *Server {
 	s := &Server{
@@ -60,10 +151,24 @@ func NewServer(opts ...ServerOption) *Server {
 		conns:    map[net.Conn]bool{},
 		logf:     func(format string, args ...any) { log.Printf(format, args...) },
 	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	for _, o := range opts {
 		o(s)
 	}
+	if s.admission.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, s.admission.MaxInFlight)
+	}
 	return s
+}
+
+// Stats returns a snapshot of the server's overload counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Served:  s.served.Load(),
+		Shed:    s.shed.Load(),
+		Expired: s.expired.Load(),
+		Panics:  s.panics.Load(),
+	}
 }
 
 // Register adds a named service. Registering a duplicate name is an
@@ -168,6 +273,44 @@ func (s *Server) acceptLoop(ln Listener) {
 	}
 }
 
+// connState is the per-connection request bookkeeping shared between the
+// read loop and the per-request goroutines.
+type connState struct {
+	conn    net.Conn
+	writeMu sync.Mutex // serializes frame writes
+
+	// dispatched counts queued or executing requests on this connection
+	// (the MaxPerConn budget).
+	dispatched atomic.Int64
+
+	mu      sync.Mutex
+	cancels map[uint64]context.CancelFunc
+}
+
+// register records the cancel func of an in-flight request so a cancel
+// frame for its id can reach it.
+func (cs *connState) register(id uint64, cancel context.CancelFunc) {
+	cs.mu.Lock()
+	cs.cancels[id] = cancel
+	cs.mu.Unlock()
+}
+
+func (cs *connState) unregister(id uint64) {
+	cs.mu.Lock()
+	delete(cs.cancels, id)
+	cs.mu.Unlock()
+}
+
+// cancel fires the cancel func registered for id, if any.
+func (cs *connState) cancel(id uint64) {
+	cs.mu.Lock()
+	c := cs.cancels[id]
+	cs.mu.Unlock()
+	if c != nil {
+		c()
+	}
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -178,8 +321,11 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 
 	remote := conn.RemoteAddr().String()
-	// Responses from concurrent handlers are serialized by writeMu.
-	var writeMu sync.Mutex
+	cs := &connState{conn: conn, cancels: map[uint64]context.CancelFunc{}}
+	// connCtx parents every request on this connection: a broken or
+	// closed connection cancels all of its in-flight handlers.
+	connCtx, connCancel := context.WithCancel(s.baseCtx)
+	defer connCancel()
 	var handlers sync.WaitGroup
 	defer handlers.Wait()
 
@@ -193,53 +339,222 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		if f.ftype != frameRequest {
+		switch f.ftype {
+		case frameCancel:
+			cs.cancel(f.id)
+			continue
+		case frameRequest:
+		default:
 			s.logf("wire: %s: unexpected frame type %d", remote, f.ftype)
 			return
 		}
 		req, err := decodeRequest(f.payload)
 		if err != nil {
-			s.respond(conn, &writeMu, f.id, &Response{Status: StatusBadRequest, ErrMsg: err.Error()})
+			s.respond(cs, f.id, &Response{Status: StatusBadRequest, ErrMsg: err.Error()})
 			continue
 		}
 		s.mu.Lock()
 		h, ok := s.services[req.Service]
+		draining := s.draining
 		s.mu.Unlock()
 		if !ok {
-			s.respond(conn, &writeMu, f.id, &Response{Status: StatusNoService, ErrMsg: req.Service})
+			s.respond(cs, f.id, &Response{Status: StatusNoService, ErrMsg: req.Service})
 			continue
 		}
-		// Each request runs in its own goroutine so one slow operation
-		// does not block the connection (the multiplexing that Sun RPC
-		// over TCP lacks, but DCE-style RPC provides).
-		handlers.Add(1)
-		go func(id uint64, req *Request) {
-			defer handlers.Done()
-			resp := h.ServeCOSM(remote, req)
-			if resp == nil {
-				resp = &Response{Status: StatusAppError, ErrMsg: "nil response from handler"}
-			}
-			s.respond(conn, &writeMu, id, resp)
-		}(f.id, req)
+		s.dispatch(connCtx, cs, &handlers, f, req, h, remote, draining)
 	}
 }
 
-func (s *Server) respond(conn net.Conn, writeMu *sync.Mutex, id uint64, resp *Response) {
-	writeMu.Lock()
-	defer writeMu.Unlock()
+// dispatch applies deadline, drain and admission checks to one request
+// and, when admitted, runs its handler in its own goroutine so one slow
+// operation does not block the connection (the multiplexing that Sun
+// RPC over TCP lacks, but DCE-style RPC provides). Shed and reject
+// paths respond inline from the read loop: they do not spawn, so the
+// goroutine population is bounded by MaxInFlight + MaxQueue.
+func (s *Server) dispatch(connCtx context.Context, cs *connState, handlers *sync.WaitGroup, f frame, req *Request, h Handler, remote string, draining bool) {
+	// Deadline propagation: the request context inherits the caller's
+	// remaining budget, and is independently cancellable so a cancel
+	// frame for this id can abort just this request. An already-expired
+	// request is rejected before any queueing or handler work.
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if f.ttl > 0 {
+		ctx, cancel = context.WithTimeout(connCtx, time.Duration(f.ttl)*time.Microsecond)
+	} else {
+		ctx, cancel = context.WithCancel(connCtx)
+	}
+	if ctx.Err() != nil || f.ttl == 1 {
+		// A 1µs TTL is the stamp of a caller at (or past) its deadline.
+		cancel()
+		s.expired.Add(1)
+		s.respond(cs, f.id, &Response{Status: StatusDeadlineExpired, ErrMsg: req.Service + "/" + req.Op})
+		return
+	}
+	if draining {
+		cancel()
+		s.shedResponse(cs, f.id, "server draining")
+		return
+	}
+	p := s.admission
+	if p.MaxPerConn > 0 && cs.dispatched.Load() >= int64(p.MaxPerConn) {
+		cancel()
+		s.shedResponse(cs, f.id, "per-connection limit")
+		return
+	}
+
+	queueing := false
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}: // free slot: admit immediately
+		default:
+			if int(s.queued.Load()) >= p.MaxQueue {
+				cancel()
+				s.shedResponse(cs, f.id, "admission queue full")
+				return
+			}
+			s.queued.Add(1)
+			queueing = true
+		}
+	}
+
+	cs.dispatched.Add(1)
+	s.inflight.Add(1)
+	handlers.Add(1)
+	cs.register(f.id, cancel)
+	go func(id uint64, req *Request, ctx context.Context) {
+		defer handlers.Done()
+		defer s.inflight.Done()
+		defer cs.dispatched.Add(-1)
+		defer cs.unregister(id)
+		defer cancel()
+
+		if queueing {
+			// FIFO admission wait, bounded by the queue-time cap and
+			// the request's own deadline: work nobody is waiting for
+			// anymore must not occupy a slot.
+			wait := time.NewTimer(p.queueWait())
+			select {
+			case s.sem <- struct{}{}:
+				wait.Stop()
+			case <-wait.C:
+				s.queued.Add(-1)
+				s.shedResponse(cs, id, "queue wait exceeded")
+				return
+			case <-ctx.Done():
+				wait.Stop()
+				s.queued.Add(-1)
+				s.expired.Add(1)
+				s.respond(cs, id, &Response{Status: StatusDeadlineExpired, ErrMsg: req.Service + "/" + req.Op})
+				return
+			}
+			s.queued.Add(-1)
+		}
+		if s.sem != nil {
+			defer func() { <-s.sem }()
+		}
+		// Re-check after queueing: the deadline may have expired while
+		// waiting for a slot.
+		if ctx.Err() != nil {
+			s.expired.Add(1)
+			s.respond(cs, id, &Response{Status: StatusDeadlineExpired, ErrMsg: req.Service + "/" + req.Op})
+			return
+		}
+		s.respond(cs, id, s.serveRequest(ctx, h, remote, req))
+	}(f.id, req, ctx)
+}
+
+// serveRequest runs one handler, converting a panic into a
+// StatusAppError response instead of letting it kill the daemon: in an
+// open market a single misbehaving service implementation must not take
+// the whole node — and every co-hosted service — down with it.
+func (s *Server) serveRequest(ctx context.Context, h Handler, remote string, req *Request) (resp *Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			s.logf("wire: panic in %s/%s handler: %v\n%s", req.Service, req.Op, r, debug.Stack())
+			resp = &Response{Status: StatusAppError, ErrMsg: fmt.Sprintf("handler panic: %v", r)}
+		}
+	}()
+	resp = h.ServeCOSM(ctx, remote, req)
+	if resp == nil {
+		resp = &Response{Status: StatusAppError, ErrMsg: "nil response from handler"}
+	}
+	s.served.Add(1)
+	return resp
+}
+
+// shedResponse rejects one request with StatusOverloaded and the
+// configured retry-after hint.
+func (s *Server) shedResponse(cs *connState, id uint64, why string) {
+	s.shed.Add(1)
+	s.respond(cs, id, &Response{
+		Status:     StatusOverloaded,
+		ErrMsg:     why,
+		RetryAfter: s.admission.retryAfter(),
+	})
+}
+
+func (s *Server) respond(cs *connState, id uint64, resp *Response) {
+	cs.writeMu.Lock()
+	defer cs.writeMu.Unlock()
 	// Bound the write so one wedged client socket cannot hold writeMu
 	// and stall every concurrent handler response on this connection.
-	_ = conn.SetWriteDeadline(time.Now().Add(defaultWriteStall))
-	err := writeFrame(conn, frame{ftype: frameResponse, id: id, payload: encodeResponse(resp)})
-	_ = conn.SetWriteDeadline(time.Time{})
+	_ = cs.conn.SetWriteDeadline(time.Now().Add(defaultWriteStall))
+	err := writeFrame(cs.conn, frame{ftype: frameResponse, id: id, payload: encodeResponse(resp)})
+	_ = cs.conn.SetWriteDeadline(time.Time{})
 	if err != nil {
 		// The read side will observe the broken connection and clean up.
 		s.logf("wire: write response: %v", err)
 	}
 }
 
+// Shutdown drains the server gracefully: it stops accepting new
+// connections, sheds newly arriving requests with StatusOverloaded
+// ("server draining") so clients fail over promptly, lets requests
+// already dispatched finish, and then closes everything down. If ctx
+// expires first, remaining in-flight work is aborted (its contexts are
+// cancelled by the final Close) and ctx's error is returned. Safe to
+// call multiple times and concurrently with Close.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	alreadyClosed := s.closed
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	if alreadyClosed {
+		return s.Close()
+	}
+	if ln != nil {
+		_ = ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = fmt.Errorf("wire: shutdown: %w", ctx.Err())
+	}
+	_ = s.Close()
+	return err
+}
+
+// Draining reports whether the server is shedding new work because a
+// Shutdown is in progress.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
 // Close stops the listener, closes all connections, and waits for all
-// handler goroutines to finish. Safe to call multiple times.
+// handler goroutines to finish. In-flight work is aborted: request
+// contexts are cancelled. Use Shutdown for a graceful drain. Safe to
+// call multiple times.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -255,6 +570,7 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 
+	s.baseCancel()
 	if ln != nil {
 		_ = ln.Close()
 	}

@@ -20,7 +20,7 @@ func quietServer() *Server {
 
 // echoHandler returns the request body with the op name prepended.
 func echoHandler() Handler {
-	return HandlerFunc(func(_ string, req *Request) *Response {
+	return HandlerFunc(func(_ context.Context, _ string, req *Request) *Response {
 		body := append([]byte(req.Op+":"), req.Body...)
 		return &Response{Status: StatusOK, Body: body}
 	})
@@ -80,7 +80,7 @@ func TestCallUnknownService(t *testing.T) {
 }
 
 func TestCallAppError(t *testing.T) {
-	h := HandlerFunc(func(_ string, _ *Request) *Response {
+	h := HandlerFunc(func(_ context.Context, _ string, _ *Request) *Response {
 		return &Response{Status: StatusAppError, ErrMsg: "car not available"}
 	})
 	_, bound := startServer(t, "loop:app-err", map[string]Handler{"svc": h})
@@ -99,7 +99,7 @@ func TestCallAppError(t *testing.T) {
 func TestConcurrentCallsMultiplex(t *testing.T) {
 	// Handlers sleep inversely to their index; responses must still be
 	// correlated correctly over the single shared connection.
-	h := HandlerFunc(func(_ string, req *Request) *Response {
+	h := HandlerFunc(func(_ context.Context, _ string, req *Request) *Response {
 		if len(req.Body) > 0 && req.Body[0]%2 == 0 {
 			time.Sleep(2 * time.Millisecond)
 		}
@@ -140,7 +140,7 @@ func TestConcurrentCallsMultiplex(t *testing.T) {
 
 func TestCallContextCancel(t *testing.T) {
 	block := make(chan struct{})
-	h := HandlerFunc(func(_ string, _ *Request) *Response {
+	h := HandlerFunc(func(_ context.Context, _ string, _ *Request) *Response {
 		<-block
 		return &Response{Status: StatusOK}
 	})
@@ -163,7 +163,7 @@ func TestCallContextCancel(t *testing.T) {
 func TestServerCloseFailsInFlightCalls(t *testing.T) {
 	started := make(chan struct{}, 1)
 	block := make(chan struct{})
-	h := HandlerFunc(func(_ string, _ *Request) *Response {
+	h := HandlerFunc(func(_ context.Context, _ string, _ *Request) *Response {
 		started <- struct{}{}
 		<-block
 		return &Response{Status: StatusOK}
@@ -194,7 +194,7 @@ func TestServerCloseFailsInFlightCalls(t *testing.T) {
 func TestClientCloseFailsPendingCalls(t *testing.T) {
 	block := make(chan struct{})
 	defer close(block)
-	h := HandlerFunc(func(_ string, _ *Request) *Response {
+	h := HandlerFunc(func(_ context.Context, _ string, _ *Request) *Response {
 		<-block
 		return &Response{Status: StatusOK}
 	})
@@ -341,22 +341,32 @@ func TestRequestResponseCodecs(t *testing.T) {
 	if got.Service != req.Service || got.Op != req.Op || !bytes.Equal(got.Body, req.Body) {
 		t.Fatalf("request round trip: %+v", got)
 	}
-	resp := &Response{Status: StatusProtocol, ErrMsg: "illegal op", Body: []byte("x")}
-	gotR, err := decodeResponse(encodeResponse(resp))
+	resp := &Response{Status: StatusProtocol, ErrMsg: "illegal op", Body: []byte("x"), RetryAfter: 40 * time.Millisecond}
+	gotR, err := decodeResponse(protoVersion, encodeResponse(resp))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if gotR.Status != resp.Status || gotR.ErrMsg != resp.ErrMsg || !bytes.Equal(gotR.Body, resp.Body) {
+	if gotR.Status != resp.Status || gotR.ErrMsg != resp.ErrMsg || !bytes.Equal(gotR.Body, resp.Body) || gotR.RetryAfter != resp.RetryAfter {
 		t.Fatalf("response round trip: %+v", gotR)
+	}
+	// A v1 response payload has no retry-after field.
+	v1 := append([]byte{byte(StatusOK)}, appendString(nil, "msg")...)
+	v1 = append(v1, 'b')
+	gotV1, err := decodeResponse(1, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotV1.Status != StatusOK || gotV1.ErrMsg != "msg" || string(gotV1.Body) != "b" || gotV1.RetryAfter != 0 {
+		t.Fatalf("v1 response round trip: %+v", gotV1)
 	}
 	// Malformed inputs.
 	if _, err := decodeRequest(nil); err == nil {
 		t.Fatal("decodeRequest(nil) must fail")
 	}
-	if _, err := decodeResponse(nil); err == nil {
+	if _, err := decodeResponse(protoVersion, nil); err == nil {
 		t.Fatal("decodeResponse(nil) must fail")
 	}
-	if _, err := decodeResponse([]byte{99, 0}); err == nil {
+	if _, err := decodeResponse(protoVersion, []byte{99, 0}); err == nil {
 		t.Fatal("bad status must fail")
 	}
 }
@@ -405,7 +415,7 @@ func TestPoolClosed(t *testing.T) {
 func TestGroupBroadcast(t *testing.T) {
 	var hits atomic.Int32
 	mk := func(name string) string {
-		h := HandlerFunc(func(_ string, req *Request) *Response {
+		h := HandlerFunc(func(_ context.Context, _ string, req *Request) *Response {
 			hits.Add(1)
 			return &Response{Status: StatusOK, Body: []byte(name)}
 		})
@@ -452,7 +462,7 @@ func TestGroupBroadcast(t *testing.T) {
 }
 
 func TestGroupAnycast(t *testing.T) {
-	h := HandlerFunc(func(_ string, _ *Request) *Response {
+	h := HandlerFunc(func(_ context.Context, _ string, _ *Request) *Response {
 		return &Response{Status: StatusOK, Body: []byte("pong")}
 	})
 	_, bound := startServer(t, "loop:any-ok", map[string]Handler{"svc": h})
@@ -532,14 +542,14 @@ func TestRequestCodecProperty(t *testing.T) {
 }
 
 func TestResponseCodecProperty(t *testing.T) {
-	f := func(status uint8, msg string, body []byte) bool {
-		s := Status(status%6) + StatusOK
-		resp := &Response{Status: s, ErrMsg: msg, Body: body}
-		got, err := decodeResponse(encodeResponse(resp))
+	f := func(status uint8, msg string, body []byte, retryMillis uint16) bool {
+		s := Status(status%8) + StatusOK
+		resp := &Response{Status: s, ErrMsg: msg, Body: body, RetryAfter: time.Duration(retryMillis) * time.Millisecond}
+		got, err := decodeResponse(protoVersion, encodeResponse(resp))
 		if err != nil {
 			return false
 		}
-		return got.Status == s && got.ErrMsg == msg && bytes.Equal(got.Body, body)
+		return got.Status == s && got.ErrMsg == msg && bytes.Equal(got.Body, body) && got.RetryAfter == resp.RetryAfter
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
