@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench chaos
+.PHONY: check build vet test race bench bench-smoke chaos
 
 check: build vet test race
 
@@ -22,6 +22,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# A fast benchmark sanity pass for CI: the overload-saturation and
+# obs-overhead groups run a few iterations so a regression that breaks
+# or wildly slows the hot path is caught without a full bench run.
+bench-smoke:
+	$(GO) test -run 'NoSuchTest' -bench 'ObsOverhead|Overload_Saturation' -benchtime 20x -benchmem .
 
 chaos:
 	$(GO) run ./cmd/marketsim -chaos

@@ -28,6 +28,7 @@ import (
 	"cosm/internal/genclient"
 	"cosm/internal/market"
 	"cosm/internal/naming"
+	"cosm/internal/obs"
 	"cosm/internal/ref"
 	"cosm/internal/sidl"
 	"cosm/internal/stub"
@@ -104,6 +105,7 @@ func startRentalNode(b *testing.B, loopName string) (*cosm.Node, ref.ServiceRef)
 // BenchmarkFig1_Export measures step 1 of Fig. 1: registering an offer
 // (type check + store insert) at an in-process trader.
 func BenchmarkFig1_Export(b *testing.B) {
+	b.ReportAllocs()
 	tr := trader.New("T", newCarRepo(b))
 	props := carProps(80)
 	b.ResetTimer()
@@ -118,8 +120,10 @@ func BenchmarkFig1_Export(b *testing.B) {
 // BenchmarkFig1_Import measures steps 2-3: constrained, policy-ordered
 // import against stores of growing size.
 func BenchmarkFig1_Import(b *testing.B) {
+	b.ReportAllocs()
 	for _, size := range []int{16, 256, 4096} {
 		b.Run(fmt.Sprintf("offers=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
 			tr := trader.New("T", newCarRepo(b))
 			fillTrader(b, tr, size)
 			req := trader.ImportRequest{
@@ -145,6 +149,7 @@ func BenchmarkFig1_Import(b *testing.B) {
 
 // BenchmarkFig1_ImportRemote measures the same import across the wire.
 func BenchmarkFig1_ImportRemote(b *testing.B) {
+	b.ReportAllocs()
 	tr := trader.New("T", newCarRepo(b))
 	fillTrader(b, tr, 256)
 	svc, err := trader.NewService(tr)
@@ -176,6 +181,7 @@ func BenchmarkFig1_ImportRemote(b *testing.B) {
 // BenchmarkFig1_Triangle measures the whole figure: import at the
 // trader, direct bind to the selected exporter, one invocation.
 func BenchmarkFig1_Triangle(b *testing.B) {
+	b.ReportAllocs()
 	node, carRef := startRentalNode(b, "bench-fig1-triangle")
 	tr := trader.New("T", newCarRepo(b))
 	if _, err := tr.Export("CarRentalService", carRef, carProps(80)); err != nil {
@@ -232,9 +238,11 @@ func extendedCarSID(n int) *sidl.SID {
 // BenchmarkFig2_Conformance measures checking an extended SID against
 // the base description as the extension grows.
 func BenchmarkFig2_Conformance(b *testing.B) {
+	b.ReportAllocs()
 	base := sidl.CarRentalSID()
 	for _, n := range []int{0, 8, 64} {
 		b.Run(fmt.Sprintf("extensions=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			ext := extendedCarSID(n)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -249,8 +257,10 @@ func BenchmarkFig2_Conformance(b *testing.B) {
 // BenchmarkFig2_ParseExtended measures a base-level parser processing an
 // extended description: the unknown-module skipping of section 4.1.
 func BenchmarkFig2_ParseExtended(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range []int{0, 8, 64} {
 		b.Run(fmt.Sprintf("extensions=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			text := extendedCarSID(n).IDL()
 			b.SetBytes(int64(len(text)))
 			b.ResetTimer()
@@ -270,6 +280,7 @@ func BenchmarkFig2_ParseExtended(b *testing.B) {
 // BenchmarkFig3_StaticStubCall is the baseline: compiled marshalling,
 // no SID, no FSM, over the same transport and server.
 func BenchmarkFig3_StaticStubCall(b *testing.B) {
+	b.ReportAllocs()
 	node, carRef := startRentalNode(b, "bench-fig3-static")
 	c, err := stub.Dial(node.Pool(), carRef, "bench")
 	if err != nil {
@@ -288,6 +299,7 @@ func BenchmarkFig3_StaticStubCall(b *testing.B) {
 // BenchmarkFig3_GenericCall is the same call through the generic
 // client: dynamic marshalling plus local FSM tracking.
 func BenchmarkFig3_GenericCall(b *testing.B) {
+	b.ReportAllocs()
 	node, carRef := startRentalNode(b, "bench-fig3-generic")
 	gc := genclient.New(node.Pool())
 	ctx := context.Background()
@@ -310,6 +322,7 @@ func BenchmarkFig3_GenericCall(b *testing.B) {
 // BenchmarkFig3_GenericFirstUse measures the one-time cost the paper
 // trades for zero client code: SID transfer, UI generation, first call.
 func BenchmarkFig3_GenericFirstUse(b *testing.B) {
+	b.ReportAllocs()
 	node, carRef := startRentalNode(b, "bench-fig3-firstuse")
 	ctx := context.Background()
 	b.ResetTimer()
@@ -359,6 +372,7 @@ func startBrowserNode(b *testing.B, loopName string, entries int) (*cosm.Node, r
 // BenchmarkFig4_Register measures SID registration (step 1 of Fig. 4)
 // over the wire, including SID text transfer and re-parsing.
 func BenchmarkFig4_Register(b *testing.B) {
+	b.ReportAllocs()
 	node, browserRef := startBrowserNode(b, "bench-fig4-reg", 0)
 	ctx := context.Background()
 	bc, err := browser.DialBrowser(ctx, node.Pool(), browserRef)
@@ -379,8 +393,10 @@ func BenchmarkFig4_Register(b *testing.B) {
 // BenchmarkFig4_Search measures keyword browsing (step 2) against
 // directories of growing size, over the wire.
 func BenchmarkFig4_Search(b *testing.B) {
+	b.ReportAllocs()
 	for _, size := range []int{16, 256, 1024} {
 		b.Run(fmt.Sprintf("entries=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
 			node, browserRef := startBrowserNode(b, fmt.Sprintf("bench-fig4-search-%d", size), size)
 			ctx := context.Background()
 			bc, err := browser.DialBrowser(ctx, node.Pool(), browserRef)
@@ -404,6 +420,7 @@ func BenchmarkFig4_Search(b *testing.B) {
 // BenchmarkFig4_BrowseBind measures steps 2-3 together: search, then
 // bind using the SID from the entry (no describe round trip).
 func BenchmarkFig4_BrowseBind(b *testing.B) {
+	b.ReportAllocs()
 	node, carRef := startRentalNode(b, "bench-fig4-bind-svc")
 	dir := browser.NewDirectory()
 	if err := dir.Register(sidl.CarRentalSID(), carRef); err != nil {
@@ -436,8 +453,10 @@ func BenchmarkFig4_BrowseBind(b *testing.B) {
 // BenchmarkFig4_Cascade measures traversing a chain of browsers, each
 // registered at the previous one, then binding at the end.
 func BenchmarkFig4_Cascade(b *testing.B) {
+	b.ReportAllocs()
 	for _, depth := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
 			ctx := context.Background()
 			_, carRef := startRentalNode(b, fmt.Sprintf("bench-fig4-casc-svc-%d", depth))
 
@@ -516,6 +535,7 @@ func BenchmarkFig4_Cascade(b *testing.B) {
 // the prototype architecture: name server resolution, binder, SID
 // describe, dynamic marshalling, RPC, FSM check, application handler.
 func BenchmarkFig6_FullStack(b *testing.B) {
+	b.ReportAllocs()
 	node, carRef := startRentalNode(b, "bench-fig6-stack")
 	nameSvc, err := naming.NewService(naming.NewRegistry())
 	if err != nil {
@@ -552,6 +572,7 @@ func BenchmarkFig6_FullStack(b *testing.B) {
 // BenchmarkFig6_DynamicMarshal isolates the communication-level codec:
 // type-directed marshalling of the paper's SelectCar_t request.
 func BenchmarkFig6_DynamicMarshal(b *testing.B) {
+	b.ReportAllocs()
 	sid := sidl.CarRentalSID()
 	sel := xcode.Zero(sid.Type("SelectCar_t"))
 	if err := sel.SetField("bookingDate", xcode.NewString(sidl.Basic(sidl.String), "1994-06-21")); err != nil {
@@ -570,6 +591,7 @@ func BenchmarkFig6_DynamicMarshal(b *testing.B) {
 // BenchmarkFig6_SIDTransfer measures marshalling and re-parsing the SID
 // itself — the communicable-first-class-object cost.
 func BenchmarkFig6_SIDTransfer(b *testing.B) {
+	b.ReportAllocs()
 	sid := sidl.CarRentalSID()
 	text, err := sid.MarshalText()
 	if err != nil {
@@ -615,8 +637,10 @@ module Wide {
 // BenchmarkFig7_FormGeneration measures generating the operation forms
 // from a SID as the interface grows.
 func BenchmarkFig7_FormGeneration(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range []int{4, 32, 256} {
 		b.Run(fmt.Sprintf("fields=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			sid := wideSID(n)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -631,6 +655,7 @@ func BenchmarkFig7_FormGeneration(b *testing.B) {
 
 // BenchmarkFig7_RenderUI measures rendering the full car rental dialog.
 func BenchmarkFig7_RenderUI(b *testing.B) {
+	b.ReportAllocs()
 	sid := sidl.CarRentalSID()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -644,6 +669,7 @@ func BenchmarkFig7_RenderUI(b *testing.B) {
 // violating invocation at the generic client: it must cost no network
 // traffic at all (section 4.2).
 func BenchmarkFig7_LocalInterception(b *testing.B) {
+	b.ReportAllocs()
 	node, carRef := startRentalNode(b, "bench-fig7-intercept")
 	gc := genclient.New(node.Pool())
 	ctx := context.Background()
@@ -667,9 +693,11 @@ func BenchmarkFig7_LocalInterception(b *testing.B) {
 // reports the paper-shape metrics (time to first use, unmet demand) as
 // custom benchmark metrics alongside the run time.
 func BenchmarkSec22_TimeToMarket(b *testing.B) {
+	b.ReportAllocs()
 	p := market.DefaultParams()
 	for _, regime := range []market.Regime{market.TradingOnly, market.MediationOnly, market.Integrated} {
 		b.Run(regime.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var last market.Metrics
 			for i := 0; i < b.N; i++ {
 				m, err := market.Run(p, regime)
@@ -692,9 +720,11 @@ func BenchmarkSec22_TimeToMarket(b *testing.B) {
 
 // BenchmarkSec23_TransitionCosts reports the cost split per regime.
 func BenchmarkSec23_TransitionCosts(b *testing.B) {
+	b.ReportAllocs()
 	p := market.DefaultParams()
 	for _, regime := range []market.Regime{market.TradingOnly, market.MediationOnly, market.Integrated} {
 		b.Run(regime.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var last market.Metrics
 			for i := 0; i < b.N; i++ {
 				m, err := market.Run(p, regime)
@@ -717,6 +747,7 @@ func BenchmarkSec23_TransitionCosts(b *testing.B) {
 // BenchmarkAblation_ConstraintCompile compares cached compiled
 // constraints against per-import re-parsing.
 func BenchmarkAblation_ConstraintCompile(b *testing.B) {
+	b.ReportAllocs()
 	for _, cached := range []bool{true, false} {
 		name := "cached"
 		opts := []trader.Option{}
@@ -725,6 +756,7 @@ func BenchmarkAblation_ConstraintCompile(b *testing.B) {
 			opts = append(opts, trader.WithoutConstraintCache())
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			tr := trader.New("T", newCarRepo(b), opts...)
 			fillTrader(b, tr, 256)
 			req := trader.ImportRequest{
@@ -745,6 +777,7 @@ func BenchmarkAblation_ConstraintCompile(b *testing.B) {
 // BenchmarkAblation_OfferIndex compares the type-indexed offer store
 // against a linear scan, with offers spread over many types.
 func BenchmarkAblation_OfferIndex(b *testing.B) {
+	b.ReportAllocs()
 	const types, perType = 64, 64
 	build := func(b *testing.B, opts ...trader.Option) *trader.Trader {
 		repo := typemgr.NewRepo()
@@ -786,6 +819,7 @@ func BenchmarkAblation_OfferIndex(b *testing.B) {
 			opts = append(opts, trader.WithoutOfferIndex())
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			tr := build(b, opts...)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -805,6 +839,7 @@ func BenchmarkAblation_OfferIndex(b *testing.B) {
 // reference/SID cache: the cache removes both the name-server round
 // trip and the SID transfer from repeat bindings.
 func BenchmarkAblation_SIDCache(b *testing.B) {
+	b.ReportAllocs()
 	node, carRef := startRentalNode(b, "bench-abl-sidcache")
 	nameSvc, err := naming.NewService(naming.NewRegistry())
 	if err != nil {
@@ -829,6 +864,7 @@ func BenchmarkAblation_SIDCache(b *testing.B) {
 			opts = append(opts, naming.WithoutBinderCache())
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			binder := naming.NewBinder(node.Pool(), nc, opts...)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -844,8 +880,10 @@ func BenchmarkAblation_SIDCache(b *testing.B) {
 // (Fig. 6 "Activity Management" / "Transactional RPC"): begin, enlist n
 // participants, one reservation each, two-phase commit.
 func BenchmarkExt_TwoPhaseCommit(b *testing.B) {
+	b.ReportAllocs()
 	for _, participants := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("participants=%d", participants), func(b *testing.B) {
+			b.ReportAllocs()
 			node := quietNode()
 			if _, err := node.ListenAndServe(fmt.Sprintf("loop:bench-2pc-%d", participants)); err != nil {
 				b.Fatal(err)
@@ -964,6 +1002,7 @@ module Inv {
 // MaxInFlight + MaxQueue. Reported metrics: p99 of served requests,
 // served throughput, and the shed / client-timeout fractions.
 func BenchmarkOverload_Saturation(b *testing.B) {
+	b.ReportAllocs()
 	const (
 		workers = 32
 		work    = 2 * time.Millisecond
@@ -977,6 +1016,7 @@ func BenchmarkOverload_Saturation(b *testing.B) {
 	}
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			// One service slot: the bottleneck is the resource behind the
 			// handler, not goroutine scheduling.
 			slot := make(chan struct{}, 1)
@@ -1082,9 +1122,11 @@ func BenchmarkOverload_Saturation(b *testing.B) {
 // BenchmarkAblation_Transport compares the loopback and TCP transports
 // under the same dynamic invocation.
 func BenchmarkAblation_Transport(b *testing.B) {
+	b.ReportAllocs()
 	for _, endpoint := range []string{"loop:bench-abl-transport", "tcp:127.0.0.1:0"} {
 		name := strings.SplitN(endpoint, ":", 2)[0]
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			svc, _, err := carrental.New()
 			if err != nil {
 				b.Fatal(err)
@@ -1114,4 +1156,62 @@ func BenchmarkAblation_Transport(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkObsOverhead measures what the observability layer costs on
+// the hot RPC path. "off" runs the wire stack with no registry — every
+// instrument is nil and records nothing — and is the acceptance bar:
+// it must stay within ~5% of a build with no obs calls at all. "on"
+// adds the full client+server metric families; "on+trace" additionally
+// propagates a request trace across the wire.
+func BenchmarkObsOverhead(b *testing.B) {
+	b.ReportAllocs()
+	run := func(b *testing.B, reg *obs.Registry, traced bool) {
+		echo := wire.HandlerFunc(func(_ context.Context, _ string, req *wire.Request) *wire.Response {
+			return &wire.Response{Status: wire.StatusOK, Body: req.Body}
+		})
+		opts := []wire.ServerOption{wire.WithServerLog(func(string, ...any) {})}
+		if reg != nil {
+			opts = append(opts, wire.WithServerMetrics(wire.NewServerMetrics(reg)))
+		}
+		s := wire.NewServer(opts...)
+		if err := s.Register("echo", echo); err != nil {
+			b.Fatal(err)
+		}
+		bound, err := s.ListenAndServe("loop:bench-obs")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		pool := wire.NewPool(wire.WithPoolMetrics(wire.NewClientMetrics(reg)))
+		defer pool.Close()
+
+		ctx := context.Background()
+		if traced {
+			ctx = obs.WithTrace(ctx, obs.NewTrace())
+		}
+		req := &wire.Request{Service: "echo", Op: "Ping", Body: []byte("overhead")}
+		// Warm the connection so dialing is not part of the measurement.
+		if _, err := pool.Call(ctx, bound, req); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pool.Call(ctx, bound, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		run(b, nil, false)
+	})
+	b.Run("on", func(b *testing.B) {
+		b.ReportAllocs()
+		run(b, obs.NewRegistry(), false)
+	})
+	b.Run("on+trace", func(b *testing.B) {
+		b.ReportAllocs()
+		run(b, obs.NewRegistry(), true)
+	})
 }

@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"log"
 	"os"
@@ -21,6 +22,7 @@ import (
 	"cosm/internal/browser"
 	"cosm/internal/cosm"
 	"cosm/internal/daemon"
+	"cosm/internal/obs"
 	"cosm/internal/ref"
 )
 
@@ -46,12 +48,15 @@ func run(args []string, sig <-chan os.Signal) error {
 		return err
 	}
 
-	dir := browser.NewDirectory()
+	logger := obs.NewLogger(os.Stderr, "browserd")
+	dir := browser.NewDirectory(
+		browser.WithDirectoryLogger(logger.With("browser")),
+		browser.WithDirectoryMetrics(df.Registry))
 	svc, err := browser.NewService(dir)
 	if err != nil {
 		return err
 	}
-	node := cosm.NewNode(df.NodeOptions()...)
+	node := cosm.NewNode(df.NodeOptions(logger.With("wire"))...)
 	if err := node.Host(browser.ServiceName, svc); err != nil {
 		return err
 	}
@@ -61,6 +66,20 @@ func run(args []string, sig <-chan os.Signal) error {
 	}
 	defer node.Close()
 	self := ref.New(endpoint, browser.ServiceName)
+
+	intro, err := df.Introspection(func() error {
+		if node.Draining() {
+			return errors.New("draining")
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	defer intro.Close()
+	if intro != nil {
+		log.Printf("metrics at http://%s/metrics", intro.Addr())
+	}
 
 	// In a cascade, deregister withdraws this browser's SID from the
 	// parent so cascaded lookups stop routing here during the drain.

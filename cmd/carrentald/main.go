@@ -14,6 +14,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"log"
 	"os"
@@ -24,6 +25,7 @@ import (
 	"cosm/internal/carrental"
 	"cosm/internal/cosm"
 	"cosm/internal/daemon"
+	"cosm/internal/obs"
 	"cosm/internal/ref"
 	"cosm/internal/trader"
 )
@@ -56,7 +58,8 @@ func run(args []string, sig <-chan os.Signal) error {
 	if err != nil {
 		return err
 	}
-	node := cosm.NewNode(df.NodeOptions()...)
+	logger := obs.NewLogger(os.Stderr, "carrentald")
+	node := cosm.NewNode(df.NodeOptions(logger.With("wire"))...)
 	if err := node.Host(*name, svc); err != nil {
 		return err
 	}
@@ -67,6 +70,20 @@ func run(args []string, sig <-chan os.Signal) error {
 	defer node.Close()
 	self := ref.New(endpoint, *name)
 	ctx := context.Background()
+
+	intro, err := df.Introspection(func() error {
+		if node.Draining() {
+			return errors.New("draining")
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	defer intro.Close()
+	if intro != nil {
+		log.Printf("metrics at http://%s/metrics", intro.Addr())
+	}
 
 	var bc *browser.Client
 	if *browserRef != "" {

@@ -14,6 +14,11 @@
 //	cosmcli session  cosm://.../CarRentalService 'SelectCar a.b=c ...' 'Commit'
 //	cosmcli import   cosm://.../cosm.trader CarRentalService \
 //	                 -constraint 'ChargePerDay < 100' -policy min:ChargePerDay
+//	cosmcli stats    127.0.0.1:9100
+//
+// stats takes the daemon's -metrics-addr (an HTTP address, not a COSM
+// reference) and prints a snapshot of its /debug/vars introspection
+// document: goroutines, heap, and every cosm_* metric.
 //
 // The global -timeout flag (before the subcommand) bounds the whole
 // command; the deadline is propagated on the wire, so overloaded or
@@ -26,14 +31,17 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"cosm/internal/genclient"
+	"cosm/internal/obs"
 	"cosm/internal/ref"
 	"cosm/internal/trader"
 	"cosm/internal/uiform"
@@ -48,7 +56,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: cosmcli [-timeout d] <describe|ui|browse|invoke|session|repl|import> <ref> [args...]")
+	return fmt.Errorf("usage: cosmcli [-timeout d] <describe|ui|browse|invoke|session|repl|import|stats> <ref> [args...]")
 }
 
 func run(args []string) error {
@@ -66,6 +74,11 @@ func runWithInput(args []string, stdin io.Reader) error {
 		return usage()
 	}
 	cmd, refText := args[0], args[1]
+	if cmd == "stats" {
+		// The argument is the daemon's -metrics-addr (plain HTTP), not
+		// a cosm:// reference, so it must not go through ref.Parse.
+		return stats(os.Stdout, refText, *timeout)
+	}
 	target, err := ref.Parse(refText)
 	if err != nil {
 		return err
@@ -75,7 +88,9 @@ func runWithInput(args []string, stdin io.Reader) error {
 	pool := wire.NewPool()
 	defer pool.Close()
 	gc := genclient.New(pool)
-	ctx := context.Background()
+	// The command is the importer entry point: it mints the root trace
+	// that every daemon touched below logs under.
+	ctx, _ := obs.EnsureTrace(context.Background())
 	if *timeout > 0 && cmd != "repl" {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -291,6 +306,70 @@ func invokeOne(ctx context.Context, b *genclient.Binding, op string, assignments
 		fmt.Printf("  [state: %s; allowed: %s]\n", state, strings.Join(b.AllowedOps(), ", "))
 	}
 	return nil
+}
+
+// stats fetches a daemon's /debug/vars introspection document and
+// prints it as a flat, sorted metric listing. addr is the value the
+// daemon was given as -metrics-addr.
+func stats(w io.Writer, addr string, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	url := "http://" + strings.TrimPrefix(addr, "http://") + "/debug/vars"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %s", url, resp.Status)
+	}
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return fmt.Errorf("%s: %w", url, err)
+	}
+
+	if g, ok := doc["goroutines"]; ok {
+		fmt.Fprintf(w, "%-40s %v\n", "goroutines", g)
+	}
+	if ms, ok := doc["memstats"].(map[string]any); ok {
+		for _, k := range []string{"HeapAlloc", "HeapObjects", "NumGC"} {
+			if v, ok := ms[k]; ok {
+				fmt.Fprintf(w, "%-40s %v\n", "memstats."+k, v)
+			}
+		}
+	}
+	metrics, _ := doc["cosm"].(map[string]any)
+	for _, name := range sortedKeys(metrics) {
+		printMetric(w, name, metrics[name])
+	}
+	return nil
+}
+
+// printMetric flattens one /debug/vars entry: scalars print directly,
+// histograms become count/p50/p95/p99 lines, and vecs recurse with the
+// label folded into the name.
+func printMetric(w io.Writer, name string, v any) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		fmt.Fprintf(w, "%-40s %v\n", name, v)
+		return
+	}
+	if _, isHist := m["p99"]; isHist {
+		for _, q := range []string{"count", "p50", "p95", "p99"} {
+			fmt.Fprintf(w, "%-40s %v\n", name+"."+q, m[q])
+		}
+		return
+	}
+	for _, label := range sortedKeys(m) {
+		printMetric(w, name+"{"+label+"}", m[label])
+	}
 }
 
 func sortedKeys[V any](m map[string]V) []string {

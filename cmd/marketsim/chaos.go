@@ -12,6 +12,7 @@ import (
 	"cosm/internal/cosm"
 	"cosm/internal/genclient"
 	"cosm/internal/naming"
+	"cosm/internal/obs"
 	"cosm/internal/sidl"
 	"cosm/internal/trader"
 	"cosm/internal/typemgr"
@@ -149,7 +150,10 @@ func runChaos(w io.Writer, cc chaosConfig) error {
 		Latency:       cc.latency,
 		LatencyJitter: cc.latency / 2,
 	}, wire.DialConnContext)
-	pool := wire.NewPool(wire.WithDialer(faults.Dial))
+	// The chaos pool carries client metrics; per-phase table rows are
+	// interval views diffed from snapshots at the phase boundaries.
+	cm := wire.NewClientMetrics(obs.NewRegistry())
+	pool := wire.NewPool(wire.WithDialer(faults.Dial), wire.WithPoolMetrics(cm))
 	defer pool.Close()
 	gc := genclient.New(pool)
 	chaosTrd, err := trader.DialTrader(ctx, pool, infra.MustRefFor(trader.ServiceName))
@@ -184,12 +188,16 @@ func runChaos(w io.Writer, cc chaosConfig) error {
 		return offer.Ref.Service, nil
 	}
 	book := func(days int) (string, error) {
+		// One root trace per logical booking: retries and the failover
+		// to the next-best offer all land under the same trace ID in
+		// the provider/trader logs.
+		bctx, _ := obs.EnsureTrace(ctx)
 		var lastErr error
 		for attempt := 0; attempt < 4; attempt++ {
 			// Each attempt gets a deadline: a dropped frame never gets a
 			// response, and the deadline turns that silence into a
 			// retryable failure.
-			actx, cancel := context.WithTimeout(ctx, 3*time.Second)
+			actx, cancel := context.WithTimeout(bctx, 3*time.Second)
 			who, err := bookOnce(actx, days)
 			cancel()
 			if err == nil {
@@ -200,7 +208,9 @@ func runChaos(w io.Writer, cc chaosConfig) error {
 		return "", lastErr
 	}
 
+	var phases []phaseRow
 	runPhase := func(label string) {
+		before := cm.Snapshot()
 		served := map[string]int{}
 		failed := 0
 		for i := 0; i < cc.bookings; i++ {
@@ -211,6 +221,7 @@ func runChaos(w io.Writer, cc chaosConfig) error {
 			}
 			served[who]++
 		}
+		phases = append(phases, phaseDelta(label, before, cm.Snapshot()))
 		fmt.Fprintf(w, "%s: %d/%d bookings completed;", label, cc.bookings-failed, cc.bookings)
 		for _, p := range providers {
 			if n := served[p.name]; n > 0 {
@@ -283,5 +294,44 @@ func runChaos(w io.Writer, cc chaosConfig) error {
 		fs.Dials, fs.Resets, fs.Drops, fs.Corruptions)
 	fmt.Fprintf(w, "pool: retries=%d fail-fast=%d breaker-opens=%d breaker[%s]=%s\n",
 		ps.Retries, ps.FailFast, ps.BreakerOpens, victim.name, pool.BreakerState(victim.node.Endpoint()))
+
+	fmt.Fprintln(w, "per-phase client metrics:")
+	fmt.Fprintf(w, "  %-24s %6s %7s %6s %8s %9s\n", "phase", "calls", "errors", "sheds", "retries", "p99")
+	for _, r := range phases {
+		fmt.Fprintf(w, "  %-24s %6d %7d %6d %8d %9s\n",
+			r.label, r.calls, r.errors, r.sheds, r.retries, r.p99.Round(100*time.Microsecond))
+	}
 	return nil
+}
+
+// phaseRow is one line of the per-phase summary table, derived from the
+// client metric registry rather than ad-hoc counters in the demo loop.
+type phaseRow struct {
+	label                         string
+	calls, errors, sheds, retries uint64
+	p99                           time.Duration
+}
+
+// phaseDelta scopes the client metrics to one phase by diffing the
+// snapshots taken at its boundaries. Per-endpoint latency intervals are
+// merged into a single histogram before taking the p99.
+func phaseDelta(label string, before, after wire.ClientSnapshot) phaseRow {
+	r := phaseRow{
+		label:   label,
+		sheds:   after.Sheds - before.Sheds,
+		retries: after.Retries - before.Retries,
+	}
+	for status, n := range after.Calls {
+		d := n - before.Calls[status]
+		r.calls += d
+		if status != "ok" {
+			r.errors += d
+		}
+	}
+	var lat obs.HistSnapshot
+	for ep, s := range after.Latency {
+		lat = lat.Merge(s.Sub(before.Latency[ep]))
+	}
+	r.p99 = time.Duration(lat.Quantile(0.99) * float64(time.Second))
+	return r
 }

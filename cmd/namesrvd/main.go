@@ -7,6 +7,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"log"
 	"os"
@@ -16,6 +17,7 @@ import (
 	"cosm/internal/cosm"
 	"cosm/internal/daemon"
 	"cosm/internal/naming"
+	"cosm/internal/obs"
 	"cosm/internal/ref"
 )
 
@@ -46,7 +48,8 @@ func run(args []string, sig <-chan os.Signal) error {
 	if err != nil {
 		return err
 	}
-	node := cosm.NewNode(df.NodeOptions()...)
+	logger := obs.NewLogger(os.Stderr, "namesrvd")
+	node := cosm.NewNode(df.NodeOptions(logger.With("wire"))...)
 	if err := node.Host(naming.ServiceName, nameSvc); err != nil {
 		return err
 	}
@@ -58,6 +61,20 @@ func run(args []string, sig <-chan os.Signal) error {
 		return err
 	}
 	defer node.Close()
+
+	intro, err := df.Introspection(func() error {
+		if node.Draining() {
+			return errors.New("draining")
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	defer intro.Close()
+	if intro != nil {
+		log.Printf("metrics at http://%s/metrics", intro.Addr())
+	}
 
 	log.Printf("name server at %s", ref.New(endpoint, naming.ServiceName))
 	log.Printf("group manager at %s", ref.New(endpoint, naming.GroupServiceName))

@@ -14,6 +14,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -23,6 +24,7 @@ import (
 
 	"cosm/internal/cosm"
 	"cosm/internal/daemon"
+	"cosm/internal/obs"
 	"cosm/internal/ref"
 	"cosm/internal/sidl"
 	"cosm/internal/trader"
@@ -83,12 +85,15 @@ func run(args []string, sig <-chan os.Signal) error {
 		log.Printf("preloaded service type %s (%d attributes)", st.Name, len(st.Attrs))
 	}
 
-	tr := trader.New(*id, repo)
+	logger := obs.NewLogger(os.Stderr, "traderd")
+	tr := trader.New(*id, repo,
+		trader.WithLogger(logger.With("trader")),
+		trader.WithMetrics(df.Registry))
 	svc, err := trader.NewService(tr)
 	if err != nil {
 		return err
 	}
-	node := cosm.NewNode(df.NodeOptions()...)
+	node := cosm.NewNode(df.NodeOptions(logger.With("wire"))...)
 	if err := node.Host(trader.ServiceName, svc); err != nil {
 		return err
 	}
@@ -97,6 +102,20 @@ func run(args []string, sig <-chan os.Signal) error {
 		return err
 	}
 	defer node.Close()
+
+	intro, err := df.Introspection(func() error {
+		if node.Draining() {
+			return errors.New("draining")
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	defer intro.Close()
+	if intro != nil {
+		log.Printf("metrics at http://%s/metrics", intro.Addr())
+	}
 
 	ctx := context.Background()
 	for _, link := range links {

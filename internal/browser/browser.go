@@ -19,6 +19,7 @@ import (
 	"strings"
 	"sync"
 
+	"cosm/internal/obs"
 	"cosm/internal/ref"
 	"cosm/internal/sidl"
 )
@@ -48,6 +49,9 @@ type Entry struct {
 type Directory struct {
 	mu      sync.RWMutex
 	entries map[string]*dirEntry
+
+	log     *obs.Logger
+	metrics dirMetrics
 }
 
 type dirEntry struct {
@@ -55,9 +59,50 @@ type dirEntry struct {
 	keywords []string
 }
 
+// dirMetrics binds the cosm_browser_* metric families; the zero value
+// (no registry) records nothing.
+type dirMetrics struct {
+	registrations *obs.Counter
+	withdrawals   *obs.Counter
+	fetches       *obs.Counter
+	searches      *obs.Counter
+}
+
+// DirectoryOption configures a Directory.
+type DirectoryOption func(*Directory)
+
+// WithDirectoryLogger routes registration and withdrawal events through
+// the structured logger l. A nil l disables logging.
+func WithDirectoryLogger(l *obs.Logger) DirectoryOption {
+	return func(d *Directory) { d.log = l }
+}
+
+// WithDirectoryMetrics records registrations, withdrawals, SID fetches
+// and searches — plus the live registration count — into reg's
+// cosm_browser_* families. A nil reg disables recording.
+func WithDirectoryMetrics(reg *obs.Registry) DirectoryOption {
+	return func(d *Directory) {
+		if reg == nil {
+			return
+		}
+		d.metrics = dirMetrics{
+			registrations: reg.Counter("cosm_browser_registrations_total", "SID registrations (upserts included)."),
+			withdrawals:   reg.Counter("cosm_browser_withdrawals_total", "Registrations withdrawn."),
+			fetches:       reg.Counter("cosm_browser_fetches_total", "SID/reference fetches by name."),
+			searches:      reg.Counter("cosm_browser_searches_total", "Keyword searches."),
+		}
+		reg.GaugeFunc("cosm_browser_entries", "Registered services.",
+			func() float64 { return float64(d.Len()) })
+	}
+}
+
 // NewDirectory returns an empty directory.
-func NewDirectory() *Directory {
-	return &Directory{entries: map[string]*dirEntry{}}
+func NewDirectory(opts ...DirectoryOption) *Directory {
+	d := &Directory{entries: map[string]*dirEntry{}}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
 }
 
 // Register records a SID and its reference under the SID's service name
@@ -76,6 +121,8 @@ func (d *Directory) Register(sid *sidl.SID, r ref.ServiceRef) error {
 		entry:    Entry{Name: sid.ServiceName, SID: sid, Ref: r},
 		keywords: sid.Keywords(),
 	}
+	d.metrics.registrations.Inc()
+	d.log.Log(nil, "register", "service", sid.ServiceName, "ref", r.String())
 	return nil
 }
 
@@ -87,11 +134,14 @@ func (d *Directory) Withdraw(name string) error {
 		return fmt.Errorf("%w: %q", ErrNotRegistered, name)
 	}
 	delete(d.entries, name)
+	d.metrics.withdrawals.Inc()
+	d.log.Log(nil, "withdraw", "service", name)
 	return nil
 }
 
 // Get returns the entry for a service name.
 func (d *Directory) Get(name string) (Entry, error) {
+	d.metrics.fetches.Inc()
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	e, ok := d.entries[name]
@@ -126,6 +176,7 @@ func (d *Directory) Len() int {
 // user's entry point into the open service market: no service type, just
 // text.
 func (d *Directory) Search(keyword string) []Entry {
+	d.metrics.searches.Inc()
 	needle := strings.ToLower(strings.TrimSpace(keyword))
 	d.mu.RLock()
 	defer d.mu.RUnlock()

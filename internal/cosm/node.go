@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"cosm/internal/obs"
 	"cosm/internal/ref"
 	"cosm/internal/wire"
 )
@@ -26,6 +27,7 @@ type Node struct {
 // admission option must both reach the one wire.Server).
 type nodeConfig struct {
 	serverOpts []wire.ServerOption
+	poolOpts   []wire.PoolOption
 }
 
 // NodeOption configures a Node.
@@ -38,12 +40,40 @@ func WithNodeLog(logf func(format string, args ...any)) NodeOption {
 	}
 }
 
+// WithNodeLogger routes the node's wire server through the structured
+// logger l (per-request access log with trace IDs, panic stacks; see
+// wire.WithServerLogger).
+func WithNodeLogger(l *obs.Logger) NodeOption {
+	return func(c *nodeConfig) {
+		c.serverOpts = append(c.serverOpts, wire.WithServerLogger(l))
+	}
+}
+
 // WithNodeAdmission bounds the node's inbound concurrency (see
 // wire.AdmissionPolicy): beyond the limits the node sheds requests with
 // wire.StatusOverloaded instead of accumulating unbounded goroutines.
 func WithNodeAdmission(p wire.AdmissionPolicy) NodeOption {
 	return func(c *nodeConfig) {
 		c.serverOpts = append(c.serverOpts, wire.WithAdmission(p))
+	}
+}
+
+// WithNodeMetrics instruments both directions of the node's wire layer
+// against reg: inbound server families (cosm_server_*) and outbound
+// pool families (cosm_client_*). A nil reg disables instrumentation.
+func WithNodeMetrics(reg *obs.Registry) NodeOption {
+	return func(c *nodeConfig) {
+		c.serverOpts = append(c.serverOpts, wire.WithServerMetrics(wire.NewServerMetrics(reg)))
+		c.poolOpts = append(c.poolOpts, wire.WithPoolMetrics(wire.NewClientMetrics(reg)))
+	}
+}
+
+// WithNodePool applies extra options to the node's outbound pool
+// (dialers, call policies — the fault-injecting harnesses plug in
+// here).
+func WithNodePool(opts ...wire.PoolOption) NodeOption {
+	return func(c *nodeConfig) {
+		c.poolOpts = append(c.poolOpts, opts...)
 	}
 }
 
@@ -55,7 +85,7 @@ func NewNode(opts ...NodeOption) *Node {
 	}
 	return &Node{
 		server: wire.NewServer(cfg.serverOpts...),
-		pool:   wire.NewPool(),
+		pool:   wire.NewPool(cfg.poolOpts...),
 	}
 }
 
@@ -107,6 +137,10 @@ func (n *Node) Pool() *wire.Pool { return n.pool }
 
 // ServerStats returns the node's inbound overload counters.
 func (n *Node) ServerStats() wire.ServerStats { return n.server.Stats() }
+
+// Draining reports whether the node is shedding inbound work because a
+// Shutdown is in progress (the daemons' /healthz check).
+func (n *Node) Draining() bool { return n.server.Draining() }
 
 // Shutdown drains the node gracefully: new inbound requests are shed,
 // in-flight handlers finish under ctx's deadline, and then everything —

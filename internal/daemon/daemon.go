@@ -1,12 +1,14 @@
-// Package daemon holds the overload-protection plumbing shared by the
-// COSM daemons (traderd, browserd, namesrvd, carrentald): the admission
-// control flags and the SIGTERM drain sequence. Every daemon exposes
-// the same knobs —
+// Package daemon holds the overload-protection and observability
+// plumbing shared by the COSM daemons (traderd, browserd, namesrvd,
+// carrentald): the admission control flags, the metrics endpoint, and
+// the SIGTERM drain sequence. Every daemon exposes the same knobs —
 //
 //	-max-inflight   bound on concurrently served requests
 //	-max-queue      admission queue beyond that bound
 //	-queue-wait     cap on one request's queueing time
 //	-drain-timeout  grace period for in-flight work on shutdown
+//	-metrics-addr   HTTP introspection endpoint (/metrics, /debug/vars,
+//	                /healthz); empty disables it
 //
 // — so operators tune one vocabulary across the whole market.
 package daemon
@@ -17,6 +19,7 @@ import (
 	"time"
 
 	"cosm/internal/cosm"
+	"cosm/internal/obs"
 	"cosm/internal/wire"
 )
 
@@ -26,26 +29,54 @@ type Flags struct {
 	MaxQueue     int
 	QueueWait    time.Duration
 	DrainTimeout time.Duration
+	MetricsAddr  string
+
+	// Registry collects the daemon's metrics; NodeOptions instruments
+	// the node against it and Introspection serves it. Populated by
+	// Register.
+	Registry *obs.Registry
 }
 
 // Register installs the shared flags on fs with the common defaults
-// (admission control off, 10s drain).
+// (admission control off, 10s drain, no metrics endpoint).
 func Register(fs *flag.FlagSet) *Flags {
-	f := &Flags{}
+	f := &Flags{Registry: obs.NewRegistry()}
 	fs.IntVar(&f.MaxInFlight, "max-inflight", 0, "max concurrently served requests (0 = unlimited)")
 	fs.IntVar(&f.MaxQueue, "max-queue", 0, "admission queue length beyond max-inflight")
 	fs.DurationVar(&f.QueueWait, "queue-wait", 100*time.Millisecond, "max time a request may queue for admission")
 	fs.DurationVar(&f.DrainTimeout, "drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	fs.StringVar(&f.MetricsAddr, "metrics-addr", "", "serve /metrics, /debug/vars and /healthz on this address (empty = off)")
 	return f
 }
 
-// NodeOptions converts the flags into cosm.NewNode options.
-func (f *Flags) NodeOptions() []cosm.NodeOption {
-	return []cosm.NodeOption{cosm.WithNodeAdmission(wire.AdmissionPolicy{
-		MaxInFlight: f.MaxInFlight,
-		MaxQueue:    f.MaxQueue,
-		QueueWait:   f.QueueWait,
-	})}
+// NodeOptions converts the flags into cosm.NewNode options: admission
+// control plus wire-level instrumentation against the daemon's
+// registry and the structured logger l (nil for plain logging).
+func (f *Flags) NodeOptions(l *obs.Logger) []cosm.NodeOption {
+	opts := []cosm.NodeOption{
+		cosm.WithNodeAdmission(wire.AdmissionPolicy{
+			MaxInFlight: f.MaxInFlight,
+			MaxQueue:    f.MaxQueue,
+			QueueWait:   f.QueueWait,
+		}),
+		cosm.WithNodeMetrics(f.Registry),
+	}
+	if l != nil {
+		opts = append(opts, cosm.WithNodeLogger(l))
+	}
+	return opts
+}
+
+// Introspection starts the daemon's metrics endpoint when -metrics-addr
+// was given, serving the daemon's registry; healthy reports readiness
+// for /healthz (typically the node's drain state) and may be nil. It
+// returns nil (without error) when the endpoint is disabled; the
+// returned server is nil-safe to Close.
+func (f *Flags) Introspection(healthy func() error) (*obs.Introspection, error) {
+	if f.MetricsAddr == "" {
+		return nil, nil
+	}
+	return obs.ServeIntrospection(f.MetricsAddr, f.Registry, healthy)
 }
 
 // Drain performs the graceful-shutdown sequence: deregister first (so

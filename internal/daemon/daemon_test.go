@@ -5,11 +5,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"strings"
 	"testing"
 	"time"
 
 	"cosm/internal/cosm"
+	"cosm/internal/obs"
 	"cosm/internal/ref"
 	"cosm/internal/wire"
 )
@@ -35,12 +38,87 @@ func TestRegisterDefaultsAndParsing(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	want := &Flags{MaxInFlight: 8, MaxQueue: 4, QueueWait: 50 * time.Millisecond, DrainTimeout: 2 * time.Second}
-	if *f != *want {
-		t.Fatalf("parsed = %+v, want %+v", f, want)
+	if f.MaxInFlight != 8 || f.MaxQueue != 4 || f.QueueWait != 50*time.Millisecond || f.DrainTimeout != 2*time.Second {
+		t.Fatalf("parsed = %+v", f)
 	}
-	if opts := f.NodeOptions(); len(opts) != 1 {
+	if f.MetricsAddr != "" {
+		t.Fatalf("MetricsAddr default = %q, want off", f.MetricsAddr)
+	}
+	if f.Registry == nil {
+		t.Fatal("Register left Registry nil")
+	}
+	if opts := f.NodeOptions(nil); len(opts) != 2 {
 		t.Fatalf("NodeOptions = %d options", len(opts))
+	}
+	if opts := f.NodeOptions(obs.NewLogger(&strings.Builder{}, "t")); len(opts) != 3 {
+		t.Fatalf("NodeOptions with logger = %d options", len(opts))
+	}
+}
+
+// The -metrics-addr flag stands up the introspection endpoints; the
+// health check flips to 503 when the daemon reports unhealthy.
+func TestIntrospectionEndpoint(t *testing.T) {
+	fs := flag.NewFlagSet("d", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse([]string{"-metrics-addr", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	f.Registry.Counter("cosm_test_total", "test counter").Add(3)
+	healthy := true
+	intro, err := f.Introspection(func() error {
+		if !healthy {
+			return errors.New("draining")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer intro.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + intro.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "cosm_test_total 3") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "cosm_test_total") {
+		t.Fatalf("/debug/vars = %d %q", code, body)
+	}
+	if code, _ := get("/healthz"); code != 200 {
+		t.Fatalf("/healthz healthy = %d", code)
+	}
+	healthy = false
+	if code, _ := get("/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz draining = %d", code)
+	}
+}
+
+// Without -metrics-addr, Introspection is off and nil-safe.
+func TestIntrospectionDisabled(t *testing.T) {
+	fs := flag.NewFlagSet("d", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	intro, err := f.Introspection(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if intro != nil {
+		t.Fatalf("Introspection = %v, want nil when disabled", intro)
+	}
+	if err := intro.Close(); err != nil {
+		t.Fatalf("nil Close = %v", err)
 	}
 }
 

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Handler returns the introspection mux every daemon serves on its
+// -metrics-addr:
+//
+//	/metrics     Prometheus text exposition of reg
+//	/debug/vars  expvar-style JSON: cmdline, memstats, and all metrics
+//	/healthz     200 "ok" while healthy() returns nil, else 503
+//
+// healthy may be nil (always healthy). Daemons pass a func reporting
+// the drain state, so load balancers stop routing during shutdown.
+func Handler(reg *Registry, healthy func() error) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		doc := map[string]any{
+			"cmdline": os.Args,
+			"memstats": map[string]any{
+				"Alloc":        ms.Alloc,
+				"TotalAlloc":   ms.TotalAlloc,
+				"Sys":          ms.Sys,
+				"HeapAlloc":    ms.HeapAlloc,
+				"HeapObjects":  ms.HeapObjects,
+				"NumGC":        ms.NumGC,
+				"PauseTotalNs": ms.PauseTotalNs,
+			},
+			"goroutines": runtime.NumGoroutine(),
+			"cosm":       reg.JSONValue(),
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if healthy != nil {
+			if err := healthy(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Introspection is a running introspection HTTP server.
+type Introspection struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeIntrospection starts the introspection endpoints on addr
+// (host:port; ":0" picks an ephemeral port) and returns the running
+// server. It returns immediately; Close stops it.
+func ServeIntrospection(addr string, reg *Registry, healthy func() error) (*Introspection, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listener %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           Handler(reg, healthy),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return &Introspection{srv: srv, ln: ln}, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (i *Introspection) Addr() string {
+	if i == nil {
+		return ""
+	}
+	return i.ln.Addr().String()
+}
+
+// Close stops the server. Safe on nil.
+func (i *Introspection) Close() error {
+	if i == nil {
+		return nil
+	}
+	return i.srv.Close()
+}

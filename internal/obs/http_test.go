@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("cosm_up_total", "help").Add(7)
+	healthy := error(nil)
+	srv := httptest.NewServer(Handler(reg, func() error { return healthy }))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != 200 || !strings.Contains(body, "cosm_up_total 7") {
+		t.Fatalf("/metrics = %d %q", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(readAll(t, resp)), &doc); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	cosmVars, ok := doc["cosm"].(map[string]any)
+	if !ok || cosmVars["cosm_up_total"] != float64(7) {
+		t.Fatalf("/debug/vars cosm = %v", doc["cosm"])
+	}
+	if _, ok := doc["goroutines"]; !ok {
+		t.Fatal("/debug/vars missing goroutines")
+	}
+
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/healthz = %d", resp.StatusCode)
+	}
+	healthy = errors.New("draining")
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(readAll(t, resp), "draining") {
+		t.Fatalf("unhealthy /healthz = %d", resp.StatusCode)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			return b.String()
+		}
+	}
+}
+
+func TestServeIntrospectionBadAddr(t *testing.T) {
+	if _, err := ServeIntrospection("256.256.256.256:bad", NewRegistry(), nil); err == nil {
+		t.Fatal("bad addr accepted")
+	}
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedClock() time.Time { return time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC) }
+
+func TestLogLine(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, "trader").WithClock(fixedClock)
+	l.Log(nil, "export", "offer", "o-1", "ttl", 30*time.Second, "note", "two words")
+	line := b.String()
+	for _, want := range []string{
+		"time=2026-01-02T03:04:05Z",
+		"component=trader",
+		"event=export",
+		"offer=o-1",
+		"ttl=30s",
+		`note="two words"`,
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line missing %q: %s", want, line)
+		}
+	}
+	if strings.Contains(line, "trace=") {
+		t.Errorf("untraced line carries trace tag: %s", line)
+	}
+}
+
+func TestLogTraceTags(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, "wire").WithClock(fixedClock)
+	tr := Trace{ID: "aaaa", Span: "bbbb", Parent: "cccc"}
+	l.Log(WithTrace(context.Background(), tr), "rpc", "op", "svc/Op")
+	line := b.String()
+	for _, want := range []string{"trace=aaaa", "span=bbbb", "parent=cccc", "op=svc/Op"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line missing %q: %s", want, line)
+		}
+	}
+}
+
+func TestLoggerWithSharesWriter(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, "a").WithClock(fixedClock)
+	l.With("b").Log(nil, "x")
+	if !strings.Contains(b.String(), "component=b") {
+		t.Fatalf("derived logger wrote elsewhere: %q", b.String())
+	}
+
+	// Derived loggers share one mutex: concurrent lines never interleave.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				l.With("worker").Log(nil, "tick", "j", j)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, line := range strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n") {
+		if !strings.HasPrefix(line, "time=") {
+			t.Fatalf("interleaved line: %q", line)
+		}
+	}
+}
+
+func TestNilLoggerAndSink(t *testing.T) {
+	var l *Logger
+	l.Log(nil, "ignored")
+	l.Logf("ignored %d", 1)
+	if l.With("x") != nil || l.WithClock(fixedClock) != nil {
+		t.Fatal("nil derivations not nil")
+	}
+	sink := l.Sink()
+	if sink == nil {
+		t.Fatal("nil logger Sink returned nil func")
+	}
+	sink("still fine %d", 2)
+
+	var b strings.Builder
+	real := NewLogger(&b, "d").WithClock(fixedClock)
+	real.Sink()("hello %s", "world")
+	if !strings.Contains(b.String(), `msg="hello world"`) {
+		t.Fatalf("sink line = %q", b.String())
+	}
+}
+
+func TestQuoteIfNeeded(t *testing.T) {
+	cases := map[string]string{
+		"plain":   "plain",
+		"":        `""`,
+		"a b":     `"a b"`,
+		"k=v":     `"k=v"`,
+		`with"dq`: `"with\"dq"`,
+	}
+	for in, want := range cases {
+		if got := quoteIfNeeded(in); got != want {
+			t.Errorf("quoteIfNeeded(%q) = %s, want %s", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+func TestTraceLifecycle(t *testing.T) {
+	root := NewTrace()
+	if !root.Valid() || root.ID == "" || root.Span == "" || root.Parent != "" {
+		t.Fatalf("root = %+v", root)
+	}
+	if len(root.ID) != 16 || len(root.Span) != 16 {
+		t.Fatalf("id lengths = %d/%d, want 16 hex chars", len(root.ID), len(root.Span))
+	}
+	child := root.Child()
+	if child.ID != root.ID {
+		t.Fatalf("child changed trace ID: %q vs %q", child.ID, root.ID)
+	}
+	if child.Parent != root.Span || child.Span == root.Span {
+		t.Fatalf("child span tree broken: %+v under %+v", child, root)
+	}
+	if (Trace{}).Valid() {
+		t.Fatal("zero trace reports valid")
+	}
+}
+
+func TestContextCarriage(t *testing.T) {
+	// Nil and bare contexts carry no trace.
+	if tr := TraceFrom(nil); tr.Valid() {
+		t.Fatalf("TraceFrom(nil) = %+v", tr)
+	}
+	if tr := TraceFrom(context.Background()); tr.Valid() {
+		t.Fatalf("TraceFrom(bare) = %+v", tr)
+	}
+
+	want := NewTrace()
+	ctx := WithTrace(context.Background(), want)
+	if got := TraceFrom(ctx); got != want {
+		t.Fatalf("TraceFrom = %+v, want %+v", got, want)
+	}
+
+	// EnsureTrace mints a root once and then reuses it.
+	ctx2, minted := EnsureTrace(context.Background())
+	if !minted.Valid() {
+		t.Fatal("EnsureTrace minted nothing")
+	}
+	ctx3, again := EnsureTrace(ctx2)
+	if again != minted || ctx3 != ctx2 {
+		t.Fatalf("EnsureTrace re-minted: %+v vs %+v", again, minted)
+	}
+}

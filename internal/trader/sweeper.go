@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cosm/internal/cosm"
+	"cosm/internal/obs"
 	"cosm/internal/ref"
 	"cosm/internal/wire"
 )
@@ -37,6 +38,8 @@ type Sweeper struct {
 	thresh       int
 	tick         <-chan time.Time
 	logf         func(format string, args ...any)
+	log          *obs.Logger
+	probes       *obs.CounterVec // cosm_trader_probes_total{outcome}
 
 	mu    sync.Mutex
 	fails map[string]int // offer ID -> consecutive failed probes
@@ -91,6 +94,27 @@ func WithSweepTick(tick <-chan time.Time) SweeperOption {
 // WithSweeperLog directs sweep diagnostics to logf (default: silent).
 func WithSweeperLog(logf func(format string, args ...any)) SweeperOption {
 	return func(sw *Sweeper) { sw.logf = logf }
+}
+
+// WithSweeperLogger routes probe results through the structured logger
+// l: every sweep emits one event=sweep summary line, and each suspicion
+// or withdrawal its own event line. A nil l is a no-op.
+func WithSweeperLogger(l *obs.Logger) SweeperOption {
+	return func(sw *Sweeper) {
+		if l == nil {
+			return
+		}
+		sw.log = l
+		sw.logf = l.Sink()
+	}
+}
+
+// WithSweeperMetrics counts probe outcomes (ok, failed) into reg's
+// cosm_trader_probes_total family. A nil reg disables recording.
+func WithSweeperMetrics(reg *obs.Registry) SweeperOption {
+	return func(sw *Sweeper) {
+		sw.probes = reg.CounterVec("cosm_trader_probes_total", "Sweeper liveness probes by outcome.", "outcome")
+	}
 }
 
 // NewSweeper returns a sweeper over t probing providers through pool.
@@ -210,6 +234,11 @@ func (sw *Sweeper) SweepOnce(ctx context.Context) SweepReport {
 			break
 		}
 		verdict[o.Ref] = err
+		if err == nil {
+			sw.probes.With("ok").Inc()
+		} else {
+			sw.probes.With("failed").Inc()
+		}
 	}
 
 	// tracked collects offer IDs whose failure streak must survive this
@@ -266,5 +295,8 @@ func (sw *Sweeper) SweepOnce(ctx context.Context) SweepReport {
 		}
 	}
 	sw.mu.Unlock()
+	sw.log.Log(nil, "sweep", "checked", rep.Checked, "healthy", rep.Healthy,
+		"suspected", rep.Suspected, "withdrawn", rep.Withdrawn,
+		"expired", rep.Expired, "skipped", rep.Skipped)
 	return rep
 }

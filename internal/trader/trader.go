@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"cosm/internal/obs"
 	"cosm/internal/ref"
 	"cosm/internal/sidl"
 	"cosm/internal/typemgr"
@@ -107,6 +108,32 @@ type Trader struct {
 	now          func() time.Time
 	useIndex     bool
 	compileCache map[string]*Constraint
+
+	log     *obs.Logger
+	metrics traderMetrics
+}
+
+// traderMetrics binds the cosm_trader_* metric families. The zero value
+// (no registry) records nothing: obs instruments are nil-safe.
+type traderMetrics struct {
+	exports     *obs.Counter
+	withdrawals *obs.Counter
+	imports     *obs.CounterVec // by requested type
+	matches     *obs.Histogram  // matches returned per import
+	purged      *obs.Counter
+}
+
+func newTraderMetrics(reg *obs.Registry) traderMetrics {
+	if reg == nil {
+		return traderMetrics{}
+	}
+	return traderMetrics{
+		exports:     reg.Counter("cosm_trader_exports_total", "Offers exported."),
+		withdrawals: reg.Counter("cosm_trader_withdrawals_total", "Offers withdrawn."),
+		imports:     reg.CounterVec("cosm_trader_imports_total", "Import requests by requested service type.", "type"),
+		matches:     reg.Histogram("cosm_trader_import_matches", "Offers returned per import.", obs.CountBuckets),
+		purged:      reg.Counter("cosm_trader_offers_purged_total", "Expired offers reclaimed."),
+	}
 }
 
 // Option configures a Trader.
@@ -136,6 +163,29 @@ func WithoutConstraintCache() Option {
 // clock).
 func WithClock(now func() time.Time) Option {
 	return func(t *Trader) { t.now = now }
+}
+
+// WithLogger routes the trader's structured log through l: every
+// import, export and withdrawal emits one event line, and imports are
+// tagged with the trace carried by their context — the line that makes
+// a federated import visible in each consulted trader's log under one
+// trace ID. A nil l disables logging.
+func WithLogger(l *obs.Logger) Option {
+	return func(t *Trader) { t.log = l }
+}
+
+// WithMetrics records the trader's market activity — exports,
+// withdrawals, imports by type, matches per import, purged offers and
+// the live offer count — into reg's cosm_trader_* families. A nil reg
+// disables recording.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(t *Trader) {
+		t.metrics = newTraderMetrics(reg)
+		if reg != nil {
+			reg.GaugeFunc("cosm_trader_offers", "Stored, unexpired offers.",
+				func() float64 { return float64(t.OfferCount()) })
+		}
+	}
 }
 
 // New returns a trader with the given identity over the given type
@@ -207,6 +257,8 @@ func (t *Trader) ExportLease(serviceType string, r ref.ServiceRef, props []sidl.
 	}
 	byID[id] = offer
 	t.byID[id] = offer
+	t.metrics.exports.Inc()
+	t.log.Log(nil, "export", "offer", id, "type", serviceType, "ref", r.String(), "ttl", ttl)
 	return id, nil
 }
 
@@ -233,6 +285,8 @@ func (t *Trader) Withdraw(offerID string) error {
 	if len(t.byType[offer.Type]) == 0 {
 		delete(t.byType, offer.Type)
 	}
+	t.metrics.withdrawals.Inc()
+	t.log.Log(nil, "withdraw", "offer", offerID, "type", offer.Type)
 	return nil
 }
 
@@ -326,6 +380,10 @@ func (t *Trader) PurgeExpired() int {
 		}
 		n++
 	}
+	if n > 0 {
+		t.metrics.purged.Add(uint64(n))
+		t.log.Log(nil, "purge", "reclaimed", n)
+	}
 	return n
 }
 
@@ -334,6 +392,7 @@ func (t *Trader) PurgeExpired() int {
 // (step 2/3 of Fig. 1). Results are constraint-filtered, policy-ordered,
 // deduplicated by service reference, and truncated to Max.
 func (t *Trader) Import(ctx context.Context, req ImportRequest) ([]*Offer, error) {
+	t.metrics.imports.With(req.Type).Inc()
 	constraint, err := t.compile(req.Constraint)
 	if err != nil {
 		return nil, err
@@ -382,6 +441,11 @@ func (t *Trader) Import(ctx context.Context, req ImportRequest) ([]*Offer, error
 	if req.Max > 0 && len(matches) > req.Max {
 		matches = matches[:req.Max]
 	}
+	t.metrics.matches.Observe(float64(len(matches)))
+	// The import line carries the trace from ctx, so a federated import
+	// shows up in each consulted trader's log under one trace ID.
+	t.log.Log(ctx, "import", "type", req.Type, "constraint", req.Constraint,
+		"hoplimit", req.HopLimit, "matches", len(matches))
 	return matches, nil
 }
 

@@ -53,6 +53,9 @@ const (
 // goroutine-safe; time is injected by the Pool for testability.
 type breaker struct {
 	policy BreakerPolicy
+	// onTransition, when set, observes every state change (metrics). It
+	// is invoked outside the breaker lock.
+	onTransition func(to BreakerState)
 
 	mu       sync.Mutex
 	state    int
@@ -64,6 +67,13 @@ func newBreaker(policy BreakerPolicy) *breaker {
 	return &breaker{policy: policy}
 }
 
+// notify reports a state change to the transition observer.
+func (b *breaker) notify(to BreakerState) {
+	if b.onTransition != nil {
+		b.onTransition(to)
+	}
+}
+
 // allow decides whether a caller may use the endpoint now. While open
 // it returns ErrCircuitOpen until the cooldown elapses, then admits
 // exactly one caller as the half-open probe; further callers keep
@@ -73,17 +83,21 @@ func (b *breaker) allow(now time.Time) error {
 		return nil
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	switch b.state {
 	case breakerClosed:
+		b.mu.Unlock()
 		return nil
 	case breakerHalfOpen:
+		b.mu.Unlock()
 		return fmt.Errorf("%w: probe in flight", ErrCircuitOpen)
 	default: // open
 		if now.Sub(b.openedAt) < b.policy.Cooldown {
+			b.mu.Unlock()
 			return fmt.Errorf("%w: cooling down", ErrCircuitOpen)
 		}
 		b.state = breakerHalfOpen // this caller is the probe
+		b.mu.Unlock()
+		b.notify(BreakerHalfOpen)
 		return nil
 	}
 }
@@ -95,9 +109,13 @@ func (b *breaker) success() {
 		return
 	}
 	b.mu.Lock()
+	changed := b.state != breakerClosed
 	b.state = breakerClosed
 	b.fails = 0
 	b.mu.Unlock()
+	if changed {
+		b.notify(BreakerClosed)
+	}
 }
 
 // shed records a StatusOverloaded response. A shed is weighed
@@ -112,12 +130,16 @@ func (b *breaker) shed() {
 		return
 	}
 	b.mu.Lock()
-	if b.state == breakerHalfOpen || b.state == breakerOpen {
+	changed := b.state == breakerHalfOpen || b.state == breakerOpen
+	if changed {
 		// Liveness proof: stop failing fast so callers can back off on
 		// the server's own hint instead of the breaker's cooldown.
 		b.state = breakerClosed
 	}
 	b.mu.Unlock()
+	if changed {
+		b.notify(BreakerClosed)
+	}
 }
 
 // failure records a dial/transport failure. It returns true when this
@@ -127,22 +149,26 @@ func (b *breaker) failure(now time.Time) bool {
 		return false
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	opened := false
 	switch b.state {
 	case breakerHalfOpen:
 		// The probe failed: back to open, restart the cooldown.
 		b.state = breakerOpen
 		b.openedAt = now
-		return true
+		opened = true
 	case breakerClosed:
 		b.fails++
 		if b.fails >= b.policy.Threshold {
 			b.state = breakerOpen
 			b.openedAt = now
-			return true
+			opened = true
 		}
 	}
-	return false
+	b.mu.Unlock()
+	if opened {
+		b.notify(BreakerOpen)
+	}
+	return opened
 }
 
 // current reports the observable state.

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cosm/internal/obs"
 )
 
 // Client-side errors.
@@ -146,7 +148,9 @@ func (c *Client) broken() bool {
 // Call performs one RPC: it sends the request and waits for the matching
 // response or ctx cancellation. A ctx deadline is stamped into the
 // request frame as a TTL, propagating the caller's remaining budget to
-// the server; abandoning the call (ctx cancelled or expired) sends a
+// the server; a trace carried by ctx (obs.WithTrace) is stamped into the
+// frame's trace metadata, so the server logs the same trace ID the
+// caller minted. Abandoning the call (ctx cancelled or expired) sends a
 // best-effort cancel frame so server-side work stops too. On a non-OK
 // status it returns a *RemoteError wrapping ErrRemote.
 func (c *Client) Call(ctx context.Context, req *Request) ([]byte, error) {
@@ -178,9 +182,17 @@ func (c *Client) Call(ctx context.Context, req *Request) ([]byte, error) {
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
+	trace := obs.TraceFrom(ctx)
 	c.writeMu.Lock()
 	_ = c.conn.SetWriteDeadline(deadline)
-	err := writeFrame(c.conn, frame{ftype: frameRequest, id: id, ttl: ttl, payload: encodeRequest(req)})
+	err := writeFrame(c.conn, frame{
+		ftype:    frameRequest,
+		id:       id,
+		ttl:      ttl,
+		traceID:  trace.ID,
+		parentID: trace.Span,
+		payload:  encodeRequest(req),
+	})
 	_ = c.conn.SetWriteDeadline(time.Time{})
 	c.writeMu.Unlock()
 	if err != nil {
@@ -284,6 +296,7 @@ type Pool struct {
 	policy        CallPolicy
 	breakerPolicy BreakerPolicy
 	now           func() time.Time
+	metrics       *ClientMetrics
 
 	mu       sync.Mutex
 	clients  map[string]*Client
@@ -349,6 +362,14 @@ func WithPoolClock(now func() time.Time) PoolOption {
 	return func(p *Pool) { p.now = now }
 }
 
+// WithPoolMetrics records the pool's dial, retry, shed and breaker
+// activity plus per-endpoint call latency into m (see NewClientMetrics).
+// A nil m — the result of NewClientMetrics on a nil registry — disables
+// recording at negligible cost.
+func WithPoolMetrics(m *ClientMetrics) PoolOption {
+	return func(p *Pool) { p.metrics = m }
+}
+
 // NewPool returns an empty client pool with the default call and
 // breaker policies.
 func NewPool(opts ...PoolOption) *Pool {
@@ -363,6 +384,21 @@ func NewPool(opts ...PoolOption) *Pool {
 	}
 	for _, o := range opts {
 		o(p)
+	}
+	if p.metrics != nil {
+		p.metrics.reg.GaugeFunc("cosm_client_breakers_open",
+			"Endpoints whose circuit breaker is currently open.",
+			func() float64 {
+				p.mu.Lock()
+				defer p.mu.Unlock()
+				n := 0
+				for _, b := range p.breakers {
+					if b.current() == BreakerOpen {
+						n++
+					}
+				}
+				return float64(n)
+			})
 	}
 	return p
 }
@@ -388,6 +424,9 @@ func (p *Pool) breakerFor(endpoint string) *breaker {
 	b, ok := p.breakers[endpoint]
 	if !ok {
 		b = newBreaker(p.breakerPolicy)
+		if p.metrics != nil {
+			b.onTransition = p.metrics.breakerTransition
+		}
 		p.breakers[endpoint] = b
 	}
 	return b
@@ -432,6 +471,7 @@ func (p *Pool) noteSuccess(endpoint string) {
 // excusing earlier connection failures the way a success would.
 func (p *Pool) noteShed(endpoint string) {
 	p.sheds.Add(1)
+	p.metrics.shed()
 	p.mu.Lock()
 	b, ok := p.breakers[endpoint]
 	p.mu.Unlock()
@@ -459,6 +499,7 @@ func (p *Pool) Get(ctx context.Context, endpoint string) (*Client, error) {
 		if c, ok := p.clients[endpoint]; ok {
 			if !c.broken() {
 				p.mu.Unlock()
+				p.metrics.reuse()
 				return c, nil
 			}
 			delete(p.clients, endpoint)
@@ -470,6 +511,7 @@ func (p *Pool) Get(ctx context.Context, endpoint string) (*Client, error) {
 			if b, known := p.breakers[endpoint]; known && b.current() == BreakerHalfOpen {
 				p.mu.Unlock()
 				p.failFast.Add(1)
+				p.metrics.failedFast()
 				return nil, fmt.Errorf("%w: probe in flight (endpoint %s)", ErrCircuitOpen, endpoint)
 			}
 			p.mu.Unlock()
@@ -490,6 +532,7 @@ func (p *Pool) Get(ctx context.Context, endpoint string) (*Client, error) {
 		if err := b.allow(p.now()); err != nil {
 			p.mu.Unlock()
 			p.failFast.Add(1)
+			p.metrics.failedFast()
 			return nil, fmt.Errorf("%w (endpoint %s)", err, endpoint)
 		}
 		dc := &dialCall{done: make(chan struct{})}
@@ -498,6 +541,7 @@ func (p *Pool) Get(ctx context.Context, endpoint string) (*Client, error) {
 		p.mu.Unlock()
 
 		p.dials.Add(1)
+		p.metrics.dialStarted()
 		conn, err := dial(ctx, endpoint)
 		var c *Client
 		if err == nil {
@@ -514,6 +558,7 @@ func (p *Pool) Get(ctx context.Context, endpoint string) (*Client, error) {
 
 		if err != nil {
 			p.dialFailures.Add(1)
+			p.metrics.dialFailed()
 			if b.failure(p.now()) {
 				p.breakerOpens.Add(1)
 			}
@@ -554,6 +599,7 @@ func (p *Pool) CallWith(ctx context.Context, endpoint string, req *Request, poli
 	attempt := 1
 	for ; ; attempt++ {
 		var retryAfter time.Duration
+		start := time.Now()
 		actx, cancel := policy.attemptCtx(ctx)
 		c, err := p.Get(actx, endpoint)
 		if err == nil {
@@ -561,11 +607,13 @@ func (p *Pool) CallWith(ctx context.Context, endpoint string, req *Request, poli
 			body, err = c.Call(actx, req)
 			if err == nil {
 				cancel()
+				p.metrics.observeAttempt(endpoint, time.Since(start), nil)
 				p.noteSuccess(endpoint)
 				return body, nil
 			}
 			if !Transient(err) {
 				cancel()
+				p.metrics.observeAttempt(endpoint, time.Since(start), err)
 				if errors.Is(err, ErrRemote) {
 					// Any remote response proves the endpoint alive.
 					p.noteSuccess(endpoint)
@@ -598,6 +646,7 @@ func (p *Pool) CallWith(ctx context.Context, endpoint string, req *Request, poli
 			}
 		}
 		cancel()
+		p.metrics.observeAttempt(endpoint, time.Since(start), err)
 		lastErr = err
 		if attempt >= attempts {
 			break
@@ -622,6 +671,7 @@ func (p *Pool) CallWith(ctx context.Context, endpoint string, req *Request, poli
 			}
 		}
 		p.retries.Add(1)
+		p.metrics.retry()
 	}
 	return nil, fmt.Errorf("wire: call %s/%s: %d of %d attempt(s) failed: %w", req.Service, req.Op, attempt, attempts, lastErr)
 }

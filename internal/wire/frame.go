@@ -24,6 +24,12 @@ import (
 //     fixed header and the payload, propagating the caller's deadline
 //     to the server. A TTL is relative, not absolute, so it survives
 //     clock skew between nodes;
+//   - after the TTL, request frames carry a trace-metadata section: one
+//     length byte, then (when non-zero) the request's trace ID and the
+//     caller's span ID, each length-prefixed. A zero length byte is the
+//     entire section for untraced requests, so readers tolerate the
+//     absence of trace IDs and v1 peers — which have no extension at
+//     all — are unaffected;
 //   - a new cancel frame type (no payload) tells the server the caller
 //     of the identified request has given up, so server-side work can
 //     be cancelled;
@@ -31,12 +37,17 @@ import (
 //     encodeResponse).
 //
 // Readers accept both versions: a v1 request is simply one without a
-// deadline, which is exactly the pre-v2 semantics.
+// deadline or trace, which is exactly the pre-v2 semantics.
 const (
 	frameHeaderLen = 16
 	frameTTLLen    = 8
 	protoVersion   = 2
 	minProtoVer    = 1
+
+	// frameMaxMeta bounds the trace-metadata section (it is
+	// length-prefixed by a single byte anyway); each ID within is
+	// length-prefixed by one byte too, capping it at 255 bytes.
+	frameMaxMeta = 255
 
 	frameRequest  = 1
 	frameResponse = 2
@@ -64,30 +75,89 @@ type frame struct {
 	// ttl is the caller's remaining budget for request frames
 	// (microseconds; 0 means no deadline). Only meaningful when
 	// ftype == frameRequest and version >= 2.
-	ttl     uint64
-	payload []byte
+	ttl uint64
+	// traceID and parentID are the request's trace metadata (v2
+	// requests only; both empty for untraced requests and v1 frames).
+	// traceID identifies the whole logical request across every hop;
+	// parentID is the calling side's span.
+	traceID  string
+	parentID string
+	payload  []byte
+}
+
+// encodeFrameMeta renders the trace-metadata section: a single length
+// byte, then — when there is anything to carry — the two IDs, each
+// length-prefixed by one byte. Oversized IDs are dropped rather than
+// corrupting the frame: tracing is best-effort metadata.
+func encodeFrameMeta(traceID, parentID string) []byte {
+	if len(traceID) > frameMaxMeta/2-1 || len(parentID) > frameMaxMeta/2-1 {
+		traceID, parentID = "", ""
+	}
+	if traceID == "" && parentID == "" {
+		return []byte{0}
+	}
+	meta := make([]byte, 0, 3+len(traceID)+len(parentID))
+	meta = append(meta, 0) // section length, patched below
+	meta = append(meta, byte(len(traceID)))
+	meta = append(meta, traceID...)
+	meta = append(meta, byte(len(parentID)))
+	meta = append(meta, parentID...)
+	meta[0] = byte(len(meta) - 1)
+	return meta
+}
+
+// decodeFrameMeta parses the body of a trace-metadata section (the
+// bytes after the section length byte).
+func decodeFrameMeta(meta []byte) (traceID, parentID string, err error) {
+	rest := meta
+	take := func() (string, error) {
+		if len(rest) == 0 {
+			return "", fmt.Errorf("%w: truncated trace metadata", ErrBadFrame)
+		}
+		n := int(rest[0])
+		rest = rest[1:]
+		if len(rest) < n {
+			return "", fmt.Errorf("%w: truncated trace metadata", ErrBadFrame)
+		}
+		s := string(rest[:n])
+		rest = rest[n:]
+		return s, nil
+	}
+	if traceID, err = take(); err != nil {
+		return "", "", err
+	}
+	if parentID, err = take(); err != nil {
+		return "", "", err
+	}
+	// Trailing bytes are tolerated: a future version may append more
+	// metadata, and old readers should keep working.
+	return traceID, parentID, nil
 }
 
 func writeFrame(w io.Writer, f frame) error {
 	if len(f.payload) > MaxFramePayload {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(f.payload))
 	}
-	ext := 0
-	if f.ftype == frameRequest {
-		ext = frameTTLLen
+	version := f.version
+	if version == 0 {
+		version = protoVersion
 	}
-	hdr := make([]byte, frameHeaderLen+ext, frameHeaderLen+ext+len(f.payload))
+	var ext []byte
+	if f.ftype == frameRequest && version >= 2 {
+		var ttl [frameTTLLen]byte
+		binary.BigEndian.PutUint64(ttl[:], f.ttl)
+		ext = append(ttl[:], encodeFrameMeta(f.traceID, f.parentID)...)
+	}
+	hdr := make([]byte, frameHeaderLen, frameHeaderLen+len(ext)+len(f.payload))
 	hdr[0], hdr[1] = frameMagic[0], frameMagic[1]
-	hdr[2] = protoVersion
+	hdr[2] = version
 	hdr[3] = f.ftype
 	binary.BigEndian.PutUint64(hdr[4:], f.id)
 	binary.BigEndian.PutUint32(hdr[12:], uint32(len(f.payload)))
-	if ext > 0 {
-		binary.BigEndian.PutUint64(hdr[frameHeaderLen:], f.ttl)
-	}
 	// One Write call per frame keeps frames atomic with respect to the
 	// connection-level write mutex held by the caller.
-	buf := append(hdr, f.payload...)
+	buf := append(hdr, ext...)
+	buf = append(buf, f.payload...)
 	_, err := w.Write(buf)
 	return err
 }
@@ -121,6 +191,21 @@ func readFrame(r io.Reader) (frame, error) {
 			return frame{}, fmt.Errorf("%w: truncated deadline: %v", ErrBadFrame, err)
 		}
 		f.ttl = binary.BigEndian.Uint64(ttl[:])
+		var metaLen [1]byte
+		if _, err := io.ReadFull(r, metaLen[:]); err != nil {
+			return frame{}, fmt.Errorf("%w: truncated trace metadata: %v", ErrBadFrame, err)
+		}
+		if n := int(metaLen[0]); n > 0 {
+			meta := make([]byte, n)
+			if _, err := io.ReadFull(r, meta); err != nil {
+				return frame{}, fmt.Errorf("%w: truncated trace metadata: %v", ErrBadFrame, err)
+			}
+			traceID, parentID, err := decodeFrameMeta(meta)
+			if err != nil {
+				return frame{}, err
+			}
+			f.traceID, f.parentID = traceID, parentID
+		}
 	}
 	n := binary.BigEndian.Uint32(hdr[12:])
 	if n > MaxFramePayload {

@@ -1,0 +1,247 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"time"
+
+	"cosm/internal/obs"
+)
+
+// Metric naming scheme (see DESIGN.md "Observability"):
+//
+//	cosm_<component>_<what>_<unit>
+//
+// The wire layer owns the cosm_client_* (Pool) and cosm_server_*
+// (Server) families. Label cardinality is bounded by obs (64 values per
+// vec, overflow collapsing into "_other"), so endpoint- and op-labelled
+// families cannot grow without bound.
+
+// ClientMetrics binds the client-side (Pool) metric families of a
+// registry. A nil *ClientMetrics — what NewClientMetrics returns for a
+// nil registry — records nothing, so instrumented paths need no
+// branches.
+type ClientMetrics struct {
+	reg          *obs.Registry
+	latency      *obs.HistogramVec // cosm_client_call_seconds{endpoint}
+	status       *obs.CounterVec   // cosm_client_calls_total{status}
+	dials        *obs.Counter
+	dialFailures *obs.Counter
+	reuses       *obs.Counter
+	retries      *obs.Counter
+	failFast     *obs.Counter
+	sheds        *obs.Counter
+	breaker      *obs.CounterVec // cosm_client_breaker_transitions_total{to}
+}
+
+// NewClientMetrics creates (or interns) the cosm_client_* families in
+// reg. Returns nil on a nil registry.
+func NewClientMetrics(reg *obs.Registry) *ClientMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &ClientMetrics{
+		reg:          reg,
+		latency:      reg.HistogramVec("cosm_client_call_seconds", "Per-attempt RPC latency by endpoint (dial included).", "endpoint", nil),
+		status:       reg.CounterVec("cosm_client_calls_total", "RPC attempts by outcome status.", "status"),
+		dials:        reg.Counter("cosm_client_dials_total", "Pool dial attempts."),
+		dialFailures: reg.Counter("cosm_client_dial_failures_total", "Pool dial failures."),
+		reuses:       reg.Counter("cosm_client_conn_reuse_total", "Gets served by an already-pooled connection."),
+		retries:      reg.Counter("cosm_client_retries_total", "Extra call attempts beyond the first."),
+		failFast:     reg.Counter("cosm_client_failfast_total", "Requests rejected immediately by an open circuit breaker."),
+		sheds:        reg.Counter("cosm_client_sheds_total", "StatusOverloaded responses received."),
+		breaker:      reg.CounterVec("cosm_client_breaker_transitions_total", "Circuit breaker state transitions by new state.", "to"),
+	}
+}
+
+// ClientSnapshot is a point-in-time copy of the client-side families
+// for callers that render their own interval views (marketsim's
+// per-phase chaos table): take one snapshot per phase boundary and diff
+// adjacent pairs.
+type ClientSnapshot struct {
+	Calls   map[string]uint64           // attempts by status label
+	Latency map[string]obs.HistSnapshot // per-attempt latency by endpoint
+	Sheds   uint64
+	Retries uint64
+}
+
+// Snapshot copies the current client metric values (zero value on nil).
+func (m *ClientMetrics) Snapshot() ClientSnapshot {
+	if m == nil {
+		return ClientSnapshot{}
+	}
+	return ClientSnapshot{
+		Calls:   m.status.Snapshot(),
+		Latency: m.latency.Snapshot(),
+		Sheds:   m.sheds.Value(),
+		Retries: m.retries.Value(),
+	}
+}
+
+// observeAttempt records one call attempt's latency and outcome.
+func (m *ClientMetrics) observeAttempt(endpoint string, d time.Duration, err error) {
+	if m == nil {
+		return
+	}
+	m.latency.With(endpoint).Observe(d.Seconds())
+	m.status.With(attemptStatusLabel(err)).Inc()
+}
+
+// breakerTransition records one breaker state change.
+func (m *ClientMetrics) breakerTransition(to BreakerState) {
+	if m == nil {
+		return
+	}
+	m.breaker.With(string(to)).Inc()
+}
+
+func (m *ClientMetrics) dialStarted() {
+	if m == nil {
+		return
+	}
+	m.dials.Inc()
+}
+
+func (m *ClientMetrics) dialFailed() {
+	if m == nil {
+		return
+	}
+	m.dialFailures.Inc()
+}
+
+func (m *ClientMetrics) reuse() {
+	if m == nil {
+		return
+	}
+	m.reuses.Inc()
+}
+
+func (m *ClientMetrics) retry() {
+	if m == nil {
+		return
+	}
+	m.retries.Inc()
+}
+
+func (m *ClientMetrics) failedFast() {
+	if m == nil {
+		return
+	}
+	m.failFast.Inc()
+}
+
+func (m *ClientMetrics) shed() {
+	if m == nil {
+		return
+	}
+	m.sheds.Inc()
+}
+
+// attemptStatusLabel classifies one attempt's outcome into a bounded
+// label set: "ok", the remote status slug, or a local error class.
+func attemptStatusLabel(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	var remote *RemoteError
+	switch {
+	case errors.As(err, &remote):
+		return statusSlug(remote.Status)
+	case errors.Is(err, ErrCircuitOpen):
+		return "circuit_open"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "cancelled"
+	default:
+		return "conn_error"
+	}
+}
+
+// statusSlug renders a Status as a metric label ("application error" ->
+// "application_error").
+func statusSlug(s Status) string {
+	return strings.ReplaceAll(s.String(), " ", "_")
+}
+
+// ServerMetrics binds the server-side metric families of a registry. A
+// nil *ServerMetrics records nothing.
+type ServerMetrics struct {
+	latency   *obs.HistogramVec // cosm_server_request_seconds{op}
+	status    *obs.CounterVec   // cosm_server_responses_total{status}
+	queueWait *obs.Histogram
+	sheds     *obs.Counter
+	expired   *obs.Counter
+	panics    *obs.Counter
+	inflight  *obs.Gauge
+}
+
+// NewServerMetrics creates (or interns) the cosm_server_* families in
+// reg. Returns nil on a nil registry.
+func NewServerMetrics(reg *obs.Registry) *ServerMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &ServerMetrics{
+		latency:   reg.HistogramVec("cosm_server_request_seconds", "Handler latency by service/op.", "op", nil),
+		status:    reg.CounterVec("cosm_server_responses_total", "Responses sent by status.", "status"),
+		queueWait: reg.Histogram("cosm_server_queue_wait_seconds", "Admission queue wait before a handler slot freed.", nil),
+		sheds:     reg.Counter("cosm_server_sheds_total", "Requests shed with StatusOverloaded."),
+		expired:   reg.Counter("cosm_server_deadline_expired_total", "Requests rejected with an already-expired deadline."),
+		panics:    reg.Counter("cosm_server_panics_total", "Handler panics converted into StatusAppError."),
+		inflight:  reg.Gauge("cosm_server_inflight_requests", "Requests dispatched and not yet responded to."),
+	}
+}
+
+// observeHandled records one handled request's latency.
+func (m *ServerMetrics) observeHandled(op string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.latency.With(op).Observe(d.Seconds())
+}
+
+// observeResponse counts one outgoing response by status.
+func (m *ServerMetrics) observeResponse(s Status) {
+	if m == nil {
+		return
+	}
+	m.status.With(statusSlug(s)).Inc()
+}
+
+// observeQueueWait records one admission-queue wait.
+func (m *ServerMetrics) observeQueueWait(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.queueWait.Observe(d.Seconds())
+}
+
+func (m *ServerMetrics) shedOne() {
+	if m == nil {
+		return
+	}
+	m.sheds.Inc()
+}
+
+func (m *ServerMetrics) expireOne() {
+	if m == nil {
+		return
+	}
+	m.expired.Inc()
+}
+
+func (m *ServerMetrics) panicOne() {
+	if m == nil {
+		return
+	}
+	m.panics.Inc()
+}
+
+func (m *ServerMetrics) inflightAdd(delta int64) {
+	if m == nil {
+		return
+	}
+	m.inflight.Add(delta)
+}

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cosm/internal/obs"
 )
 
 // Handler executes one operation of one service. Implementations are
@@ -99,6 +101,8 @@ type ServerStats struct {
 // Server. The zero value is not usable; call NewServer.
 type Server struct {
 	logf      func(format string, args ...any)
+	log       *obs.Logger
+	metrics   *ServerMetrics
 	admission AdmissionPolicy
 
 	// sem holds one token per executing handler when MaxInFlight > 0.
@@ -142,6 +146,29 @@ func WithServerLog(logf func(format string, args ...any)) ServerOption {
 // preserving the pre-overload-protection behaviour.
 func WithAdmission(p AdmissionPolicy) ServerOption {
 	return func(s *Server) { s.admission = p }
+}
+
+// WithServerLogger routes the server's diagnostics through the
+// structured logger l and enables the per-request access log: every
+// handled request emits one event=rpc line carrying the request's
+// trace ID, op, status and duration — the line that lets an operator
+// grep one trace across every daemon it touched. Panic stacks go
+// through l too. A nil l is a no-op.
+func WithServerLogger(l *obs.Logger) ServerOption {
+	return func(s *Server) {
+		if l == nil {
+			return
+		}
+		s.log = l
+		s.logf = l.Sink()
+	}
+}
+
+// WithServerMetrics records request latency by op, responses by
+// status, admission queue waits, sheds, expiries and panics into m
+// (see NewServerMetrics). A nil m disables recording.
+func WithServerMetrics(m *ServerMetrics) ServerOption {
+	return func(s *Server) { s.metrics = m }
 }
 
 // NewServer returns an empty server.
@@ -383,22 +410,33 @@ func (s *Server) dispatch(connCtx context.Context, cs *connState, handlers *sync
 	} else {
 		ctx, cancel = context.WithCancel(connCtx)
 	}
+	// Trace continuation: the handler context carries the caller's trace
+	// ID under a fresh span parented at the caller's span, so every log
+	// line this request produces — here and on further hops — shares one
+	// trace ID.
+	if f.traceID != "" {
+		ctx = obs.WithTrace(ctx, obs.Trace{ID: f.traceID, Span: f.parentID}.Child())
+	}
+	// Error responses echo the trace ID so a caller holding only the
+	// error text can still find the server-side footprint.
+	echo := traceEcho(f.traceID)
 	if ctx.Err() != nil || f.ttl == 1 {
 		// A 1µs TTL is the stamp of a caller at (or past) its deadline.
 		cancel()
 		s.expired.Add(1)
-		s.respond(cs, f.id, &Response{Status: StatusDeadlineExpired, ErrMsg: req.Service + "/" + req.Op})
+		s.metrics.expireOne()
+		s.respond(cs, f.id, &Response{Status: StatusDeadlineExpired, ErrMsg: req.Service + "/" + req.Op + echo})
 		return
 	}
 	if draining {
 		cancel()
-		s.shedResponse(cs, f.id, "server draining")
+		s.shedResponse(cs, f.id, "server draining"+echo)
 		return
 	}
 	p := s.admission
 	if p.MaxPerConn > 0 && cs.dispatched.Load() >= int64(p.MaxPerConn) {
 		cancel()
-		s.shedResponse(cs, f.id, "per-connection limit")
+		s.shedResponse(cs, f.id, "per-connection limit"+echo)
 		return
 	}
 
@@ -409,7 +447,7 @@ func (s *Server) dispatch(connCtx context.Context, cs *connState, handlers *sync
 		default:
 			if int(s.queued.Load()) >= p.MaxQueue {
 				cancel()
-				s.shedResponse(cs, f.id, "admission queue full")
+				s.shedResponse(cs, f.id, "admission queue full"+echo)
 				return
 			}
 			s.queued.Add(1)
@@ -419,11 +457,13 @@ func (s *Server) dispatch(connCtx context.Context, cs *connState, handlers *sync
 
 	cs.dispatched.Add(1)
 	s.inflight.Add(1)
+	s.metrics.inflightAdd(1)
 	handlers.Add(1)
 	cs.register(f.id, cancel)
 	go func(id uint64, req *Request, ctx context.Context) {
 		defer handlers.Done()
 		defer s.inflight.Done()
+		defer s.metrics.inflightAdd(-1)
 		defer cs.dispatched.Add(-1)
 		defer cs.unregister(id)
 		defer cancel()
@@ -432,19 +472,22 @@ func (s *Server) dispatch(connCtx context.Context, cs *connState, handlers *sync
 			// FIFO admission wait, bounded by the queue-time cap and
 			// the request's own deadline: work nobody is waiting for
 			// anymore must not occupy a slot.
+			waitStart := time.Now()
 			wait := time.NewTimer(p.queueWait())
 			select {
 			case s.sem <- struct{}{}:
 				wait.Stop()
+				s.metrics.observeQueueWait(time.Since(waitStart))
 			case <-wait.C:
 				s.queued.Add(-1)
-				s.shedResponse(cs, id, "queue wait exceeded")
+				s.shedResponse(cs, id, "queue wait exceeded"+echo)
 				return
 			case <-ctx.Done():
 				wait.Stop()
 				s.queued.Add(-1)
 				s.expired.Add(1)
-				s.respond(cs, id, &Response{Status: StatusDeadlineExpired, ErrMsg: req.Service + "/" + req.Op})
+				s.metrics.expireOne()
+				s.respond(cs, id, &Response{Status: StatusDeadlineExpired, ErrMsg: req.Service + "/" + req.Op + echo})
 				return
 			}
 			s.queued.Add(-1)
@@ -456,11 +499,21 @@ func (s *Server) dispatch(connCtx context.Context, cs *connState, handlers *sync
 		// waiting for a slot.
 		if ctx.Err() != nil {
 			s.expired.Add(1)
-			s.respond(cs, id, &Response{Status: StatusDeadlineExpired, ErrMsg: req.Service + "/" + req.Op})
+			s.metrics.expireOne()
+			s.respond(cs, id, &Response{Status: StatusDeadlineExpired, ErrMsg: req.Service + "/" + req.Op + echo})
 			return
 		}
 		s.respond(cs, id, s.serveRequest(ctx, h, remote, req))
 	}(f.id, req, ctx)
+}
+
+// traceEcho renders the error-response trace suffix for a traced
+// request ("" for untraced ones).
+func traceEcho(traceID string) string {
+	if traceID == "" {
+		return ""
+	}
+	return " [trace " + traceID + "]"
 }
 
 // serveRequest runs one handler, converting a panic into a
@@ -468,11 +521,30 @@ func (s *Server) dispatch(connCtx context.Context, cs *connState, handlers *sync
 // open market a single misbehaving service implementation must not take
 // the whole node — and every co-hosted service — down with it.
 func (s *Server) serveRequest(ctx context.Context, h Handler, remote string, req *Request) (resp *Response) {
+	op := req.Service + "/" + req.Op
+	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Add(1)
-			s.logf("wire: panic in %s/%s handler: %v\n%s", req.Service, req.Op, r, debug.Stack())
+			s.metrics.panicOne()
+			// The stack goes through the structured logger when one is
+			// configured, so the panic line carries the request's trace
+			// ID; otherwise through the plain logf fallback.
+			if s.log != nil {
+				s.log.Log(ctx, "panic", "op", op, "remote", remote,
+					"panic", fmt.Sprintf("%v", r), "stack", string(debug.Stack()))
+			} else {
+				s.logf("wire: panic in %s handler: %v\n%s", op, r, debug.Stack())
+			}
 			resp = &Response{Status: StatusAppError, ErrMsg: fmt.Sprintf("handler panic: %v", r)}
+		}
+		d := time.Since(start)
+		s.metrics.observeHandled(op, d)
+		// Access log: one line per handled request, tagged with the
+		// trace carried by ctx.
+		if s.log != nil {
+			s.log.Log(ctx, "rpc", "op", op, "remote", remote,
+				"status", resp.Status.String(), "dur", d)
 		}
 	}()
 	resp = h.ServeCOSM(ctx, remote, req)
@@ -487,6 +559,7 @@ func (s *Server) serveRequest(ctx context.Context, h Handler, remote string, req
 // configured retry-after hint.
 func (s *Server) shedResponse(cs *connState, id uint64, why string) {
 	s.shed.Add(1)
+	s.metrics.shedOne()
 	s.respond(cs, id, &Response{
 		Status:     StatusOverloaded,
 		ErrMsg:     why,
@@ -495,6 +568,7 @@ func (s *Server) shedResponse(cs *connState, id uint64, why string) {
 }
 
 func (s *Server) respond(cs *connState, id uint64, resp *Response) {
+	s.metrics.observeResponse(resp.Status)
 	cs.writeMu.Lock()
 	defer cs.writeMu.Unlock()
 	// Bound the write so one wedged client socket cannot hold writeMu
