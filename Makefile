@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke chaos
+.PHONY: check build vet test race bench bench-smoke bench-json chaos
 
 check: build vet test race
 
@@ -23,11 +23,19 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# A fast benchmark sanity pass for CI: the overload-saturation and
-# obs-overhead groups run a few iterations so a regression that breaks
-# or wildly slows the hot path is caught without a full bench run.
+# A fast benchmark sanity pass for CI: the overload-saturation,
+# obs-overhead, and 10k-offer import groups run a few iterations so a
+# regression that breaks or wildly slows a hot path is caught without a
+# full bench run.
 bench-smoke:
-	$(GO) test -run 'NoSuchTest' -bench 'ObsOverhead|Overload_Saturation' -benchtime 20x -benchmem .
+	$(GO) test -run 'NoSuchTest' -bench 'ObsOverhead|Overload_Saturation|Import_10kOffers' -benchtime 20x -benchmem .
+
+# Machine-readable benchmark record for the matching-engine redesign:
+# the 10k-offer import comparison (linear scan vs indexed snapshots vs
+# indexed + result cache) as go-test JSON events, for tracking the
+# speedup ratio across commits.
+bench-json:
+	$(GO) test -json -run 'NoSuchTest' -bench 'Import_10kOffers' -benchtime 100x -benchmem . > BENCH_4.json
 
 chaos:
 	$(GO) run ./cmd/marketsim -chaos

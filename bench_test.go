@@ -15,6 +15,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -145,6 +146,57 @@ func BenchmarkFig1_Import(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkImport_10kOffers measures the trader's matching hot path at
+// market scale — 10k stored offers, 64 concurrent importers, a ~5%
+// selective range constraint — across the three engine configurations:
+// the pre-redesign linear scan (ablation), indexed type snapshots, and
+// indexed snapshots plus the short-TTL import-result cache. The indexed
+// path must beat the linear scan by a wide margin (the acceptance bar
+// for the sharded-store redesign is >= 5x) with fewer allocations per
+// import.
+func BenchmarkImport_10kOffers(b *testing.B) {
+	const stored = 10_000
+	req := trader.ImportRequest{
+		Type:       "CarRentalService",
+		Constraint: "ChargePerDay < 45", // matches charges 40..44: ~5% of fillTrader's spread
+		Policy:     "min:ChargePerDay",
+		Max:        5,
+	}
+	run := func(b *testing.B, tr *trader.Trader) {
+		b.Helper()
+		fillTrader(b, tr, stored)
+		ctx := context.Background()
+		if warm, err := tr.Import(ctx, req); err != nil || len(warm) == 0 {
+			b.Fatalf("warmup import = %v, %v", warm, err)
+		}
+		// 64 concurrent importers regardless of core count.
+		factor := (64 + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0)
+		b.SetParallelism(factor)
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				res, err := tr.Import(ctx, req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) == 0 {
+					b.Fatal("no offers")
+				}
+			}
+		})
+	}
+	b.Run("linear", func(b *testing.B) {
+		run(b, trader.New("T", newCarRepo(b), trader.WithoutOfferIndex(), trader.WithImportCacheTTL(0)))
+	})
+	b.Run("indexed", func(b *testing.B) {
+		run(b, trader.New("T", newCarRepo(b), trader.WithImportCacheTTL(0)))
+	})
+	b.Run("indexed+cache", func(b *testing.B) {
+		run(b, trader.New("T", newCarRepo(b)))
+	})
 }
 
 // BenchmarkFig1_ImportRemote measures the same import across the wire.

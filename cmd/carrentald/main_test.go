@@ -95,7 +95,7 @@ func TestDaemonPublishesAndBooks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	offer, err := tc.ImportOne(ctx, trader.ImportRequest{Type: "CarRentalService"})
+	offer, err := tc.ImportOneWith(ctx, "CarRentalService")
 	if err != nil || offer.Ref != carRef {
 		t.Fatalf("trader offer = %+v, %v", offer, err)
 	}
@@ -126,7 +126,7 @@ func TestDaemonPublishesAndBooks(t *testing.T) {
 	if entries, _ := bc.Search(ctx, "car"); len(entries) != 0 {
 		t.Fatalf("browser entries after shutdown = %v", entries)
 	}
-	if _, err := tc.ImportOne(ctx, trader.ImportRequest{Type: "CarRentalService"}); err == nil {
+	if _, err := tc.ImportOneWith(ctx, "CarRentalService"); err == nil {
 		t.Fatal("trader offer must be withdrawn after shutdown")
 	}
 }

@@ -186,10 +186,9 @@ func runWithInput(args []string, stdin io.Reader) error {
 		if err != nil {
 			return err
 		}
-		offers, err := tc.Import(ctx, trader.ImportRequest{
-			Type: serviceType, Constraint: *constraint, Policy: *policy,
-			Max: *maxN, HopLimit: *hops,
-		})
+		offers, err := tc.ImportWith(ctx, serviceType,
+			trader.Where(*constraint), trader.OrderBy(*policy),
+			trader.Limit(*maxN), trader.Hops(*hops))
 		if err != nil {
 			return err
 		}

@@ -21,6 +21,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"cosm/internal/cosm"
 	"cosm/internal/daemon"
@@ -55,6 +56,8 @@ func run(args []string, sig <-chan os.Signal) error {
 	var (
 		listen    = fs.String("listen", "tcp:127.0.0.1:7001", "endpoint to serve on (tcp:host:port or loop:name)")
 		id        = fs.String("id", "trader-1", "federation identity (unique per federation)")
+		cacheTTL  = fs.Duration("import-cache-ttl", 250*time.Millisecond, "import result cache TTL (0 disables the cache)")
+		ccSize    = fs.Int("constraint-cache", 256, "compiled-constraint cache capacity (0 disables the cache)")
 		typeFiles stringList
 		links     stringList
 	)
@@ -88,7 +91,9 @@ func run(args []string, sig <-chan os.Signal) error {
 	logger := obs.NewLogger(os.Stderr, "traderd")
 	tr := trader.New(*id, repo,
 		trader.WithLogger(logger.With("trader")),
-		trader.WithMetrics(df.Registry))
+		trader.WithMetrics(df.Registry),
+		trader.WithImportCacheTTL(*cacheTTL),
+		trader.WithConstraintCacheSize(*ccSize))
 	svc, err := trader.NewService(tr)
 	if err != nil {
 		return err

@@ -32,9 +32,8 @@ func TestFailureProviderCrashMidSession(t *testing.T) {
 	cheap := startProvider(t, in, "CheapCars", carrental.Tariff{"FIAT_Uno": 70})
 	_ = startProvider(t, in, "SolidCars", carrental.Tariff{"FIAT_Uno": 80})
 
-	offer, err := in.trd.ImportOne(ctx, trader.ImportRequest{
-		Type: "CarRentalService", Policy: "min:ChargePerDay",
-	})
+	offer, err := in.trd.ImportOneWith(ctx, "CarRentalService",
+		trader.OrderBy("min:ChargePerDay"))
 	if err != nil || offer.Ref != cheap {
 		t.Fatalf("offer = %+v, %v", offer, err)
 	}
@@ -67,9 +66,8 @@ func TestFailureProviderCrashMidSession(t *testing.T) {
 	// Recovery: import again excluding the dead provider by constraint
 	// (the trader still lists the stale offer — 1994 traders have no
 	// liveness monitoring; the client works around it).
-	offers, err := in.trd.Import(ctx, trader.ImportRequest{
-		Type: "CarRentalService", Policy: "min:ChargePerDay",
-	})
+	offers, err := in.trd.ImportWith(ctx, "CarRentalService",
+		trader.OrderBy("min:ChargePerDay"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,10 +121,8 @@ func TestFailureResilientImportBind(t *testing.T) {
 		MaxAttempts: 1, AttemptTimeout: 5 * time.Second,
 	}))
 	defer pool.Close()
-	conn, offer, err := trader.ImportBind(ctx, in.trd, pool, trader.ImportRequest{
-		Type:   "CarRentalService",
-		Policy: "min:ChargePerDay",
-	})
+	conn, offer, err := trader.Select(ctx, in.trd, pool, "CarRentalService",
+		trader.OrderBy("min:ChargePerDay"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +159,7 @@ func TestFailureResilientImportBind(t *testing.T) {
 	if rep := sweeper.SweepOnce(ctx); rep.Withdrawn != 1 {
 		t.Fatalf("sweep 2 = %+v, want the dead offer withdrawn", rep)
 	}
-	offers, err := in.trd.Import(ctx, trader.ImportRequest{Type: "CarRentalService"})
+	offers, err := in.trd.ImportWith(ctx, "CarRentalService")
 	if err != nil || len(offers) != 1 || offers[0].Ref != solid {
 		t.Fatalf("post-sweep offers = %v, %v; want only the live provider", offers, err)
 	}
@@ -233,9 +229,8 @@ module SlowOp {
 	refB := startProvider(t, in, "StayCars", carrental.Tariff{"FIAT_Uno": 90})
 
 	// Before the drain, A is the best offer.
-	offer, err := in.trd.ImportOne(ctx, trader.ImportRequest{
-		Type: "CarRentalService", Policy: "min:ChargePerDay",
-	})
+	offer, err := in.trd.ImportOneWith(ctx, "CarRentalService",
+		trader.OrderBy("min:ChargePerDay"))
 	if err != nil || offer.Ref != refA {
 		t.Fatalf("offer = %+v, %v; want %v", offer, err, refA)
 	}
@@ -272,7 +267,7 @@ module SlowOp {
 	// gone from the trader.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		offers, err := in.trd.Import(ctx, trader.ImportRequest{Type: "CarRentalService"})
+		offers, err := in.trd.ImportWith(ctx, "CarRentalService")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -292,9 +287,8 @@ module SlowOp {
 	}
 
 	// New bookings fail over to B through a plain import->bind.
-	conn, offer2, err := trader.ImportBind(ctx, in.trd, pool, trader.ImportRequest{
-		Type: "CarRentalService", Policy: "min:ChargePerDay",
-	})
+	conn, offer2, err := trader.Select(ctx, in.trd, pool, "CarRentalService",
+		trader.OrderBy("min:ChargePerDay"))
 	if err != nil {
 		t.Fatal(err)
 	}

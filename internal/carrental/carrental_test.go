@@ -218,11 +218,9 @@ func TestPublishIntegrated(t *testing.T) {
 		t.Fatalf("browser entries = %v, %v", entries, err)
 	}
 	// ...and through the trader (typed import).
-	offer, err := tc.ImportOne(ctx, trader.ImportRequest{
-		Type:       "CarRentalService",
-		Constraint: "ChargePerDay < 100",
-		Policy:     "min:ChargePerDay",
-	})
+	offer, err := tc.ImportOneWith(ctx, "CarRentalService",
+		trader.Where("ChargePerDay < 100"),
+		trader.OrderBy("min:ChargePerDay"))
 	if err != nil || offer.Ref != carRef {
 		t.Fatalf("trader offer = %+v, %v", offer, err)
 	}
@@ -234,7 +232,7 @@ func TestPublishIntegrated(t *testing.T) {
 	if entries, _ := bc.Search(ctx, "car"); len(entries) != 0 {
 		t.Fatalf("browser entries after unpublish = %v", entries)
 	}
-	if _, err := tc.ImportOne(ctx, trader.ImportRequest{Type: "CarRentalService"}); err == nil {
+	if _, err := tc.ImportOneWith(ctx, "CarRentalService"); err == nil {
 		t.Fatal("trader offer must be withdrawn after unpublish")
 	}
 }

@@ -73,6 +73,34 @@ func (c *Client) ExportLease(ctx context.Context, serviceType string, target ref
 	return res.Value.Str, nil
 }
 
+// ExportAll registers a batch of offers at the remote trader in one
+// round trip. The batch registers completely or not at all; the
+// returned IDs parallel items. Lease TTLs are rounded down to whole
+// seconds.
+func (c *Client) ExportAll(ctx context.Context, items []ExportItem) ([]string, error) {
+	elems := make([]*xcode.Value, len(items))
+	for i := range items {
+		iv, err := c.tt.exportItemValue(items[i])
+		if err != nil {
+			return nil, err
+		}
+		elems[i] = iv
+	}
+	seq, err := xcode.NewSequence(c.tt.itemsT, elems...)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.conn.Invoke(ctx, "ExportAll", seq)
+	if err != nil {
+		return nil, fmt.Errorf("trader: remote export batch: %w", err)
+	}
+	ids := make([]string, 0, len(res.Value.Elems))
+	for _, e := range res.Value.Elems {
+		ids = append(ids, e.Str)
+	}
+	return ids, nil
+}
+
 // ExportSID registers an offer from SIDL text carrying a trader export.
 func (c *Client) ExportSID(ctx context.Context, sid *sidl.SID, target ref.ServiceRef) (string, error) {
 	text, err := sid.MarshalText()
@@ -95,6 +123,21 @@ func (c *Client) Withdraw(ctx context.Context, offerID string) error {
 		return fmt.Errorf("trader: remote withdraw: %w", err)
 	}
 	return nil
+}
+
+// WithdrawAll removes a batch of offers at the remote trader in one
+// round trip and returns how many were actually withdrawn. Unknown IDs
+// are skipped (idempotent).
+func (c *Client) WithdrawAll(ctx context.Context, offerIDs []string) (int, error) {
+	seq, err := c.tt.namesValue(offerIDs)
+	if err != nil {
+		return 0, err
+	}
+	res, err := c.conn.Invoke(ctx, "WithdrawAll", seq)
+	if err != nil {
+		return 0, fmt.Errorf("trader: remote withdraw batch: %w", err)
+	}
+	return int(res.Value.Int), nil
 }
 
 // Replace replaces an offer's properties at the remote trader.
@@ -129,6 +172,17 @@ func (c *Client) Import(ctx context.Context, req ImportRequest) ([]*Offer, error
 		offers = append(offers, o)
 	}
 	return offers, nil
+}
+
+// ImportWith is Import with the functional-options request builder.
+func (c *Client) ImportWith(ctx context.Context, serviceType string, opts ...ImportOption) ([]*Offer, error) {
+	return c.Import(ctx, NewImport(serviceType, opts...))
+}
+
+// ImportOneWith is ImportOne with the functional-options request
+// builder: it returns the single best remote offer, or ErrNoOffer.
+func (c *Client) ImportOneWith(ctx context.Context, serviceType string, opts ...ImportOption) (*Offer, error) {
+	return c.ImportOne(ctx, NewImport(serviceType, opts...))
 }
 
 // ImportOne returns the single best remote offer, or ErrNoOffer.

@@ -32,6 +32,9 @@ var ErrConstraint = errors.New("trader: constraint syntax error")
 type Constraint struct {
 	src  string
 	root cexpr
+	// idx holds the index hints extracted from the top-level AND chain;
+	// see hints.
+	idx []indexHint
 }
 
 // Compile parses a constraint expression. Compiling once and reusing the
@@ -50,7 +53,7 @@ func Compile(src string) (*Constraint, error) {
 	if p.pos != len(p.src) {
 		return nil, fmt.Errorf("%w: trailing input %q", ErrConstraint, p.src[p.pos:])
 	}
-	return &Constraint{src: src, root: root}, nil
+	return &Constraint{src: src, root: root, idx: collectHints(root, nil)}, nil
 }
 
 // MustCompile is Compile for statically known expressions.
@@ -206,6 +209,106 @@ func cmpOrdered[T float64 | string](op string, a, b T) bool {
 		return a >= b
 	}
 	return false
+}
+
+// indexHint is one leaf predicate of a constraint's top-level AND chain
+// that an attribute index can answer: "prop op val". Every hint is a
+// necessary condition for the whole constraint, so an index lookup on
+// any one of them yields a superset of the matching offers.
+type indexHint struct {
+	prop string
+	op   string // "==", "<", "<=", ">", ">="
+	val  cval
+	// rhsProp is set when the value side is syntactically an identifier.
+	// Such an identifier resolves to an enum symbol only on offers that
+	// lack a property of that name (see operand.value), so the hint is
+	// only usable against a snapshot where no offer defines it.
+	rhsProp string
+}
+
+// hints returns the constraint's index hints (nil for the empty
+// constraint and for shapes the planner cannot use).
+func (c *Constraint) hints() []indexHint {
+	if c == nil {
+		return nil
+	}
+	return c.idx
+}
+
+// collectHints walks the top-level AND chain only: predicates under ||
+// or ! are not individually necessary, so they yield no hints.
+func collectHints(e cexpr, out []indexHint) []indexHint {
+	switch n := e.(type) {
+	case andExpr:
+		return collectHints(n.r, collectHints(n.l, out))
+	case boolProp:
+		// A bare identifier matches exactly the offers carrying the
+		// boolean value true under that name.
+		return append(out, indexHint{prop: n.name, op: "==", val: cval{kind: cvBool, b: true}})
+	case cmpExpr:
+		switch {
+		case n.l.isProp && !n.r.isProp:
+			return appendCmpHint(out, n.l.name, n.op, n.r.lit, "")
+		case !n.l.isProp && n.r.isProp:
+			return appendCmpHint(out, n.r.name, flipCmp(n.op), n.l.lit, "")
+		case n.l.isProp && n.r.isProp && n.op == "==":
+			// "CarModel == FIAT_Uno": either identifier may be an enum
+			// symbol in disguise. Record both directions, each guarded
+			// by the identifier that must not name a stored property.
+			return append(out,
+				indexHint{prop: n.l.name, op: "==", val: cval{kind: cvSym, str: n.r.name}, rhsProp: n.r.name},
+				indexHint{prop: n.r.name, op: "==", val: cval{kind: cvSym, str: n.l.name}, rhsProp: n.l.name})
+		}
+	}
+	return out
+}
+
+func appendCmpHint(out []indexHint, prop, op string, val cval, guard string) []indexHint {
+	switch op {
+	case "==", "<", "<=", ">", ">=":
+		return append(out, indexHint{prop: prop, op: op, val: val, rhsProp: guard})
+	}
+	return out // != excludes almost nothing; not worth an index pass
+}
+
+// flipCmp mirrors an operator across swapped operands: "80 < P" means
+// "P > 80".
+func flipCmp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op
+}
+
+// key renders a value as an equality-index key. Kinds are tagged so a
+// string "80" never collides with the number 80 (mixed kinds never
+// compare equal at eval time either).
+func (v cval) key() (string, bool) {
+	switch v.kind {
+	case cvNum:
+		n := v.num
+		if n == 0 {
+			n = 0 // fold -0 and +0 into one key; they compare equal
+		}
+		return "n:" + strconv.FormatFloat(n, 'g', -1, 64), true
+	case cvStr:
+		return "s:" + v.str, true
+	case cvBool:
+		if v.b {
+			return "b:1", true
+		}
+		return "b:0", true
+	case cvSym:
+		return "y:" + v.str, true
+	}
+	return "", false
 }
 
 // maxConstraintDepth bounds expression nesting so adversarial

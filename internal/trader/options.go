@@ -1,0 +1,60 @@
+package trader
+
+import "context"
+
+// ImportOption configures one import request built with NewImport.
+// Options replace positional ImportRequest construction at call sites;
+// ImportRequest itself remains the wire struct of the trader protocol.
+type ImportOption func(*ImportRequest)
+
+// NewImport builds an import request for a service type:
+//
+//	req := trader.NewImport("CarRentalService",
+//	        trader.Where("CarModel == FIAT_Uno && ChargePerDay < 90"),
+//	        trader.OrderBy("min:ChargePerDay"),
+//	        trader.Limit(3),
+//	        trader.Hops(1))
+//
+// The zero request (no options) matches every offer of the type at the
+// local trader in stable ID order.
+func NewImport(serviceType string, opts ...ImportOption) ImportRequest {
+	req := ImportRequest{Type: serviceType}
+	for _, o := range opts {
+		o(&req)
+	}
+	return req
+}
+
+// Where filters offers by a constraint expression over their
+// characterising properties (see Constraint for the grammar).
+func Where(constraint string) ImportOption {
+	return func(req *ImportRequest) { req.Constraint = constraint }
+}
+
+// OrderBy orders the result by a selection policy: "first", "random",
+// "min:<Prop>" or "max:<Prop>" (see Policy).
+func OrderBy(policy string) ImportOption {
+	return func(req *ImportRequest) { req.Policy = policy }
+}
+
+// Limit bounds the number of returned offers; 0 means all.
+func Limit(n int) ImportOption {
+	return func(req *ImportRequest) { req.Max = n }
+}
+
+// Hops lets the import fan out across federation links up to h hops;
+// 0 searches only the local trader.
+func Hops(h int) ImportOption {
+	return func(req *ImportRequest) { req.HopLimit = h }
+}
+
+// ImportWith is Import with the functional-options request builder.
+func (t *Trader) ImportWith(ctx context.Context, serviceType string, opts ...ImportOption) ([]*Offer, error) {
+	return t.Import(ctx, NewImport(serviceType, opts...))
+}
+
+// ImportOneWith is ImportOne with the functional-options request
+// builder: it returns the single best offer, or ErrNoOffer.
+func (t *Trader) ImportOneWith(ctx context.Context, serviceType string, opts ...ImportOption) (*Offer, error) {
+	return t.ImportOne(ctx, NewImport(serviceType, opts...))
+}

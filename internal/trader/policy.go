@@ -65,6 +65,11 @@ func parseRankPolicy(s string, kind policyKind) (Policy, error) {
 // String returns the policy source text.
 func (p Policy) String() string { return p.src }
 
+// cacheable reports whether the policy orders deterministically, so an
+// import result under it may be served from the result cache. "random"
+// must re-shuffle on every call.
+func (p Policy) cacheable() bool { return p.kind != policyRandom }
+
 // apply orders offers in place according to the policy. rng drives the
 // "random" policy and must be non-nil for it.
 func (p Policy) apply(offers []*Offer, rng *rand.Rand) {

@@ -39,6 +39,14 @@ module CosmTrader {
     };
     typedef sequence<Offer_t> Offers_t;
     typedef sequence<string> Names_t;
+    struct ExportItem_t {
+        string serviceType;
+        Object target;
+        Props_t props;
+        // Lease in whole seconds; 0 means no expiry.
+        long long ttlSeconds;
+    };
+    typedef sequence<ExportItem_t> ExportItems_t;
     struct ImportReq_t {
         string serviceType;
         string constraint;
@@ -54,8 +62,15 @@ module CosmTrader {
         string ExportLease(in string serviceType, in Object target, in Props_t props, in long long ttlSeconds);
         // Register an offer from SIDL text with a COSM_TraderExport module.
         string ExportSID(in string sidlText, in Object target);
+        // Register a batch of offers in one round trip. The batch is
+        // validated up front and registers completely or not at all;
+        // the returned IDs parallel the items.
+        Names_t ExportAll(in ExportItems_t items);
         // Remove an offer.
         void Withdraw(in string offerId);
+        // Remove a batch of offers; unknown IDs are skipped and the
+        // number actually withdrawn is returned (idempotent).
+        long WithdrawAll(in Names_t offerIds);
         // Replace an offer's properties.
         void Replace(in string offerId, in Props_t props);
         // Match offers (federation-aware).
@@ -127,6 +142,8 @@ type traderTypes struct {
 	offersT *sidl.Type
 	namesT  *sidl.Type
 	importT *sidl.Type
+	itemT   *sidl.Type
+	itemsT  *sidl.Type
 }
 
 func newTraderTypes() (*traderTypes, error) {
@@ -145,6 +162,8 @@ func newTraderTypes() (*traderTypes, error) {
 		offersT: sid.Type("Offers_t"),
 		namesT:  sid.Type("Names_t"),
 		importT: sid.Type("ImportReq_t"),
+		itemT:   sid.Type("ExportItem_t"),
+		itemsT:  sid.Type("ExportItems_t"),
 	}, nil
 }
 
@@ -259,6 +278,54 @@ func sortedPropNames(props map[string]sidl.Lit) []string {
 	return names
 }
 
+// exportItemValue encodes one batch-export item.
+func (tt *traderTypes) exportItemValue(it ExportItem) (*xcode.Value, error) {
+	propsV, err := tt.propsValue(it.Props)
+	if err != nil {
+		return nil, err
+	}
+	return xcode.NewStruct(tt.itemT, map[string]*xcode.Value{
+		"serviceType": xcode.NewString(tt.strT, it.Type),
+		"target":      xcode.NewRef(tt.refT, it.Ref),
+		"props":       propsV,
+		"ttlSeconds":  xcode.NewInt(sidl.Basic(sidl.Int64), int64(it.TTL/time.Second)),
+	})
+}
+
+func exportItemFromValue(v *xcode.Value) (ExportItem, error) {
+	var it ExportItem
+	st, err := v.Field("serviceType")
+	if err != nil {
+		return it, err
+	}
+	target, err := v.Field("target")
+	if err != nil {
+		return it, err
+	}
+	propsV, err := v.Field("props")
+	if err != nil {
+		return it, err
+	}
+	props, err := propsFromValue(propsV)
+	if err != nil {
+		return it, err
+	}
+	ttl, err := v.Field("ttlSeconds")
+	if err != nil {
+		return it, err
+	}
+	return ExportItem{Type: st.Str, Ref: target.Ref, Props: props, TTL: time.Duration(ttl.Int) * time.Second}, nil
+}
+
+// namesValue encodes a string slice as Names_t.
+func (tt *traderTypes) namesValue(names []string) (*xcode.Value, error) {
+	elems := make([]*xcode.Value, len(names))
+	for i, n := range names {
+		elems[i] = xcode.NewString(tt.strT, n)
+	}
+	return xcode.NewSequence(tt.namesT, elems...)
+}
+
 // NewService wraps a Trader as a hosted COSM service.
 func NewService(t *Trader) (*cosm.Service, error) {
 	tt, err := newTraderTypes()
@@ -349,12 +416,48 @@ func NewService(t *Trader) (*cosm.Service, error) {
 		call.Result = xcode.NewString(tt.strT, id)
 		return nil
 	})
+	svc.MustHandle("ExportAll", func(call *cosm.Call) error {
+		itemsV, err := call.Arg("items")
+		if err != nil {
+			return err
+		}
+		items := make([]ExportItem, 0, len(itemsV.Elems))
+		for _, iv := range itemsV.Elems {
+			it, err := exportItemFromValue(iv)
+			if err != nil {
+				return err
+			}
+			items = append(items, it)
+		}
+		ids, err := t.ExportAll(items)
+		if err != nil {
+			return err
+		}
+		seq, err := tt.namesValue(ids)
+		if err != nil {
+			return err
+		}
+		call.Result = seq
+		return nil
+	})
 	svc.MustHandle("Withdraw", func(call *cosm.Call) error {
 		id, err := strArg(call, "offerId")
 		if err != nil {
 			return err
 		}
 		return t.Withdraw(id)
+	})
+	svc.MustHandle("WithdrawAll", func(call *cosm.Call) error {
+		idsV, err := call.Arg("offerIds")
+		if err != nil {
+			return err
+		}
+		ids := make([]string, 0, len(idsV.Elems))
+		for _, e := range idsV.Elems {
+			ids = append(ids, e.Str)
+		}
+		call.Result = xcode.NewInt(tt.int32T, int64(t.WithdrawAll(ids)))
+		return nil
 	})
 	svc.MustHandle("Replace", func(call *cosm.Call) error {
 		id, err := strArg(call, "offerId")

@@ -1,0 +1,476 @@
+package trader
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cosm/internal/obs"
+	"cosm/internal/typemgr"
+)
+
+// storeShards is the number of offer-store shards. Shard choice hashes
+// the service-type name, so one hot type contends only with types that
+// share its shard and exports of distinct types proceed in parallel.
+const storeShards = 16
+
+// offerStore is the trader's sharded, snapshot-serving offer store.
+//
+// Writes (export, withdraw, replace, suspect-marking, purge) take one
+// shard's write lock and swap offers copy-on-write: a stored *Offer is
+// immutable from the moment it enters the store, so readers may hold it
+// without locks or clones. Reads go through per-type immutable
+// snapshots (see typeSnapshot) that are rebuilt lazily after a write to
+// that type — imports therefore never block exports of other types and
+// pay no per-request index build for read-mostly workloads.
+type offerStore struct {
+	repo *typemgr.Repo
+	now  func() time.Time
+
+	shards [storeShards]storeShard
+
+	// typeSetGen is bumped whenever a type bucket appears or
+	// disappears. Together with the repo generation it pins the set of
+	// stored types matching a request type, validating the resolution
+	// cache and import-result cache entries.
+	typeSetGen atomic.Uint64
+
+	// resolutions caches request type -> conforming stored type names
+	// (bounded: request types arrive from the network).
+	resolutions *lruCache[*resolution]
+
+	// rebuilds counts snapshot rebuilds (nil-safe obs counter).
+	rebuilds *obs.Counter
+}
+
+type storeShard struct {
+	mu    sync.RWMutex
+	types map[string]*typeBucket
+	byID  map[string]*Offer
+}
+
+// typeBucket holds one stored service type's offers plus the lazily
+// built matching snapshot. version counts mutations (guarded by the
+// owning shard's lock); snap is the current snapshot or nil after a
+// write invalidated it.
+type typeBucket struct {
+	name    string
+	offers  map[string]*Offer
+	version uint64
+	snap    atomic.Pointer[typeSnapshot]
+}
+
+// resolution pins the stored types matching one request type at a
+// (store generation, repo generation) pair.
+type resolution struct {
+	storeGen uint64
+	repoGen  uint64
+	types    []string
+}
+
+// bucketVersion records the version of one consulted type bucket, for
+// import-result cache validation.
+type bucketVersion struct {
+	name    string
+	version uint64
+}
+
+func newOfferStore(repo *typemgr.Repo, now func() time.Time) *offerStore {
+	st := &offerStore{repo: repo, now: now, resolutions: newLRU[*resolution](256)}
+	for i := range st.shards {
+		st.shards[i].types = map[string]*typeBucket{}
+		st.shards[i].byID = map[string]*Offer{}
+	}
+	return st
+}
+
+// shardFor hashes a service-type name to its shard (FNV-1a).
+func (st *offerStore) shardFor(serviceType string) *storeShard {
+	var h uint32 = 2166136261
+	for i := 0; i < len(serviceType); i++ {
+		h ^= uint32(serviceType[i])
+		h *= 16777619
+	}
+	return &st.shards[h%storeShards]
+}
+
+// gens returns the generation pair import-result cache entries are
+// validated against.
+func (st *offerStore) gens() (storeGen, repoGen uint64) {
+	return st.typeSetGen.Load(), st.repo.Gen()
+}
+
+// insert stores an immutable offer.
+func (st *offerStore) insert(o *Offer) {
+	sh := st.shardFor(o.Type)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b := sh.types[o.Type]
+	if b == nil {
+		b = &typeBucket{name: o.Type, offers: map[string]*Offer{}}
+		sh.types[o.Type] = b
+		st.typeSetGen.Add(1)
+	}
+	b.offers[o.ID] = o
+	sh.byID[o.ID] = o
+	b.version++
+	b.snap.Store(nil)
+}
+
+// lookup returns the stored offer by ID (shared, immutable).
+func (st *offerStore) lookup(id string) (*Offer, bool) {
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		o, ok := sh.byID[id]
+		sh.mu.RUnlock()
+		if ok {
+			return o, true
+		}
+	}
+	return nil, false
+}
+
+// remove withdraws an offer by ID and returns it.
+func (st *offerStore) remove(id string) (*Offer, bool) {
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		o, ok := sh.byID[id]
+		if !ok {
+			sh.mu.Unlock()
+			continue
+		}
+		delete(sh.byID, id)
+		st.removeFromBucketLocked(sh, o)
+		sh.mu.Unlock()
+		return o, true
+	}
+	return nil, false
+}
+
+// removeFromBucketLocked detaches o from its type bucket; the caller
+// holds the shard's write lock and has already removed it from byID.
+func (st *offerStore) removeFromBucketLocked(sh *storeShard, o *Offer) {
+	b := sh.types[o.Type]
+	if b == nil {
+		return
+	}
+	delete(b.offers, o.ID)
+	b.version++
+	b.snap.Store(nil)
+	if len(b.offers) == 0 {
+		delete(sh.types, o.Type)
+		st.typeSetGen.Add(1)
+	}
+}
+
+// update swaps the stored offer for id with mutate's copy (copy-on-
+// write: mutate must return a fresh *Offer, never modify the old one).
+func (st *offerStore) update(id string, mutate func(*Offer) *Offer) (*Offer, bool) {
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		o, ok := sh.byID[id]
+		if !ok {
+			sh.mu.Unlock()
+			continue
+		}
+		fresh := mutate(o)
+		sh.byID[id] = fresh
+		if b := sh.types[o.Type]; b != nil {
+			b.offers[id] = fresh
+			b.version++
+			b.snap.Store(nil)
+		}
+		sh.mu.Unlock()
+		return fresh, true
+	}
+	return nil, false
+}
+
+// purgeExpired removes offers whose lease ran out at time now.
+func (st *offerStore) purgeExpired(now time.Time) int {
+	n := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		for id, o := range sh.byID {
+			if !o.expired(now) {
+				continue
+			}
+			delete(sh.byID, id)
+			st.removeFromBucketLocked(sh, o)
+			n++
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// count returns the number of stored, unexpired offers at time now.
+func (st *offerStore) count(now time.Time) int {
+	n := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		for _, o := range sh.byID {
+			if !o.expired(now) {
+				n++
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// live returns every stored, unexpired offer (shared, immutable),
+// sorted by ID.
+func (st *offerStore) live(now time.Time) []*Offer {
+	var out []*Offer
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		for _, o := range sh.byID {
+			if !o.expired(now) {
+				out = append(out, o)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// all returns every stored offer, expired ones included (shared,
+// immutable) — the linear-scan ablation path.
+func (st *offerStore) all() []*Offer {
+	var out []*Offer
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		for _, o := range sh.byID {
+			out = append(out, o)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// resolve returns the stored type names whose offers satisfy requests
+// for reqType: the type itself plus every stored type conforming to it.
+// The result is cached and revalidated against the store and repo
+// generations, so steady-state imports skip the conformance walk.
+func (st *offerStore) resolve(reqType string) []string {
+	storeGen, repoGen := st.gens()
+	if r, ok := st.resolutions.get(reqType); ok && r.storeGen == storeGen && r.repoGen == repoGen {
+		return r.types
+	}
+
+	var stored []string
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		for name := range sh.types {
+			stored = append(stored, name)
+		}
+		sh.mu.RUnlock()
+	}
+	names := stored[:0]
+	for _, name := range stored {
+		if name == reqType {
+			names = append(names, name)
+			continue
+		}
+		// Unknown stored types cannot conform; skip them.
+		if ok, err := st.repo.Conforms(name, reqType); err == nil && ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	st.resolutions.add(reqType, &resolution{storeGen: storeGen, repoGen: repoGen, types: names})
+	return names
+}
+
+// snapshot returns the current matching snapshot for a stored type,
+// building it under the shard's read lock if a write invalidated it.
+func (st *offerStore) snapshot(serviceType string) (*typeSnapshot, bool) {
+	sh := st.shardFor(serviceType)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	b := sh.types[serviceType]
+	if b == nil {
+		return nil, false
+	}
+	if snap := b.snap.Load(); snap != nil {
+		return snap, true
+	}
+	// Build while holding the read lock: writers are excluded, so the
+	// built snapshot is consistent with b.version, and a writer that
+	// runs after we release will Store(nil) over it. Concurrent readers
+	// may build duplicates; they are identical, and the duplicate work
+	// is bounded by one rebuild per reader already past the nil check.
+	snap := buildSnapshot(b)
+	b.snap.Store(snap)
+	st.rebuilds.Inc()
+	return snap, true
+}
+
+// validate reports whether an import-result cache entry still describes
+// the store: same type set, same repo generation, and every consulted
+// bucket unchanged.
+func (st *offerStore) validate(e *importCacheEntry) bool {
+	storeGen, repoGen := st.gens()
+	if e.storeGen != storeGen || e.repoGen != repoGen {
+		return false
+	}
+	for _, bv := range e.consulted {
+		sh := st.shardFor(bv.name)
+		sh.mu.RLock()
+		b := sh.types[bv.name]
+		ok := b != nil && b.version == bv.version
+		sh.mu.RUnlock()
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------
+// Type snapshots and attribute indexes
+// ---------------------------------------------------------------------
+
+// typeSnapshot is an immutable view of one stored type's offers with
+// attribute indexes over the characterising properties: equality
+// posting lists for every (property, value) pair and value-sorted
+// lists for numeric properties. Imports narrow their candidate set
+// through the indexes (see Constraint.hints) and never lock the store.
+type typeSnapshot struct {
+	version uint64
+	offers  []*Offer // sorted by ID
+	// props records every property name present on any offer; an
+	// equality hint whose right-hand side is syntactically an
+	// identifier is only index-resolvable when that identifier names no
+	// stored property (see indexHint.rhsProp).
+	props map[string]bool
+	// eq maps property + "\x00" + value key to the ID-sorted posting
+	// list of offers carrying exactly that value.
+	eq map[string][]*Offer
+	// num maps property name to its offers sorted by numeric value.
+	num map[string]*numIndex
+}
+
+// numIndex holds one property's numerically valued offers sorted
+// ascending by value; vals[i] is the value of offers[i].
+type numIndex struct {
+	vals   []float64
+	offers []*Offer
+}
+
+func buildSnapshot(b *typeBucket) *typeSnapshot {
+	snap := &typeSnapshot{
+		version: b.version,
+		offers:  make([]*Offer, 0, len(b.offers)),
+		props:   map[string]bool{},
+		eq:      map[string][]*Offer{},
+		num:     map[string]*numIndex{},
+	}
+	for _, o := range b.offers {
+		snap.offers = append(snap.offers, o)
+	}
+	sort.Slice(snap.offers, func(i, j int) bool { return snap.offers[i].ID < snap.offers[j].ID })
+	for _, o := range snap.offers { // ID order keeps posting lists sorted
+		for name, lit := range o.Props {
+			snap.props[name] = true
+			v := litVal(lit)
+			if key, ok := v.key(); ok {
+				k := name + "\x00" + key
+				snap.eq[k] = append(snap.eq[k], o)
+			}
+			// NaN values satisfy no ordered predicate and would break
+			// the sorted-array invariant; leave them out of the range
+			// index (the equality index keeps them, harmlessly).
+			if v.kind == cvNum && !math.IsNaN(v.num) {
+				ni := snap.num[name]
+				if ni == nil {
+					ni = &numIndex{}
+					snap.num[name] = ni
+				}
+				ni.vals = append(ni.vals, v.num)
+				ni.offers = append(ni.offers, o)
+			}
+		}
+	}
+	for _, ni := range snap.num {
+		sort.Sort(ni)
+	}
+	return snap
+}
+
+func (ni *numIndex) Len() int           { return len(ni.vals) }
+func (ni *numIndex) Less(i, j int) bool { return ni.vals[i] < ni.vals[j] }
+func (ni *numIndex) Swap(i, j int) {
+	ni.vals[i], ni.vals[j] = ni.vals[j], ni.vals[i]
+	ni.offers[i], ni.offers[j] = ni.offers[j], ni.offers[i]
+}
+
+// rangeOf returns the slice of offers satisfying "value op x".
+func (ni *numIndex) rangeOf(op string, x float64) []*Offer {
+	geq := sort.SearchFloat64s(ni.vals, x) // first index with val >= x
+	gt := sort.Search(len(ni.vals), func(i int) bool { return ni.vals[i] > x })
+	switch op {
+	case "<":
+		return ni.offers[:geq]
+	case "<=":
+		return ni.offers[:gt]
+	case ">":
+		return ni.offers[gt:]
+	case ">=":
+		return ni.offers[geq:]
+	}
+	return nil
+}
+
+// candidates narrows the snapshot to offers that can possibly satisfy
+// the constraint, using the most selective applicable index hint, and
+// reports which index kind answered ("eq", "range", or "scan"). The
+// result is a superset of the matching offers — every hint is a
+// necessary condition — so the caller still evaluates the full
+// constraint on each candidate.
+func (snap *typeSnapshot) candidates(c *Constraint) ([]*Offer, string) {
+	best := snap.offers
+	kind := "scan"
+	for _, h := range c.hints() {
+		if h.rhsProp != "" && snap.props[h.rhsProp] {
+			// The "literal" side names a real property of some offer in
+			// this snapshot, so it does not uniformly resolve to an enum
+			// symbol; the posting list would not be a superset.
+			continue
+		}
+		var cand []*Offer
+		var k string
+		if h.op == "==" {
+			key, ok := h.val.key()
+			if !ok {
+				continue
+			}
+			cand, k = snap.eq[h.prop+"\x00"+key], "eq"
+		} else {
+			if h.val.kind != cvNum {
+				continue
+			}
+			ni := snap.num[h.prop]
+			if ni == nil {
+				return nil, "range" // no numeric values: nothing can match
+			}
+			cand, k = ni.rangeOf(h.op, h.val.num), "range"
+		}
+		if len(cand) < len(best) || kind == "scan" {
+			best, kind = cand, k
+		}
+	}
+	return best, kind
+}

@@ -212,7 +212,9 @@ func (sw *Sweeper) SweepOnce(ctx context.Context) SweepReport {
 	var rep SweepReport
 	rep.Expired = sw.t.PurgeExpired()
 
-	offers := sw.t.Offers()
+	// Shared immutable snapshots — the sweeper only reads Ref/ID/Suspect,
+	// so it skips the management view's per-offer deep copy.
+	offers := sw.t.liveOffers()
 
 	// One probe per distinct provider reference: a provider exporting
 	// ten offers is pinged once, and all ten share the verdict.

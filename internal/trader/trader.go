@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cosm/internal/obs"
@@ -26,6 +27,10 @@ var (
 // Offer is one exported service offer: the triangular relationship of
 // Fig. 1 stores these at the trader (step 1) and hands matching ones to
 // importers (step 3), which then bind directly (steps 4 and 5).
+//
+// Stored offers are immutable: mutation operations (Replace,
+// MarkSuspect) swap in a fresh copy, so offers returned by Import are
+// shared snapshots that must not be modified by callers.
 type Offer struct {
 	// ID is the trader-assigned offer identifier, unique per trader.
 	ID string
@@ -62,7 +67,10 @@ func (o *Offer) clone() *Offer {
 	return c
 }
 
-// ImportRequest is one import call (step 2 of Fig. 1).
+// ImportRequest is one import call (step 2 of Fig. 1). It doubles as
+// the wire struct of the trader protocol; in-process callers usually
+// build it with NewImport and the functional options (Where, OrderBy,
+// Limit, Hops).
 type ImportRequest struct {
 	// Type is the requested service type.
 	Type string
@@ -94,23 +102,56 @@ type Federate interface {
 // repository, with export/withdraw/replace/import operations, a
 // management interface, and optional federation links. Safe for
 // concurrent use.
+//
+// The offer store is sharded by service-type hash and serves imports
+// from immutable per-type snapshots with attribute indexes (see
+// offerStore), so the matching hot path takes no trader-wide lock.
 type Trader struct {
 	id    string
 	types *typemgr.Repo
+	store *offerStore
+	seq   atomic.Uint64
 
-	mu     sync.RWMutex
-	seq    uint64
-	byType map[string]map[string]*Offer // type -> offer id -> offer
-	byID   map[string]*Offer
+	linkMu sync.RWMutex
 	links  []Federate
-	rng    *rand.Rand
 
-	now          func() time.Time
-	useIndex     bool
-	compileCache map[string]*Constraint
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	now      func() time.Time
+	useIndex bool
+
+	// constraints caches compiled constraint expressions (bounded LRU;
+	// nil disables caching).
+	constraints *lruCache[*Constraint]
+
+	// importTTL bounds how long an import result may be served from the
+	// result cache; zero disables the cache.
+	importTTL   time.Duration
+	importCache *lruCache[*importCacheEntry]
 
 	log     *obs.Logger
 	metrics traderMetrics
+}
+
+// Default sizes of the trader's bounded caches.
+const (
+	defaultConstraintCacheSize = 256
+	defaultImportCacheTTL      = 250 * time.Millisecond
+	importCacheSize            = 512
+)
+
+// importCacheEntry is one cached import result plus everything needed
+// to prove it still describes the store: the generation pair pins the
+// set of matching types, the consulted bucket versions pin their
+// contents, and expires bounds staleness by the trader's clock (and by
+// the earliest lease expiry among the cached offers).
+type importCacheEntry struct {
+	expires   time.Time
+	storeGen  uint64
+	repoGen   uint64
+	consulted []bucketVersion
+	offers    []*Offer
 }
 
 // traderMetrics binds the cosm_trader_* metric families. The zero value
@@ -121,6 +162,11 @@ type traderMetrics struct {
 	imports     *obs.CounterVec // by requested type
 	matches     *obs.Histogram  // matches returned per import
 	purged      *obs.Counter
+
+	indexLookups     *obs.CounterVec // by index kind: eq, range, scan, linear
+	snapshotRebuilds *obs.Counter
+	importCache      *obs.CounterVec // by outcome: hit, miss
+	constraintCache  *obs.CounterVec // by outcome: hit, miss
 }
 
 func newTraderMetrics(reg *obs.Registry) traderMetrics {
@@ -133,6 +179,11 @@ func newTraderMetrics(reg *obs.Registry) traderMetrics {
 		imports:     reg.CounterVec("cosm_trader_imports_total", "Import requests by requested service type.", "type"),
 		matches:     reg.Histogram("cosm_trader_import_matches", "Offers returned per import.", obs.CountBuckets),
 		purged:      reg.Counter("cosm_trader_offers_purged_total", "Expired offers reclaimed."),
+
+		indexLookups:     reg.CounterVec("cosm_trader_index_lookups_total", "Type-bucket match passes by index kind (eq, range, scan, linear).", "kind"),
+		snapshotRebuilds: reg.Counter("cosm_trader_index_snapshot_rebuilds_total", "Type snapshots rebuilt after writes."),
+		importCache:      reg.CounterVec("cosm_trader_import_cache_total", "Import-result cache lookups by outcome.", "outcome"),
+		constraintCache:  reg.CounterVec("cosm_trader_constraint_cache_total", "Compiled-constraint cache lookups by outcome.", "outcome"),
 	}
 }
 
@@ -146,8 +197,8 @@ func WithRandSeed(seed int64) Option {
 }
 
 // WithoutOfferIndex makes imports scan all offers linearly instead of
-// using the per-type index; only the offer-index ablation benchmark
-// should want this.
+// using the sharded type snapshots; only the offer-index ablation
+// benchmark and the index-equivalence property test should want this.
 func WithoutOfferIndex() Option {
 	return func(t *Trader) { t.useIndex = false }
 }
@@ -156,7 +207,23 @@ func WithoutOfferIndex() Option {
 // every import re-parses its constraint; only the constraint-compile
 // ablation benchmark should want this.
 func WithoutConstraintCache() Option {
-	return func(t *Trader) { t.compileCache = nil }
+	return func(t *Trader) { t.constraints = nil }
+}
+
+// WithConstraintCacheSize bounds the compiled-constraint LRU to n
+// entries (default 256); n <= 0 disables the cache.
+func WithConstraintCacheSize(n int) Option {
+	return func(t *Trader) { t.constraints = newLRU[*Constraint](n) }
+}
+
+// WithImportCacheTTL bounds how long a local import result may be
+// served from the result cache without re-matching (default 250ms).
+// The cache is additionally invalidated by every store or type-repo
+// mutation that could change the result, so the TTL only caps staleness
+// relative to lease expiry of remote clocks. A non-positive d disables
+// the cache.
+func WithImportCacheTTL(d time.Duration) Option {
+	return func(t *Trader) { t.importTTL = d }
 }
 
 // WithClock injects a time source for lease handling (tests use a fake
@@ -175,9 +242,9 @@ func WithLogger(l *obs.Logger) Option {
 }
 
 // WithMetrics records the trader's market activity — exports,
-// withdrawals, imports by type, matches per import, purged offers and
-// the live offer count — into reg's cosm_trader_* families. A nil reg
-// disables recording.
+// withdrawals, imports by type, matches per import, purged offers,
+// index/cache effectiveness and the live offer count — into reg's
+// cosm_trader_* families. A nil reg disables recording.
 func WithMetrics(reg *obs.Registry) Option {
 	return func(t *Trader) {
 		t.metrics = newTraderMetrics(reg)
@@ -192,18 +259,22 @@ func WithMetrics(reg *obs.Registry) Option {
 // repository. The identity must be unique within a federation.
 func New(id string, types *typemgr.Repo, opts ...Option) *Trader {
 	t := &Trader{
-		id:           id,
-		types:        types,
-		byType:       map[string]map[string]*Offer{},
-		byID:         map[string]*Offer{},
-		rng:          rand.New(rand.NewSource(1)),
-		now:          time.Now,
-		useIndex:     true,
-		compileCache: map[string]*Constraint{},
+		id:          id,
+		types:       types,
+		rng:         rand.New(rand.NewSource(1)),
+		now:         time.Now,
+		useIndex:    true,
+		constraints: newLRU[*Constraint](defaultConstraintCacheSize),
+		importTTL:   defaultImportCacheTTL,
 	}
 	for _, o := range opts {
 		o(t)
 	}
+	if t.importTTL > 0 {
+		t.importCache = newLRU[*importCacheEntry](importCacheSize)
+	}
+	t.store = newOfferStore(types, func() time.Time { return t.now() })
+	t.store.rebuilds = t.metrics.snapshotRebuilds
 	return t
 }
 
@@ -216,8 +287,8 @@ func (t *Trader) FederationID() string { return t.id }
 
 // Link adds a federation partner consulted by imports with HopLimit > 0.
 func (t *Trader) Link(partner Federate) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.linkMu.Lock()
+	defer t.linkMu.Unlock()
 	t.links = append(t.links, partner)
 }
 
@@ -232,34 +303,60 @@ func (t *Trader) Export(serviceType string, r ref.ServiceRef, props []sidl.Prope
 // ExportLease registers an offer with a lease: after ttl the offer stops
 // matching and is reclaimed by PurgeExpired. ttl zero means no expiry.
 func (t *Trader) ExportLease(serviceType string, r ref.ServiceRef, props []sidl.Property, ttl time.Duration) (string, error) {
-	if ttl < 0 {
-		return "", fmt.Errorf("trader: negative lease %v", ttl)
-	}
-	if err := t.types.CheckOffer(serviceType, props); err != nil {
+	if err := checkExport(t.types, serviceType, ttl, props); err != nil {
 		return "", err
 	}
+	return t.exportOne(serviceType, r, props, ttl), nil
+}
+
+func checkExport(types *typemgr.Repo, serviceType string, ttl time.Duration, props []sidl.Property) error {
+	if ttl < 0 {
+		return fmt.Errorf("trader: negative lease %v", ttl)
+	}
+	return types.CheckOffer(serviceType, props)
+}
+
+// exportOne stores one pre-validated offer and returns its ID.
+func (t *Trader) exportOne(serviceType string, r ref.ServiceRef, props []sidl.Property, ttl time.Duration) string {
 	propMap := make(map[string]sidl.Lit, len(props))
 	for _, p := range props {
 		propMap[p.Name] = p.Value
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.seq++
-	id := t.id + "/o" + strconv.FormatUint(t.seq, 10)
+	id := t.id + "/o" + strconv.FormatUint(t.seq.Add(1), 10)
 	offer := &Offer{ID: id, Type: serviceType, Ref: r, Props: propMap}
 	if ttl > 0 {
 		offer.Expires = t.now().Add(ttl)
 	}
-	byID, ok := t.byType[serviceType]
-	if !ok {
-		byID = map[string]*Offer{}
-		t.byType[serviceType] = byID
-	}
-	byID[id] = offer
-	t.byID[id] = offer
+	t.store.insert(offer)
 	t.metrics.exports.Inc()
 	t.log.Log(nil, "export", "offer", id, "type", serviceType, "ref", r.String(), "ttl", ttl)
-	return id, nil
+	return id
+}
+
+// ExportItem is one offer of an ExportAll batch.
+type ExportItem struct {
+	Type  string
+	Ref   ref.ServiceRef
+	Props []sidl.Property
+	// TTL is the offer's lease; zero means no expiry.
+	TTL time.Duration
+}
+
+// ExportAll registers a batch of offers in one call — the bulk path a
+// provider daemon uses to publish its whole catalogue without one wire
+// round trip per offer. The batch is validated up front and registers
+// either completely or not at all; the returned IDs parallel items.
+func (t *Trader) ExportAll(items []ExportItem) ([]string, error) {
+	for i := range items {
+		if err := checkExport(t.types, items[i].Type, items[i].TTL, items[i].Props); err != nil {
+			return nil, fmt.Errorf("trader: batch item %d: %w", i, err)
+		}
+	}
+	ids := make([]string, len(items))
+	for i := range items {
+		ids[i] = t.exportOne(items[i].Type, items[i].Ref, items[i].Props, items[i].TTL)
+	}
+	return ids, nil
 }
 
 // ExportSID registers an offer directly from a SID carrying a
@@ -274,29 +371,35 @@ func (t *Trader) ExportSID(sid *sidl.SID, r ref.ServiceRef) (string, error) {
 
 // Withdraw removes an offer by ID.
 func (t *Trader) Withdraw(offerID string) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	offer, ok := t.byID[offerID]
+	offer, ok := t.store.remove(offerID)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrOfferUnknown, offerID)
-	}
-	delete(t.byID, offerID)
-	delete(t.byType[offer.Type], offerID)
-	if len(t.byType[offer.Type]) == 0 {
-		delete(t.byType, offer.Type)
 	}
 	t.metrics.withdrawals.Inc()
 	t.log.Log(nil, "withdraw", "offer", offerID, "type", offer.Type)
 	return nil
 }
 
+// WithdrawAll removes a batch of offers and returns how many were
+// actually withdrawn. Unknown IDs are skipped, so the call is
+// idempotent — the shape a provider's shutdown path wants.
+func (t *Trader) WithdrawAll(offerIDs []string) int {
+	n := 0
+	for _, id := range offerIDs {
+		if offer, ok := t.store.remove(id); ok {
+			n++
+			t.metrics.withdrawals.Inc()
+			t.log.Log(nil, "withdraw", "offer", id, "type", offer.Type)
+		}
+	}
+	return n
+}
+
 // Replace atomically replaces the properties of an existing offer (the
 // "replacing of exported services" operation of section 2.1). The new
 // properties must still satisfy the offer's service type.
 func (t *Trader) Replace(offerID string, props []sidl.Property) error {
-	t.mu.RLock()
-	offer, ok := t.byID[offerID]
-	t.mu.RUnlock()
+	offer, ok := t.store.lookup(offerID)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrOfferUnknown, offerID)
 	}
@@ -307,14 +410,15 @@ func (t *Trader) Replace(offerID string, props []sidl.Property) error {
 	for _, p := range props {
 		propMap[p.Name] = p.Value
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	// Re-check under the write lock: the offer may have been withdrawn.
-	offer, ok = t.byID[offerID]
+	// Copy-on-write swap; the offer may have been withdrawn meanwhile.
+	_, ok = t.store.update(offerID, func(old *Offer) *Offer {
+		fresh := *old
+		fresh.Props = propMap
+		return &fresh
+	})
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrOfferUnknown, offerID)
 	}
-	offer.Props = propMap
 	return nil
 }
 
@@ -322,64 +426,45 @@ func (t *Trader) Replace(offerID string, props []sidl.Property) error {
 // Offer.Suspect). It is called by the Sweeper; operators can also set
 // it by hand through the management view.
 func (t *Trader) MarkSuspect(offerID string, suspect bool) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	offer, ok := t.byID[offerID]
+	_, ok := t.store.update(offerID, func(old *Offer) *Offer {
+		fresh := *old
+		fresh.Suspect = suspect
+		return &fresh
+	})
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrOfferUnknown, offerID)
 	}
-	offer.Suspect = suspect
 	return nil
 }
 
 // OfferCount returns the number of stored, unexpired offers.
 func (t *Trader) OfferCount() int {
-	now := t.now()
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	n := 0
-	for _, o := range t.byID {
-		if !o.expired(now) {
-			n++
-		}
-	}
-	return n
+	return t.store.count(t.now())
 }
 
 // Offers returns a snapshot of all stored, unexpired offers, sorted by
-// ID — the management view a trader operator inspects.
+// ID — the management view a trader operator inspects. The offers are
+// deep copies and safe to modify.
 func (t *Trader) Offers() []*Offer {
-	now := t.now()
-	t.mu.RLock()
-	out := make([]*Offer, 0, len(t.byID))
-	for _, o := range t.byID {
-		if !o.expired(now) {
-			out = append(out, o.clone())
-		}
+	live := t.store.live(t.now())
+	out := make([]*Offer, len(live))
+	for i, o := range live {
+		out[i] = o.clone()
 	}
-	t.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// liveOffers returns the stored, unexpired offers sorted by ID without
+// copying; the offers are immutable and must not be modified. The
+// sweeper's probe loop uses this view.
+func (t *Trader) liveOffers() []*Offer {
+	return t.store.live(t.now())
 }
 
 // PurgeExpired removes offers whose lease has run out and returns how
 // many were reclaimed.
 func (t *Trader) PurgeExpired() int {
-	now := t.now()
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	n := 0
-	for id, o := range t.byID {
-		if !o.expired(now) {
-			continue
-		}
-		delete(t.byID, id)
-		delete(t.byType[o.Type], id)
-		if len(t.byType[o.Type]) == 0 {
-			delete(t.byType, o.Type)
-		}
-		n++
-	}
+	n := t.store.purgeExpired(t.now())
 	if n > 0 {
 		t.metrics.purged.Add(uint64(n))
 		t.log.Log(nil, "purge", "reclaimed", n)
@@ -391,6 +476,9 @@ func (t *Trader) PurgeExpired() int {
 // request's hop limit permits, against federated partner traders
 // (step 2/3 of Fig. 1). Results are constraint-filtered, policy-ordered,
 // deduplicated by service reference, and truncated to Max.
+//
+// The returned offers are shared immutable snapshots; callers must not
+// modify them.
 func (t *Trader) Import(ctx context.Context, req ImportRequest) ([]*Offer, error) {
 	t.metrics.imports.With(req.Type).Inc()
 	constraint, err := t.compile(req.Constraint)
@@ -402,10 +490,31 @@ func (t *Trader) Import(ctx context.Context, req ImportRequest) ([]*Offer, error
 		return nil, err
 	}
 
-	matches, err := t.localMatches(req.Type, constraint)
-	if err != nil {
-		return nil, err
+	// Purely local, deterministically ordered imports can be answered
+	// from the result cache: entries are invalidated by any store or
+	// type-repo change that could alter the result, so the TTL only
+	// bounds reuse, it never hides a change.
+	now := t.now()
+	cacheable := t.importCache != nil && t.useIndex && req.HopLimit == 0 && policy.cacheable()
+	var key string
+	var storeGen, repoGen uint64
+	if cacheable {
+		key = req.Type + "\x1f" + req.Constraint + "\x1f" + req.Policy + "\x1f" + strconv.Itoa(req.Max)
+		if e, ok := t.importCache.get(key); ok && !now.After(e.expires) && t.store.validate(e) {
+			t.metrics.importCache.With("hit").Inc()
+			matches := append([]*Offer(nil), e.offers...)
+			t.metrics.matches.Observe(float64(len(matches)))
+			t.log.Log(ctx, "import", "type", req.Type, "constraint", req.Constraint,
+				"hoplimit", req.HopLimit, "matches", len(matches), "cache", "hit")
+			return matches, nil
+		}
+		t.metrics.importCache.With("miss").Inc()
+		// Capture the generations before reading any snapshot: a write
+		// racing with the match pass then fails the entry's validation.
+		storeGen, repoGen = t.store.gens()
 	}
+
+	matches, consulted := t.localMatches(req.Type, constraint)
 
 	if req.HopLimit > 0 {
 		partnerOffers := t.federatedMatches(ctx, req)
@@ -425,9 +534,9 @@ func (t *Trader) Import(ctx context.Context, req ImportRequest) ([]*Offer, error
 	}
 	matches = unique
 
-	t.mu.Lock()
+	t.rngMu.Lock()
 	policy.apply(matches, t.rng)
-	t.mu.Unlock()
+	t.rngMu.Unlock()
 
 	// Stable partition: healthy offers precede suspect ones, each class
 	// keeping its policy order. A suspect provider may be fine (the
@@ -441,6 +550,24 @@ func (t *Trader) Import(ctx context.Context, req ImportRequest) ([]*Offer, error
 	if req.Max > 0 && len(matches) > req.Max {
 		matches = matches[:req.Max]
 	}
+
+	if cacheable {
+		expires := now.Add(t.importTTL)
+		for _, o := range matches {
+			// A cached result must not outlive its shortest lease.
+			if !o.Expires.IsZero() && o.Expires.Before(expires) {
+				expires = o.Expires
+			}
+		}
+		t.importCache.add(key, &importCacheEntry{
+			expires:   expires,
+			storeGen:  storeGen,
+			repoGen:   repoGen,
+			consulted: consulted,
+			offers:    append([]*Offer(nil), matches...),
+		})
+	}
+
 	t.metrics.matches.Observe(float64(len(matches)))
 	// The import line carries the trace from ctx, so a federated import
 	// shows up in each consulted trader's log under one trace ID.
@@ -467,54 +594,38 @@ func (t *Trader) FederatedImport(ctx context.Context, req ImportRequest) ([]*Off
 	return t.Import(ctx, req)
 }
 
+// compile returns the compiled form of a constraint expression, served
+// from the bounded LRU when possible.
 func (t *Trader) compile(src string) (*Constraint, error) {
-	t.mu.RLock()
-	cached, ok := t.compileCache[src]
-	t.mu.RUnlock()
-	if ok {
-		return cached, nil
+	if t.constraints == nil {
+		return Compile(src)
+	}
+	if c, ok := t.constraints.get(src); ok {
+		t.metrics.constraintCache.With("hit").Inc()
+		return c, nil
 	}
 	c, err := Compile(src)
 	if err != nil {
 		return nil, err
 	}
-	t.mu.Lock()
-	if t.compileCache != nil {
-		t.compileCache[src] = c
-	}
-	t.mu.Unlock()
+	t.metrics.constraintCache.With("miss").Inc()
+	t.constraints.add(src, c)
 	return c, nil
 }
 
-// localMatches returns cloned matching offers from the local store.
-func (t *Trader) localMatches(reqType string, constraint *Constraint) ([]*Offer, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+// localMatches returns the matching offers from the local store, sorted
+// by ID, plus the versions of the type buckets consulted (for the
+// import-result cache). Offers are shared immutable snapshots.
+func (t *Trader) localMatches(reqType string, constraint *Constraint) ([]*Offer, []bucketVersion) {
+	now := t.now()
 
-	var candidates []*Offer
-	if t.useIndex {
-		// Typed lookup: the requested type's offers plus offers of every
-		// stored type that conforms to it.
-		for storedType, offers := range t.byType {
-			ok := storedType == reqType
-			if !ok {
-				conf, err := t.types.Conforms(storedType, reqType)
-				if err != nil {
-					// Unknown stored types cannot conform; skip them.
-					continue
-				}
-				ok = conf
-			}
-			if !ok {
-				continue
-			}
-			for _, o := range offers {
-				candidates = append(candidates, o)
-			}
-		}
-	} else {
-		// Ablation path: linear scan over every offer.
-		for _, o := range t.byID {
+	if !t.useIndex {
+		// Ablation path: linear scan over every offer with a
+		// per-offer conformance check — the pre-redesign behaviour the
+		// equivalence property test compares against.
+		t.metrics.indexLookups.With("linear").Inc()
+		var matches []*Offer
+		for _, o := range t.store.all() {
 			ok := o.Type == reqType
 			if !ok {
 				conf, err := t.types.Conforms(o.Type, reqType)
@@ -523,24 +634,41 @@ func (t *Trader) localMatches(reqType string, constraint *Constraint) ([]*Offer,
 				}
 				ok = conf
 			}
-			if ok {
-				candidates = append(candidates, o)
+			if !ok || o.expired(now) {
+				continue
+			}
+			if constraint.Match(o.Props) {
+				matches = append(matches, o)
+			}
+		}
+		sort.Slice(matches, func(i, j int) bool { return matches[i].ID < matches[j].ID })
+		return matches, nil
+	}
+
+	// Typed lookup: the requested type's offers plus offers of every
+	// stored type that conforms to it, each bucket narrowed through its
+	// snapshot's attribute indexes.
+	var matches []*Offer
+	var consulted []bucketVersion
+	for _, name := range t.store.resolve(reqType) {
+		snap, ok := t.store.snapshot(name)
+		if !ok {
+			continue // withdrawn since resolve; the gens catch it
+		}
+		consulted = append(consulted, bucketVersion{name: name, version: snap.version})
+		candidates, kind := snap.candidates(constraint)
+		t.metrics.indexLookups.With(kind).Inc()
+		for _, o := range candidates {
+			if o.expired(now) {
+				continue
+			}
+			if constraint.Match(o.Props) {
+				matches = append(matches, o)
 			}
 		}
 	}
-
-	now := t.now()
-	matches := make([]*Offer, 0, len(candidates))
-	for _, o := range candidates {
-		if o.expired(now) {
-			continue
-		}
-		if constraint.Match(o.Props) {
-			matches = append(matches, o.clone())
-		}
-	}
 	sort.Slice(matches, func(i, j int) bool { return matches[i].ID < matches[j].ID })
-	return matches, nil
+	return matches, consulted
 }
 
 // federatedMatches consults partner traders, decrementing the hop limit
@@ -551,9 +679,9 @@ func (t *Trader) localMatches(reqType string, constraint *Constraint) ([]*Offer,
 // stops with enough headroom left for the caller to assemble and return
 // the partial result: slow links are abandoned, live links still count.
 func (t *Trader) federatedMatches(ctx context.Context, req ImportRequest) []*Offer {
-	t.mu.RLock()
+	t.linkMu.RLock()
 	links := append([]Federate(nil), t.links...)
-	t.mu.RUnlock()
+	t.linkMu.RUnlock()
 
 	visited := append(append([]string(nil), req.visited...), t.id)
 	sub := req

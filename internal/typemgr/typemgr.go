@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"cosm/internal/sidl"
 	"cosm/internal/xcode"
@@ -180,6 +181,7 @@ func litAttrType(sid *sidl.SID, l sidl.Lit) (*sidl.Type, error) {
 type Repo struct {
 	mu    sync.RWMutex
 	types map[string]*ServiceType
+	gen   atomic.Uint64
 }
 
 // NewRepo returns an empty repository.
@@ -209,8 +211,15 @@ func (r *Repo) Define(st *ServiceType) error {
 		}
 	}
 	r.types[st.Name] = st
+	r.gen.Add(1)
 	return nil
 }
+
+// Gen returns a generation counter bumped by every successful Define and
+// Remove. Callers that cache conformance decisions (the trader's
+// matching engine) revalidate against it instead of re-walking the
+// hierarchy on every lookup.
+func (r *Repo) Gen() uint64 { return r.gen.Load() }
 
 // Lookup returns the registered type by name.
 func (r *Repo) Lookup(name string) (*ServiceType, error) {
@@ -237,6 +246,7 @@ func (r *Repo) Remove(name string) error {
 		}
 	}
 	delete(r.types, name)
+	r.gen.Add(1)
 	return nil
 }
 
