@@ -30,12 +30,18 @@ bench:
 bench-smoke:
 	$(GO) test -run 'NoSuchTest' -bench 'ObsOverhead|Overload_Saturation|Import_10kOffers' -benchtime 20x -benchmem .
 
-# Machine-readable benchmark record for the matching-engine redesign:
-# the 10k-offer import comparison (linear scan vs indexed snapshots vs
-# indexed + result cache) as go-test JSON events, for tracking the
-# speedup ratio across commits.
+# Machine-readable benchmark record for the current PR's tentpole, as
+# go-test JSON events for tracking across commits. PR selects the
+# output file; BENCH_PATTERN the benchmark group — defaults cover the
+# durability PR (journal append per fsync policy, 10k-offer crash
+# recovery) plus the matching-engine comparison it must not regress.
+# `make bench-json PR=4 BENCH_PATTERN=Import_10kOffers` reproduces the
+# previous record.
+PR ?= 5
+BENCH_PATTERN ?= Import_10kOffers|JournalAppend|Recovery_10kOffers
+
 bench-json:
-	$(GO) test -json -run 'NoSuchTest' -bench 'Import_10kOffers' -benchtime 100x -benchmem . > BENCH_4.json
+	$(GO) test -json -run 'NoSuchTest' -bench '$(BENCH_PATTERN)' -benchtime 100x -benchmem . > BENCH_$(PR).json
 
 chaos:
 	$(GO) run ./cmd/marketsim -chaos

@@ -13,6 +13,7 @@ package bench
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -27,6 +28,7 @@ import (
 	"cosm/internal/carrental"
 	"cosm/internal/cosm"
 	"cosm/internal/genclient"
+	"cosm/internal/journal"
 	"cosm/internal/market"
 	"cosm/internal/naming"
 	"cosm/internal/obs"
@@ -1266,4 +1268,99 @@ func BenchmarkObsOverhead(b *testing.B) {
 		b.ReportAllocs()
 		run(b, obs.NewRegistry(), true)
 	})
+}
+
+// ---------------------------------------------------------------------
+// E9 — durable market state (write-ahead journal + crash recovery)
+// ---------------------------------------------------------------------
+
+// BenchmarkJournalAppend measures the WAL append hot path — the cost
+// every journalled export/withdraw pays on top of the in-memory
+// mutation — per fsync policy. The payload is a realistic one-offer
+// export record.
+func BenchmarkJournalAppend(b *testing.B) {
+	tr := trader.New("bench", newCarRepo(b))
+	if _, err := tr.Export("CarRentalService",
+		ref.New("tcp:10.0.0.1:7000", "CarRentalService"), carProps(49)); err != nil {
+		b.Fatal(err)
+	}
+	offers, err := tr.ImportWith(context.Background(), "CarRentalService")
+	if err != nil || len(offers) != 1 {
+		b.Fatalf("import = %v, %v", offers, err)
+	}
+	payload, err := json.Marshal(struct {
+		Op     string               `json:"op"`
+		Offers []trader.OfferRecord `json:"offers"`
+	}{"export", []trader.OfferRecord{offers[0].Record()}})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	for _, policy := range []journal.FsyncPolicy{journal.FsyncNever, journal.FsyncInterval, journal.FsyncAlways} {
+		b.Run("fsync="+policy.String(), func(b *testing.B) {
+			j, err := journal.Open(b.TempDir(), journal.Options{Fsync: policy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer j.Close()
+			if err := j.Start(func() ([]byte, error) { return nil, nil }); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(payload)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := j.Append(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecovery_10kOffers measures crash recovery: rebuilding a
+// 10k-offer trader (store, per-type snapshots, attribute indexes, offer
+// ID counter) from its journal — the daemon's boot-time cost after a
+// kill -9. The journal is pure records (worst case: no snapshot to
+// shortcut replay).
+func BenchmarkRecovery_10kOffers(b *testing.B) {
+	const stored = 10_000
+	dir := b.TempDir()
+	j, err := journal.Open(dir, journal.Options{Fsync: journal.FsyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := trader.New("bench", newCarRepo(b))
+	if err := j.Start(seed.JournalSnapshot); err != nil {
+		b.Fatal(err)
+	}
+	seed.SetJournal(j)
+	fillTrader(b, seed, stored)
+	if err := j.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := trader.New("bench", newCarRepo(b))
+		j, err := journal.Open(dir, journal.Options{Fsync: journal.FsyncNever})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if snap, ok := j.Snapshot(); ok {
+			if err := tr.RestoreSnapshot(snap); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := j.Replay(tr.ReplayRecord); err != nil {
+			b.Fatal(err)
+		}
+		if err := j.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if n := tr.OfferCount(); n != stored {
+			b.Fatalf("recovered %d offers, want %d", n, stored)
+		}
+	}
 }

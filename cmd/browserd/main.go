@@ -14,10 +14,12 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"cosm/internal/browser"
 	"cosm/internal/cosm"
@@ -52,11 +54,50 @@ func run(args []string, sig <-chan os.Signal) error {
 	dir := browser.NewDirectory(
 		browser.WithDirectoryLogger(logger.With("browser")),
 		browser.WithDirectoryMetrics(df.Registry))
+
+	// Recovery happens before the node listens: by the time the first
+	// connection is accepted the directory is the pre-crash one.
+	j, err := df.OpenJournal()
+	if err != nil {
+		return err
+	}
+	defer j.Close()
+	if j != nil {
+		start := time.Now()
+		if snap, ok := j.Snapshot(); ok {
+			if err := dir.RestoreSnapshot(snap); err != nil {
+				return fmt.Errorf("recover %s: %w", df.DataDir, err)
+			}
+		}
+		if err := j.Replay(dir.ReplayRecord); err != nil {
+			return fmt.Errorf("recover %s: %w", df.DataDir, err)
+		}
+		if err := j.Start(dir.JournalSnapshot); err != nil {
+			return err
+		}
+		dir.SetJournal(j)
+		// Snapshot immediately so the recovered state is re-anchored in
+		// one file: recovery cost stays bounded even if the daemon
+		// crashes again before the first background compaction.
+		if err := j.Compact(); err != nil {
+			return err
+		}
+		log.Printf("recovered %d registrations from %s in %v", dir.Len(), df.DataDir, time.Since(start))
+	}
+
 	svc, err := browser.NewService(dir)
 	if err != nil {
 		return err
 	}
 	node := cosm.NewNode(df.NodeOptions(logger.With("wire"))...)
+	if j != nil {
+		// Final flush+fsync after the drain, before connections close.
+		node.OnDrain(func() {
+			if err := j.Sync(); err != nil {
+				log.Printf("journal sync on drain: %v", err)
+			}
+		})
+	}
 	if err := node.Host(browser.ServiceName, svc); err != nil {
 		return err
 	}

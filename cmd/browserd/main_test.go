@@ -117,3 +117,47 @@ func TestDaemonErrors(t *testing.T) {
 		t.Fatal("unreachable parent must fail")
 	}
 }
+
+// TestDaemonJournalRestart drains a journaled browserd and boots a
+// second one on the same data directory: registrations written during
+// the first life — including one registered just before the drain —
+// survive into the second.
+func TestDaemonJournalRestart(t *testing.T) {
+	log.SetOutput(io.Discard)
+	defer log.SetOutput(os.Stderr)
+	dataDir := t.TempDir()
+
+	sig := make(chan os.Signal)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-listen", "loop:browserd-journal", "-data-dir", dataDir, "-fsync", "interval"}, sig)
+	}()
+	pool := wire.NewPool()
+	defer pool.Close()
+	bc := dialUp(t, pool, ref.New("loop:browserd-journal", browser.ServiceName))
+	ctx := context.Background()
+	if err := bc.RegisterSID(ctx, sidl.CarRentalSID(), ref.New("tcp:p:1", "CarRentalService")); err != nil {
+		t.Fatal(err)
+	}
+	// With -fsync interval this registration may still be unsynced when
+	// the drain starts; the OnDrain hook must flush it.
+	close(sig)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	sig2 := make(chan os.Signal)
+	done2 := make(chan error, 1)
+	go func() {
+		done2 <- run([]string{"-listen", "loop:browserd-journal2", "-data-dir", dataDir}, sig2)
+	}()
+	bc2 := dialUp(t, pool, ref.New("loop:browserd-journal2", browser.ServiceName))
+	entries, err := bc2.Search(ctx, "car")
+	if err != nil || len(entries) != 1 || entries[0].Ref != ref.New("tcp:p:1", "CarRentalService") {
+		t.Fatalf("recovered Search = %v, %v", entries, err)
+	}
+	close(sig2)
+	if err := <-done2; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -14,7 +14,17 @@
 //	cosmcli session  cosm://.../CarRentalService 'SelectCar a.b=c ...' 'Commit'
 //	cosmcli import   cosm://.../cosm.trader CarRentalService \
 //	                 -constraint 'ChargePerDay < 100' -policy min:ChargePerDay
+//	cosmcli dump     cosm://.../cosm.trader > offers.json
+//	cosmcli restore  cosm://.../cosm.trader offers.json
 //	cosmcli stats    127.0.0.1:9100
+//
+// dump writes every live offer the trader holds as a JSON document on
+// stdout, in the trader's canonical durable form (the same
+// representation its write-ahead journal uses). restore re-exports a
+// dump at a trader — the same one after data loss, or a different one
+// when migrating a market — deriving each offer's remaining lease from
+// its recorded expiry and skipping offers that have already expired.
+// Restored offers get fresh trader-assigned IDs.
 //
 // stats takes the daemon's -metrics-addr (an HTTP address, not a COSM
 // reference) and prints a snapshot of its /debug/vars introspection
@@ -37,12 +47,14 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"cosm/internal/genclient"
 	"cosm/internal/obs"
 	"cosm/internal/ref"
+	"cosm/internal/sidl"
 	"cosm/internal/trader"
 	"cosm/internal/uiform"
 	"cosm/internal/wire"
@@ -56,7 +68,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: cosmcli [-timeout d] <describe|ui|browse|invoke|session|repl|import|stats> <ref> [args...]")
+	return fmt.Errorf("usage: cosmcli [-timeout d] <describe|ui|browse|invoke|session|repl|import|dump|restore|stats> <ref> [args...]")
 }
 
 func run(args []string) error {
@@ -204,9 +216,118 @@ func runWithInput(args []string, stdin io.Reader) error {
 		}
 		return nil
 
+	case "dump":
+		tc, err := trader.DialTrader(ctx, pool, target)
+		if err != nil {
+			return err
+		}
+		return dump(ctx, os.Stdout, tc)
+
+	case "restore":
+		if len(rest) < 1 {
+			return fmt.Errorf("usage: cosmcli restore <trader-ref> <dump.json|->")
+		}
+		tc, err := trader.DialTrader(ctx, pool, target)
+		if err != nil {
+			return err
+		}
+		var data []byte
+		if rest[0] == "-" {
+			data, err = io.ReadAll(stdin)
+		} else {
+			data, err = os.ReadFile(rest[0])
+		}
+		if err != nil {
+			return err
+		}
+		return restore(ctx, os.Stdout, tc, data)
+
 	default:
 		return usage()
 	}
+}
+
+// dumpDoc is the dump file format: the trader's live offers in their
+// canonical durable form (see trader.OfferRecord), sorted by ID.
+type dumpDoc struct {
+	Offers []trader.OfferRecord `json:"offers"`
+}
+
+// dump writes every live offer at the trader as JSON on w. It imports
+// each registered service type unconstrained; an offer exported under a
+// subtype also matches imports of its supertypes, so offers are deduped
+// by their trader-assigned ID.
+func dump(ctx context.Context, w io.Writer, tc *trader.Client) error {
+	names, err := tc.TypeNames(ctx)
+	if err != nil {
+		return err
+	}
+	seen := map[string]bool{}
+	doc := dumpDoc{Offers: []trader.OfferRecord{}}
+	for _, name := range names {
+		offers, err := tc.ImportWith(ctx, name)
+		if err != nil {
+			return fmt.Errorf("dump type %s: %w", name, err)
+		}
+		for _, o := range offers {
+			if seen[o.ID] {
+				continue
+			}
+			seen[o.ID] = true
+			doc.Offers = append(doc.Offers, o.Record())
+		}
+	}
+	sort.Slice(doc.Offers, func(i, j int) bool { return doc.Offers[i].ID < doc.Offers[j].ID })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// restore re-exports a dump at the trader in one ExportAll batch (all
+// or nothing). Leased offers keep their absolute expiry instant: the
+// remaining TTL is recomputed from the recorded expiry, and offers
+// whose leases have already run out are skipped, not resurrected.
+func restore(ctx context.Context, w io.Writer, tc *trader.Client, data []byte) error {
+	var doc dumpDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("restore: %w", err)
+	}
+	now := time.Now()
+	items := make([]trader.ExportItem, 0, len(doc.Offers))
+	expired := 0
+	for _, rec := range doc.Offers {
+		o, err := trader.OfferFromRecord(rec)
+		if err != nil {
+			return fmt.Errorf("restore: %w", err)
+		}
+		item := trader.ExportItem{Type: o.Type, Ref: o.Ref}
+		if !o.Expires.IsZero() {
+			ttl := o.Expires.Sub(now)
+			if ttl <= 0 {
+				expired++
+				continue
+			}
+			item.TTL = ttl
+		}
+		for _, name := range sortedKeys(o.Props) {
+			item.Props = append(item.Props, sidl.Property{Name: name, Value: o.Props[name]})
+		}
+		items = append(items, item)
+	}
+	ids := []string{}
+	if len(items) > 0 {
+		var err error
+		ids, err = tc.ExportAll(ctx, items)
+		if err != nil {
+			return fmt.Errorf("restore: %w", err)
+		}
+	}
+	fmt.Fprintf(w, "restored %d offers", len(ids))
+	if expired > 0 {
+		fmt.Fprintf(w, " (%d expired, skipped)", expired)
+	}
+	fmt.Fprintln(w)
+	return nil
 }
 
 // repl is the interactive generic client of the paper's user level: the

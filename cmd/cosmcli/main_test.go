@@ -2,15 +2,20 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"cosm/internal/browser"
 	"cosm/internal/carrental"
 	"cosm/internal/cosm"
+	"cosm/internal/ref"
 	"cosm/internal/sidl"
 	"cosm/internal/trader"
 	"cosm/internal/typemgr"
@@ -275,5 +280,176 @@ func TestReplEOFEndsCleanly(t *testing.T) {
 		return runWithInput([]string{"repl", carRef}, strings.NewReader("state\n"))
 	}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// startTrader hosts a bare trader (CarRentalService type predefined) on
+// its own loopback node and returns its reference string plus the
+// in-process trader for direct inspection.
+func startTrader(t *testing.T, loopName, id string) (string, *trader.Trader) {
+	t.Helper()
+	node := cosm.NewNode(cosm.WithNodeLog(func(string, ...any) {}))
+	repo := typemgr.NewRepo()
+	st, err := typemgr.FromSID(sidl.CarRentalSID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Define(st); err != nil {
+		t.Fatal(err)
+	}
+	tr := trader.New(id, repo)
+	tsvc, err := trader.NewService(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Host(trader.ServiceName, tsvc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.ListenAndServe("loop:" + loopName); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = node.Close() })
+	return node.MustRefFor(trader.ServiceName).String(), tr
+}
+
+func rentalProps(model string, charge float64) []sidl.Property {
+	return []sidl.Property{
+		{Name: "CarModel", Value: sidl.EnumLit(model)},
+		{Name: "AverageMilage", Value: sidl.IntLit(52000)},
+		{Name: "ChargePerDay", Value: sidl.FloatLit(charge)},
+		{Name: "ChargeCurrency", Value: sidl.EnumLit("USD")},
+	}
+}
+
+// Dump captures a trader's live offers; restore re-creates them at
+// another trader with fresh IDs and equivalent leases.
+func TestDumpRestoreRoundTrip(t *testing.T) {
+	srcRef, src := startTrader(t, "cli-dump-src", "dump-src")
+	dstRef, dst := startTrader(t, "cli-dump-dst", "dump-dst")
+
+	if _, err := src.Export("CarRentalService",
+		ref.New("tcp:10.9.0.1:7000", "CarRentalService"), rentalProps("FIAT_Uno", 49)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.ExportLease("CarRentalService",
+		ref.New("tcp:10.9.0.2:7000", "CarRentalService"), rentalProps("VW_Golf", 99), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := capture(t, func() error { return run([]string{"dump", srcRef}) })
+	if err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	var doc struct {
+		Offers []trader.OfferRecord `json:"offers"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("dump output is not JSON: %v\n%s", err, out)
+	}
+	if len(doc.Offers) != 2 {
+		t.Fatalf("dump holds %d offers, want 2", len(doc.Offers))
+	}
+
+	file := filepath.Join(t.TempDir(), "offers.json")
+	if err := os.WriteFile(file, []byte(out), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := capture(t, func() error { return run([]string{"restore", dstRef, file}) })
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if !strings.Contains(msg, "restored 2 offers") {
+		t.Fatalf("restore output %q", msg)
+	}
+
+	// The restored market is equivalent modulo trader-assigned IDs and
+	// the lease re-anchoring: same types, refs, props; the leased offer
+	// still expires.
+	got, err := dst.ImportWith(context.Background(), "CarRentalService")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("restored trader serves %d offers, want 2", len(got))
+	}
+	byRef := map[string]trader.OfferRecord{}
+	for _, o := range got {
+		rec := o.Record()
+		if strings.HasPrefix(rec.ID, "dump-src/") {
+			t.Fatalf("restored offer kept source ID %q", rec.ID)
+		}
+		byRef[rec.Ref] = rec
+	}
+	for _, want := range doc.Offers {
+		rec, ok := byRef[want.Ref]
+		if !ok {
+			t.Fatalf("offer for %s missing after restore", want.Ref)
+		}
+		if rec.Type != want.Type || fmt.Sprint(rec.Props) != fmt.Sprint(want.Props) {
+			t.Fatalf("restored offer %+v, want type/props of %+v", rec, want)
+		}
+		if (rec.Expires != 0) != (want.Expires != 0) {
+			t.Fatalf("restored offer lease %d, source %d", rec.Expires, want.Expires)
+		}
+	}
+}
+
+// Expired offers in a dump are skipped by restore, not resurrected;
+// "-" reads the dump from stdin.
+func TestRestoreSkipsExpired(t *testing.T) {
+	dstRef, dst := startTrader(t, "cli-restore-expired", "restore-dst")
+	past := time.Now().Add(-time.Minute).UnixNano()
+	dump := fmt.Sprintf(`{"offers":[
+		{"id":"x/o1","type":"CarRentalService","ref":"cosm://tcp:10.9.1.1:7000/CarRentalService",
+		 "props":[{"name":"CarModel","kind":"enum","text":"FIAT_Uno"},
+		          {"name":"AverageMilage","kind":"int","text":"1000"},
+		          {"name":"ChargePerDay","kind":"float","text":"10"},
+		          {"name":"ChargeCurrency","kind":"enum","text":"USD"}]},
+		{"id":"x/o2","type":"CarRentalService","ref":"cosm://tcp:10.9.1.2:7000/CarRentalService",
+		 "props":[{"name":"CarModel","kind":"enum","text":"VW_Golf"},
+		          {"name":"AverageMilage","kind":"int","text":"2000"},
+		          {"name":"ChargePerDay","kind":"float","text":"20"},
+		          {"name":"ChargeCurrency","kind":"enum","text":"USD"}],
+		 "expires":%d}]}`, past)
+	msg, err := capture(t, func() error {
+		return runWithInput([]string{"restore", dstRef, "-"}, strings.NewReader(dump))
+	})
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if !strings.Contains(msg, "restored 1 offers (1 expired, skipped)") {
+		t.Fatalf("restore output %q", msg)
+	}
+	if n := dst.OfferCount(); n != 1 {
+		t.Fatalf("trader holds %d offers, want 1", n)
+	}
+}
+
+// A restore against a trader that lacks the dumped service type fails
+// whole (ExportAll is all-or-nothing) with a useful error.
+func TestRestoreUnknownType(t *testing.T) {
+	node := cosm.NewNode(cosm.WithNodeLog(func(string, ...any) {}))
+	tr := trader.New("bare", typemgr.NewRepo())
+	tsvc, err := trader.NewService(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Host(trader.ServiceName, tsvc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.ListenAndServe("loop:cli-restore-unknown"); err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	dump := `{"offers":[{"id":"x/o1","type":"NoSuchService","ref":"cosm://tcp:10.9.2.1:7000/NoSuchService"}]}`
+	_, err = capture(t, func() error {
+		return runWithInput([]string{"restore", node.MustRefFor(trader.ServiceName).String(), "-"},
+			strings.NewReader(dump))
+	})
+	if err == nil || !strings.Contains(err.Error(), "NoSuchService") {
+		t.Fatalf("restore of unknown type: err = %v", err)
+	}
+	if n := tr.OfferCount(); n != 0 {
+		t.Fatalf("trader holds %d offers after failed restore, want 0", n)
 	}
 }

@@ -82,7 +82,10 @@ func run(args []string, sig <-chan os.Signal) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", file, err)
 		}
-		if err := repo.Define(st); err != nil {
+		// Retaining the SIDL source makes preloaded types part of journal
+		// snapshots, so a recovered trader does not depend on the -type
+		// flags it was originally booted with.
+		if err := repo.DefineWithSource(st, string(src)); err != nil {
 			return fmt.Errorf("%s: %w", file, err)
 		}
 		log.Printf("preloaded service type %s (%d attributes)", st.Name, len(st.Attrs))
@@ -94,11 +97,53 @@ func run(args []string, sig <-chan os.Signal) error {
 		trader.WithMetrics(df.Registry),
 		trader.WithImportCacheTTL(*cacheTTL),
 		trader.WithConstraintCacheSize(*ccSize))
+
+	// Recovery happens before the node listens: by the time the first
+	// connection is accepted the offer store is the pre-crash one.
+	j, err := df.OpenJournal()
+	if err != nil {
+		return err
+	}
+	defer j.Close()
+	if j != nil {
+		start := time.Now()
+		if snap, ok := j.Snapshot(); ok {
+			if err := tr.RestoreSnapshot(snap); err != nil {
+				return fmt.Errorf("recover %s: %w", df.DataDir, err)
+			}
+		}
+		if err := j.Replay(tr.ReplayRecord); err != nil {
+			return fmt.Errorf("recover %s: %w", df.DataDir, err)
+		}
+		if err := j.Start(tr.JournalSnapshot); err != nil {
+			return err
+		}
+		tr.SetJournal(j)
+		// Snapshot immediately: state that exists only in boot-time
+		// memory — the -type preloads above — is never journalled as
+		// records, so without this a crash before the first background
+		// compaction would recover the offers but lose their types.
+		if err := j.Compact(); err != nil {
+			return err
+		}
+		log.Printf("recovered %d offers, %d types from %s in %v",
+			tr.OfferCount(), tr.Types().Len(), df.DataDir, time.Since(start))
+	}
+
 	svc, err := trader.NewService(tr)
 	if err != nil {
 		return err
 	}
 	node := cosm.NewNode(df.NodeOptions(logger.With("wire"))...)
+	if j != nil {
+		// Final flush+fsync after the drain, before connections close:
+		// state written by requests served during the drain is durable.
+		node.OnDrain(func() {
+			if err := j.Sync(); err != nil {
+				log.Printf("journal sync on drain: %v", err)
+			}
+		})
+	}
 	if err := node.Host(trader.ServiceName, svc); err != nil {
 		return err
 	}

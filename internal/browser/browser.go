@@ -19,6 +19,7 @@ import (
 	"strings"
 	"sync"
 
+	"cosm/internal/journal"
 	"cosm/internal/obs"
 	"cosm/internal/ref"
 	"cosm/internal/sidl"
@@ -49,6 +50,10 @@ type Entry struct {
 type Directory struct {
 	mu      sync.RWMutex
 	entries map[string]*dirEntry
+
+	// journal, when attached via SetJournal, receives a logical record
+	// for every registration and withdrawal (see durable.go).
+	journal *journal.Journal
 
 	log     *obs.Logger
 	metrics dirMetrics
@@ -115,6 +120,17 @@ func (d *Directory) Register(sid *sidl.SID, r ref.ServiceRef) error {
 	if err := sid.Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadSID, err)
 	}
+	if d.journal != nil {
+		// WAL-first, after validation: the log carries no rejected
+		// registrations, and a crash after the append replays the upsert.
+		text, err := sid.MarshalText()
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadSID, err)
+		}
+		if err := d.journalAppend(&dirRecord{Op: opRegister, Name: sid.ServiceName, SIDL: string(text), Ref: r.String()}); err != nil {
+			return err
+		}
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.entries[sid.ServiceName] = &dirEntry{
@@ -128,6 +144,19 @@ func (d *Directory) Register(sid *sidl.SID, r ref.ServiceRef) error {
 
 // Withdraw removes a registration.
 func (d *Directory) Withdraw(name string) error {
+	if d.journal != nil {
+		// WAL-first for known names only; a concurrent withdrawal may
+		// still win the race below — the duplicate record is idempotent.
+		d.mu.RLock()
+		_, ok := d.entries[name]
+		d.mu.RUnlock()
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrNotRegistered, name)
+		}
+		if err := d.journalAppend(&dirRecord{Op: opWithdraw, Name: name}); err != nil {
+			return err
+		}
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if _, ok := d.entries[name]; !ok {

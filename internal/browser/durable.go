@@ -1,0 +1,126 @@
+package browser
+
+// Durable directory state: like the trader (see trader/durable.go) the
+// browser journals every registration and withdrawal as a logical JSON
+// record and rebuilds from snapshot + replay on boot. SIDs persist as
+// canonical SIDL text — the communicable form of section 4.1 — so a
+// recovered entry is the re-parsed canonical description (comments in
+// the provider's original source are not retained).
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"cosm/internal/journal"
+	"cosm/internal/ref"
+	"cosm/internal/sidl"
+)
+
+const (
+	opRegister = "register"
+	opWithdraw = "withdraw"
+)
+
+// dirRecord is one logical journal record of the directory.
+type dirRecord struct {
+	Op   string `json:"op"`
+	Name string `json:"name,omitempty"`
+	SIDL string `json:"sidl,omitempty"`
+	Ref  string `json:"ref,omitempty"`
+}
+
+// dirSnapshot is the compaction snapshot: every registration, sorted by
+// name for byte-stable output.
+type dirSnapshot struct {
+	Entries []dirRecord `json:"entries,omitempty"`
+}
+
+// SetJournal attaches a started journal; call after recovery and before
+// serving.
+func (d *Directory) SetJournal(j *journal.Journal) { d.journal = j }
+
+func (d *Directory) journalAppend(r *dirRecord) error {
+	if d.journal == nil {
+		return nil
+	}
+	if _, err := d.journal.AppendJSON(r); err != nil {
+		return fmt.Errorf("browser: journal: %w", err)
+	}
+	return nil
+}
+
+// JournalSnapshot serialises the directory for journal compaction.
+func (d *Directory) JournalSnapshot() ([]byte, error) {
+	var snap dirSnapshot
+	for _, name := range d.Names() {
+		e, err := d.Get(name)
+		if err != nil {
+			continue // withdrawn between Names and Get
+		}
+		text, err := e.SID.MarshalText()
+		if err != nil {
+			return nil, fmt.Errorf("browser: snapshot %q: %w", name, err)
+		}
+		snap.Entries = append(snap.Entries, dirRecord{Name: name, SIDL: string(text), Ref: e.Ref.String()})
+	}
+	return json.Marshal(&snap)
+}
+
+// RestoreSnapshot loads a compaction snapshot into an empty directory.
+// Call before Replay.
+func (d *Directory) RestoreSnapshot(payload []byte) error {
+	var snap dirSnapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return fmt.Errorf("browser: snapshot: %w", err)
+	}
+	for _, rec := range snap.Entries {
+		if err := d.applyRegister(rec.SIDL, rec.Ref); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReplayRecord applies one journal record during recovery; pass it to
+// journal.Replay. Records are idempotent (register is an upsert,
+// withdrawal of an absent name is a no-op), so replaying over a
+// snapshot newer than its watermark is harmless.
+func (d *Directory) ReplayRecord(seq uint64, payload []byte) error {
+	var rec dirRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return fmt.Errorf("browser: journal record %d: %w", seq, err)
+	}
+	switch rec.Op {
+	case opRegister:
+		if err := d.applyRegister(rec.SIDL, rec.Ref); err != nil {
+			return fmt.Errorf("browser: journal record %d: %w", seq, err)
+		}
+	case opWithdraw:
+		d.mu.Lock()
+		delete(d.entries, rec.Name)
+		d.mu.Unlock()
+	default:
+		return fmt.Errorf("browser: journal record %d: unknown op %q", seq, rec.Op)
+	}
+	return nil
+}
+
+// applyRegister parses a persisted registration and upserts it without
+// journalling (the recovery path).
+func (d *Directory) applyRegister(sidlText, refText string) error {
+	sid, err := sidl.Parse(sidlText)
+	if err != nil {
+		return err
+	}
+	r, err := ref.Parse(refText)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.entries[sid.ServiceName] = &dirEntry{
+		entry:    Entry{Name: sid.ServiceName, SID: sid, Ref: r},
+		keywords: sid.Keywords(),
+	}
+	d.mu.Unlock()
+	return nil
+}

@@ -135,6 +135,11 @@ func (n *Node) MustRefFor(serviceName string) ref.ServiceRef {
 // the node opens).
 func (n *Node) Pool() *wire.Pool { return n.pool }
 
+// OnDrain registers fn to run during Shutdown after in-flight requests
+// have drained and before connections close (see wire.Server.OnDrain).
+// Daemons hook their journal's final flush+fsync here.
+func (n *Node) OnDrain(fn func()) { n.server.OnDrain(fn) }
+
 // ServerStats returns the node's inbound overload counters.
 func (n *Node) ServerStats() wire.ServerStats { return n.server.Stats() }
 

@@ -9,6 +9,10 @@
 //	-drain-timeout  grace period for in-flight work on shutdown
 //	-metrics-addr   HTTP introspection endpoint (/metrics, /debug/vars,
 //	                /healthz); empty disables it
+//	-data-dir       write-ahead journal directory; empty keeps the
+//	                daemon's state in memory only
+//	-fsync          journal fsync policy: always, interval or never
+//	-compact-every  journal records between snapshot compactions
 //
 // — so operators tune one vocabulary across the whole market.
 package daemon
@@ -19,6 +23,7 @@ import (
 	"time"
 
 	"cosm/internal/cosm"
+	"cosm/internal/journal"
 	"cosm/internal/obs"
 	"cosm/internal/wire"
 )
@@ -31,6 +36,10 @@ type Flags struct {
 	DrainTimeout time.Duration
 	MetricsAddr  string
 
+	DataDir      string
+	FsyncMode    string
+	CompactEvery int
+
 	// Registry collects the daemon's metrics; NodeOptions instruments
 	// the node against it and Introspection serves it. Populated by
 	// Register.
@@ -38,7 +47,7 @@ type Flags struct {
 }
 
 // Register installs the shared flags on fs with the common defaults
-// (admission control off, 10s drain, no metrics endpoint).
+// (admission control off, 10s drain, no metrics endpoint, no journal).
 func Register(fs *flag.FlagSet) *Flags {
 	f := &Flags{Registry: obs.NewRegistry()}
 	fs.IntVar(&f.MaxInFlight, "max-inflight", 0, "max concurrently served requests (0 = unlimited)")
@@ -46,7 +55,29 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.DurationVar(&f.QueueWait, "queue-wait", 100*time.Millisecond, "max time a request may queue for admission")
 	fs.DurationVar(&f.DrainTimeout, "drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 	fs.StringVar(&f.MetricsAddr, "metrics-addr", "", "serve /metrics, /debug/vars and /healthz on this address (empty = off)")
+	fs.StringVar(&f.DataDir, "data-dir", "", "journal market state into this directory and recover from it on boot (empty = in-memory only)")
+	fs.StringVar(&f.FsyncMode, "fsync", "interval", "journal fsync policy: always (sync every append), interval (background sync) or never")
+	fs.IntVar(&f.CompactEvery, "compact-every", 4096, "fold the journal into a snapshot every N records (0 = only on demand)")
 	return f
+}
+
+// OpenJournal opens the daemon's write-ahead journal under -data-dir,
+// instrumented against the daemon's registry. With an empty -data-dir
+// it returns (nil, nil): journaling is off, and a nil *journal.Journal
+// is safe to Close and Sync.
+func (f *Flags) OpenJournal() (*journal.Journal, error) {
+	if f.DataDir == "" {
+		return nil, nil
+	}
+	policy, err := journal.ParseFsync(f.FsyncMode)
+	if err != nil {
+		return nil, err
+	}
+	return journal.Open(f.DataDir, journal.Options{
+		Fsync:        policy,
+		CompactEvery: f.CompactEvery,
+		Metrics:      journal.NewMetrics(f.Registry),
+	})
 }
 
 // NodeOptions converts the flags into cosm.NewNode options: admission

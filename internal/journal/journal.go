@@ -1,0 +1,859 @@
+// Package journal is the durability layer under the market's stateful
+// services: a zero-dependency, generic write-ahead log with snapshot
+// compaction and crash recovery.
+//
+// Callers append opaque logical records (the trader journals
+// export/withdraw/replace/suspect/purge, the browser journals
+// register/withdraw); the journal frames them with a length prefix, a
+// monotonic sequence number and a CRC32C, appends them to a segment
+// file under a configurable fsync policy, and rotates segments as they
+// grow. Compaction folds everything up to a watermark into a single
+// snapshot payload (supplied by the caller, installed atomically via
+// rename) and deletes the covered segments.
+//
+// Recovery is the reverse path: Open loads the latest valid snapshot,
+// streams every record past its watermark to the caller's replay
+// function, and truncates the log at the first torn or corrupt record —
+// a crash mid-append loses at most the unsynced tail, never the
+// records before it. Replayed records must be idempotent state setters
+// (a re-inserted offer overwrites itself, a withdraw of an absent ID is
+// a no-op): compaction snapshots may be slightly newer than their
+// watermark, so a handful of records spanning the snapshot instant are
+// replayed over state that already includes them.
+//
+// Lifecycle:
+//
+//	j, err := journal.Open(dir, opts)      // scan, pick snapshot, seal tail
+//	if snap, ok := j.Snapshot(); ok {...}  // restore state
+//	err = j.Replay(func(seq, payload) error {...})
+//	err = j.Start(snapshotFn)              // enable appends + background work
+//	...
+//	seq, err := j.Append(payload)
+//	...
+//	j.Close()                              // final flush + fsync
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Errors reported by the journal.
+var (
+	ErrClosed     = errors.New("journal: closed")
+	ErrNotStarted = errors.New("journal: not started (recovery incomplete)")
+	ErrCorrupt    = errors.New("journal: corrupt")
+)
+
+// FsyncPolicy selects when appended records are forced to stable
+// storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs after every append: no acknowledged record is
+	// ever lost, at the cost of one fsync per mutation.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs on a background timer (Options.FsyncEvery):
+	// a crash loses at most one interval's worth of records.
+	FsyncInterval
+	// FsyncNever leaves syncing to the operating system: fastest, and a
+	// crash loses whatever the page cache still held.
+	FsyncNever
+)
+
+// ParseFsync maps the -fsync flag vocabulary (always|interval|never)
+// to a policy.
+func ParseFsync(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("journal: unknown fsync policy %q (want always|interval|never)", s)
+}
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	}
+	return "unknown"
+}
+
+// Options configure a journal.
+type Options struct {
+	// Fsync selects the sync policy (default FsyncAlways).
+	Fsync FsyncPolicy
+	// FsyncEvery is the background sync period under FsyncInterval
+	// (default 100ms).
+	FsyncEvery time.Duration
+	// SegmentSize rotates the append segment once it exceeds this many
+	// bytes (default 4MiB).
+	SegmentSize int64
+	// CompactEvery triggers snapshot compaction after this many appends
+	// since the last snapshot; 0 disables automatic compaction
+	// (Compact can still be called by hand).
+	CompactEvery int
+	// Metrics records the journal's cosm_journal_* families; nil
+	// disables recording.
+	Metrics *Metrics
+	// Clock injects a time source for the fsync-latency and recovery
+	// metrics (tests); nil means time.Now.
+	Clock func() time.Time
+}
+
+const (
+	defaultFsyncEvery  = 100 * time.Millisecond
+	defaultSegmentSize = 4 << 20
+
+	segPrefix    = "wal-"
+	segSuffix    = ".log"
+	snapName     = "SNAPSHOT"
+	snapTempName = "SNAPSHOT.tmp"
+
+	// segMagic/snapMagic head every segment and snapshot file, versioned
+	// so a future format change can coexist with old data directories.
+	segMagic  = "COSMWAL1"
+	snapMagic = "COSMSNP1"
+
+	// recordOverhead is the framing around one payload: u32 length,
+	// u64 sequence number, u32 CRC32C.
+	recordOverhead = 4 + 8 + 4
+
+	// maxRecordSize rejects absurd length prefixes during recovery (a
+	// corrupt length would otherwise drive a giant allocation).
+	maxRecordSize = 64 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Journal is a single-writer write-ahead log over one directory. Append
+// and Sync are safe for concurrent use; Open/Replay/Start follow the
+// lifecycle documented on the package.
+type Journal struct {
+	dir      string
+	opts     Options
+	now      func() time.Time
+	openedAt time.Time
+
+	mu      sync.Mutex
+	started bool
+	closed  bool
+	seq     uint64 // last assigned sequence number
+	seg     *os.File
+	segSize int64
+	dirty   bool // records appended since the last sync
+
+	// sinceSnap counts appends since the last snapshot, driving
+	// automatic compaction.
+	sinceSnap int
+	snapSeq   uint64 // watermark of the installed snapshot
+
+	// snapshotFn folds current state into a snapshot payload
+	// (installed by Start; nil disables compaction).
+	snapshotFn func() ([]byte, error)
+
+	// recovered holds the Open scan results consumed by Snapshot and
+	// Replay.
+	snapPayload []byte
+	hasSnap     bool
+	segments    []segmentInfo // sorted by start sequence
+
+	// compactMu serializes whole compaction passes (the background
+	// compactor and manual Compact calls must not race on the snapshot
+	// temp file).
+	compactMu sync.Mutex
+
+	kick chan struct{} // compaction trigger
+	stop chan struct{}
+	bg   sync.WaitGroup
+}
+
+// segmentInfo describes one scanned segment file.
+type segmentInfo struct {
+	path     string
+	startSeq uint64
+}
+
+// Stats is a point-in-time summary of the journal (introspection,
+// tests).
+type Stats struct {
+	// LastSeq is the last assigned record sequence number.
+	LastSeq uint64
+	// SnapshotSeq is the watermark of the installed snapshot (0 when
+	// none).
+	SnapshotSeq uint64
+	// Segments is the number of live segment files.
+	Segments int
+	// SinceSnapshot counts records appended since the last snapshot.
+	SinceSnapshot int
+}
+
+// Open scans dir (creating it if needed), loads the newest valid
+// snapshot, seals the log tail — truncating at the first torn or
+// corrupt record — and returns a journal ready for Snapshot/Replay/
+// Start. The directory must not be shared between live journals.
+func Open(dir string, opts Options) (*Journal, error) {
+	if opts.FsyncEvery <= 0 {
+		opts.FsyncEvery = defaultFsyncEvery
+	}
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = defaultSegmentSize
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{
+		dir:  dir,
+		opts: opts,
+		now:  opts.Clock,
+		kick: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+	}
+	if j.now == nil {
+		j.now = time.Now
+	}
+
+	j.openedAt = j.now()
+	if err := j.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := j.scanSegments(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// loadSnapshot reads the installed snapshot, if any. A corrupt snapshot
+// is ignored (and counted), falling back to full log replay — the log
+// is the source of truth, the snapshot only an accelerator, and
+// compaction deletes segments only after a snapshot was durably
+// installed.
+func (j *Journal) loadSnapshot() error {
+	raw, err := os.ReadFile(filepath.Join(j.dir, snapName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	payload, seq, err := decodeSnapshot(raw)
+	if err != nil {
+		j.opts.Metrics.snapshotDiscarded()
+		return nil
+	}
+	j.snapPayload, j.hasSnap, j.snapSeq, j.seq = payload, true, seq, seq
+	return nil
+}
+
+// decodeSnapshot validates a snapshot file: magic, u64 watermark,
+// payload, trailing CRC32C over everything before it.
+func decodeSnapshot(raw []byte) (payload []byte, seq uint64, err error) {
+	if len(raw) < len(snapMagic)+8+4 || string(raw[:len(snapMagic)]) != snapMagic {
+		return nil, 0, fmt.Errorf("%w: snapshot header", ErrCorrupt)
+	}
+	body, sum := raw[:len(raw)-4], binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if crc32.Checksum(body, castagnoli) != sum {
+		return nil, 0, fmt.Errorf("%w: snapshot checksum", ErrCorrupt)
+	}
+	seq = binary.LittleEndian.Uint64(body[len(snapMagic):])
+	return body[len(snapMagic)+8:], seq, nil
+}
+
+func encodeSnapshot(payload []byte, seq uint64) []byte {
+	buf := make([]byte, 0, len(snapMagic)+8+len(payload)+4)
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+}
+
+// scanSegments indexes the segment files and seals the newest one:
+// records are validated front to back and the file is truncated at the
+// first torn or corrupt record, so appends resume on a clean tail.
+func (j *Journal) scanSegments() error {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		start, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), 16, 64)
+		if err != nil {
+			continue
+		}
+		j.segments = append(j.segments, segmentInfo{path: filepath.Join(j.dir, name), startSeq: start})
+	}
+	sort.Slice(j.segments, func(a, b int) bool { return j.segments[a].startSeq < j.segments[b].startSeq })
+
+	// Every segment is sealed, not just the last: a crash during
+	// compaction or rotation can leave a torn record mid-chain, and
+	// everything after a torn record is unreachable anyway (sequence
+	// numbers past a truncation are reissued). Sealing from the first
+	// torn record onward drops later segments entirely.
+	truncated := 0
+	for i, seg := range j.segments {
+		lastSeq, validLen, tail, err := sealSegment(seg.path)
+		if err != nil {
+			return err
+		}
+		truncated += tail
+		if lastSeq > j.seq {
+			j.seq = lastSeq
+		}
+		if tail > 0 {
+			// Torn chain: drop every later segment (their records would
+			// reuse sequence numbers the truncation freed).
+			for _, later := range j.segments[i+1:] {
+				n, cerr := countRecords(later.path)
+				if cerr == nil {
+					truncated += n
+				}
+				_ = os.Remove(later.path)
+			}
+			j.segments = j.segments[:i+1]
+			if validLen <= int64(len(segMagic)) {
+				// Nothing valid left in the torn segment either.
+				_ = os.Remove(seg.path)
+				j.segments = j.segments[:i]
+			}
+			break
+		}
+	}
+	if truncated > 0 {
+		j.opts.Metrics.truncated(uint64(truncated))
+	}
+	return nil
+}
+
+// sealSegment walks one segment, returning the last valid sequence
+// number, the byte length of the valid prefix, and how many records
+// were cut when the file had to be truncated at a torn/corrupt record.
+func sealSegment(path string) (lastSeq uint64, validLen int64, truncated int, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("journal: %w", err)
+	}
+	size := info.Size()
+
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(f, magic); err != nil || string(magic) != segMagic {
+		// Unrecognised file: treat the whole content as one torn record.
+		if terr := f.Truncate(0); terr != nil {
+			return 0, 0, 0, fmt.Errorf("journal: truncate %s: %w", path, terr)
+		}
+		return 0, 0, 1, nil
+	}
+
+	r := &countingReader{r: f, off: int64(len(segMagic))}
+	validLen = r.off
+	for {
+		seq, _, rerr := readRecord(r)
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			// Torn or corrupt: truncate here. Everything after the first
+			// bad frame is unreachable (frame boundaries are lost), so it
+			// counts as one truncated record.
+			if terr := f.Truncate(validLen); terr != nil {
+				return 0, 0, 0, fmt.Errorf("journal: truncate %s: %w", path, terr)
+			}
+			return lastSeq, validLen, 1, nil
+		}
+		lastSeq = seq
+		validLen = r.off
+	}
+	if validLen != size {
+		if terr := f.Truncate(validLen); terr != nil {
+			return 0, 0, 0, fmt.Errorf("journal: truncate %s: %w", path, terr)
+		}
+	}
+	return lastSeq, validLen, 0, nil
+}
+
+// countRecords returns the number of valid records in a segment
+// (best-effort, for truncation accounting).
+func countRecords(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(f, magic); err != nil || string(magic) != segMagic {
+		return 1, nil
+	}
+	n := 0
+	r := &countingReader{r: f, off: int64(len(segMagic))}
+	for {
+		_, _, err := readRecord(r)
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n + 1, nil
+		}
+		n++
+	}
+}
+
+// countingReader tracks the byte offset of a sequential reader so
+// sealSegment knows where the valid prefix ends.
+type countingReader struct {
+	r   io.Reader
+	off int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.off += int64(n)
+	return n, err
+}
+
+// readRecord decodes one framed record: u32 payload length, u64
+// sequence, payload, u32 CRC32C over sequence+payload. io.EOF means a
+// clean end; any other error means a torn or corrupt frame.
+func readRecord(r io.Reader) (seq uint64, payload []byte, err error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: torn length", ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > maxRecordSize {
+		return 0, nil, fmt.Errorf("%w: implausible record length %d", ErrCorrupt, n)
+	}
+	if _, err := io.ReadFull(r, hdr[4:12]); err != nil {
+		return 0, nil, fmt.Errorf("%w: torn header", ErrCorrupt)
+	}
+	seq = binary.LittleEndian.Uint64(hdr[4:12])
+	buf := make([]byte, n+4)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, fmt.Errorf("%w: torn payload", ErrCorrupt)
+	}
+	payload = buf[:n]
+	sum := binary.LittleEndian.Uint32(buf[n:])
+	crc := crc32.Checksum(hdr[4:12], castagnoli)
+	crc = crc32.Update(crc, castagnoli, payload)
+	if crc != sum {
+		return 0, nil, fmt.Errorf("%w: checksum mismatch at seq %d", ErrCorrupt, seq)
+	}
+	return seq, payload, nil
+}
+
+// appendRecord frames and writes one record to w.
+func appendRecord(w io.Writer, seq uint64, payload []byte) (int, error) {
+	buf := make([]byte, 0, recordOverhead+len(payload))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = append(buf, payload...)
+	crc := crc32.Checksum(buf[4:12], castagnoli)
+	crc = crc32.Update(crc, castagnoli, payload)
+	buf = binary.LittleEndian.AppendUint32(buf, crc)
+	return w.Write(buf)
+}
+
+// Snapshot returns the recovered snapshot payload, if one was
+// installed. Valid between Open and Start (Start releases the buffer).
+func (j *Journal) Snapshot() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snapPayload, j.hasSnap
+}
+
+// Replay streams every recovered record with a sequence number past the
+// snapshot watermark to fn, in order. A non-nil error from fn aborts
+// the replay and is returned. Must be called before Start.
+func (j *Journal) Replay(fn func(seq uint64, payload []byte) error) error {
+	j.mu.Lock()
+	if j.started {
+		j.mu.Unlock()
+		return errors.New("journal: Replay after Start")
+	}
+	segments := append([]segmentInfo(nil), j.segments...)
+	snapSeq := j.snapSeq
+	j.mu.Unlock()
+
+	recovered := uint64(0)
+	for _, seg := range segments {
+		err := func() error {
+			f, err := os.Open(seg.path)
+			if err != nil {
+				return fmt.Errorf("journal: %w", err)
+			}
+			defer f.Close()
+			magic := make([]byte, len(segMagic))
+			if _, err := io.ReadFull(f, magic); err != nil || string(magic) != segMagic {
+				return fmt.Errorf("%w: segment header %s", ErrCorrupt, seg.path)
+			}
+			for {
+				seq, payload, err := readRecord(f)
+				if err == io.EOF {
+					return nil
+				}
+				if err != nil {
+					// The sealed prefix re-read corrupt: disk went bad
+					// between Open and Replay. Surface it.
+					return fmt.Errorf("journal: replay %s: %w", seg.path, err)
+				}
+				if seq <= snapSeq {
+					continue // folded into the snapshot already
+				}
+				if err := fn(seq, payload); err != nil {
+					return err
+				}
+				recovered++
+			}
+		}()
+		if err != nil {
+			return err
+		}
+	}
+	j.opts.Metrics.recovered(recovered)
+	return nil
+}
+
+// Start seals recovery and enables appends: the append segment is
+// opened (continuing the newest recovered segment or starting a fresh
+// one), and the background fsync ticker and compactor are launched.
+// snapshotFn folds current state into a snapshot payload for
+// compaction; nil disables compaction.
+func (j *Journal) Start(snapshotFn func() ([]byte, error)) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if j.started {
+		return errors.New("journal: already started")
+	}
+	j.snapshotFn = snapshotFn
+	// Release the recovery buffer; Snapshot is a recovery-phase call.
+	j.snapPayload, j.hasSnap = nil, false
+
+	if n := len(j.segments); n > 0 {
+		f, err := os.OpenFile(j.segments[n-1].path, os.O_WRONLY|os.O_APPEND, 0)
+		if err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		info, err := f.Stat()
+		if err != nil {
+			_ = f.Close()
+			return fmt.Errorf("journal: %w", err)
+		}
+		j.seg, j.segSize = f, info.Size()
+	} else if err := j.openSegmentLocked(j.seq + 1); err != nil {
+		return err
+	}
+	j.started = true
+	j.opts.Metrics.setRecoverySeconds(j.now().Sub(j.openedAt).Seconds())
+
+	if j.opts.Fsync == FsyncInterval {
+		j.bg.Add(1)
+		go j.syncLoop()
+	}
+	if j.opts.CompactEvery > 0 && j.snapshotFn != nil {
+		j.bg.Add(1)
+		go j.compactLoop()
+	}
+	return nil
+}
+
+// openSegmentLocked creates the segment whose first record will carry
+// startSeq and makes it the append target; the caller holds j.mu.
+func (j *Journal) openSegmentLocked(startSeq uint64) error {
+	path := filepath.Join(j.dir, fmt.Sprintf("%s%016x%s", segPrefix, startSeq, segSuffix))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("journal: %w", err)
+	}
+	if j.seg != nil {
+		_ = j.seg.Close()
+	}
+	j.seg, j.segSize = f, int64(len(segMagic))
+	j.segments = append(j.segments, segmentInfo{path: path, startSeq: startSeq})
+	return nil
+}
+
+// Append writes one logical record and returns its sequence number.
+// Under FsyncAlways the record is on stable storage when Append
+// returns; under the other policies it is durable after the next sync.
+func (j *Journal) Append(payload []byte) (uint64, error) {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if !j.started {
+		j.mu.Unlock()
+		return 0, ErrNotStarted
+	}
+	if j.segSize >= j.opts.SegmentSize {
+		if err := j.openSegmentLocked(j.seq + 1); err != nil {
+			j.mu.Unlock()
+			return 0, err
+		}
+	}
+	j.seq++
+	seq := j.seq
+	n, err := appendRecord(j.seg, seq, payload)
+	j.segSize += int64(n)
+	if err != nil {
+		j.mu.Unlock()
+		return 0, fmt.Errorf("journal: append: %w", err)
+	}
+	j.dirty = true
+	j.sinceSnap++
+	kick := j.opts.CompactEvery > 0 && j.sinceSnap >= j.opts.CompactEvery
+	var syncErr error
+	if j.opts.Fsync == FsyncAlways {
+		syncErr = j.syncLocked()
+	}
+	j.mu.Unlock()
+
+	j.opts.Metrics.appendOne(n)
+	if syncErr != nil {
+		return 0, syncErr
+	}
+	if kick {
+		select {
+		case j.kick <- struct{}{}:
+		default:
+		}
+	}
+	return seq, nil
+}
+
+// Sync forces appended records to stable storage (the drain hook's
+// final flush).
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed || j.seg == nil {
+		return nil
+	}
+	return j.syncLocked()
+}
+
+func (j *Journal) syncLocked() error {
+	if !j.dirty {
+		return nil
+	}
+	start := j.now()
+	err := j.seg.Sync()
+	j.opts.Metrics.fsyncObserve(j.now().Sub(start).Seconds())
+	if err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	j.dirty = false
+	return nil
+}
+
+// syncLoop is the FsyncInterval background ticker.
+func (j *Journal) syncLoop() {
+	defer j.bg.Done()
+	t := time.NewTicker(j.opts.FsyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_ = j.Sync()
+		case <-j.stop:
+			return
+		}
+	}
+}
+
+// compactLoop runs snapshot compaction whenever the append path signals
+// the threshold was crossed.
+func (j *Journal) compactLoop() {
+	defer j.bg.Done()
+	for {
+		select {
+		case <-j.kick:
+			_ = j.Compact()
+		case <-j.stop:
+			return
+		}
+	}
+}
+
+// Compact folds the log into a snapshot: it rotates to a fresh
+// segment, records the watermark, asks the snapshot function for the
+// current state, installs the snapshot atomically (write temp, fsync,
+// rename), and deletes every segment fully covered by the watermark.
+// The snapshot may include mutations newer than the watermark; replay
+// over it is idempotent by the package contract.
+func (j *Journal) Compact() error {
+	j.compactMu.Lock()
+	defer j.compactMu.Unlock()
+	j.mu.Lock()
+	if j.closed || !j.started {
+		j.mu.Unlock()
+		return ErrClosed
+	}
+	fn := j.snapshotFn
+	if fn == nil {
+		j.mu.Unlock()
+		return errors.New("journal: no snapshot function")
+	}
+	// Seal the watermark: everything ≤ seq will be covered. Rotate so
+	// later appends land in a segment the cleanup below keeps, and sync
+	// the sealed segment — the snapshot must never be the only copy of
+	// records the log acknowledged but left in the page cache.
+	if err := j.syncLocked(); err != nil {
+		j.mu.Unlock()
+		return err
+	}
+	watermark := j.seq
+	// An empty append segment needs no rotation (and rotating would
+	// recreate its own name): it already holds no record ≤ watermark.
+	if j.segSize > int64(len(segMagic)) {
+		if err := j.openSegmentLocked(j.seq + 1); err != nil {
+			j.mu.Unlock()
+			return err
+		}
+	}
+	j.sinceSnap = 0
+	j.mu.Unlock()
+
+	payload, err := fn()
+	if err != nil {
+		return fmt.Errorf("journal: snapshot state: %w", err)
+	}
+
+	tmp := filepath.Join(j.dir, snapTempName)
+	if err := os.WriteFile(tmp, encodeSnapshot(payload, watermark), 0o644); err != nil {
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	if err := syncFile(tmp); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(j.dir, snapName)); err != nil {
+		return fmt.Errorf("journal: install snapshot: %w", err)
+	}
+	j.opts.Metrics.compactOne()
+
+	// Drop segments whose every record is ≤ watermark: those are the
+	// segments followed by another segment starting at or below
+	// watermark+1.
+	j.mu.Lock()
+	j.snapSeq = watermark
+	keep := j.segments[:0]
+	for i, seg := range j.segments {
+		covered := i+1 < len(j.segments) && j.segments[i+1].startSeq <= watermark+1
+		if covered {
+			_ = os.Remove(seg.path)
+			continue
+		}
+		keep = append(keep, seg)
+	}
+	j.segments = keep
+	j.mu.Unlock()
+	return nil
+}
+
+func syncFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync %s: %w", path, err)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the journal's bookkeeping.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Stats{
+		LastSeq:       j.seq,
+		SnapshotSeq:   j.snapSeq,
+		Segments:      len(j.segments),
+		SinceSnapshot: j.sinceSnap,
+	}
+}
+
+// Close stops the background goroutines, flushes and syncs the append
+// segment, and closes it. Safe to call multiple times; nil-safe so
+// daemons can `defer j.Close()` unconditionally.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	close(j.stop)
+	j.mu.Unlock()
+	j.bg.Wait()
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var err error
+	if j.seg != nil {
+		if j.dirty {
+			start := j.now()
+			err = j.seg.Sync()
+			j.opts.Metrics.fsyncObserve(j.now().Sub(start).Seconds())
+			j.dirty = false
+		}
+		if cerr := j.seg.Close(); err == nil {
+			err = cerr
+		}
+		j.seg = nil
+	}
+	if err != nil {
+		return fmt.Errorf("journal: close: %w", err)
+	}
+	return nil
+}
+
+// AppendJSON marshals v and appends it — the convenience every logical-
+// record producer in the repo uses.
+func (j *Journal) AppendJSON(v any) (uint64, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return 0, fmt.Errorf("journal: encode record: %w", err)
+	}
+	return j.Append(payload)
+}

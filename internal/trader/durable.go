@@ -1,0 +1,357 @@
+package trader
+
+// Durable market state: the trader journals every offer-store and
+// type-repo mutation as a logical JSON record into an attached
+// write-ahead journal (internal/journal) and can rebuild itself from a
+// snapshot plus a record replay. Replay goes through the store API, so
+// PR 4's per-type snapshots, attribute indexes and caches rebuild
+// naturally — recovery produces the same matching state a live trader
+// would have.
+//
+// Ordering discipline: offer mutations are journalled before they are
+// applied (classic WAL — a crash may lose the in-memory effect but
+// never the record), after validation has passed so the log carries no
+// rejected operations. Type mutations validate-and-apply inside the
+// repo, then journal. All records are idempotent state setters: a
+// compaction snapshot may be slightly newer than its watermark, so the
+// records spanning the snapshot instant replay over state that already
+// contains them.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"cosm/internal/journal"
+	"cosm/internal/ref"
+	"cosm/internal/sidl"
+	"cosm/internal/typemgr"
+)
+
+// Journal record operations.
+const (
+	opExport      = "export"
+	opWithdraw    = "withdraw"
+	opWithdrawAll = "withdraw_all"
+	opReplace     = "replace"
+	opSuspect     = "suspect"
+	opPurge       = "purge"
+	opDefineType  = "deftype"
+	opRemoveType  = "removetype"
+)
+
+// PropRecord is one offer property in journal form, reusing the wire
+// protocol's kind/text literal encoding.
+type PropRecord struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	Text string `json:"text"`
+}
+
+// OfferRecord is the journal form of one stored offer. Unlike the wire
+// form (whole Unix seconds), expiry is kept at nanosecond precision so
+// a recovered trader purges leases at exactly the instants the original
+// would have.
+type OfferRecord struct {
+	ID      string       `json:"id"`
+	Type    string       `json:"type"`
+	Ref     string       `json:"ref"`
+	Props   []PropRecord `json:"props,omitempty"`
+	Expires int64        `json:"expires,omitempty"` // UnixNano; 0 = never
+	Suspect bool         `json:"suspect,omitempty"`
+}
+
+// walRecord is one logical journal record.
+type walRecord struct {
+	Op      string        `json:"op"`
+	Offers  []OfferRecord `json:"offers,omitempty"` // export
+	IDs     []string      `json:"ids,omitempty"`    // withdraw(_all), replace, suspect
+	Props   []PropRecord  `json:"props,omitempty"`  // replace
+	Suspect bool          `json:"suspect,omitempty"`
+	At      int64         `json:"at,omitempty"`   // purge instant, UnixNano
+	SIDL    string        `json:"sidl,omitempty"` // deftype source text
+	Name    string        `json:"name,omitempty"` // removetype
+}
+
+// traderSnapshot is the compaction snapshot: the full offer store, the
+// retained SIDL sources of journalled type definitions, and the offer
+// ID counter.
+type traderSnapshot struct {
+	Seq    uint64        `json:"seq"`
+	Types  []string      `json:"types,omitempty"`
+	Offers []OfferRecord `json:"offers,omitempty"`
+}
+
+func propsToRecords(props map[string]sidl.Lit) []PropRecord {
+	out := make([]PropRecord, 0, len(props))
+	for _, name := range sortedPropNames(props) {
+		kind, text := encodeLit(props[name])
+		out = append(out, PropRecord{Name: name, Kind: kind, Text: text})
+	}
+	return out
+}
+
+func propsFromRecords(recs []PropRecord) (map[string]sidl.Lit, error) {
+	props := make(map[string]sidl.Lit, len(recs))
+	for _, p := range recs {
+		lit, err := decodeLit(p.Kind, p.Text)
+		if err != nil {
+			return nil, err
+		}
+		props[p.Name] = lit
+	}
+	return props, nil
+}
+
+func offerToRecord(o *Offer) OfferRecord {
+	rec := OfferRecord{ID: o.ID, Type: o.Type, Ref: o.Ref.String(), Props: propsToRecords(o.Props), Suspect: o.Suspect}
+	if !o.Expires.IsZero() {
+		rec.Expires = o.Expires.UnixNano()
+	}
+	return rec
+}
+
+func offerFromRecord(rec OfferRecord) (*Offer, error) {
+	r, err := ref.Parse(rec.Ref)
+	if err != nil {
+		return nil, fmt.Errorf("trader: journal offer %q: %w", rec.ID, err)
+	}
+	props, err := propsFromRecords(rec.Props)
+	if err != nil {
+		return nil, fmt.Errorf("trader: journal offer %q: %w", rec.ID, err)
+	}
+	o := &Offer{ID: rec.ID, Type: rec.Type, Ref: r, Props: props, Suspect: rec.Suspect}
+	if rec.Expires != 0 {
+		o.Expires = time.Unix(0, rec.Expires)
+	}
+	return o, nil
+}
+
+// Record returns the offer in its canonical durable form — sorted
+// kind/text property encoding, nanosecond expiry. The journal, the
+// compaction snapshot and cosmcli's dump format all share this one
+// representation, so a dump of a recovered trader is comparable
+// byte-for-byte with a dump of the original.
+func (o *Offer) Record() OfferRecord { return offerToRecord(o) }
+
+// OfferFromRecord reverses (*Offer).Record.
+func OfferFromRecord(rec OfferRecord) (*Offer, error) { return offerFromRecord(rec) }
+
+// SetJournal attaches a started journal: from now on every offer and
+// type mutation appends a logical record before it is applied. Call it
+// after recovery (RestoreSnapshot + Replay) and before serving; it is
+// not safe to swap journals on a live trader.
+func (t *Trader) SetJournal(j *journal.Journal) { t.journal = j }
+
+// journalAppend writes one record to the attached journal, if any.
+func (t *Trader) journalAppend(r *walRecord) error {
+	if t.journal == nil {
+		return nil
+	}
+	if _, err := t.journal.AppendJSON(r); err != nil {
+		return fmt.Errorf("trader: journal: %w", err)
+	}
+	return nil
+}
+
+// journalled reports whether a journal is attached (i.e. whether the
+// mutation paths must pay for WAL-first existence checks).
+func (t *Trader) journalled() bool { return t.journal != nil }
+
+// JournalSnapshot serialises the trader's durable state for journal
+// compaction: every stored offer (expired ones included — replayed
+// purge records re-reclaim them deterministically), the retained SIDL
+// sources of type definitions, and the offer ID counter. Output is
+// sorted for byte-stable snapshots.
+func (t *Trader) JournalSnapshot() ([]byte, error) {
+	snap := traderSnapshot{Seq: t.seq.Load()}
+	sources := t.types.Sources()
+	names := make([]string, 0, len(sources))
+	for n := range sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		snap.Types = append(snap.Types, sources[n])
+	}
+	offers := t.store.all()
+	sort.Slice(offers, func(i, j int) bool { return offers[i].ID < offers[j].ID })
+	for _, o := range offers {
+		snap.Offers = append(snap.Offers, offerToRecord(o))
+	}
+	return json.Marshal(snap)
+}
+
+// RestoreSnapshot loads a compaction snapshot produced by
+// JournalSnapshot into an empty trader. Call before Replay.
+func (t *Trader) RestoreSnapshot(payload []byte) error {
+	var snap traderSnapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return fmt.Errorf("trader: snapshot: %w", err)
+	}
+	// Types may reference each other as supertypes; define in passes
+	// until a fixed point so ordering never matters.
+	pending := append([]string(nil), snap.Types...)
+	for len(pending) > 0 {
+		var stuck []string
+		var lastErr error
+		for _, src := range pending {
+			if err := t.defineFromSIDL(src); err != nil {
+				stuck = append(stuck, src)
+				lastErr = err
+			}
+		}
+		if len(stuck) == len(pending) {
+			return fmt.Errorf("trader: snapshot types: %w", lastErr)
+		}
+		pending = stuck
+	}
+	for _, rec := range snap.Offers {
+		o, err := offerFromRecord(rec)
+		if err != nil {
+			return err
+		}
+		t.store.insert(o)
+		t.bumpSeqFromID(o.ID)
+	}
+	t.bumpSeq(snap.Seq)
+	return nil
+}
+
+// ReplayRecord applies one journal record during recovery; pass it to
+// journal.Replay. Records are idempotent, so replaying over a snapshot
+// that already contains their effect is harmless.
+func (t *Trader) ReplayRecord(seq uint64, payload []byte) error {
+	var r walRecord
+	if err := json.Unmarshal(payload, &r); err != nil {
+		return fmt.Errorf("trader: journal record %d: %w", seq, err)
+	}
+	switch r.Op {
+	case opExport:
+		for _, rec := range r.Offers {
+			o, err := offerFromRecord(rec)
+			if err != nil {
+				return err
+			}
+			t.store.insert(o)
+			t.bumpSeqFromID(o.ID)
+		}
+	case opWithdraw, opWithdrawAll:
+		for _, id := range r.IDs {
+			t.store.remove(id)
+		}
+	case opReplace:
+		props, err := propsFromRecords(r.Props)
+		if err != nil {
+			return fmt.Errorf("trader: journal record %d: %w", seq, err)
+		}
+		for _, id := range r.IDs {
+			t.store.update(id, func(old *Offer) *Offer {
+				fresh := *old
+				fresh.Props = props
+				return &fresh
+			})
+		}
+	case opSuspect:
+		for _, id := range r.IDs {
+			t.store.update(id, func(old *Offer) *Offer {
+				fresh := *old
+				fresh.Suspect = r.Suspect
+				return &fresh
+			})
+		}
+	case opPurge:
+		t.store.purgeExpired(time.Unix(0, r.At))
+	case opDefineType:
+		if err := t.defineFromSIDL(r.SIDL); err != nil {
+			return fmt.Errorf("trader: journal record %d: %w", seq, err)
+		}
+	case opRemoveType:
+		// ErrTypeUnknown is fine: a snapshot newer than the watermark
+		// already excludes the type.
+		if err := t.types.Remove(r.Name); err != nil && !errors.Is(err, typemgr.ErrTypeUnknown) {
+			return fmt.Errorf("trader: journal record %d: %w", seq, err)
+		}
+	default:
+		return fmt.Errorf("trader: journal record %d: unknown op %q", seq, r.Op)
+	}
+	return nil
+}
+
+// defineFromSIDL parses a SIDL source carrying a trader export and
+// registers the derived service type with its source retained. A type
+// already registered under the same name is left alone (idempotent
+// replay).
+func (t *Trader) defineFromSIDL(text string) error {
+	sid, err := sidl.Parse(text)
+	if err != nil {
+		return err
+	}
+	st, err := typemgr.FromSID(sid)
+	if err != nil {
+		return err
+	}
+	if err := t.types.DefineWithSource(st, text); err != nil {
+		if _, lookupErr := t.types.Lookup(st.Name); lookupErr == nil {
+			return nil // already defined
+		}
+		return err
+	}
+	return nil
+}
+
+// DefineTypeSIDL registers a service type from SIDL text carrying a
+// COSM_TraderExport module (the maturation path of section 4.1) and
+// journals the source text, so the definition survives a restart.
+func (t *Trader) DefineTypeSIDL(text string) error {
+	sid, err := sidl.Parse(text)
+	if err != nil {
+		return err
+	}
+	st, err := typemgr.FromSID(sid)
+	if err != nil {
+		return err
+	}
+	if err := t.types.DefineWithSource(st, text); err != nil {
+		return err
+	}
+	return t.journalAppend(&walRecord{Op: opDefineType, SIDL: text})
+}
+
+// RemoveType deletes a service type through the management interface
+// and journals the removal.
+func (t *Trader) RemoveType(name string) error {
+	if err := t.types.Remove(name); err != nil {
+		return err
+	}
+	return t.journalAppend(&walRecord{Op: opRemoveType, Name: name})
+}
+
+// bumpSeqFromID advances the offer ID counter past the sequence number
+// embedded in a recovered offer ID, so post-recovery exports never
+// collide with recovered ones.
+func (t *Trader) bumpSeqFromID(id string) {
+	i := strings.LastIndex(id, "/o")
+	if i < 0 {
+		return
+	}
+	n, err := strconv.ParseUint(id[i+2:], 10, 64)
+	if err != nil {
+		return
+	}
+	t.bumpSeq(n)
+}
+
+// bumpSeq raises the offer ID counter to at least n.
+func (t *Trader) bumpSeq(n uint64) {
+	for {
+		cur := t.seq.Load()
+		if cur >= n || t.seq.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}

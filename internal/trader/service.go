@@ -7,7 +7,6 @@ import (
 
 	"cosm/internal/cosm"
 	"cosm/internal/sidl"
-	"cosm/internal/typemgr"
 	"cosm/internal/xcode"
 )
 
@@ -503,15 +502,7 @@ func NewService(t *Trader) (*cosm.Service, error) {
 		if err != nil {
 			return err
 		}
-		sid, err := sidl.Parse(text)
-		if err != nil {
-			return err
-		}
-		st, err := typemgr.FromSID(sid)
-		if err != nil {
-			return err
-		}
-		return t.Types().Define(st)
+		return t.DefineTypeSIDL(text)
 	})
 	svc.MustHandle("TypeNames", func(call *cosm.Call) error {
 		names := t.Types().Names()
@@ -531,7 +522,7 @@ func NewService(t *Trader) (*cosm.Service, error) {
 		if err != nil {
 			return err
 		}
-		return t.Types().Remove(name)
+		return t.RemoveType(name)
 	})
 	return svc, nil
 }

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cosm/internal/journal"
 	"cosm/internal/obs"
 	"cosm/internal/ref"
 	"cosm/internal/sidl"
@@ -129,6 +130,10 @@ type Trader struct {
 	// result cache; zero disables the cache.
 	importTTL   time.Duration
 	importCache *lruCache[*importCacheEntry]
+
+	// journal, when attached via SetJournal, receives a logical record
+	// for every offer and type mutation (see durable.go).
+	journal *journal.Journal
 
 	log     *obs.Logger
 	metrics traderMetrics
@@ -306,7 +311,14 @@ func (t *Trader) ExportLease(serviceType string, r ref.ServiceRef, props []sidl.
 	if err := checkExport(t.types, serviceType, ttl, props); err != nil {
 		return "", err
 	}
-	return t.exportOne(serviceType, r, props, ttl), nil
+	offer := t.makeOffer(serviceType, r, props, ttl)
+	// WAL-first: a crash after the append replays the export, a crash
+	// before it rejects the call — never a silently lost offer.
+	if err := t.journalAppend(&walRecord{Op: opExport, Offers: []OfferRecord{offerToRecord(offer)}}); err != nil {
+		return "", err
+	}
+	t.commitOffer(offer, ttl)
+	return offer.ID, nil
 }
 
 func checkExport(types *typemgr.Repo, serviceType string, ttl time.Duration, props []sidl.Property) error {
@@ -316,8 +328,9 @@ func checkExport(types *typemgr.Repo, serviceType string, ttl time.Duration, pro
 	return types.CheckOffer(serviceType, props)
 }
 
-// exportOne stores one pre-validated offer and returns its ID.
-func (t *Trader) exportOne(serviceType string, r ref.ServiceRef, props []sidl.Property, ttl time.Duration) string {
+// makeOffer builds one pre-validated offer with a fresh ID; the caller
+// journals and then commits it.
+func (t *Trader) makeOffer(serviceType string, r ref.ServiceRef, props []sidl.Property, ttl time.Duration) *Offer {
 	propMap := make(map[string]sidl.Lit, len(props))
 	for _, p := range props {
 		propMap[p.Name] = p.Value
@@ -327,10 +340,14 @@ func (t *Trader) exportOne(serviceType string, r ref.ServiceRef, props []sidl.Pr
 	if ttl > 0 {
 		offer.Expires = t.now().Add(ttl)
 	}
+	return offer
+}
+
+// commitOffer stores a journalled offer.
+func (t *Trader) commitOffer(offer *Offer, ttl time.Duration) {
 	t.store.insert(offer)
 	t.metrics.exports.Inc()
-	t.log.Log(nil, "export", "offer", id, "type", serviceType, "ref", r.String(), "ttl", ttl)
-	return id
+	t.log.Log(nil, "export", "offer", offer.ID, "type", offer.Type, "ref", offer.Ref.String(), "ttl", ttl)
 }
 
 // ExportItem is one offer of an ExportAll batch.
@@ -352,9 +369,21 @@ func (t *Trader) ExportAll(items []ExportItem) ([]string, error) {
 			return nil, fmt.Errorf("trader: batch item %d: %w", i, err)
 		}
 	}
+	offers := make([]*Offer, len(items))
+	recs := make([]OfferRecord, len(items))
+	for i := range items {
+		offers[i] = t.makeOffer(items[i].Type, items[i].Ref, items[i].Props, items[i].TTL)
+		recs[i] = offerToRecord(offers[i])
+	}
+	// One journal record covers the whole batch: it registers completely
+	// or not at all, matching the call's atomicity contract.
+	if err := t.journalAppend(&walRecord{Op: opExport, Offers: recs}); err != nil {
+		return nil, err
+	}
 	ids := make([]string, len(items))
 	for i := range items {
-		ids[i] = t.exportOne(items[i].Type, items[i].Ref, items[i].Props, items[i].TTL)
+		t.commitOffer(offers[i], items[i].TTL)
+		ids[i] = offers[i].ID
 	}
 	return ids, nil
 }
@@ -371,6 +400,17 @@ func (t *Trader) ExportSID(sid *sidl.SID, r ref.ServiceRef) (string, error) {
 
 // Withdraw removes an offer by ID.
 func (t *Trader) Withdraw(offerID string) error {
+	if t.journalled() {
+		// WAL-first, but only for offers that exist: the log carries no
+		// rejected withdrawals. A concurrent withdrawal may still win the
+		// race below; the duplicate record is idempotent on replay.
+		if _, ok := t.store.lookup(offerID); !ok {
+			return fmt.Errorf("%w: %q", ErrOfferUnknown, offerID)
+		}
+		if err := t.journalAppend(&walRecord{Op: opWithdraw, IDs: []string{offerID}}); err != nil {
+			return err
+		}
+	}
 	offer, ok := t.store.remove(offerID)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrOfferUnknown, offerID)
@@ -382,8 +422,16 @@ func (t *Trader) Withdraw(offerID string) error {
 
 // WithdrawAll removes a batch of offers and returns how many were
 // actually withdrawn. Unknown IDs are skipped, so the call is
-// idempotent — the shape a provider's shutdown path wants.
+// idempotent — the shape a provider's shutdown path wants. A journal
+// append failure is logged and the in-memory withdrawal proceeds: the
+// call's contract is idempotent best-effort, and a provider retry after
+// a recovery that resurrected the offers heals the divergence.
 func (t *Trader) WithdrawAll(offerIDs []string) int {
+	if len(offerIDs) > 0 {
+		if err := t.journalAppend(&walRecord{Op: opWithdrawAll, IDs: offerIDs}); err != nil {
+			t.log.Log(nil, "journal_error", "op", opWithdrawAll, "err", err.Error())
+		}
+	}
 	n := 0
 	for _, id := range offerIDs {
 		if offer, ok := t.store.remove(id); ok {
@@ -410,6 +458,9 @@ func (t *Trader) Replace(offerID string, props []sidl.Property) error {
 	for _, p := range props {
 		propMap[p.Name] = p.Value
 	}
+	if err := t.journalAppend(&walRecord{Op: opReplace, IDs: []string{offerID}, Props: propsToRecords(propMap)}); err != nil {
+		return err
+	}
 	// Copy-on-write swap; the offer may have been withdrawn meanwhile.
 	_, ok = t.store.update(offerID, func(old *Offer) *Offer {
 		fresh := *old
@@ -426,6 +477,14 @@ func (t *Trader) Replace(offerID string, props []sidl.Property) error {
 // Offer.Suspect). It is called by the Sweeper; operators can also set
 // it by hand through the management view.
 func (t *Trader) MarkSuspect(offerID string, suspect bool) error {
+	if t.journalled() {
+		if _, ok := t.store.lookup(offerID); !ok {
+			return fmt.Errorf("%w: %q", ErrOfferUnknown, offerID)
+		}
+		if err := t.journalAppend(&walRecord{Op: opSuspect, IDs: []string{offerID}, Suspect: suspect}); err != nil {
+			return err
+		}
+	}
 	_, ok := t.store.update(offerID, func(old *Offer) *Offer {
 		fresh := *old
 		fresh.Suspect = suspect
@@ -464,8 +523,15 @@ func (t *Trader) liveOffers() []*Offer {
 // PurgeExpired removes offers whose lease has run out and returns how
 // many were reclaimed.
 func (t *Trader) PurgeExpired() int {
-	n := t.store.purgeExpired(t.now())
+	now := t.now()
+	n := t.store.purgeExpired(now)
 	if n > 0 {
+		// Journalled after-apply with the purge instant: replay re-evaluates
+		// expiry against the same absolute time, so recovery reclaims
+		// exactly the offers this call did.
+		if err := t.journalAppend(&walRecord{Op: opPurge, At: now.UnixNano()}); err != nil {
+			t.log.Log(nil, "journal_error", "op", opPurge, "err", err.Error())
+		}
 		t.metrics.purged.Add(uint64(n))
 		t.log.Log(nil, "purge", "reclaimed", n)
 	}

@@ -179,20 +179,30 @@ func litAttrType(sid *sidl.SID, l sidl.Lit) (*sidl.Type, error) {
 // Repo is the type repository: the trader's management interface inserts
 // and deletes service type entries here. Safe for concurrent use.
 type Repo struct {
-	mu    sync.RWMutex
-	types map[string]*ServiceType
-	gen   atomic.Uint64
+	mu      sync.RWMutex
+	types   map[string]*ServiceType
+	sources map[string]string
+	gen     atomic.Uint64
 }
 
 // NewRepo returns an empty repository.
 func NewRepo() *Repo {
-	return &Repo{types: map[string]*ServiceType{}}
+	return &Repo{types: map[string]*ServiceType{}, sources: map[string]string{}}
 }
 
 // Define registers a service type. If the type names a supertype, the
 // supertype must already be registered and the new type must
 // structurally conform to it.
 func (r *Repo) Define(st *ServiceType) error {
+	return r.DefineWithSource(st, "")
+}
+
+// DefineWithSource registers a service type and retains the source text
+// it was derived from (SIDL, for types defined via the maturation path).
+// The source is what a durable trader journals and replays, so types
+// survive a restart byte-identically; an empty source means the type is
+// in-memory only (it will not appear in Sources).
+func (r *Repo) DefineWithSource(st *ServiceType, source string) error {
 	if err := st.validate(); err != nil {
 		return err
 	}
@@ -211,8 +221,31 @@ func (r *Repo) Define(st *ServiceType) error {
 		}
 	}
 	r.types[st.Name] = st
+	if source != "" {
+		r.sources[st.Name] = source
+	}
 	r.gen.Add(1)
 	return nil
+}
+
+// Source returns the retained source text the named type was defined
+// from, if any.
+func (r *Repo) Source(name string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	src, ok := r.sources[name]
+	return src, ok
+}
+
+// Sources returns a copy of all retained type sources by type name.
+func (r *Repo) Sources() map[string]string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]string, len(r.sources))
+	for n, s := range r.sources {
+		out[n] = s
+	}
+	return out
 }
 
 // Gen returns a generation counter bumped by every successful Define and
@@ -246,6 +279,7 @@ func (r *Repo) Remove(name string) error {
 		}
 	}
 	delete(r.types, name)
+	delete(r.sources, name)
 	r.gen.Add(1)
 	return nil
 }

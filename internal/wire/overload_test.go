@@ -700,3 +700,110 @@ func TestOverloadDoesNotAccumulateGoroutines(t *testing.T) {
 		t.Fatalf("server sheds = %d, want %d", st.Shed, n-4)
 	}
 }
+
+// Drain hooks run exactly once per server, during Shutdown, after the
+// in-flight work has finished — and never on a bare Close.
+func TestShutdownRunsDrainHooks(t *testing.T) {
+	var order []string
+	var mu sync.Mutex
+	note := func(what string) {
+		mu.Lock()
+		order = append(order, what)
+		mu.Unlock()
+	}
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	h := HandlerFunc(func(_ context.Context, _ string, _ *Request) *Response {
+		close(started)
+		<-release
+		note("handler")
+		return &Response{Status: StatusOK}
+	})
+	s := quietServer()
+	if err := s.Register("svc", h); err != nil {
+		t.Fatal(err)
+	}
+	s.OnDrain(nil) // must be ignored, not panic during Shutdown
+	s.OnDrain(func() { note("hook1") })
+	s.OnDrain(func() { note("hook2") })
+	bound, err := s.ListenAndServe("loop:drain-hooks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	inflight := make(chan error, 1)
+	go func() {
+		_, err := c.Call(context.Background(), &Request{Service: "svc", Op: "X"})
+		inflight <- err
+	}()
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- s.Shutdown(ctx) }()
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	ran := len(order)
+	mu.Unlock()
+	if ran != 0 {
+		t.Fatalf("drain hooks ran before in-flight work finished: %v", order)
+	}
+
+	close(release)
+	if err := <-inflight; err != nil {
+		t.Fatalf("in-flight call: %v", err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	mu.Lock()
+	got := append([]string(nil), order...)
+	mu.Unlock()
+	want := []string{"handler", "hook1", "hook2"}
+	if len(got) != len(want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+
+	// A second Shutdown must not re-run the hooks.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+	mu.Lock()
+	again := len(order)
+	mu.Unlock()
+	if again != len(want) {
+		t.Fatalf("hooks re-ran on second Shutdown: %v", order)
+	}
+}
+
+// A bare Close skips the drain hooks: there is no drain, so nothing can
+// be flushed safely.
+func TestCloseSkipsDrainHooks(t *testing.T) {
+	var ran atomic.Int64
+	s := quietServer()
+	s.OnDrain(func() { ran.Add(1) })
+	if _, err := s.ListenAndServe("loop:close-no-hooks"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("drain hooks ran %d times on bare Close, want 0", n)
+	}
+}

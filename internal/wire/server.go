@@ -126,6 +126,12 @@ type Server struct {
 	closed   bool
 	draining bool
 
+	// drainHooks run once during Shutdown, after in-flight requests
+	// have drained and before connections close — the point where
+	// durable state written during the drain can be flushed and synced.
+	drainHooks []func()
+	drainOnce  sync.Once
+
 	wg sync.WaitGroup
 	// inflight tracks dispatched requests (queued or executing);
 	// Shutdown waits for it before tearing connections down.
@@ -582,13 +588,42 @@ func (s *Server) respond(cs *connState, id uint64, resp *Response) {
 	}
 }
 
+// OnDrain registers fn to run during Shutdown, after in-flight
+// requests have drained (or the drain deadline expired) and before
+// listeners and connections are torn down. The journal layer uses this
+// for a final flush+fsync, so state written by requests served during
+// the drain is never lost. Hooks run at most once, in registration
+// order; they do not run on a bare Close.
+func (s *Server) OnDrain(fn func()) {
+	if fn == nil {
+		return
+	}
+	s.mu.Lock()
+	s.drainHooks = append(s.drainHooks, fn)
+	s.mu.Unlock()
+}
+
+// runDrainHooks fires the registered OnDrain hooks exactly once.
+func (s *Server) runDrainHooks() {
+	s.drainOnce.Do(func() {
+		s.mu.Lock()
+		hooks := append([]func(){}, s.drainHooks...)
+		s.mu.Unlock()
+		for _, fn := range hooks {
+			fn()
+		}
+	})
+}
+
 // Shutdown drains the server gracefully: it stops accepting new
 // connections, sheds newly arriving requests with StatusOverloaded
 // ("server draining") so clients fail over promptly, lets requests
-// already dispatched finish, and then closes everything down. If ctx
-// expires first, remaining in-flight work is aborted (its contexts are
-// cancelled by the final Close) and ctx's error is returned. Safe to
-// call multiple times and concurrently with Close.
+// already dispatched finish, runs the OnDrain hooks, and then closes
+// everything down. If ctx expires first, remaining in-flight work is
+// aborted (its contexts are cancelled by the final Close) and ctx's
+// error is returned — the hooks still run first, so whatever state the
+// completed requests produced is flushed. Safe to call multiple times
+// and concurrently with Close.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	alreadyClosed := s.closed
@@ -596,6 +631,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	ln := s.ln
 	s.mu.Unlock()
 	if alreadyClosed {
+		s.runDrainHooks()
 		return s.Close()
 	}
 	if ln != nil {
@@ -613,6 +649,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		err = fmt.Errorf("wire: shutdown: %w", ctx.Err())
 	}
+	s.runDrainHooks()
 	_ = s.Close()
 	return err
 }
