@@ -33,12 +33,13 @@ bench-smoke:
 # Machine-readable benchmark record for the current PR's tentpole, as
 # go-test JSON events for tracking across commits. PR selects the
 # output file; BENCH_PATTERN the benchmark group — defaults cover the
-# durability PR (journal append per fsync policy, 10k-offer crash
-# recovery) plus the matching-engine comparison it must not regress.
-# `make bench-json PR=4 BENCH_PATTERN=Import_10kOffers` reproduces the
-# previous record.
-PR ?= 5
-BENCH_PATTERN ?= Import_10kOffers|JournalAppend|Recovery_10kOffers
+# replication PR (follower catch-up over a 10k-offer journal, replica
+# read serving) plus the durability and matching-engine groups it must
+# not regress. `make bench-json PR=5
+# BENCH_PATTERN='Import_10kOffers|JournalAppend|Recovery_10kOffers'`
+# reproduces the previous record.
+PR ?= 6
+BENCH_PATTERN ?= Import_10kOffers|JournalAppend|Recovery_10kOffers|ReplCatchup_10kOffers|ReplicaImport_10kOffers
 
 bench-json:
 	$(GO) test -json -run 'NoSuchTest' -bench '$(BENCH_PATTERN)' -benchtime 100x -benchmem . > BENCH_$(PR).json

@@ -1364,3 +1364,105 @@ func BenchmarkRecovery_10kOffers(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkReplCatchup_10kOffers measures a fresh follower replicating
+// a leader's full 10k-offer journal through the pull protocol — the
+// catch-up a new read replica pays before it can serve.
+func BenchmarkReplCatchup_10kOffers(b *testing.B) {
+	const stored = 10_000
+	dir := b.TempDir()
+	j, err := journal.Open(dir, journal.Options{Fsync: journal.FsyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	leader := trader.New("HA", newCarRepo(b))
+	if err := j.Start(leader.JournalSnapshot); err != nil {
+		b.Fatal(err)
+	}
+	leader.SetJournal(j)
+	fillTrader(b, leader, stored)
+	defer j.Close()
+
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		follower := trader.New("HA", newCarRepo(b))
+		follower.SetFollower("cosm://leader")
+		for {
+			batch, err := leader.PullBatch(ctx, "bench", follower.Epoch(), follower.ReplApplied(), 512, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := follower.ApplyBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+			if follower.ReplApplied() >= batch.LastSeq {
+				break
+			}
+		}
+		if n := follower.OfferCount(); n != stored {
+			b.Fatalf("replicated %d offers, want %d", n, stored)
+		}
+	}
+}
+
+// BenchmarkReplicaImport_10kOffers is BenchmarkImport_10kOffers served
+// by a follower read replica: the local matching path over replicated
+// state, proving reads cost the same on a replica as on the leader.
+func BenchmarkReplicaImport_10kOffers(b *testing.B) {
+	const stored = 10_000
+	dir := b.TempDir()
+	j, err := journal.Open(dir, journal.Options{Fsync: journal.FsyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	leader := trader.New("HA", newCarRepo(b))
+	if err := j.Start(leader.JournalSnapshot); err != nil {
+		b.Fatal(err)
+	}
+	leader.SetJournal(j)
+	fillTrader(b, leader, stored)
+	defer j.Close()
+
+	ctx := context.Background()
+	follower := trader.New("HA", newCarRepo(b))
+	follower.SetFollower("cosm://leader")
+	for {
+		batch, err := leader.PullBatch(ctx, "bench", follower.Epoch(), follower.ReplApplied(), 2048, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := follower.ApplyBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		if follower.ReplApplied() >= batch.LastSeq {
+			break
+		}
+	}
+
+	req := trader.ImportRequest{
+		Type:       "CarRentalService",
+		Constraint: "ChargePerDay < 45",
+		Policy:     "min:ChargePerDay",
+		Max:        5,
+	}
+	if warm, err := follower.Import(ctx, req); err != nil || len(warm) == 0 {
+		b.Fatalf("warmup import = %v, %v", warm, err)
+	}
+	factor := (64 + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0)
+	b.SetParallelism(factor)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			res, err := follower.Import(ctx, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res) == 0 {
+				b.Fatal("no offers")
+			}
+		}
+	})
+}

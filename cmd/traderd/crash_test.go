@@ -21,16 +21,21 @@ import (
 // TestMain doubles as the crash-test daemon: when the parent test
 // re-executes this binary with TRADERD_CRASH_DATADIR set, it runs a
 // journaled traderd instead of the test suite and blocks until killed.
+// TRADERD_CRASH_ARGS appends extra (space-separated) daemon flags —
+// the replicated-failover e2e uses it for -follow/-id/-repl-sync, and
+// a later -id overrides the default.
 func TestMain(m *testing.M) {
 	if dir := os.Getenv("TRADERD_CRASH_DATADIR"); dir != "" {
 		log.SetPrefix("traderd: ")
-		sig := make(chan os.Signal) // no graceful path: the parent kills -9
-		if err := run([]string{
+		args := []string{
 			"-listen", "tcp:127.0.0.1:0",
 			"-id", "crash-test",
 			"-data-dir", dir,
 			"-fsync", "always",
-		}, sig); err != nil {
+		}
+		args = append(args, strings.Fields(os.Getenv("TRADERD_CRASH_ARGS"))...)
+		sig := make(chan os.Signal) // no graceful path: the parent kills -9
+		if err := run(args, sig); err != nil {
 			log.Fatal(err)
 		}
 		os.Exit(0)
@@ -39,15 +44,18 @@ func TestMain(m *testing.M) {
 }
 
 // startCrashDaemon launches the journaled daemon subprocess and returns
-// once it has announced its serving endpoint on stderr.
-func startCrashDaemon(t *testing.T, dataDir string) (*exec.Cmd, ref.ServiceRef) {
+// once it has announced its serving endpoint on stderr. extra flags are
+// appended after the defaults (a later -id wins).
+func startCrashDaemon(t *testing.T, dataDir string, extra ...string) (*exec.Cmd, ref.ServiceRef) {
 	t.Helper()
 	exe, err := os.Executable()
 	if err != nil {
 		t.Fatal(err)
 	}
 	cmd := exec.Command(exe, "-test.run=TestMain")
-	cmd.Env = append(os.Environ(), "TRADERD_CRASH_DATADIR="+dataDir)
+	cmd.Env = append(os.Environ(),
+		"TRADERD_CRASH_DATADIR="+dataDir,
+		"TRADERD_CRASH_ARGS="+strings.Join(extra, " "))
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)

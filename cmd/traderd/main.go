@@ -32,6 +32,10 @@ import (
 	"cosm/internal/typemgr"
 )
 
+// replSyncTimeout bounds how long a mutation waits for its -repl-sync
+// follower acknowledgements before failing.
+const replSyncTimeout = 5 * time.Second
+
 type stringList []string
 
 func (l *stringList) String() string { return fmt.Sprint([]string(*l)) }
@@ -58,6 +62,10 @@ func run(args []string, sig <-chan os.Signal) error {
 		id        = fs.String("id", "trader-1", "federation identity (unique per federation)")
 		cacheTTL  = fs.Duration("import-cache-ttl", 250*time.Millisecond, "import result cache TTL (0 disables the cache)")
 		ccSize    = fs.Int("constraint-cache", 256, "compiled-constraint cache capacity (0 disables the cache)")
+		follow    = fs.String("follow", "", "leader trader reference to follow as a read replica (cosm://endpoint/service)")
+		promote   = fs.Bool("promote", false, "take leadership at boot, fencing the previous leader (see -epoch)")
+		epoch     = fs.Uint64("epoch", 0, "fencing epoch for -promote (default: one past the recovered epoch)")
+		replSync  = fs.Int("repl-sync", 0, "followers that must acknowledge each mutation before it returns (0 = asynchronous)")
 		typeFiles stringList
 		links     stringList
 	)
@@ -92,11 +100,16 @@ func run(args []string, sig <-chan os.Signal) error {
 	}
 
 	logger := obs.NewLogger(os.Stderr, "traderd")
-	tr := trader.New(*id, repo,
+	topts := []trader.Option{
 		trader.WithLogger(logger.With("trader")),
 		trader.WithMetrics(df.Registry),
 		trader.WithImportCacheTTL(*cacheTTL),
-		trader.WithConstraintCacheSize(*ccSize))
+		trader.WithConstraintCacheSize(*ccSize),
+	}
+	if *replSync > 0 {
+		topts = append(topts, trader.WithReplSync(*replSync, replSyncTimeout))
+	}
+	tr := trader.New(*id, repo, topts...)
 
 	// Recovery happens before the node listens: by the time the first
 	// connection is accepted the offer store is the pre-crash one.
@@ -128,6 +141,23 @@ func run(args []string, sig <-chan os.Signal) error {
 		}
 		log.Printf("recovered %d offers, %d types from %s in %v",
 			tr.OfferCount(), tr.Types().Len(), df.DataDir, time.Since(start))
+	}
+
+	// Replication role, before the first connection is accepted: a
+	// follower rejects mutations from the very first request, and a
+	// promoted leader journals its new epoch before anyone can pull it.
+	if *follow != "" {
+		tr.SetFollower(*follow)
+	}
+	if *promote {
+		e := *epoch
+		if e <= tr.Epoch() {
+			e = tr.Epoch() + 1
+		}
+		if err := tr.Promote(e); err != nil {
+			return err
+		}
+		log.Printf("promoted to leader at epoch %d", e)
 	}
 
 	svc, err := trader.NewService(tr)
@@ -168,6 +198,20 @@ func run(args []string, sig <-chan os.Signal) error {
 	}
 
 	ctx := context.Background()
+	if *follow != "" {
+		r, err := ref.Parse(*follow)
+		if err != nil {
+			return fmt.Errorf("-follow %s: %w", *follow, err)
+		}
+		leader, err := trader.DialTrader(ctx, node.Pool(), r)
+		if err != nil {
+			return fmt.Errorf("-follow %s: %w", *follow, err)
+		}
+		fl := trader.NewFollower(tr, leader, *id)
+		fl.Start()
+		defer fl.Close()
+		log.Printf("following leader at %s", r)
+	}
 	for _, link := range links {
 		r, err := ref.Parse(link)
 		if err != nil {

@@ -8,6 +8,7 @@ package bench
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -15,8 +16,11 @@ import (
 	"cosm/internal/carrental"
 	"cosm/internal/cosm"
 	"cosm/internal/genclient"
+	"cosm/internal/journal"
+	"cosm/internal/ref"
 	"cosm/internal/sidl"
 	"cosm/internal/trader"
+	"cosm/internal/typemgr"
 	"cosm/internal/wire"
 	"cosm/internal/xcode"
 )
@@ -502,5 +506,124 @@ module Mixed {
 	close(release)
 	if err := <-slowDone; err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFailureLeaderCrashPromoteReplica: a replicated trader pair over
+// the wire — a journalled leader with synchronous replication and a
+// follower read replica pulling its WAL. The leader node dies
+// abruptly; the client re-binds to the replica and keeps importing,
+// and after an explicit fenced promotion the replica accepts exports
+// too, with every acknowledged offer intact.
+func TestFailureLeaderCrashPromoteReplica(t *testing.T) {
+	ctx := context.Background()
+
+	openHATrader := func(id, dir string, opts ...trader.Option) *trader.Trader {
+		t.Helper()
+		tr := trader.New(id, typemgr.NewRepo(), opts...)
+		j, err := journal.Open(dir, journal.Options{Fsync: journal.FsyncAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = j.Close() })
+		if err := j.Start(tr.JournalSnapshot); err != nil {
+			t.Fatal(err)
+		}
+		tr.SetJournal(j)
+		return tr
+	}
+	serveTrader := func(tr *trader.Trader) (*cosm.Node, ref.ServiceRef) {
+		t.Helper()
+		svc, err := trader.NewService(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := quietNode()
+		if err := node.Host(trader.ServiceName, svc); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := node.ListenAndServe("tcp:127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = node.Close() })
+		return node, node.MustRefFor(trader.ServiceName)
+	}
+
+	leader := openHATrader("HA", t.TempDir(), trader.WithReplSync(1, 2*time.Second))
+	lnode, leaderRef := serveTrader(leader)
+
+	follower := openHATrader("HA", t.TempDir())
+	follower.SetFollower(leaderRef.String())
+	fnode, followerRef := serveTrader(follower)
+	src, err := trader.DialTrader(ctx, fnode.Pool(), leaderRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := trader.NewFollower(follower, src, "replica-1")
+	fl.Start()
+	defer fl.Close()
+
+	// Trade against the leader: with -repl-sync semantics every export
+	// below has been pulled by the replica before it returns.
+	pool := wire.NewPool()
+	defer pool.Close()
+	tc, err := trader.DialTrader(ctx, pool, leaderRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.DefineTypeFromSID(ctx, sidl.CarRentalSID()); err != nil {
+		t.Fatal(err)
+	}
+	const acked = 10
+	for i := 0; i < acked; i++ {
+		r := ref.New(fmt.Sprintf("tcp:10.3.0.%d:7000", i), "CarRentalService")
+		if _, err := tc.Export(ctx, "CarRentalService", r, carProps(float64(50+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The replica is a read replica: local imports work, mutations are
+	// redirected at the leader.
+	tf, err := trader.DialTrader(ctx, pool, followerRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offers, err := tf.ImportWith(ctx, "CarRentalService"); err != nil || len(offers) != acked {
+		t.Fatalf("replica import = %d offers, %v", len(offers), err)
+	}
+	_, err = tf.Export(ctx, "CarRentalService", ref.New("tcp:10.3.1.1:7000", "CarRentalService"), carProps(1))
+	if err == nil || !strings.Contains(err.Error(), "not leader") {
+		t.Fatalf("replica export = %v, want not-leader rejection with hint", err)
+	}
+	if !strings.Contains(err.Error(), leaderRef.String()) {
+		t.Fatalf("rejection %q lacks leader ref %s", err, leaderRef)
+	}
+
+	// The leader node dies abruptly. The client's next import against
+	// it fails; re-binding to the replica keeps the market readable.
+	_ = lnode.Close()
+	if _, err := tc.ImportWith(ctx, "CarRentalService"); err == nil {
+		t.Fatal("import against the dead leader succeeded")
+	}
+	offers, err := tf.ImportWith(ctx, "CarRentalService")
+	if err != nil || len(offers) != acked {
+		t.Fatalf("replica import after leader death = %d offers, %v", len(offers), err)
+	}
+
+	// Fenced promotion over the wire turns the replica into the new
+	// leader with zero lost acknowledged exports.
+	if err := tf.Promote(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	st, err := tf.ReplStatus(ctx)
+	if err != nil || st.Role != trader.RoleLeader || st.Epoch != 1 {
+		t.Fatalf("promoted status = %+v, %v", st, err)
+	}
+	if _, err := tf.Export(ctx, "CarRentalService", ref.New("tcp:10.3.1.2:7000", "CarRentalService"), carProps(99)); err != nil {
+		t.Fatal(err)
+	}
+	offers, err = tf.ImportWith(ctx, "CarRentalService")
+	if err != nil || len(offers) != acked+1 {
+		t.Fatalf("post-promotion import = %d offers, %v", len(offers), err)
 	}
 }

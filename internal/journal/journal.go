@@ -54,6 +54,11 @@ var (
 	ErrClosed     = errors.New("journal: closed")
 	ErrNotStarted = errors.New("journal: not started (recovery incomplete)")
 	ErrCorrupt    = errors.New("journal: corrupt")
+	// ErrCompacted reports a ReadFrom position below the compaction
+	// watermark: the requested records were folded into the snapshot and
+	// their segments deleted, so the reader must ship the snapshot
+	// instead.
+	ErrCompacted = errors.New("journal: records compacted")
 )
 
 // FsyncPolicy selects when appended records are forced to stable
@@ -166,6 +171,7 @@ type Journal struct {
 	// automatic compaction.
 	sinceSnap int
 	snapSeq   uint64 // watermark of the installed snapshot
+	snapLive  bool   // a snapshot file is installed on disk
 
 	// snapshotFn folds current state into a snapshot payload
 	// (installed by Start; nil disables compaction).
@@ -182,9 +188,20 @@ type Journal struct {
 	// temp file).
 	compactMu sync.Mutex
 
+	// notify is closed (and reset to nil) whenever the sequence advances
+	// or the journal closes, waking WaitFor blockers; lazily allocated by
+	// the first waiter.
+	notify chan struct{}
+
 	kick chan struct{} // compaction trigger
 	stop chan struct{}
 	bg   sync.WaitGroup
+}
+
+// Record is one framed log record as returned by ReadFrom.
+type Record struct {
+	Seq     uint64
+	Payload []byte
 }
 
 // segmentInfo describes one scanned segment file.
@@ -201,6 +218,10 @@ type Stats struct {
 	// SnapshotSeq is the watermark of the installed snapshot (0 when
 	// none).
 	SnapshotSeq uint64
+	// HasSnapshot reports whether a snapshot file is installed — a
+	// snapshot at watermark 0 can still carry boot-time state that was
+	// never journalled as records.
+	HasSnapshot bool
 	// Segments is the number of live segment files.
 	Segments int
 	// SinceSnapshot counts records appended since the last snapshot.
@@ -261,6 +282,7 @@ func (j *Journal) loadSnapshot() error {
 		return nil
 	}
 	j.snapPayload, j.hasSnap, j.snapSeq, j.seq = payload, true, seq, seq
+	j.snapLive = true
 	return nil
 }
 
@@ -601,6 +623,18 @@ func (j *Journal) openSegmentLocked(startSeq uint64) error {
 		return fmt.Errorf("journal: %w", err)
 	}
 	if j.seg != nil {
+		// Rotation must not strand unsynced records: Sync/Close and the
+		// interval ticker only reach the *current* segment's descriptor,
+		// so a dirty outgoing segment is flushed here before it is closed
+		// — otherwise its tail would stay in the page cache forever.
+		// FsyncNever keeps its contract and leaves flushing to the OS.
+		if j.dirty && j.opts.Fsync != FsyncNever {
+			if err := j.syncLocked(); err != nil {
+				_ = f.Close()
+				_ = os.Remove(path)
+				return err
+			}
+		}
 		_ = j.seg.Close()
 	}
 	j.seg, j.segSize = f, int64(len(segMagic))
@@ -612,6 +646,22 @@ func (j *Journal) openSegmentLocked(startSeq uint64) error {
 // Under FsyncAlways the record is on stable storage when Append
 // returns; under the other policies it is durable after the next sync.
 func (j *Journal) Append(payload []byte) (uint64, error) {
+	return j.append(0, payload)
+}
+
+// AppendAt writes one record under an explicit sequence number — the
+// replication apply path, where a follower persists records with the
+// sequence numbers the leader assigned. seq must exceed the journal's
+// last sequence number; gaps are allowed (a snapshot install leaps the
+// sequence forward past compacted history).
+func (j *Journal) AppendAt(seq uint64, payload []byte) error {
+	_, err := j.append(seq, payload)
+	return err
+}
+
+// append is the shared core of Append (at==0: assign the next sequence
+// number) and AppendAt (at>0: use the caller's).
+func (j *Journal) append(at uint64, payload []byte) (uint64, error) {
 	j.mu.Lock()
 	if j.closed {
 		j.mu.Unlock()
@@ -621,14 +671,21 @@ func (j *Journal) Append(payload []byte) (uint64, error) {
 		j.mu.Unlock()
 		return 0, ErrNotStarted
 	}
+	seq := j.seq + 1
+	if at > 0 {
+		if at <= j.seq {
+			j.mu.Unlock()
+			return 0, fmt.Errorf("journal: AppendAt seq %d not past last seq %d", at, j.seq)
+		}
+		seq = at
+	}
 	if j.segSize >= j.opts.SegmentSize {
-		if err := j.openSegmentLocked(j.seq + 1); err != nil {
+		if err := j.openSegmentLocked(seq); err != nil {
 			j.mu.Unlock()
 			return 0, err
 		}
 	}
-	j.seq++
-	seq := j.seq
+	j.seq = seq
 	n, err := appendRecord(j.seg, seq, payload)
 	j.segSize += int64(n)
 	if err != nil {
@@ -637,6 +694,7 @@ func (j *Journal) Append(payload []byte) (uint64, error) {
 	}
 	j.dirty = true
 	j.sinceSnap++
+	j.notifyLocked()
 	kick := j.opts.CompactEvery > 0 && j.sinceSnap >= j.opts.CompactEvery
 	var syncErr error
 	if j.opts.Fsync == FsyncAlways {
@@ -655,6 +713,192 @@ func (j *Journal) Append(payload []byte) (uint64, error) {
 		}
 	}
 	return seq, nil
+}
+
+// notifyLocked wakes WaitFor blockers; the caller holds j.mu.
+func (j *Journal) notifyLocked() {
+	if j.notify != nil {
+		close(j.notify)
+		j.notify = nil
+	}
+}
+
+// WaitFor blocks until the journal's last sequence number exceeds
+// afterSeq (reporting true) or until timeout elapses or the journal
+// closes (reporting false). It is the long-poll primitive under the
+// replication pull endpoint: a caught-up follower parks here instead of
+// busy-polling.
+func (j *Journal) WaitFor(afterSeq uint64, timeout time.Duration) bool {
+	if j == nil {
+		return false
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		j.mu.Lock()
+		if j.seq > afterSeq {
+			j.mu.Unlock()
+			return true
+		}
+		if j.closed || !j.started {
+			j.mu.Unlock()
+			return false
+		}
+		if j.notify == nil {
+			j.notify = make(chan struct{})
+		}
+		ch := j.notify
+		j.mu.Unlock()
+		select {
+		case <-ch:
+		case <-deadline.C:
+			j.mu.Lock()
+			ok := j.seq > afterSeq
+			j.mu.Unlock()
+			return ok
+		}
+	}
+}
+
+// ReadFrom returns up to max records (unlimited when max <= 0) with
+// sequence numbers greater than afterSeq, in order — the replication
+// read path. It returns ErrCompacted when afterSeq lies below the
+// compaction watermark: those records were folded into the snapshot, so
+// the caller must ship the snapshot instead. Reading is safe
+// concurrently with appends and compaction; a partially written or
+// concurrently deleted tail is treated as end-of-log, never an error.
+func (j *Journal) ReadFrom(afterSeq uint64, max int) ([]Record, error) {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil, ErrClosed
+	}
+	snapSeq, last := j.snapSeq, j.seq
+	segments := append([]segmentInfo(nil), j.segments...)
+	j.mu.Unlock()
+
+	if afterSeq < snapSeq {
+		return nil, ErrCompacted
+	}
+	if afterSeq >= last {
+		return nil, nil
+	}
+	var out []Record
+	for i, seg := range segments {
+		// A segment is skippable when its successor starts at or below
+		// the first wanted sequence number.
+		if i+1 < len(segments) && segments[i+1].startSeq <= afterSeq+1 {
+			continue
+		}
+		done, err := readSegmentFrom(seg.path, afterSeq, max, &out)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				// Compaction deleted the segment between the snapshot of
+				// the list above and the open: every record it held is at
+				// or below the (new) watermark, hence ≤ afterSeq or
+				// retrievable from a later surviving segment.
+				continue
+			}
+			return nil, err
+		}
+		if done {
+			break
+		}
+	}
+	return out, nil
+}
+
+// readSegmentFrom appends the records of one segment past afterSeq to
+// out, honouring max; done reports that max was reached. Torn or
+// corrupt frames end the scan cleanly — on the live tail they are an
+// in-flight append, not corruption.
+func readSegmentFrom(path string, afterSeq uint64, max int, out *[]Record) (done bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(f, magic); err != nil || string(magic) != segMagic {
+		return false, nil
+	}
+	for {
+		seq, payload, err := readRecord(f)
+		if err != nil {
+			return false, nil // io.EOF or an in-flight tail write
+		}
+		if seq <= afterSeq {
+			continue
+		}
+		*out = append(*out, Record{Seq: seq, Payload: payload})
+		if max > 0 && len(*out) >= max {
+			return true, nil
+		}
+	}
+}
+
+// InstallSnapshot replaces the journal's history with a snapshot
+// received from a replication leader: the payload becomes the local
+// compaction snapshot with watermark seq, the sequence number leaps
+// forward to seq, and every existing segment (all of whose records the
+// snapshot now covers) is deleted. seq must be at or past the last
+// local sequence number — a follower only installs snapshots to jump
+// *over* compacted history, never to rewind. The caller is the single
+// writer (the follower apply loop), per the journal's contract.
+func (j *Journal) InstallSnapshot(payload []byte, seq uint64) error {
+	if j == nil {
+		return nil
+	}
+	j.compactMu.Lock()
+	defer j.compactMu.Unlock()
+	j.mu.Lock()
+	if j.closed || !j.started {
+		j.mu.Unlock()
+		return ErrClosed
+	}
+	if seq < j.seq {
+		j.mu.Unlock()
+		return fmt.Errorf("journal: snapshot watermark %d behind last seq %d", seq, j.seq)
+	}
+	j.mu.Unlock()
+
+	tmp := filepath.Join(j.dir, snapTempName)
+	if err := os.WriteFile(tmp, encodeSnapshot(payload, seq), 0o644); err != nil {
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	if err := syncFile(tmp); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(j.dir, snapName)); err != nil {
+		return fmt.Errorf("journal: install snapshot: %w", err)
+	}
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	old := j.segments
+	j.segments = nil
+	if j.seg != nil {
+		_ = j.seg.Close()
+		j.seg = nil
+	}
+	// Old segments go before the new one is created: a rotation may have
+	// left an empty segment already carrying the new segment's name, and
+	// a crash in the gap recovers cleanly from the installed snapshot.
+	for _, seg := range old {
+		_ = os.Remove(seg.path)
+	}
+	j.dirty = false
+	j.snapSeq, j.seq = seq, seq
+	j.snapLive = true
+	j.sinceSnap = 0
+	if err := j.openSegmentLocked(seq + 1); err != nil {
+		return err
+	}
+	j.notifyLocked()
+	return nil
 }
 
 // Sync forces appended records to stable storage (the drain hook's
@@ -772,6 +1016,7 @@ func (j *Journal) Compact() error {
 	// watermark+1.
 	j.mu.Lock()
 	j.snapSeq = watermark
+	j.snapLive = true
 	keep := j.segments[:0]
 	for i, seg := range j.segments {
 		covered := i+1 < len(j.segments) && j.segments[i+1].startSeq <= watermark+1
@@ -805,6 +1050,7 @@ func (j *Journal) Stats() Stats {
 	return Stats{
 		LastSeq:       j.seq,
 		SnapshotSeq:   j.snapSeq,
+		HasSnapshot:   j.snapLive,
 		Segments:      len(j.segments),
 		SinceSnapshot: j.sinceSnap,
 	}
@@ -824,6 +1070,7 @@ func (j *Journal) Close() error {
 	}
 	j.closed = true
 	close(j.stop)
+	j.notifyLocked() // release WaitFor blockers
 	j.mu.Unlock()
 	j.bg.Wait()
 

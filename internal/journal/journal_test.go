@@ -2,12 +2,14 @@ package journal
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"cosm/internal/obs"
 )
@@ -511,5 +513,329 @@ func TestUnrecognisedSegmentFileTruncated(t *testing.T) {
 	}
 	if _, err := j.Append([]byte("fresh")); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestIntervalFsyncFlushOnRotation is the regression test for rotation
+// stranding unsynced records: under FsyncInterval, rotating away from a
+// dirty segment must fsync it before closing its descriptor (Sync and
+// the background ticker only ever reach the current segment). The
+// interval is set far beyond the test so the only possible fsyncs are
+// the rotation flush and the Close flush.
+func TestIntervalFsyncFlushOnRotation(t *testing.T) {
+	dir := t.TempDir()
+	m := NewMetrics(obs.NewRegistry())
+	j, _ := openStarted(t, dir, Options{
+		Fsync: FsyncInterval, FsyncEvery: time.Hour, SegmentSize: 64, Metrics: m,
+	})
+	payload := []byte("0123456789abcdef") // 16B + 16B framing = 32B per record
+	for i := 0; i < 3; i++ {              // the third append rotates
+		if _, err := j.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(segFiles(t, dir)); got < 2 {
+		t.Fatalf("expected a rotation, %d segments", got)
+	}
+	if got := m.fsyncs.Value(); got < 1 {
+		t.Fatalf("fsyncs after rotation = %d, want >= 1 (outgoing segment not flushed)", got)
+	}
+	afterRotation := m.fsyncs.Value()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close flushes the pending append of the fresh segment too.
+	if got := m.fsyncs.Value(); got <= afterRotation {
+		t.Fatalf("fsyncs after Close = %d, want > %d (dirty tail not flushed)", got, afterRotation)
+	}
+	j2, replayed := openStarted(t, dir, Options{})
+	defer j2.Close()
+	if len(replayed) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(replayed))
+	}
+}
+
+// TestIntervalFsyncFlushOnClose: a graceful Close under FsyncInterval
+// must flush pending appends even when the interval timer never fired.
+func TestIntervalFsyncFlushOnClose(t *testing.T) {
+	dir := t.TempDir()
+	m := NewMetrics(obs.NewRegistry())
+	j, _ := openStarted(t, dir, Options{Fsync: FsyncInterval, FsyncEvery: time.Hour, Metrics: m})
+	for i := 0; i < 3; i++ {
+		if _, err := j.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.fsyncs.Value(); got != 0 {
+		t.Fatalf("fsyncs before Close = %d, want 0 (interval is an hour)", got)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.fsyncs.Value(); got != 1 {
+		t.Fatalf("fsyncs after Close = %d, want exactly the final flush", got)
+	}
+	j2, replayed := openStarted(t, dir, Options{})
+	defer j2.Close()
+	if len(replayed) != 3 {
+		t.Fatalf("replayed %d records after graceful close, want 3", len(replayed))
+	}
+}
+
+// TestTornFirstRecordOfFreshSegment covers recovery when the torn
+// record is the very first record of a new segment: the empty torn
+// segment must be dropped entirely and sequence numbers reissued.
+func TestTornFirstRecordOfFreshSegment(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openStarted(t, dir, Options{Fsync: FsyncAlways})
+	for i := 0; i < 5; i++ {
+		if _, err := j.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh segment whose only content after the magic is a torn frame.
+	torn := filepath.Join(dir, fmt.Sprintf("%s%016x%s", segPrefix, uint64(6), segSuffix))
+	if err := os.WriteFile(torn, append([]byte(segMagic), 0xAA, 0xBB, 0xCC), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m := NewMetrics(obs.NewRegistry())
+	j2, replayed := openStarted(t, dir, Options{Metrics: m})
+	defer j2.Close()
+	if len(replayed) != 5 {
+		t.Fatalf("replayed %d records, want 5", len(replayed))
+	}
+	if m.RecordsTruncated() != 1 {
+		t.Fatalf("records_truncated = %d, want 1", m.RecordsTruncated())
+	}
+	if _, err := os.Stat(torn); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("empty torn segment survives recovery: %v", err)
+	}
+	if seq, err := j2.Append([]byte("fresh")); err != nil || seq != 6 {
+		t.Fatalf("Append after torn-first-record recovery = %d, %v", seq, err)
+	}
+}
+
+// TestEmptyTrailingSegmentRecovery: a rotation (or compaction) can
+// leave a magic-only trailing segment; recovery must adopt it as the
+// append target without counting anything truncated.
+func TestEmptyTrailingSegmentRecovery(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openStarted(t, dir, Options{Fsync: FsyncAlways})
+	for i := 0; i < 4; i++ {
+		if _, err := j.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	empty := filepath.Join(dir, fmt.Sprintf("%s%016x%s", segPrefix, uint64(5), segSuffix))
+	if err := os.WriteFile(empty, []byte(segMagic), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m := NewMetrics(obs.NewRegistry())
+	j2, replayed := openStarted(t, dir, Options{Metrics: m})
+	defer j2.Close()
+	if len(replayed) != 4 || m.RecordsTruncated() != 0 {
+		t.Fatalf("replayed %d (truncated %d), want 4 clean records", len(replayed), m.RecordsTruncated())
+	}
+	if seq, err := j2.Append([]byte("rec-4")); err != nil || seq != 5 {
+		t.Fatalf("Append into empty trailing segment = %d, %v", seq, err)
+	}
+}
+
+// TestSnapshotZeroRecordsRestart: restart from a snapshot with no
+// records past the watermark (compaction folded everything).
+func TestSnapshotZeroRecordsRestart(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openStarted(t, dir, Options{Fsync: FsyncAlways})
+	j.snapshotFn = func() ([]byte, error) { return []byte("full-state"), nil }
+	for i := 0; i < 7; i++ {
+		if _, err := j.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	snap, ok := j2.Snapshot()
+	if !ok || string(snap) != "full-state" {
+		t.Fatalf("snapshot = %q, %v", snap, ok)
+	}
+	replayed := 0
+	if err := j2.Replay(func(uint64, []byte) error { replayed++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 0 {
+		t.Fatalf("replayed %d records past a full snapshot, want 0", replayed)
+	}
+	if err := j2.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	st := j2.Stats()
+	if st.LastSeq != 7 || st.SnapshotSeq != 7 {
+		t.Fatalf("Stats after snapshot-only restart = %+v", st)
+	}
+	if seq, err := j2.Append([]byte("rec-7")); err != nil || seq != 8 {
+		t.Fatalf("Append after snapshot-only restart = %d, %v", seq, err)
+	}
+}
+
+// TestReadFrom covers the replication read path: positional reads,
+// the max bound, and ErrCompacted once the watermark passes the
+// requested position.
+func TestReadFrom(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openStarted(t, dir, Options{Fsync: FsyncNever, SegmentSize: 64})
+	defer j.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := j.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := j.ReadFrom(0, 0)
+	if err != nil || len(recs) != 10 {
+		t.Fatalf("ReadFrom(0) = %d records, %v", len(recs), err)
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) || string(r.Payload) != fmt.Sprintf("rec-%d", i) {
+			t.Fatalf("record %d = seq %d payload %q", i, r.Seq, r.Payload)
+		}
+	}
+	recs, err = j.ReadFrom(5, 2)
+	if err != nil || len(recs) != 2 || recs[0].Seq != 6 || recs[1].Seq != 7 {
+		t.Fatalf("ReadFrom(5, max 2) = %+v, %v", recs, err)
+	}
+	if recs, err = j.ReadFrom(10, 0); err != nil || recs != nil {
+		t.Fatalf("ReadFrom(last) = %+v, %v, want empty", recs, err)
+	}
+
+	j.snapshotFn = func() ([]byte, error) { return []byte("state"), nil }
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.ReadFrom(0, 0); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("ReadFrom below watermark = %v, want ErrCompacted", err)
+	}
+	if recs, err := j.ReadFrom(10, 0); err != nil || len(recs) != 0 {
+		t.Fatalf("ReadFrom(watermark) = %+v, %v", recs, err)
+	}
+}
+
+// TestWaitFor: the long-poll primitive wakes on append and on close,
+// and times out honestly.
+func TestWaitFor(t *testing.T) {
+	j, _ := openStarted(t, t.TempDir(), Options{Fsync: FsyncNever})
+	if j.WaitFor(0, 20*time.Millisecond) {
+		t.Fatal("WaitFor reported records on an empty journal")
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		_, _ = j.Append([]byte("wake"))
+	}()
+	if !j.WaitFor(0, 5*time.Second) {
+		t.Fatal("WaitFor missed the append")
+	}
+	if !j.WaitFor(0, 0) {
+		t.Fatal("WaitFor(satisfied) must return immediately true")
+	}
+	done := make(chan bool, 1)
+	go func() { done <- j.WaitFor(99, 5*time.Second) }()
+	time.Sleep(10 * time.Millisecond)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if <-done {
+		t.Fatal("WaitFor survived Close")
+	}
+}
+
+// TestAppendAt covers the follower apply path: explicit sequence
+// numbers, gap tolerance, and the monotonicity guard.
+func TestAppendAt(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openStarted(t, dir, Options{Fsync: FsyncAlways})
+	if err := j.AppendAt(5, []byte("five")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendAt(3, []byte("stale")); err == nil {
+		t.Fatal("AppendAt must reject non-monotonic sequence numbers")
+	}
+	if err := j.AppendAt(9, []byte("nine")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	var seqs []uint64
+	if err := j2.Replay(func(seq uint64, _ []byte) error { seqs = append(seqs, seq); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 || seqs[0] != 5 || seqs[1] != 9 {
+		t.Fatalf("replayed seqs = %v, want [5 9]", seqs)
+	}
+}
+
+// TestInstallSnapshot: a follower leaps over compacted history by
+// installing the leader's snapshot, and the journal recovers from it.
+func TestInstallSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openStarted(t, dir, Options{Fsync: FsyncAlways})
+	for i := 0; i < 3; i++ {
+		if _, err := j.Append([]byte("pre")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.InstallSnapshot([]byte("leader-state"), 2); err == nil {
+		t.Fatal("InstallSnapshot must reject a watermark behind the local log")
+	}
+	if err := j.InstallSnapshot([]byte("leader-state"), 100); err != nil {
+		t.Fatal(err)
+	}
+	st := j.Stats()
+	if st.LastSeq != 100 || st.SnapshotSeq != 100 {
+		t.Fatalf("Stats after install = %+v", st)
+	}
+	if err := j.AppendAt(101, []byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	snap, ok := j2.Snapshot()
+	if !ok || string(snap) != "leader-state" {
+		t.Fatalf("recovered snapshot = %q, %v", snap, ok)
+	}
+	var seqs []uint64
+	if err := j2.Replay(func(seq uint64, _ []byte) error { seqs = append(seqs, seq); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 1 || seqs[0] != 101 {
+		t.Fatalf("replayed seqs = %v, want [101]", seqs)
 	}
 }

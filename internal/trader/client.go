@@ -238,3 +238,42 @@ func (c *Client) RemoveType(ctx context.Context, name string) error {
 	}
 	return nil
 }
+
+var _ ReplSource = (*Client)(nil)
+
+// ReplPull pulls one replication batch from the remote trader: up to
+// max journal records after afterSeq, long-polling up to wait for new
+// ones. The client implements ReplSource, so a follower's pull loop
+// works over the wire exactly like in-process.
+func (c *Client) ReplPull(ctx context.Context, followerID string, epoch, afterSeq uint64, max int, wait time.Duration) (*ReplBatch, error) {
+	res, err := c.conn.Invoke(ctx, "ReplPull",
+		xcode.NewString(c.tt.strT, followerID),
+		xcode.NewInt(c.tt.int64T, int64(epoch)),
+		xcode.NewInt(c.tt.int64T, int64(afterSeq)),
+		xcode.NewInt(c.tt.int32T, int64(max)),
+		xcode.NewInt(c.tt.int64T, int64(wait/time.Millisecond)))
+	if err != nil {
+		return nil, fmt.Errorf("trader: remote repl pull: %w", err)
+	}
+	return replBatchFromValue(res.Value)
+}
+
+// Promote asks the remote trader to take leadership at the given
+// fencing epoch (which must be strictly greater than any it has seen).
+func (c *Client) Promote(ctx context.Context, epoch uint64) error {
+	_, err := c.conn.Invoke(ctx, "Promote", xcode.NewInt(c.tt.int64T, int64(epoch)))
+	if err != nil {
+		return fmt.Errorf("trader: remote promote: %w", err)
+	}
+	return nil
+}
+
+// ReplStatus reports the remote trader's replication role and
+// position.
+func (c *Client) ReplStatus(ctx context.Context) (ReplStatus, error) {
+	res, err := c.conn.Invoke(ctx, "ReplStatus")
+	if err != nil {
+		return ReplStatus{}, fmt.Errorf("trader: remote repl status: %w", err)
+	}
+	return replStatusFromValue(res.Value)
+}

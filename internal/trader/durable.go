@@ -42,6 +42,7 @@ const (
 	opPurge       = "purge"
 	opDefineType  = "deftype"
 	opRemoveType  = "removetype"
+	opEpoch       = "epoch"
 )
 
 // PropRecord is one offer property in journal form, reusing the wire
@@ -72,9 +73,10 @@ type walRecord struct {
 	IDs     []string      `json:"ids,omitempty"`    // withdraw(_all), replace, suspect
 	Props   []PropRecord  `json:"props,omitempty"`  // replace
 	Suspect bool          `json:"suspect,omitempty"`
-	At      int64         `json:"at,omitempty"`   // purge instant, UnixNano
-	SIDL    string        `json:"sidl,omitempty"` // deftype source text
-	Name    string        `json:"name,omitempty"` // removetype
+	At      int64         `json:"at,omitempty"`    // purge instant, UnixNano
+	SIDL    string        `json:"sidl,omitempty"`  // deftype source text
+	Name    string        `json:"name,omitempty"`  // removetype
+	Epoch   uint64        `json:"epoch,omitempty"` // epoch (fencing term)
 }
 
 // traderSnapshot is the compaction snapshot: the full offer store, the
@@ -82,6 +84,7 @@ type walRecord struct {
 // ID counter.
 type traderSnapshot struct {
 	Seq    uint64        `json:"seq"`
+	Epoch  uint64        `json:"epoch,omitempty"`
 	Types  []string      `json:"types,omitempty"`
 	Offers []OfferRecord `json:"offers,omitempty"`
 }
@@ -145,17 +148,43 @@ func OfferFromRecord(rec OfferRecord) (*Offer, error) { return offerFromRecord(r
 // type mutation appends a logical record before it is applied. Call it
 // after recovery (RestoreSnapshot + Replay) and before serving; it is
 // not safe to swap journals on a live trader.
-func (t *Trader) SetJournal(j *journal.Journal) { t.journal = j }
+func (t *Trader) SetJournal(j *journal.Journal) {
+	t.journal = j
+	if j != nil {
+		// The replication position starts at the recovered log tail: on a
+		// follower this is where pulling resumes, on a leader it is inert.
+		t.repl.applied.Store(j.Stats().LastSeq)
+	}
+}
 
-// journalAppend writes one record to the attached journal, if any.
-func (t *Trader) journalAppend(r *walRecord) error {
+// journalApply writes one record to the attached journal, runs apply
+// (the in-memory effect of the record), and — when synchronous
+// replication is configured — blocks until enough followers
+// acknowledged the record's sequence number. Append and apply run
+// under the apply lock so a concurrent snapshot can never capture a
+// state that is missing a journalled record: the snapshot contract
+// allows state ahead of the watermark (replay is idempotent), never
+// behind it. The replication wait happens after the lock is released —
+// it can take seconds, and a snapshot (or a bootstrapping follower's
+// pull, whose ack is what the wait is for) must not block on it.
+func (t *Trader) journalApply(r *walRecord, apply func()) error {
 	if t.journal == nil {
+		if apply != nil {
+			apply()
+		}
 		return nil
 	}
-	if _, err := t.journal.AppendJSON(r); err != nil {
+	t.applyMu.RLock()
+	seq, err := t.journal.AppendJSON(r)
+	if err != nil {
+		t.applyMu.RUnlock()
 		return fmt.Errorf("trader: journal: %w", err)
 	}
-	return nil
+	if apply != nil {
+		apply()
+	}
+	t.applyMu.RUnlock()
+	return t.waitReplicated(seq)
 }
 
 // journalled reports whether a journal is attached (i.e. whether the
@@ -168,7 +197,14 @@ func (t *Trader) journalled() bool { return t.journal != nil }
 // sources of type definitions, and the offer ID counter. Output is
 // sorted for byte-stable snapshots.
 func (t *Trader) JournalSnapshot() ([]byte, error) {
-	snap := traderSnapshot{Seq: t.seq.Load()}
+	// Exclude in-flight mutations: a record that is already in the
+	// journal but not yet applied to the store would otherwise be
+	// missing from a snapshot whose watermark covers it — and lost when
+	// compaction deletes its segment, or when a follower bootstraps
+	// from the snapshot.
+	t.applyMu.Lock()
+	defer t.applyMu.Unlock()
+	snap := traderSnapshot{Seq: t.seq.Load(), Epoch: t.repl.epoch.Load()}
 	sources := t.types.Sources()
 	names := make([]string, 0, len(sources))
 	for n := range sources {
@@ -219,6 +255,7 @@ func (t *Trader) RestoreSnapshot(payload []byte) error {
 		t.bumpSeqFromID(o.ID)
 	}
 	t.bumpSeq(snap.Seq)
+	t.raiseEpoch(snap.Epoch)
 	return nil
 }
 
@@ -276,6 +313,8 @@ func (t *Trader) ReplayRecord(seq uint64, payload []byte) error {
 		if err := t.types.Remove(r.Name); err != nil && !errors.Is(err, typemgr.ErrTypeUnknown) {
 			return fmt.Errorf("trader: journal record %d: %w", seq, err)
 		}
+	case opEpoch:
+		t.raiseEpoch(r.Epoch)
 	default:
 		return fmt.Errorf("trader: journal record %d: unknown op %q", seq, r.Op)
 	}
@@ -308,6 +347,9 @@ func (t *Trader) defineFromSIDL(text string) error {
 // COSM_TraderExport module (the maturation path of section 4.1) and
 // journals the source text, so the definition survives a restart.
 func (t *Trader) DefineTypeSIDL(text string) error {
+	if err := t.leaderCheck(); err != nil {
+		return err
+	}
 	sid, err := sidl.Parse(text)
 	if err != nil {
 		return err
@@ -319,16 +361,19 @@ func (t *Trader) DefineTypeSIDL(text string) error {
 	if err := t.types.DefineWithSource(st, text); err != nil {
 		return err
 	}
-	return t.journalAppend(&walRecord{Op: opDefineType, SIDL: text})
+	return t.journalApply(&walRecord{Op: opDefineType, SIDL: text}, nil)
 }
 
 // RemoveType deletes a service type through the management interface
 // and journals the removal.
 func (t *Trader) RemoveType(name string) error {
+	if err := t.leaderCheck(); err != nil {
+		return err
+	}
 	if err := t.types.Remove(name); err != nil {
 		return err
 	}
-	return t.journalAppend(&walRecord{Op: opRemoveType, Name: name})
+	return t.journalApply(&walRecord{Op: opRemoveType, Name: name}, nil)
 }
 
 // bumpSeqFromID advances the offer ID counter past the sequence number

@@ -1,0 +1,457 @@
+package trader
+
+// Trader replication: a leader streams its write-ahead journal to
+// followers, who replay each record through the normal store API and
+// so converge on the leader's exact matching state (same snapshots,
+// same indexes, same caches). Followers serve imports locally — read
+// replicas — and refuse mutations with a hint pointing at the leader.
+//
+// Failover is explicit and fenced: an operator promotes a follower
+// with an epoch strictly greater than any the group has seen. The
+// epoch is journalled, so it survives restarts, and every replication
+// exchange carries it — a deposed leader's batches and a stale
+// promotion are both rejected by comparing epochs. Combined with
+// synchronous replication (WithReplSync), promoting the most-advanced
+// follower preserves every acknowledged mutation.
+//
+// The stream itself is pull-based: a follower asks for records after
+// its last applied sequence number (ReplPull on the wire, PullBatch
+// here). A pull doubles as an acknowledgement — the leader counts a
+// follower as having replicated seq once it asks for records after
+// seq. When the follower has fallen behind the leader's compaction
+// watermark, the leader ships a full state snapshot instead and the
+// follower reinstalls it wholesale.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cosm/internal/journal"
+)
+
+// ErrNotLeader rejects mutations sent to a follower. The error text on
+// the wire carries the leader's ref so clients can re-bind.
+var ErrNotLeader = errors.New("trader: not leader")
+
+// Replication roles.
+const (
+	RoleLeader   = "leader"
+	RoleFollower = "follower"
+)
+
+// replState carries a trader's replication role and bookkeeping. The
+// zero value is a standalone leader at epoch 0.
+type replState struct {
+	follower   atomic.Bool
+	leaderHint atomic.Value // string: where mutations should go instead
+	epoch      atomic.Uint64
+	applied    atomic.Uint64 // follower: last journal seq applied locally
+	leaderSeq  atomic.Uint64 // follower: leader's log tail at last pull
+	caughtUpAt atomic.Int64  // follower: UnixNano of last caught-up pull; 0 = behind
+
+	// Follower acknowledgements (leader side, for WithReplSync).
+	mu    sync.Mutex
+	acks  map[string]uint64 // follower ID -> highest seq it has pulled past
+	ackCh chan struct{}     // closed+reset when any ack advances
+
+	syncN    int
+	syncWait time.Duration
+}
+
+// ReplBatch is one replication exchange from leader to follower:
+// either a run of journal records after the follower's position, or —
+// when the follower is behind the compaction watermark — a full state
+// snapshot at SnapshotSeq. LastSeq is the leader's log tail, letting
+// the follower measure its lag; Epoch fences the exchange.
+type ReplBatch struct {
+	Epoch       uint64
+	LastSeq     uint64
+	SnapshotSeq uint64
+	Snapshot    []byte
+	Records     []journal.Record
+}
+
+// ReplStatus describes a trader's position in its replication group.
+type ReplStatus struct {
+	Role    string
+	Epoch   uint64
+	LastSeq uint64 // local journal tail
+	Applied uint64 // follower: last seq applied; leader: == LastSeq
+	Leader  string // follower: the leader hint; leader: empty
+}
+
+// Role reports "leader" or "follower".
+func (t *Trader) Role() string {
+	if t.repl.follower.Load() {
+		return RoleFollower
+	}
+	return RoleLeader
+}
+
+// Epoch reports the current fencing epoch.
+func (t *Trader) Epoch() uint64 { return t.repl.epoch.Load() }
+
+// LeaderHint reports where mutations should go when this trader is a
+// follower ("" when leading or unknown).
+func (t *Trader) LeaderHint() string {
+	if s, ok := t.repl.leaderHint.Load().(string); ok {
+		return s
+	}
+	return ""
+}
+
+// ReplApplied reports the last journal sequence number applied via
+// replication (the follower's pull position).
+func (t *Trader) ReplApplied() uint64 { return t.repl.applied.Load() }
+
+// SetFollower puts the trader in follower mode before serving: local
+// mutations are rejected with leaderRef as the hint, imports are
+// served from the replicated store.
+func (t *Trader) SetFollower(leaderRef string) {
+	t.repl.leaderHint.Store(leaderRef)
+	t.repl.follower.Store(true)
+}
+
+// leaderCheck gates mutations: nil on a leader, ErrNotLeader (with the
+// leader hint folded into the message) on a follower.
+func (t *Trader) leaderCheck() error {
+	if !t.repl.follower.Load() {
+		return nil
+	}
+	if hint := t.LeaderHint(); hint != "" {
+		return fmt.Errorf("%w (leader at %s)", ErrNotLeader, hint)
+	}
+	return ErrNotLeader
+}
+
+// raiseEpoch lifts the fencing epoch to at least e (it never lowers).
+func (t *Trader) raiseEpoch(e uint64) {
+	for {
+		cur := t.repl.epoch.Load()
+		if cur >= e || t.repl.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// Promote makes a follower the leader of its group at the given
+// fencing epoch, which must be strictly greater than any epoch this
+// trader has seen. The new epoch is journalled first, so it survives a
+// restart and replicates to the rest of the group, fencing the old
+// leader out.
+func (t *Trader) Promote(epoch uint64) error {
+	if cur := t.repl.epoch.Load(); epoch <= cur {
+		t.metrics.fencingRejections.Inc()
+		return fmt.Errorf("trader: stale promotion epoch %d (current %d)", epoch, cur)
+	}
+	if t.journal != nil {
+		// Journal directly: waitReplicated would deadlock here when the
+		// group's other followers are still pointed at the old leader.
+		// Append and the epoch raise share the apply lock so a snapshot
+		// whose watermark covers the epoch record always carries the new
+		// epoch.
+		t.applyMu.RLock()
+		if _, err := t.journal.AppendJSON(&walRecord{Op: opEpoch, Epoch: epoch}); err != nil {
+			t.applyMu.RUnlock()
+			return fmt.Errorf("trader: journal: %w", err)
+		}
+		t.raiseEpoch(epoch)
+		t.applyMu.RUnlock()
+	}
+	t.raiseEpoch(epoch)
+	t.repl.follower.Store(false)
+	t.repl.leaderHint.Store("")
+	t.log.Log(nil, "promoted", "epoch", epoch)
+	return nil
+}
+
+// PullBatch serves one replication pull (the ReplPull endpoint): the
+// follower identified by followerID, fenced at followerEpoch, wants up
+// to max records after afterSeq and is willing to wait up to wait for
+// new ones. The pull acknowledges afterSeq for synchronous
+// replication.
+func (t *Trader) PullBatch(ctx context.Context, followerID string, followerEpoch, afterSeq uint64, max int, wait time.Duration) (*ReplBatch, error) {
+	if t.journal == nil {
+		return nil, errors.New("trader: replication requires a journal")
+	}
+	if cur := t.repl.epoch.Load(); followerEpoch > cur {
+		// Someone was promoted past us: we are deposed. Stop accepting
+		// mutations; the operator re-points us (or clients re-bind via
+		// the hint-less ErrNotLeader).
+		t.metrics.fencingRejections.Inc()
+		t.repl.follower.Store(true)
+		t.log.Log(ctx, "deposed", "epoch", cur, "seen_epoch", followerEpoch)
+		return nil, fmt.Errorf("trader: fenced: follower epoch %d past local %d", followerEpoch, cur)
+	}
+	t.noteFollower(followerID, afterSeq)
+
+	if max <= 0 {
+		max = 512
+	}
+	// Long-poll bounded by the caller's deadline (with margin to ship
+	// an empty batch rather than time the RPC out).
+	if dl, ok := ctx.Deadline(); ok {
+		if budget := time.Until(dl) - 100*time.Millisecond; budget < wait {
+			wait = budget
+		}
+	}
+	if wait > 0 && t.journal.Stats().LastSeq <= afterSeq {
+		t.journal.WaitFor(afterSeq, wait)
+	}
+
+	stats := t.journal.Stats()
+	b := &ReplBatch{Epoch: t.repl.epoch.Load(), LastSeq: stats.LastSeq}
+	recs, err := t.journal.ReadFrom(afterSeq, max)
+	// A brand-new follower (afterSeq 0) bootstraps from a snapshot
+	// whenever the leader has one: a snapshot can carry boot-time state
+	// — preloaded service types — that was never journalled as records,
+	// even at watermark 0, so record replay alone would miss it.
+	needSnap := errors.Is(err, journal.ErrCompacted) ||
+		(err == nil && afterSeq == 0 && stats.HasSnapshot)
+	switch {
+	case needSnap:
+		// The follower is behind the compaction watermark: ship full
+		// state. The watermark is captured before serialising, so the
+		// snapshot is at-least-as-new as it (the journal's usual
+		// snapshot-newer-than-watermark contract).
+		watermark := t.journal.Stats().LastSeq
+		snap, err := t.JournalSnapshot()
+		if err != nil {
+			return nil, err
+		}
+		b.Snapshot, b.SnapshotSeq = snap, watermark
+	case err != nil:
+		return nil, err
+	default:
+		b.Records = recs
+		t.metrics.replRecords.With("sent").Add(uint64(len(recs)))
+	}
+	return b, nil
+}
+
+// ApplyBatch applies one replication batch on a follower, returning
+// how many records it applied. Records are WAL-first: each is appended
+// to the follower's own journal at the leader's sequence number before
+// it is replayed, so a follower restart recovers to its pull position.
+func (t *Trader) ApplyBatch(b *ReplBatch) (int, error) {
+	if cur := t.repl.epoch.Load(); b.Epoch < cur {
+		t.metrics.fencingRejections.Inc()
+		return 0, fmt.Errorf("trader: fenced: batch epoch %d below local %d", b.Epoch, cur)
+	}
+	t.raiseEpoch(b.Epoch)
+
+	// The follower's own journal compacts too: each append+replay pair
+	// holds the apply lock so a local snapshot never captures state
+	// missing a record its watermark covers.
+	n := 0
+	if b.Snapshot != nil {
+		t.applyMu.RLock()
+		if t.journal != nil {
+			if err := t.journal.InstallSnapshot(b.Snapshot, b.SnapshotSeq); err != nil {
+				t.applyMu.RUnlock()
+				return 0, fmt.Errorf("trader: install snapshot: %w", err)
+			}
+		}
+		t.store.clear()
+		if err := t.RestoreSnapshot(b.Snapshot); err != nil {
+			t.applyMu.RUnlock()
+			return 0, err
+		}
+		t.repl.applied.Store(b.SnapshotSeq)
+		t.applyMu.RUnlock()
+	}
+	for _, rec := range b.Records {
+		if rec.Seq <= t.repl.applied.Load() {
+			continue // duplicate delivery; records are idempotent anyway
+		}
+		t.applyMu.RLock()
+		if t.journal != nil {
+			if err := t.journal.AppendAt(rec.Seq, rec.Payload); err != nil {
+				t.applyMu.RUnlock()
+				return n, fmt.Errorf("trader: journal: %w", err)
+			}
+		}
+		if err := t.ReplayRecord(rec.Seq, rec.Payload); err != nil {
+			t.applyMu.RUnlock()
+			return n, err
+		}
+		t.repl.applied.Store(rec.Seq)
+		t.applyMu.RUnlock()
+		n++
+	}
+	if n > 0 {
+		t.metrics.replRecords.With("applied").Add(uint64(n))
+	}
+	t.repl.leaderSeq.Store(b.LastSeq)
+	if t.repl.applied.Load() >= b.LastSeq {
+		t.repl.caughtUpAt.Store(t.now().UnixNano())
+	}
+	return n, nil
+}
+
+// Status reports the trader's replication position.
+func (t *Trader) Status() ReplStatus {
+	st := ReplStatus{Role: t.Role(), Epoch: t.Epoch(), Applied: t.repl.applied.Load(), Leader: t.LeaderHint()}
+	if t.journal != nil {
+		st.LastSeq = t.journal.Stats().LastSeq
+	}
+	if st.Role == RoleLeader {
+		st.Applied = st.LastSeq
+		st.Leader = ""
+	}
+	return st
+}
+
+// noteFollower records that a follower has pulled past seq (leader
+// side), waking any mutation blocked in waitReplicated.
+func (t *Trader) noteFollower(id string, seq uint64) {
+	t.repl.mu.Lock()
+	defer t.repl.mu.Unlock()
+	if t.repl.acks == nil {
+		t.repl.acks = map[string]uint64{}
+	}
+	if seq > t.repl.acks[id] {
+		t.repl.acks[id] = seq
+		if t.repl.ackCh != nil {
+			close(t.repl.ackCh)
+			t.repl.ackCh = nil
+		}
+	}
+}
+
+// waitReplicated blocks until syncN followers have pulled past seq, or
+// syncWait expires. No-op in asynchronous mode (syncN <= 0).
+func (t *Trader) waitReplicated(seq uint64) error {
+	n := t.repl.syncN
+	if n <= 0 {
+		return nil
+	}
+	deadline := time.NewTimer(t.repl.syncWait)
+	defer deadline.Stop()
+	for {
+		t.repl.mu.Lock()
+		cnt := 0
+		for _, acked := range t.repl.acks {
+			if acked >= seq {
+				cnt++
+			}
+		}
+		if cnt >= n {
+			t.repl.mu.Unlock()
+			return nil
+		}
+		if t.repl.ackCh == nil {
+			t.repl.ackCh = make(chan struct{})
+		}
+		ch := t.repl.ackCh
+		t.repl.mu.Unlock()
+		select {
+		case <-ch:
+		case <-deadline.C:
+			return fmt.Errorf("trader: replication: %d/%d followers acked seq %d within %v", cnt, n, seq, t.repl.syncWait)
+		}
+	}
+}
+
+// replLagRecords reports how many leader records the follower still
+// has to apply (0 on a leader).
+func (t *Trader) replLagRecords() uint64 {
+	if !t.repl.follower.Load() {
+		return 0
+	}
+	leader, applied := t.repl.leaderSeq.Load(), t.repl.applied.Load()
+	if leader <= applied {
+		return 0
+	}
+	return leader - applied
+}
+
+// replLagSeconds reports how long the follower has been behind its
+// leader (0 when caught up or leading).
+func (t *Trader) replLagSeconds() float64 {
+	if !t.repl.follower.Load() || t.replLagRecords() == 0 {
+		return 0
+	}
+	at := t.repl.caughtUpAt.Load()
+	if at == 0 {
+		return 0 // never caught up yet: lag in records tells the story
+	}
+	return time.Duration(t.now().UnixNano() - at).Seconds()
+}
+
+// ReplSource is where a follower pulls replication batches from —
+// implemented by *Client (over the wire) and by *Trader directly
+// (in-process tests).
+type ReplSource interface {
+	ReplPull(ctx context.Context, followerID string, epoch, afterSeq uint64, max int, wait time.Duration) (*ReplBatch, error)
+}
+
+// ReplPull lets a *Trader serve as an in-process ReplSource.
+func (t *Trader) ReplPull(ctx context.Context, followerID string, epoch, afterSeq uint64, max int, wait time.Duration) (*ReplBatch, error) {
+	return t.PullBatch(ctx, followerID, epoch, afterSeq, max, wait)
+}
+
+// Follower runs the pull loop of a follower trader: repeatedly pull
+// from the source, apply, and back off on errors (50ms doubling to
+// 2s). Close stops the loop.
+type Follower struct {
+	t      *Trader
+	src    ReplSource
+	id     string
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// NewFollower wires follower t to pull from src, identifying itself as
+// id in acknowledgements. Call Start to begin pulling.
+func NewFollower(t *Trader, src ReplSource, id string) *Follower {
+	return &Follower{t: t, src: src, id: id}
+}
+
+// Start launches the pull loop.
+func (f *Follower) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	f.cancel = cancel
+	f.done = make(chan struct{})
+	go f.run(ctx)
+}
+
+// Close stops the pull loop and waits for it to exit.
+func (f *Follower) Close() {
+	if f.cancel == nil {
+		return
+	}
+	f.cancel()
+	<-f.done
+}
+
+func (f *Follower) run(ctx context.Context) {
+	defer close(f.done)
+	backoff := 50 * time.Millisecond
+	for ctx.Err() == nil {
+		b, err := f.src.ReplPull(ctx, f.id, f.t.Epoch(), f.t.ReplApplied(), 512, 2*time.Second)
+		if err == nil {
+			_, err = f.t.ApplyBatch(b)
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			f.t.log.Log(ctx, "repl_pull_error", "err", err.Error())
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return
+			}
+			if backoff *= 2; backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+			continue
+		}
+		backoff = 50 * time.Millisecond
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cosm/internal/cosm"
+	"cosm/internal/journal"
 	"cosm/internal/sidl"
 	"cosm/internal/xcode"
 )
@@ -54,6 +55,29 @@ module CosmTrader {
         long hopLimit;
         Names_t visited;
     };
+    // One replicated journal record: the leader's sequence number and
+    // the logical JSON payload, verbatim.
+    struct ReplRecord_t {
+        long long seq;
+        string payload;
+    };
+    typedef sequence<ReplRecord_t> ReplRecords_t;
+    struct ReplBatch_t {
+        long long epoch;
+        long long lastSeq;
+        // When the follower is behind the compaction watermark the
+        // batch carries a full state snapshot instead of records.
+        long long snapshotSeq;
+        string snapshot;
+        ReplRecords_t records;
+    };
+    struct ReplStatus_t {
+        string role;
+        long long epoch;
+        long long lastSeq;
+        long long applied;
+        string leader;
+    };
     interface COSM_Operations {
         // Register an offer of a known service type.
         string Export(in string serviceType, in Object target, in Props_t props);
@@ -80,6 +104,14 @@ module CosmTrader {
         // Management interface: list and remove service types.
         Names_t TypeNames();
         void RemoveType(in string name);
+        // Replication: stream journal records after afterSeq to the
+        // named follower, long-polling up to waitMs for new ones. A
+        // follower behind the compaction watermark gets a snapshot.
+        ReplBatch_t ReplPull(in string followerId, in long long epoch, in long long afterSeq, in long max, in long long waitMs);
+        // Failover: take leadership at a strictly greater fencing epoch.
+        void Promote(in long long epoch);
+        // Replication role and position of this trader.
+        ReplStatus_t ReplStatus();
     };
 };
 `
@@ -143,6 +175,12 @@ type traderTypes struct {
 	importT *sidl.Type
 	itemT   *sidl.Type
 	itemsT  *sidl.Type
+
+	int64T      *sidl.Type
+	replRecT    *sidl.Type
+	replRecsT   *sidl.Type
+	replBatchT  *sidl.Type
+	replStatusT *sidl.Type
 }
 
 func newTraderTypes() (*traderTypes, error) {
@@ -163,6 +201,12 @@ func newTraderTypes() (*traderTypes, error) {
 		importT: sid.Type("ImportReq_t"),
 		itemT:   sid.Type("ExportItem_t"),
 		itemsT:  sid.Type("ExportItems_t"),
+
+		int64T:      sidl.Basic(sidl.Int64),
+		replRecT:    sid.Type("ReplRecord_t"),
+		replRecsT:   sid.Type("ReplRecords_t"),
+		replBatchT:  sid.Type("ReplBatch_t"),
+		replStatusT: sid.Type("ReplStatus_t"),
 	}, nil
 }
 
@@ -524,7 +568,167 @@ func NewService(t *Trader) (*cosm.Service, error) {
 		}
 		return t.RemoveType(name)
 	})
+	svc.MustHandle("ReplPull", func(call *cosm.Call) error {
+		followerID, err := strArg(call, "followerId")
+		if err != nil {
+			return err
+		}
+		intArg := func(name string) (int64, error) {
+			v, err := call.Arg(name)
+			if err != nil {
+				return 0, err
+			}
+			return v.Int, nil
+		}
+		epoch, err := intArg("epoch")
+		if err != nil {
+			return err
+		}
+		afterSeq, err := intArg("afterSeq")
+		if err != nil {
+			return err
+		}
+		max, err := intArg("max")
+		if err != nil {
+			return err
+		}
+		waitMs, err := intArg("waitMs")
+		if err != nil {
+			return err
+		}
+		b, err := t.PullBatch(call.Ctx, followerID, uint64(epoch), uint64(afterSeq), int(max), time.Duration(waitMs)*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		bv, err := tt.replBatchValue(b)
+		if err != nil {
+			return err
+		}
+		call.Result = bv
+		return nil
+	})
+	svc.MustHandle("Promote", func(call *cosm.Call) error {
+		epoch, err := call.Arg("epoch")
+		if err != nil {
+			return err
+		}
+		return t.Promote(uint64(epoch.Int))
+	})
+	svc.MustHandle("ReplStatus", func(call *cosm.Call) error {
+		st := t.Status()
+		sv, err := xcode.NewStruct(tt.replStatusT, map[string]*xcode.Value{
+			"role":    xcode.NewString(tt.strT, st.Role),
+			"epoch":   xcode.NewInt(tt.int64T, int64(st.Epoch)),
+			"lastSeq": xcode.NewInt(tt.int64T, int64(st.LastSeq)),
+			"applied": xcode.NewInt(tt.int64T, int64(st.Applied)),
+			"leader":  xcode.NewString(tt.strT, st.Leader),
+		})
+		if err != nil {
+			return err
+		}
+		call.Result = sv
+		return nil
+	})
 	return svc, nil
+}
+
+// replBatchValue encodes one replication batch. Record payloads and
+// snapshots are logical JSON, carried verbatim in string fields.
+func (tt *traderTypes) replBatchValue(b *ReplBatch) (*xcode.Value, error) {
+	recs := make([]*xcode.Value, len(b.Records))
+	for i, r := range b.Records {
+		rv, err := xcode.NewStruct(tt.replRecT, map[string]*xcode.Value{
+			"seq":     xcode.NewInt(tt.int64T, int64(r.Seq)),
+			"payload": xcode.NewString(tt.strT, string(r.Payload)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		recs[i] = rv
+	}
+	recsSeq, err := xcode.NewSequence(tt.replRecsT, recs...)
+	if err != nil {
+		return nil, err
+	}
+	return xcode.NewStruct(tt.replBatchT, map[string]*xcode.Value{
+		"epoch":       xcode.NewInt(tt.int64T, int64(b.Epoch)),
+		"lastSeq":     xcode.NewInt(tt.int64T, int64(b.LastSeq)),
+		"snapshotSeq": xcode.NewInt(tt.int64T, int64(b.SnapshotSeq)),
+		"snapshot":    xcode.NewString(tt.strT, string(b.Snapshot)),
+		"records":     recsSeq,
+	})
+}
+
+func replBatchFromValue(v *xcode.Value) (*ReplBatch, error) {
+	b := &ReplBatch{}
+	ints := []struct {
+		name string
+		dst  *uint64
+	}{
+		{"epoch", &b.Epoch},
+		{"lastSeq", &b.LastSeq},
+		{"snapshotSeq", &b.SnapshotSeq},
+	}
+	for _, f := range ints {
+		fv, err := v.Field(f.name)
+		if err != nil {
+			return nil, err
+		}
+		*f.dst = uint64(fv.Int)
+	}
+	snap, err := v.Field("snapshot")
+	if err != nil {
+		return nil, err
+	}
+	if snap.Str != "" {
+		b.Snapshot = []byte(snap.Str)
+	}
+	recsV, err := v.Field("records")
+	if err != nil {
+		return nil, err
+	}
+	for _, rv := range recsV.Elems {
+		seq, err := rv.Field("seq")
+		if err != nil {
+			return nil, err
+		}
+		payload, err := rv.Field("payload")
+		if err != nil {
+			return nil, err
+		}
+		b.Records = append(b.Records, journal.Record{Seq: uint64(seq.Int), Payload: []byte(payload.Str)})
+	}
+	return b, nil
+}
+
+func replStatusFromValue(v *xcode.Value) (ReplStatus, error) {
+	var st ReplStatus
+	role, err := v.Field("role")
+	if err != nil {
+		return st, err
+	}
+	st.Role = role.Str
+	leader, err := v.Field("leader")
+	if err != nil {
+		return st, err
+	}
+	st.Leader = leader.Str
+	ints := []struct {
+		name string
+		dst  *uint64
+	}{
+		{"epoch", &st.Epoch},
+		{"lastSeq", &st.LastSeq},
+		{"applied", &st.Applied},
+	}
+	for _, f := range ints {
+		fv, err := v.Field(f.name)
+		if err != nil {
+			return st, err
+		}
+		*f.dst = uint64(fv.Int)
+	}
+	return st, nil
 }
 
 func importReqFromValue(v *xcode.Value) (ImportRequest, error) {

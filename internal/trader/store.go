@@ -102,6 +102,20 @@ func (st *offerStore) gens() (storeGen, repoGen uint64) {
 	return st.typeSetGen.Load(), st.repo.Gen()
 }
 
+// clear empties every shard — the follower snapshot-install path
+// replaces the whole store wholesale. Bumping the type-set generation
+// invalidates cached resolutions and import results implicitly.
+func (st *offerStore) clear() {
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		sh.types = map[string]*typeBucket{}
+		sh.byID = map[string]*Offer{}
+		sh.mu.Unlock()
+	}
+	st.typeSetGen.Add(1)
+}
+
 // insert stores an immutable offer.
 func (st *offerStore) insert(o *Offer) {
 	sh := st.shardFor(o.Type)

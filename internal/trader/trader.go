@@ -135,6 +135,16 @@ type Trader struct {
 	// for every offer and type mutation (see durable.go).
 	journal *journal.Journal
 
+	// applyMu orders journalled mutations against snapshot capture:
+	// mutations hold it shared across append+apply, JournalSnapshot
+	// holds it exclusively, so a snapshot never misses a journalled
+	// record (see journalApply in durable.go).
+	applyMu sync.RWMutex
+
+	// repl carries the replication role, fencing epoch and follower
+	// bookkeeping (see repl.go).
+	repl replState
+
 	log     *obs.Logger
 	metrics traderMetrics
 }
@@ -172,6 +182,9 @@ type traderMetrics struct {
 	snapshotRebuilds *obs.Counter
 	importCache      *obs.CounterVec // by outcome: hit, miss
 	constraintCache  *obs.CounterVec // by outcome: hit, miss
+
+	replRecords       *obs.CounterVec // by direction: sent (leader), applied (follower)
+	fencingRejections *obs.Counter
 }
 
 func newTraderMetrics(reg *obs.Registry) traderMetrics {
@@ -189,6 +202,9 @@ func newTraderMetrics(reg *obs.Registry) traderMetrics {
 		snapshotRebuilds: reg.Counter("cosm_trader_index_snapshot_rebuilds_total", "Type snapshots rebuilt after writes."),
 		importCache:      reg.CounterVec("cosm_trader_import_cache_total", "Import-result cache lookups by outcome.", "outcome"),
 		constraintCache:  reg.CounterVec("cosm_trader_constraint_cache_total", "Compiled-constraint cache lookups by outcome.", "outcome"),
+
+		replRecords:       reg.CounterVec("cosm_trader_repl_records_total", "Replication records by direction (sent by the leader, applied by the follower).", "dir"),
+		fencingRejections: reg.Counter("cosm_trader_repl_fencing_rejections_total", "Replication batches or promotions rejected by epoch fencing."),
 	}
 }
 
@@ -256,7 +272,27 @@ func WithMetrics(reg *obs.Registry) Option {
 		if reg != nil {
 			reg.GaugeFunc("cosm_trader_offers", "Stored, unexpired offers.",
 				func() float64 { return float64(t.OfferCount()) })
+			reg.GaugeFunc("cosm_trader_epoch", "Current fencing epoch of the replication group.",
+				func() float64 { return float64(t.Epoch()) })
+			reg.GaugeFunc("cosm_trader_repl_lag_records", "Records the follower still has to apply (0 on a leader).",
+				func() float64 { return float64(t.replLagRecords()) })
+			reg.GaugeFunc("cosm_trader_repl_lag_seconds", "Seconds since the follower was last caught up with its leader (0 when caught up or leading).",
+				func() float64 { return t.replLagSeconds() })
 		}
+	}
+}
+
+// WithReplSync makes mutations block until n followers have pulled the
+// mutation's journal record (synchronous replication): an acknowledged
+// export then survives the loss of the leader, because at least n
+// followers hold it. timeout bounds the wait; on expiry the mutation
+// fails, though its record stays in the leader's log (the ambiguity any
+// synchronous-replication timeout has). n <= 0 keeps the default
+// asynchronous mode.
+func WithReplSync(n int, timeout time.Duration) Option {
+	return func(t *Trader) {
+		t.repl.syncN = n
+		t.repl.syncWait = timeout
 	}
 }
 
@@ -308,16 +344,19 @@ func (t *Trader) Export(serviceType string, r ref.ServiceRef, props []sidl.Prope
 // ExportLease registers an offer with a lease: after ttl the offer stops
 // matching and is reclaimed by PurgeExpired. ttl zero means no expiry.
 func (t *Trader) ExportLease(serviceType string, r ref.ServiceRef, props []sidl.Property, ttl time.Duration) (string, error) {
+	if err := t.leaderCheck(); err != nil {
+		return "", err
+	}
 	if err := checkExport(t.types, serviceType, ttl, props); err != nil {
 		return "", err
 	}
 	offer := t.makeOffer(serviceType, r, props, ttl)
 	// WAL-first: a crash after the append replays the export, a crash
 	// before it rejects the call — never a silently lost offer.
-	if err := t.journalAppend(&walRecord{Op: opExport, Offers: []OfferRecord{offerToRecord(offer)}}); err != nil {
+	rec := &walRecord{Op: opExport, Offers: []OfferRecord{offerToRecord(offer)}}
+	if err := t.journalApply(rec, func() { t.commitOffer(offer, ttl) }); err != nil {
 		return "", err
 	}
-	t.commitOffer(offer, ttl)
 	return offer.ID, nil
 }
 
@@ -364,6 +403,9 @@ type ExportItem struct {
 // round trip per offer. The batch is validated up front and registers
 // either completely or not at all; the returned IDs parallel items.
 func (t *Trader) ExportAll(items []ExportItem) ([]string, error) {
+	if err := t.leaderCheck(); err != nil {
+		return nil, err
+	}
 	for i := range items {
 		if err := checkExport(t.types, items[i].Type, items[i].TTL, items[i].Props); err != nil {
 			return nil, fmt.Errorf("trader: batch item %d: %w", i, err)
@@ -377,13 +419,15 @@ func (t *Trader) ExportAll(items []ExportItem) ([]string, error) {
 	}
 	// One journal record covers the whole batch: it registers completely
 	// or not at all, matching the call's atomicity contract.
-	if err := t.journalAppend(&walRecord{Op: opExport, Offers: recs}); err != nil {
-		return nil, err
-	}
 	ids := make([]string, len(items))
-	for i := range items {
-		t.commitOffer(offers[i], items[i].TTL)
-		ids[i] = offers[i].ID
+	err := t.journalApply(&walRecord{Op: opExport, Offers: recs}, func() {
+		for i := range items {
+			t.commitOffer(offers[i], items[i].TTL)
+			ids[i] = offers[i].ID
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	return ids, nil
 }
@@ -400,6 +444,9 @@ func (t *Trader) ExportSID(sid *sidl.SID, r ref.ServiceRef) (string, error) {
 
 // Withdraw removes an offer by ID.
 func (t *Trader) Withdraw(offerID string) error {
+	if err := t.leaderCheck(); err != nil {
+		return err
+	}
 	if t.journalled() {
 		// WAL-first, but only for offers that exist: the log carries no
 		// rejected withdrawals. A concurrent withdrawal may still win the
@@ -407,9 +454,23 @@ func (t *Trader) Withdraw(offerID string) error {
 		if _, ok := t.store.lookup(offerID); !ok {
 			return fmt.Errorf("%w: %q", ErrOfferUnknown, offerID)
 		}
-		if err := t.journalAppend(&walRecord{Op: opWithdraw, IDs: []string{offerID}}); err != nil {
+		var raced bool
+		err := t.journalApply(&walRecord{Op: opWithdraw, IDs: []string{offerID}}, func() {
+			offer, ok := t.store.remove(offerID)
+			if !ok {
+				raced = true
+				return
+			}
+			t.metrics.withdrawals.Inc()
+			t.log.Log(nil, "withdraw", "offer", offerID, "type", offer.Type)
+		})
+		if err != nil {
 			return err
 		}
+		if raced {
+			return fmt.Errorf("%w: %q", ErrOfferUnknown, offerID)
+		}
+		return nil
 	}
 	offer, ok := t.store.remove(offerID)
 	if !ok {
@@ -427,18 +488,31 @@ func (t *Trader) Withdraw(offerID string) error {
 // call's contract is idempotent best-effort, and a provider retry after
 // a recovery that resurrected the offers heals the divergence.
 func (t *Trader) WithdrawAll(offerIDs []string) int {
-	if len(offerIDs) > 0 {
-		if err := t.journalAppend(&walRecord{Op: opWithdrawAll, IDs: offerIDs}); err != nil {
-			t.log.Log(nil, "journal_error", "op", opWithdrawAll, "err", err.Error())
+	if err := t.leaderCheck(); err != nil {
+		t.log.Log(nil, "not_leader", "op", opWithdrawAll, "err", err.Error())
+		return 0
+	}
+	if len(offerIDs) == 0 {
+		return 0
+	}
+	n, removed := 0, false
+	remove := func() {
+		removed = true
+		for _, id := range offerIDs {
+			if offer, ok := t.store.remove(id); ok {
+				n++
+				t.metrics.withdrawals.Inc()
+				t.log.Log(nil, "withdraw", "offer", id, "type", offer.Type)
+			}
 		}
 	}
-	n := 0
-	for _, id := range offerIDs {
-		if offer, ok := t.store.remove(id); ok {
-			n++
-			t.metrics.withdrawals.Inc()
-			t.log.Log(nil, "withdraw", "offer", id, "type", offer.Type)
-		}
+	if err := t.journalApply(&walRecord{Op: opWithdrawAll, IDs: offerIDs}, remove); err != nil {
+		t.log.Log(nil, "journal_error", "op", opWithdrawAll, "err", err.Error())
+	}
+	if !removed {
+		// The append itself failed, so the in-memory withdrawal never
+		// ran; proceed with it — the call is idempotent best-effort.
+		remove()
 	}
 	return n
 }
@@ -447,6 +521,9 @@ func (t *Trader) WithdrawAll(offerIDs []string) int {
 // "replacing of exported services" operation of section 2.1). The new
 // properties must still satisfy the offer's service type.
 func (t *Trader) Replace(offerID string, props []sidl.Property) error {
+	if err := t.leaderCheck(); err != nil {
+		return err
+	}
 	offer, ok := t.store.lookup(offerID)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrOfferUnknown, offerID)
@@ -458,15 +535,19 @@ func (t *Trader) Replace(offerID string, props []sidl.Property) error {
 	for _, p := range props {
 		propMap[p.Name] = p.Value
 	}
-	if err := t.journalAppend(&walRecord{Op: opReplace, IDs: []string{offerID}, Props: propsToRecords(propMap)}); err != nil {
+	rec := &walRecord{Op: opReplace, IDs: []string{offerID}, Props: propsToRecords(propMap)}
+	err := t.journalApply(rec, func() {
+		// Copy-on-write swap; the offer may have been withdrawn
+		// meanwhile (the journalled record is idempotent on replay).
+		_, ok = t.store.update(offerID, func(old *Offer) *Offer {
+			fresh := *old
+			fresh.Props = propMap
+			return &fresh
+		})
+	})
+	if err != nil {
 		return err
 	}
-	// Copy-on-write swap; the offer may have been withdrawn meanwhile.
-	_, ok = t.store.update(offerID, func(old *Offer) *Offer {
-		fresh := *old
-		fresh.Props = propMap
-		return &fresh
-	})
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrOfferUnknown, offerID)
 	}
@@ -477,13 +558,28 @@ func (t *Trader) Replace(offerID string, props []sidl.Property) error {
 // Offer.Suspect). It is called by the Sweeper; operators can also set
 // it by hand through the management view.
 func (t *Trader) MarkSuspect(offerID string, suspect bool) error {
+	if err := t.leaderCheck(); err != nil {
+		return err
+	}
 	if t.journalled() {
 		if _, ok := t.store.lookup(offerID); !ok {
 			return fmt.Errorf("%w: %q", ErrOfferUnknown, offerID)
 		}
-		if err := t.journalAppend(&walRecord{Op: opSuspect, IDs: []string{offerID}, Suspect: suspect}); err != nil {
+		var ok bool
+		err := t.journalApply(&walRecord{Op: opSuspect, IDs: []string{offerID}, Suspect: suspect}, func() {
+			_, ok = t.store.update(offerID, func(old *Offer) *Offer {
+				fresh := *old
+				fresh.Suspect = suspect
+				return &fresh
+			})
+		})
+		if err != nil {
 			return err
 		}
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrOfferUnknown, offerID)
+		}
+		return nil
 	}
 	_, ok := t.store.update(offerID, func(old *Offer) *Offer {
 		fresh := *old
@@ -523,13 +619,20 @@ func (t *Trader) liveOffers() []*Offer {
 // PurgeExpired removes offers whose lease has run out and returns how
 // many were reclaimed.
 func (t *Trader) PurgeExpired() int {
+	if t.repl.follower.Load() {
+		// Purges replicate from the leader's journal (they carry the
+		// leader's purge instant); expired offers stop matching locally
+		// regardless, so a follower never purges on its own.
+		return 0
+	}
 	now := t.now()
 	n := t.store.purgeExpired(now)
 	if n > 0 {
 		// Journalled after-apply with the purge instant: replay re-evaluates
 		// expiry against the same absolute time, so recovery reclaims
-		// exactly the offers this call did.
-		if err := t.journalAppend(&walRecord{Op: opPurge, At: now.UnixNano()}); err != nil {
+		// exactly the offers this call did. Apply-before-append only ever
+		// leaves a snapshot ahead of the watermark, which replay tolerates.
+		if err := t.journalApply(&walRecord{Op: opPurge, At: now.UnixNano()}, nil); err != nil {
 			t.log.Log(nil, "journal_error", "op", opPurge, "err", err.Error())
 		}
 		t.metrics.purged.Add(uint64(n))
