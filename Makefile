@@ -33,16 +33,20 @@ bench-smoke:
 # Machine-readable benchmark record for the current PR's tentpole, as
 # go-test JSON events for tracking across commits. PR selects the
 # output file; BENCH_PATTERN the benchmark group — defaults cover the
-# replication PR (follower catch-up over a 10k-offer journal, replica
-# read serving) plus the durability and matching-engine groups it must
-# not regress. `make bench-json PR=5
-# BENCH_PATTERN='Import_10kOffers|JournalAppend|Recovery_10kOffers'`
+# self-healing HA PR (detection+election latency) plus the replication,
+# durability and matching-engine groups it must not regress. `make
+# bench-json PR=6
+# BENCH_PATTERN='Import_10kOffers|JournalAppend|Recovery_10kOffers|ReplCatchup_10kOffers|ReplicaImport_10kOffers'`
 # reproduces the previous record.
-PR ?= 6
-BENCH_PATTERN ?= Import_10kOffers|JournalAppend|Recovery_10kOffers|ReplCatchup_10kOffers|ReplicaImport_10kOffers
+PR ?= 7
+BENCH_PATTERN ?= Import_10kOffers|JournalAppend|ReplCatchup_10kOffers|ReplicaImport_10kOffers
+# Wall-clock benchmarks (seconds per op: failure detection + election)
+# run few iterations — 100x of a real leader kill would take minutes.
+BENCH_SLOW_PATTERN ?= FailoverLatency
 
 bench-json:
 	$(GO) test -json -run 'NoSuchTest' -bench '$(BENCH_PATTERN)' -benchtime 100x -benchmem . > BENCH_$(PR).json
+	$(GO) test -json -run 'NoSuchTest' -bench '$(BENCH_SLOW_PATTERN)' -benchtime 5x -benchmem . >> BENCH_$(PR).json
 
 chaos:
 	$(GO) run ./cmd/marketsim -chaos

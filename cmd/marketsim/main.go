@@ -9,11 +9,18 @@
 //	marketsim -days 730 -delay 120    # two years, slower standardisation
 //	marketsim -timeline               # also dump the cumulative series
 //	marketsim -chaos                  # live market under fault injection
+//	marketsim -soak -seed 7           # replicated-cluster chaos soak
 //
 // With -chaos the command instead stands up a real market (trader,
 // browser, three providers) over local TCP, injects transport faults on
 // the client side, crashes the cheapest provider mid-run, and reports
 // how retries, bind failover and the trader's liveness sweeper cope.
+//
+// With -soak it stands up a replicated trader cluster with automatic
+// failover and drives it through a seeded schedule of leader crashes,
+// partitions, disk faults and follower churn, continuously checking the
+// HA invariants (one leader per epoch, monotonic epochs, zero lost
+// acknowledged exports, byte-identical convergence); see soak.go.
 package main
 
 import (
@@ -43,7 +50,9 @@ func run(args []string) error {
 	fs.Float64Var(&p.CostGenericUseOverhead, "overhead", p.CostGenericUseOverhead, "per-use generic-client overhead")
 	timeline := fs.Bool("timeline", false, "print the per-day cumulative series")
 	chaos := fs.Bool("chaos", false, "run the live fault-injection market instead of the discrete-event simulation")
+	soak := fs.Bool("soak", false, "run the replicated-cluster chaos soak (self-healing HA under a seeded fault schedule)")
 	cc := registerChaosFlags(fs)
+	sc := registerSoakFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,6 +60,10 @@ func run(args []string) error {
 	if *chaos {
 		cc.seed = p.Seed
 		return runChaos(os.Stdout, *cc)
+	}
+	if *soak {
+		sc.seed = p.Seed
+		return runSoak(os.Stdout, *sc)
 	}
 
 	results, err := market.Compare(p)

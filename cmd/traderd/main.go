@@ -66,14 +66,26 @@ func run(args []string, sig <-chan os.Signal) error {
 		promote   = fs.Bool("promote", false, "take leadership at boot, fencing the previous leader (see -epoch)")
 		epoch     = fs.Uint64("epoch", 0, "fencing epoch for -promote (default: one past the recovered epoch)")
 		replSync  = fs.Int("repl-sync", 0, "followers that must acknowledge each mutation before it returns (0 = asynchronous)")
+		autoFail  = fs.Bool("auto-failover", false, "detect a dead leader and elect a replacement (needs -cluster and -data-dir)")
+		electTO   = fs.Duration("election-timeout", 2*time.Second, "failure-suspicion and election-round timeout for -auto-failover")
 		typeFiles stringList
 		links     stringList
+		cluster   stringList
 	)
 	fs.Var(&typeFiles, "type", "SIDL file with a COSM_TraderExport module to preload as a service type (repeatable)")
 	fs.Var(&links, "link", "partner trader reference cosm://endpoint/service (repeatable)")
+	fs.Var(&cluster, "cluster", "another member of this replication cluster, cosm://endpoint/service (repeatable; quorum counts all members)")
 	df := daemon.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *autoFail {
+		if len(cluster) == 0 {
+			return errors.New("-auto-failover needs at least one -cluster peer")
+		}
+		if df.DataDir == "" {
+			return errors.New("-auto-failover needs -data-dir (elections journal the fencing epoch)")
+		}
 	}
 
 	repo := typemgr.NewRepo()
@@ -198,19 +210,43 @@ func run(args []string, sig <-chan os.Signal) error {
 	}
 
 	ctx := context.Background()
-	if *follow != "" {
-		r, err := ref.Parse(*follow)
-		if err != nil {
-			return fmt.Errorf("-follow %s: %w", *follow, err)
+	if *follow != "" || *autoFail {
+		// The pull loop resolves its leader lazily: under auto-failover
+		// the leader changes at run time (elections, demote-rejoin), and
+		// even a fixed -follow target may simply not be up yet.
+		fl := trader.NewFollower(tr, nil, *id)
+		fl.SetResolver(func(ctx context.Context, leaderRef string) (trader.ReplSource, error) {
+			r, err := ref.Parse(leaderRef)
+			if err != nil {
+				return nil, err
+			}
+			return trader.DialTrader(ctx, node.Pool(), r)
+		})
+		if *follow != "" {
+			fl.Retarget(*follow)
+			log.Printf("following leader at %s", *follow)
 		}
-		leader, err := trader.DialTrader(ctx, node.Pool(), r)
-		if err != nil {
-			return fmt.Errorf("-follow %s: %w", *follow, err)
+		if *autoFail {
+			mon := trader.NewMonitor(tr, fl, trader.MonitorConfig{
+				SelfID:          *id,
+				SelfRef:         ref.New(endpoint, trader.ServiceName).String(),
+				PeerRefs:        cluster,
+				ElectionTimeout: *electTO,
+				Dial: func(ctx context.Context, peerRef string) (trader.ElectionPeer, error) {
+					r, err := ref.Parse(peerRef)
+					if err != nil {
+						return nil, err
+					}
+					return trader.DialTrader(ctx, node.Pool(), r)
+				},
+				OnPromote: func(e uint64) { log.Printf("auto-promoted to leader at epoch %d", e) },
+			})
+			mon.Start()
+			defer mon.Close()
+			log.Printf("auto-failover armed: cluster of %d, election timeout %v", len(cluster)+1, *electTO)
 		}
-		fl := trader.NewFollower(tr, leader, *id)
 		fl.Start()
 		defer fl.Close()
-		log.Printf("following leader at %s", r)
 	}
 	for _, link := range links {
 		r, err := ref.Parse(link)

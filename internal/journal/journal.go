@@ -59,6 +59,12 @@ var (
 	// their segments deleted, so the reader must ship the snapshot
 	// instead.
 	ErrCompacted = errors.New("journal: records compacted")
+	// ErrFailStop reports a journal that latched a disk fault: a failed
+	// fsync or record write means the log's tail can no longer be
+	// trusted, so the journal rejects every further append and sync
+	// rather than acknowledge records it cannot keep. The latched cause
+	// is available from Failed; reads and recovery keep working.
+	ErrFailStop = errors.New("journal: fail-stop (disk fault latched)")
 )
 
 // FsyncPolicy selects when appended records are forced to stable
@@ -123,6 +129,12 @@ type Options struct {
 	// Clock injects a time source for the fsync-latency and recovery
 	// metrics (tests); nil means time.Now.
 	Clock func() time.Time
+	// FaultHook, when set, is consulted before each disk operation
+	// (FaultFsync, FaultWrite, FaultSnapshot) and a non-nil return is
+	// treated as that operation failing — the disk-fault injection seam
+	// used by the fail-stop tests and the chaos soak harness (see
+	// FaultInjector). Production journals leave it nil.
+	FaultHook func(op string) error
 }
 
 const (
@@ -166,6 +178,14 @@ type Journal struct {
 	seg     *os.File
 	segSize int64
 	dirty   bool // records appended since the last sync
+
+	// failed latches the first unrecoverable disk error (fail-stop);
+	// faultPending marks an OnFault notification not yet delivered, and
+	// onFault is the registered observer (fired outside j.mu by
+	// flushFaultNotify).
+	failed       error
+	faultPending bool
+	onFault      func(error)
 
 	// sinceSnap counts appends since the last snapshot, driving
 	// automatic compaction.
@@ -492,8 +512,8 @@ func readRecord(r io.Reader) (seq uint64, payload []byte, err error) {
 	return seq, payload, nil
 }
 
-// appendRecord frames and writes one record to w.
-func appendRecord(w io.Writer, seq uint64, payload []byte) (int, error) {
+// frameRecord builds the on-disk frame for one record.
+func frameRecord(seq uint64, payload []byte) []byte {
 	buf := make([]byte, 0, recordOverhead+len(payload))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
 	buf = binary.LittleEndian.AppendUint64(buf, seq)
@@ -501,7 +521,12 @@ func appendRecord(w io.Writer, seq uint64, payload []byte) (int, error) {
 	crc := crc32.Checksum(buf[4:12], castagnoli)
 	crc = crc32.Update(crc, castagnoli, payload)
 	buf = binary.LittleEndian.AppendUint32(buf, crc)
-	return w.Write(buf)
+	return buf
+}
+
+// appendRecord frames and writes one record to w.
+func appendRecord(w io.Writer, seq uint64, payload []byte) (int, error) {
+	return w.Write(frameRecord(seq, payload))
 }
 
 // Snapshot returns the recovered snapshot payload, if one was
@@ -671,6 +696,11 @@ func (j *Journal) append(at uint64, payload []byte) (uint64, error) {
 		j.mu.Unlock()
 		return 0, ErrNotStarted
 	}
+	if j.failed != nil {
+		err := fmt.Errorf("%w: %v", ErrFailStop, j.failed)
+		j.mu.Unlock()
+		return 0, err
+	}
 	seq := j.seq + 1
 	if at > 0 {
 		if at <= j.seq {
@@ -682,15 +712,33 @@ func (j *Journal) append(at uint64, payload []byte) (uint64, error) {
 	if j.segSize >= j.opts.SegmentSize {
 		if err := j.openSegmentLocked(seq); err != nil {
 			j.mu.Unlock()
+			j.flushFaultNotify() // rotation syncs the outgoing segment; that sync may have latched
 			return 0, err
 		}
 	}
 	j.seq = seq
-	n, err := appendRecord(j.seg, seq, payload)
+	frame := frameRecord(seq, payload)
+	var n int
+	err := j.fault(FaultWrite)
+	switch {
+	case err == nil:
+		n, err = j.seg.Write(frame)
+	case errors.Is(err, ErrTornWrite):
+		// Simulated torn write: half the frame reaches the segment —
+		// the shape a crash mid-write leaves on disk — and the append
+		// fails.
+		n, _ = j.seg.Write(frame[:len(frame)/2])
+	}
 	j.segSize += int64(n)
 	if err != nil {
+		// A failed record write is as terminal as a failed fsync: the
+		// segment tail is in an unknown state, so the journal latches
+		// fail-stop rather than risk framing later records after garbage.
+		err = fmt.Errorf("journal: append: %w", err)
+		j.latchLocked(err)
 		j.mu.Unlock()
-		return 0, fmt.Errorf("journal: append: %w", err)
+		j.flushFaultNotify()
+		return 0, err
 	}
 	j.dirty = true
 	j.sinceSnap++
@@ -704,6 +752,7 @@ func (j *Journal) append(at uint64, payload []byte) (uint64, error) {
 
 	j.opts.Metrics.appendOne(n)
 	if syncErr != nil {
+		j.flushFaultNotify()
 		return 0, syncErr
 	}
 	if kick {
@@ -846,6 +895,21 @@ func readSegmentFrom(path string, afterSeq uint64, max int, out *[]Record) (done
 // *over* compacted history, never to rewind. The caller is the single
 // writer (the follower apply loop), per the journal's contract.
 func (j *Journal) InstallSnapshot(payload []byte, seq uint64) error {
+	return j.installSnapshot(payload, seq, false)
+}
+
+// RewindToSnapshot installs a leader snapshot that is allowed to land
+// *behind* the local tail — the rejoin path of a deposed leader, whose
+// journal may hold a divergent suffix of records it acknowledged to no
+// one and that the elected leader's history does not contain. The local
+// log is replaced wholesale: the divergent tail is discarded with the
+// rest of the covered history, and the sequence number snaps to the
+// snapshot watermark.
+func (j *Journal) RewindToSnapshot(payload []byte, seq uint64) error {
+	return j.installSnapshot(payload, seq, true)
+}
+
+func (j *Journal) installSnapshot(payload []byte, seq uint64, allowRewind bool) error {
 	if j == nil {
 		return nil
 	}
@@ -856,12 +920,20 @@ func (j *Journal) InstallSnapshot(payload []byte, seq uint64) error {
 		j.mu.Unlock()
 		return ErrClosed
 	}
-	if seq < j.seq {
+	if j.failed != nil {
+		err := fmt.Errorf("%w: %v", ErrFailStop, j.failed)
+		j.mu.Unlock()
+		return err
+	}
+	if seq < j.seq && !allowRewind {
 		j.mu.Unlock()
 		return fmt.Errorf("journal: snapshot watermark %d behind last seq %d", seq, j.seq)
 	}
 	j.mu.Unlock()
 
+	if err := j.fault(FaultSnapshot); err != nil {
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
 	tmp := filepath.Join(j.dir, snapTempName)
 	if err := os.WriteFile(tmp, encodeSnapshot(payload, seq), 0o644); err != nil {
 		return fmt.Errorf("journal: snapshot: %w", err)
@@ -905,28 +977,111 @@ func (j *Journal) InstallSnapshot(payload []byte, seq uint64) error {
 // final flush).
 func (j *Journal) Sync() error {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.closed || j.seg == nil {
+		j.mu.Unlock()
 		return nil
 	}
-	return j.syncLocked()
+	err := j.syncLocked()
+	j.mu.Unlock()
+	j.flushFaultNotify()
+	return err
 }
 
 func (j *Journal) syncLocked() error {
+	if j.failed != nil {
+		return fmt.Errorf("%w: %v", ErrFailStop, j.failed)
+	}
 	if !j.dirty {
 		return nil
 	}
 	start := j.now()
-	err := j.seg.Sync()
+	err := j.fault(FaultFsync)
+	if err == nil {
+		err = j.seg.Sync()
+	}
 	j.opts.Metrics.fsyncObserve(j.now().Sub(start).Seconds())
 	if err != nil {
-		return fmt.Errorf("journal: fsync: %w", err)
+		err = fmt.Errorf("journal: fsync: %w", err)
+		j.opts.Metrics.fsyncError()
+		j.latchLocked(err)
+		return err
 	}
 	j.dirty = false
 	return nil
 }
 
-// syncLoop is the FsyncInterval background ticker.
+// fault consults the injection hook for one disk operation.
+func (j *Journal) fault(op string) error {
+	if j.opts.FaultHook == nil {
+		return nil
+	}
+	return j.opts.FaultHook(op)
+}
+
+// latchLocked records the first unrecoverable disk error: the journal
+// goes fail-stop — further appends and syncs are rejected — because a
+// record acknowledged after a failed write or fsync could be silently
+// lost. The caller holds j.mu.
+func (j *Journal) latchLocked(err error) {
+	if j.failed != nil {
+		return
+	}
+	j.failed = err
+	j.faultPending = true
+	j.notifyLocked() // wake WaitFor blockers: this log will not advance
+}
+
+// flushFaultNotify delivers the one-shot OnFault callback outside j.mu
+// (the observer typically demotes a trader, which takes its own locks).
+func (j *Journal) flushFaultNotify() {
+	j.mu.Lock()
+	fire := j.faultPending && j.onFault != nil
+	if fire {
+		j.faultPending = false // leave pending if no observer yet: SetOnFault fires it
+	}
+	err, fn := j.failed, j.onFault
+	j.mu.Unlock()
+	if fire {
+		fn(err)
+	}
+}
+
+// SetOnFault registers an observer invoked once when the journal
+// latches fail-stop. The callback runs outside the journal's locks; a
+// journal that already failed fires it immediately.
+func (j *Journal) SetOnFault(fn func(error)) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.onFault = fn
+	fire := j.failed != nil && fn != nil
+	if fire {
+		j.faultPending = false
+	}
+	err := j.failed
+	j.mu.Unlock()
+	if fire {
+		fn(err)
+	}
+}
+
+// Failed reports the latched fail-stop error, nil while healthy. Once
+// non-nil the journal rejects appends and syncs; reads keep working.
+func (j *Journal) Failed() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.failed
+}
+
+// syncLoop is the FsyncInterval background ticker. A failed background
+// sync is never discarded: syncLocked bumps
+// cosm_journal_fsync_errors_total and latches the journal fail-stop,
+// and Sync delivers the OnFault notification — the next Append returns
+// ErrFailStop instead of acknowledging a record the disk may not hold.
 func (j *Journal) syncLoop() {
 	defer j.bg.Done()
 	t := time.NewTicker(j.opts.FsyncEvery)
@@ -934,7 +1089,9 @@ func (j *Journal) syncLoop() {
 	for {
 		select {
 		case <-t.C:
-			_ = j.Sync()
+			if err := j.Sync(); err != nil {
+				return // latched fail-stop: nothing further to sync
+			}
 		case <-j.stop:
 			return
 		}
@@ -980,6 +1137,7 @@ func (j *Journal) Compact() error {
 	// records the log acknowledged but left in the page cache.
 	if err := j.syncLocked(); err != nil {
 		j.mu.Unlock()
+		j.flushFaultNotify()
 		return err
 	}
 	watermark := j.seq
@@ -999,6 +1157,11 @@ func (j *Journal) Compact() error {
 		return fmt.Errorf("journal: snapshot state: %w", err)
 	}
 
+	// A failed snapshot write does not latch: the log remains the
+	// authoritative copy and compaction is simply retried later.
+	if err := j.fault(FaultSnapshot); err != nil {
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
 	tmp := filepath.Join(j.dir, snapTempName)
 	if err := os.WriteFile(tmp, encodeSnapshot(payload, watermark), 0o644); err != nil {
 		return fmt.Errorf("journal: snapshot: %w", err)
@@ -1075,20 +1238,20 @@ func (j *Journal) Close() error {
 	j.bg.Wait()
 
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	var err error
 	if j.seg != nil {
-		if j.dirty {
-			start := j.now()
-			err = j.seg.Sync()
-			j.opts.Metrics.fsyncObserve(j.now().Sub(start).Seconds())
-			j.dirty = false
+		// An already fail-stopped journal closes without a final sync:
+		// the error was surfaced when it latched, and Close is cleanup.
+		if j.failed == nil {
+			err = j.syncLocked()
 		}
 		if cerr := j.seg.Close(); err == nil {
 			err = cerr
 		}
 		j.seg = nil
 	}
+	j.mu.Unlock()
+	j.flushFaultNotify()
 	if err != nil {
 		return fmt.Errorf("journal: close: %w", err)
 	}

@@ -16,6 +16,7 @@ type Metrics struct {
 	appendBytes        *obs.Counter
 	fsyncs             *obs.Counter
 	fsyncSeconds       *obs.Histogram
+	fsyncErrors        *obs.Counter
 	compactions        *obs.Counter
 	recordsRecovered   *obs.Counter
 	recordsTruncated   *obs.Counter
@@ -37,6 +38,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		appendBytes:        reg.Counter("cosm_journal_append_bytes_total", "Bytes appended to the write-ahead log (framing included)."),
 		fsyncs:             reg.Counter("cosm_journal_fsyncs_total", "fsync calls issued by the journal."),
 		fsyncSeconds:       reg.Histogram("cosm_journal_fsync_seconds", "fsync latency in seconds.", obs.DefBuckets),
+		fsyncErrors:        reg.Counter("cosm_journal_fsync_errors_total", "fsync failures; each latches the journal fail-stop."),
 		compactions:        reg.Counter("cosm_journal_compactions_total", "Log-into-snapshot compactions completed."),
 		recordsRecovered:   reg.Counter("cosm_journal_records_recovered", "Records replayed from the log during recovery."),
 		recordsTruncated:   reg.Counter("cosm_journal_records_truncated", "Records cut at a torn or corrupt log tail during recovery."),
@@ -72,6 +74,13 @@ func (m *Metrics) fsyncObserve(seconds float64) {
 	}
 	m.fsyncs.Inc()
 	m.fsyncSeconds.Observe(seconds)
+}
+
+func (m *Metrics) fsyncError() {
+	if m == nil {
+		return
+	}
+	m.fsyncErrors.Inc()
 }
 
 func (m *Metrics) compactOne() {
@@ -117,4 +126,12 @@ func (m *Metrics) RecordsTruncated() uint64 {
 		return 0
 	}
 	return m.recordsTruncated.Value()
+}
+
+// FsyncErrors exposes the fsync-failure counter (fail-stop tests).
+func (m *Metrics) FsyncErrors() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.fsyncErrors.Value()
 }

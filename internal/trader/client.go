@@ -3,6 +3,7 @@ package trader
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"cosm/internal/cosm"
@@ -16,9 +17,15 @@ import (
 // It implements Federate, so a local trader can link remote traders into
 // a federation exactly like in-process ones.
 type Client struct {
-	conn *cosm.Conn
+	pool *wire.Pool
 	tt   *traderTypes
 	fid  string
+
+	// redirect makes mutations chase a not-leader rejection's hint
+	// (FollowLeaderHints); mu guards conn across a re-bind.
+	redirect bool
+	mu       sync.RWMutex
+	conn     *cosm.Conn
 }
 
 var _ Federate = (*Client)(nil)
@@ -33,11 +40,52 @@ func DialTrader(ctx context.Context, pool *wire.Pool, r ref.ServiceRef) (*Client
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, tt: tt, fid: r.String()}, nil
+	return &Client{pool: pool, conn: conn, tt: tt, fid: r.String()}, nil
 }
 
 // FederationID identifies the remote trader by its reference.
 func (c *Client) FederationID() string { return c.fid }
+
+// FollowLeaderHints makes mutation calls follow a not-leader rejection:
+// when a demoted trader answers with "(leader at <ref>)", the client
+// re-binds to that ref and retries the call once. Reads are unaffected
+// (followers serve them locally, by design). Set before sharing the
+// client between goroutines.
+func (c *Client) FollowLeaderHints(on bool) { c.redirect = on }
+
+// invoke routes one call through the current connection.
+func (c *Client) invoke(ctx context.Context, op string, args ...*xcode.Value) (*cosm.Result, error) {
+	c.mu.RLock()
+	conn := c.conn
+	c.mu.RUnlock()
+	return conn.Invoke(ctx, op, args...)
+}
+
+// invokeMut is invoke for mutations: under FollowLeaderHints a
+// not-leader rejection re-binds the client to the hinted leader and
+// retries once.
+func (c *Client) invokeMut(ctx context.Context, op string, args ...*xcode.Value) (*cosm.Result, error) {
+	res, err := c.invoke(ctx, op, args...)
+	if err == nil || !c.redirect {
+		return res, err
+	}
+	hint, ok := LeaderHintFromError(err)
+	if !ok {
+		return res, err
+	}
+	r, perr := ref.Parse(hint)
+	if perr != nil {
+		return res, err
+	}
+	conn, berr := cosm.Bind(ctx, c.pool, r)
+	if berr != nil {
+		return res, err
+	}
+	c.mu.Lock()
+	c.conn = conn
+	c.mu.Unlock()
+	return conn.Invoke(ctx, op, args...)
+}
 
 // Export registers an offer at the remote trader.
 func (c *Client) Export(ctx context.Context, serviceType string, target ref.ServiceRef, props []sidl.Property) (string, error) {
@@ -45,7 +93,7 @@ func (c *Client) Export(ctx context.Context, serviceType string, target ref.Serv
 	if err != nil {
 		return "", err
 	}
-	res, err := c.conn.Invoke(ctx, "Export",
+	res, err := c.invokeMut(ctx, "Export",
 		xcode.NewString(c.tt.strT, serviceType),
 		xcode.NewRef(c.tt.refT, target),
 		propsV)
@@ -62,7 +110,7 @@ func (c *Client) ExportLease(ctx context.Context, serviceType string, target ref
 	if err != nil {
 		return "", err
 	}
-	res, err := c.conn.Invoke(ctx, "ExportLease",
+	res, err := c.invokeMut(ctx, "ExportLease",
 		xcode.NewString(c.tt.strT, serviceType),
 		xcode.NewRef(c.tt.refT, target),
 		propsV,
@@ -90,7 +138,7 @@ func (c *Client) ExportAll(ctx context.Context, items []ExportItem) ([]string, e
 	if err != nil {
 		return nil, err
 	}
-	res, err := c.conn.Invoke(ctx, "ExportAll", seq)
+	res, err := c.invokeMut(ctx, "ExportAll", seq)
 	if err != nil {
 		return nil, fmt.Errorf("trader: remote export batch: %w", err)
 	}
@@ -107,7 +155,7 @@ func (c *Client) ExportSID(ctx context.Context, sid *sidl.SID, target ref.Servic
 	if err != nil {
 		return "", err
 	}
-	res, err := c.conn.Invoke(ctx, "ExportSID",
+	res, err := c.invokeMut(ctx, "ExportSID",
 		xcode.NewString(c.tt.strT, string(text)),
 		xcode.NewRef(c.tt.refT, target))
 	if err != nil {
@@ -118,7 +166,7 @@ func (c *Client) ExportSID(ctx context.Context, sid *sidl.SID, target ref.Servic
 
 // Withdraw removes an offer at the remote trader.
 func (c *Client) Withdraw(ctx context.Context, offerID string) error {
-	_, err := c.conn.Invoke(ctx, "Withdraw", xcode.NewString(c.tt.strT, offerID))
+	_, err := c.invokeMut(ctx, "Withdraw", xcode.NewString(c.tt.strT, offerID))
 	if err != nil {
 		return fmt.Errorf("trader: remote withdraw: %w", err)
 	}
@@ -133,7 +181,7 @@ func (c *Client) WithdrawAll(ctx context.Context, offerIDs []string) (int, error
 	if err != nil {
 		return 0, err
 	}
-	res, err := c.conn.Invoke(ctx, "WithdrawAll", seq)
+	res, err := c.invokeMut(ctx, "WithdrawAll", seq)
 	if err != nil {
 		return 0, fmt.Errorf("trader: remote withdraw batch: %w", err)
 	}
@@ -146,7 +194,7 @@ func (c *Client) Replace(ctx context.Context, offerID string, props []sidl.Prope
 	if err != nil {
 		return err
 	}
-	_, err = c.conn.Invoke(ctx, "Replace", xcode.NewString(c.tt.strT, offerID), propsV)
+	_, err = c.invokeMut(ctx, "Replace", xcode.NewString(c.tt.strT, offerID), propsV)
 	if err != nil {
 		return fmt.Errorf("trader: remote replace: %w", err)
 	}
@@ -159,7 +207,7 @@ func (c *Client) Import(ctx context.Context, req ImportRequest) ([]*Offer, error
 	if err != nil {
 		return nil, err
 	}
-	res, err := c.conn.Invoke(ctx, "Import", reqV)
+	res, err := c.invoke(ctx, "Import", reqV)
 	if err != nil {
 		return nil, fmt.Errorf("trader: remote import: %w", err)
 	}
@@ -210,7 +258,7 @@ func (c *Client) DefineTypeFromSID(ctx context.Context, sid *sidl.SID) error {
 	if err != nil {
 		return err
 	}
-	_, err = c.conn.Invoke(ctx, "DefineTypeFromSID", xcode.NewString(c.tt.strT, string(text)))
+	_, err = c.invokeMut(ctx, "DefineTypeFromSID", xcode.NewString(c.tt.strT, string(text)))
 	if err != nil {
 		return fmt.Errorf("trader: remote define type: %w", err)
 	}
@@ -219,7 +267,7 @@ func (c *Client) DefineTypeFromSID(ctx context.Context, sid *sidl.SID) error {
 
 // TypeNames lists the remote trader's registered service types.
 func (c *Client) TypeNames(ctx context.Context) ([]string, error) {
-	res, err := c.conn.Invoke(ctx, "TypeNames")
+	res, err := c.invoke(ctx, "TypeNames")
 	if err != nil {
 		return nil, fmt.Errorf("trader: remote type names: %w", err)
 	}
@@ -232,7 +280,7 @@ func (c *Client) TypeNames(ctx context.Context) ([]string, error) {
 
 // RemoveType removes a service type at the remote trader.
 func (c *Client) RemoveType(ctx context.Context, name string) error {
-	_, err := c.conn.Invoke(ctx, "RemoveType", xcode.NewString(c.tt.strT, name))
+	_, err := c.invokeMut(ctx, "RemoveType", xcode.NewString(c.tt.strT, name))
 	if err != nil {
 		return fmt.Errorf("trader: remote remove type: %w", err)
 	}
@@ -246,7 +294,7 @@ var _ ReplSource = (*Client)(nil)
 // ones. The client implements ReplSource, so a follower's pull loop
 // works over the wire exactly like in-process.
 func (c *Client) ReplPull(ctx context.Context, followerID string, epoch, afterSeq uint64, max int, wait time.Duration) (*ReplBatch, error) {
-	res, err := c.conn.Invoke(ctx, "ReplPull",
+	res, err := c.invoke(ctx, "ReplPull",
 		xcode.NewString(c.tt.strT, followerID),
 		xcode.NewInt(c.tt.int64T, int64(epoch)),
 		xcode.NewInt(c.tt.int64T, int64(afterSeq)),
@@ -261,7 +309,7 @@ func (c *Client) ReplPull(ctx context.Context, followerID string, epoch, afterSe
 // Promote asks the remote trader to take leadership at the given
 // fencing epoch (which must be strictly greater than any it has seen).
 func (c *Client) Promote(ctx context.Context, epoch uint64) error {
-	_, err := c.conn.Invoke(ctx, "Promote", xcode.NewInt(c.tt.int64T, int64(epoch)))
+	_, err := c.invoke(ctx, "Promote", xcode.NewInt(c.tt.int64T, int64(epoch)))
 	if err != nil {
 		return fmt.Errorf("trader: remote promote: %w", err)
 	}
@@ -271,9 +319,26 @@ func (c *Client) Promote(ctx context.Context, epoch uint64) error {
 // ReplStatus reports the remote trader's replication role and
 // position.
 func (c *Client) ReplStatus(ctx context.Context) (ReplStatus, error) {
-	res, err := c.conn.Invoke(ctx, "ReplStatus")
+	res, err := c.invoke(ctx, "ReplStatus")
 	if err != nil {
 		return ReplStatus{}, fmt.Errorf("trader: remote repl status: %w", err)
 	}
 	return replStatusFromValue(res.Value)
+}
+
+var _ ElectionPeer = (*Client)(nil)
+
+// RequestVote asks the remote trader for its vote in an election for
+// newEpoch, declaring the candidate's applied position. The client
+// implements ElectionPeer, so the failover monitor's election round
+// works over the wire exactly like in-process.
+func (c *Client) RequestVote(ctx context.Context, candidateID string, newEpoch, applied uint64) (Vote, error) {
+	res, err := c.invoke(ctx, "RequestVote",
+		xcode.NewString(c.tt.strT, candidateID),
+		xcode.NewInt(c.tt.int64T, int64(newEpoch)),
+		xcode.NewInt(c.tt.int64T, int64(applied)))
+	if err != nil {
+		return Vote{}, fmt.Errorf("trader: remote request vote: %w", err)
+	}
+	return voteFromValue(res.Value)
 }

@@ -154,6 +154,16 @@ func (t *Trader) SetJournal(j *journal.Journal) {
 		// The replication position starts at the recovered log tail: on a
 		// follower this is where pulling resumes, on a leader it is inert.
 		t.repl.applied.Store(j.Stats().LastSeq)
+		// Disk-fault demotion: a journal that latches fail-stop can no
+		// longer persist acknowledged writes, so the trader immediately
+		// stops leading and sheds mutations (keeping whatever leader
+		// hint it has). PullBatch refuses to serve from a failed journal,
+		// so followers' pulls start failing and the election monitor
+		// promotes a healthy replica.
+		j.SetOnFault(func(err error) {
+			t.repl.follower.Store(true)
+			t.log.Log(nil, "journal_failstop", "err", err.Error())
+		})
 	}
 }
 

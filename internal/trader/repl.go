@@ -6,13 +6,14 @@ package trader
 // same indexes, same caches). Followers serve imports locally — read
 // replicas — and refuse mutations with a hint pointing at the leader.
 //
-// Failover is explicit and fenced: an operator promotes a follower
-// with an epoch strictly greater than any the group has seen. The
-// epoch is journalled, so it survives restarts, and every replication
-// exchange carries it — a deposed leader's batches and a stale
-// promotion are both rejected by comparing epochs. Combined with
-// synchronous replication (WithReplSync), promoting the most-advanced
-// follower preserves every acknowledged mutation.
+// Failover is fenced: a follower is promoted — by an operator, or
+// automatically by the quorum-fenced election in election.go — with an
+// epoch strictly greater than any the group has seen. The epoch is
+// journalled, so it survives restarts, and every replication exchange
+// carries it — a deposed leader's batches and a stale promotion are
+// both rejected by comparing epochs. Combined with synchronous
+// replication (WithReplSync), promoting the most-advanced follower
+// preserves every acknowledged mutation.
 //
 // The stream itself is pull-based: a follower asks for records after
 // its last applied sequence number (ReplPull on the wire, PullBatch
@@ -26,6 +27,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,6 +63,19 @@ type replState struct {
 
 	syncN    int
 	syncWait time.Duration
+
+	// Election state (see election.go). voteEpoch/votedFor are the
+	// per-epoch vote lock, guarded by mu: at most one candidate ever
+	// holds this trader's vote for a given epoch, which is what makes a
+	// majority quorum exclusive. lastPullOK is the UnixNano of the last
+	// successful pull (the voter health veto); voteHealthWindow > 0
+	// enables that veto. rejoining marks a deposed leader resyncing
+	// wholesale: its next snapshot install may rewind the local journal.
+	voteEpoch        uint64
+	votedFor         string
+	lastPullOK       atomic.Int64
+	voteHealthWindow atomic.Int64 // nanoseconds
+	rejoining        atomic.Bool
 }
 
 // ReplBatch is one replication exchange from leader to follower:
@@ -114,6 +130,22 @@ func (t *Trader) ReplApplied() uint64 { return t.repl.applied.Load() }
 func (t *Trader) SetFollower(leaderRef string) {
 	t.repl.leaderHint.Store(leaderRef)
 	t.repl.follower.Store(true)
+}
+
+// DemoteRejoin demotes this trader — typically a deposed leader that
+// discovered a higher epoch in the cluster — to a follower of
+// leaderRef and marks it for wholesale resynchronisation: the pull
+// position resets to zero so the first pull bootstraps from the new
+// leader's snapshot, and that install is allowed to rewind the local
+// journal (a divergent tail this node acknowledged to no one must not
+// survive the rejoin).
+func (t *Trader) DemoteRejoin(leaderRef string) {
+	t.repl.rejoining.Store(true)
+	t.repl.applied.Store(0)
+	t.repl.leaderSeq.Store(0)
+	t.repl.caughtUpAt.Store(0)
+	t.SetFollower(leaderRef)
+	t.log.Log(nil, "demote_rejoin", "leader", leaderRef, "epoch", t.Epoch())
 }
 
 // leaderCheck gates mutations: nil on a leader, ErrNotLeader (with the
@@ -178,6 +210,18 @@ func (t *Trader) PullBatch(ctx context.Context, followerID string, followerEpoch
 	if t.journal == nil {
 		return nil, errors.New("trader: replication requires a journal")
 	}
+	if err := t.journal.Failed(); err != nil {
+		// A fail-stopped journal cannot vouch for its own tail: stop
+		// serving as a replication source, so followers' pulls fail,
+		// suspicion trips, and a healthy replica is elected.
+		return nil, fmt.Errorf("trader: replication source fail-stop: %w", err)
+	}
+	if err := t.leaderCheck(); err != nil {
+		// A demoted node must not keep feeding followers its stale
+		// journal: the rejection carries the leader hint, which the
+		// pull loop follows to re-point itself at the real leader.
+		return nil, err
+	}
 	if cur := t.repl.epoch.Load(); followerEpoch > cur {
 		// Someone was promoted past us: we are deposed. Stop accepting
 		// mutations; the operator re-points us (or clients re-bind via
@@ -206,12 +250,14 @@ func (t *Trader) PullBatch(ctx context.Context, followerID string, followerEpoch
 	stats := t.journal.Stats()
 	b := &ReplBatch{Epoch: t.repl.epoch.Load(), LastSeq: stats.LastSeq}
 	recs, err := t.journal.ReadFrom(afterSeq, max)
-	// A brand-new follower (afterSeq 0) bootstraps from a snapshot
-	// whenever the leader has one: a snapshot can carry boot-time state
-	// — preloaded service types — that was never journalled as records,
-	// even at watermark 0, so record replay alone would miss it.
+	// A bootstrap pull (afterSeq 0) always ships a snapshot when there
+	// is any history to ship: snapshots can carry boot-time state —
+	// preloaded service types — that was never journalled as records,
+	// and a deposed leader rejoining with a divergent journal tail can
+	// only converge through a snapshot install (which rewinds it); its
+	// local tail blocks record-by-record replay from seq 1.
 	needSnap := errors.Is(err, journal.ErrCompacted) ||
-		(err == nil && afterSeq == 0 && stats.HasSnapshot)
+		(err == nil && afterSeq == 0 && (stats.HasSnapshot || stats.LastSeq > 0))
 	switch {
 	case needSnap:
 		// The follower is behind the compaction watermark: ship full
@@ -251,7 +297,14 @@ func (t *Trader) ApplyBatch(b *ReplBatch) (int, error) {
 	if b.Snapshot != nil {
 		t.applyMu.RLock()
 		if t.journal != nil {
-			if err := t.journal.InstallSnapshot(b.Snapshot, b.SnapshotSeq); err != nil {
+			// A rejoining deposed leader may hold a divergent unacked
+			// tail past the shipped watermark; its log is replaced
+			// wholesale. Everyone else only ever jumps forward.
+			install := t.journal.InstallSnapshot
+			if t.repl.rejoining.Load() {
+				install = t.journal.RewindToSnapshot
+			}
+			if err := install(b.Snapshot, b.SnapshotSeq); err != nil {
 				t.applyMu.RUnlock()
 				return 0, fmt.Errorf("trader: install snapshot: %w", err)
 			}
@@ -262,6 +315,7 @@ func (t *Trader) ApplyBatch(b *ReplBatch) (int, error) {
 			return 0, err
 		}
 		t.repl.applied.Store(b.SnapshotSeq)
+		t.repl.rejoining.Store(false)
 		t.applyMu.RUnlock()
 	}
 	for _, rec := range b.Records {
@@ -287,6 +341,7 @@ func (t *Trader) ApplyBatch(b *ReplBatch) (int, error) {
 		t.metrics.replRecords.With("applied").Add(uint64(n))
 	}
 	t.repl.leaderSeq.Store(b.LastSeq)
+	t.repl.lastPullOK.Store(t.now().UnixNano())
 	if t.repl.applied.Load() >= b.LastSeq {
 		t.repl.caughtUpAt.Store(t.now().UnixNano())
 	}
@@ -396,20 +451,68 @@ func (t *Trader) ReplPull(ctx context.Context, followerID string, epoch, afterSe
 }
 
 // Follower runs the pull loop of a follower trader: repeatedly pull
-// from the source, apply, and back off on errors (50ms doubling to
-// 2s). Close stops the loop.
+// from the source, apply, and back off on errors with seeded jitter
+// (base/2 extra, capped at 2s — decorrelating retry stampedes when a
+// leader dies under several followers at once). A pull rejected with a
+// not-leader hint re-resolves the new leader through the resolver
+// instead of hammering the deposed node, and the loop idles while the
+// trader itself leads, so it survives promotion and a later
+// demote-rejoin without restarting. Close stops the loop.
 type Follower struct {
-	t      *Trader
+	t  *Trader
+	id string
+
+	// resolve turns a leader ref into a pull source (SetResolver);
+	// onResult observes every pull outcome (OnResult — the failure
+	// monitor's suspicion counter). Both are set before Start.
+	resolve  func(ctx context.Context, leaderRef string) (ReplSource, error)
+	onResult func(err error)
+
+	mu     sync.Mutex
 	src    ReplSource
-	id     string
+	srcRef string       // ref src was resolved from ("" for a fixed source)
+	target atomic.Value // string: leader ref the loop should be pulling from
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
 	cancel context.CancelFunc
 	done   chan struct{}
 }
 
+const (
+	followerBaseBackoff = 50 * time.Millisecond
+	followerMaxBackoff  = 2 * time.Second
+	followerIdlePoll    = 250 * time.Millisecond
+)
+
 // NewFollower wires follower t to pull from src, identifying itself as
-// id in acknowledgements. Call Start to begin pulling.
+// id in acknowledgements. src may be nil when a resolver and a later
+// Retarget will supply the source (a node booting as leader under
+// auto-failover). Call Start to begin pulling.
 func NewFollower(t *Trader, src ReplSource, id string) *Follower {
-	return &Follower{t: t, src: src, id: id}
+	return &Follower{t: t, src: src, id: id, rng: rand.New(rand.NewSource(seedFrom(id)))}
+}
+
+// SetResolver installs the dialer used to re-resolve the leader: when a
+// pull is rejected with a not-leader hint, or the failover monitor
+// retargets the loop after an election, the resolver turns the new
+// leader's ref into a pull source. Set before Start.
+func (f *Follower) SetResolver(fn func(ctx context.Context, leaderRef string) (ReplSource, error)) {
+	f.resolve = fn
+}
+
+// OnResult installs a hook observing the outcome of every pull attempt
+// (nil on success) — the failure monitor counts consecutive misses
+// here. Set before Start.
+func (f *Follower) OnResult(fn func(err error)) {
+	f.onResult = fn
+}
+
+// Retarget points the pull loop at a new leader ref; the loop
+// re-resolves it on its next iteration. Safe from any goroutine.
+func (f *Follower) Retarget(leaderRef string) {
+	f.target.Store(leaderRef)
 }
 
 // Start launches the pull loop.
@@ -431,27 +534,93 @@ func (f *Follower) Close() {
 
 func (f *Follower) run(ctx context.Context) {
 	defer close(f.done)
-	backoff := 50 * time.Millisecond
+	backoff := followerBaseBackoff
 	for ctx.Err() == nil {
-		b, err := f.src.ReplPull(ctx, f.id, f.t.Epoch(), f.t.ReplApplied(), 512, 2*time.Second)
+		if !f.t.repl.follower.Load() {
+			// Leading: idle until a demotion makes this node a follower
+			// again (the loop is reused across promote/demote cycles).
+			f.sleep(ctx, followerIdlePoll)
+			continue
+		}
+		src := f.currentSource(ctx)
+		if src == nil {
+			f.sleep(ctx, backoff)
+			continue
+		}
+		b, err := src.ReplPull(ctx, f.id, f.t.Epoch(), f.t.ReplApplied(), 512, 2*time.Second)
 		if err == nil {
 			_, err = f.t.ApplyBatch(b)
 		}
+		if ctx.Err() != nil {
+			return
+		}
+		if f.onResult != nil {
+			f.onResult(err)
+		}
 		if err != nil {
-			if ctx.Err() != nil {
-				return
-			}
 			f.t.log.Log(ctx, "repl_pull_error", "err", err.Error())
-			select {
-			case <-time.After(backoff):
-			case <-ctx.Done():
-				return
+			if hint, ok := LeaderHintFromError(err); ok && hint != f.currentTarget() {
+				// The rejection names the real leader: chase the hint
+				// instead of hammering the deposed node.
+				f.Retarget(hint)
+				f.t.repl.leaderHint.Store(hint)
 			}
-			if backoff *= 2; backoff > 2*time.Second {
-				backoff = 2 * time.Second
+			f.sleep(ctx, backoff)
+			if backoff *= 2; backoff > followerMaxBackoff {
+				backoff = followerMaxBackoff
 			}
 			continue
 		}
-		backoff = 50 * time.Millisecond
+		backoff = followerBaseBackoff
 	}
+}
+
+// currentTarget reports the ref the loop was last pointed at.
+func (f *Follower) currentTarget() string {
+	s, _ := f.target.Load().(string)
+	return s
+}
+
+// currentSource returns the pull source, re-resolving it first when a
+// Retarget changed the desired leader. A failed resolve keeps the old
+// source (pulling a dead ref errors harmlessly) and retries next round.
+func (f *Follower) currentSource(ctx context.Context) ReplSource {
+	want := f.currentTarget()
+	f.mu.Lock()
+	src, have := f.src, f.srcRef
+	f.mu.Unlock()
+	if want == "" || want == have || f.resolve == nil {
+		return src
+	}
+	fresh, err := f.resolve(ctx, want)
+	if err != nil {
+		f.t.log.Log(ctx, "repl_retarget_error", "leader", want, "err", err.Error())
+		return src
+	}
+	f.mu.Lock()
+	f.src, f.srcRef = fresh, want
+	f.mu.Unlock()
+	f.t.log.Log(ctx, "repl_retarget", "leader", want)
+	return fresh
+}
+
+// sleep waits for d plus up to d/2 of seeded jitter, returning early on
+// cancellation.
+func (f *Follower) sleep(ctx context.Context, d time.Duration) {
+	f.rngMu.Lock()
+	j := time.Duration(f.rng.Int63n(int64(d)/2 + 1))
+	f.rngMu.Unlock()
+	select {
+	case <-time.After(d + j):
+	case <-ctx.Done():
+	}
+}
+
+// seedFrom derives a deterministic RNG seed from an ID, so jitter
+// streams differ per node but reproduce across runs (the soak
+// harness's determinism contract).
+func seedFrom(id string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(id))
+	return int64(h.Sum64())
 }

@@ -78,6 +78,17 @@ module CosmTrader {
         long long applied;
         string leader;
     };
+    // One member's reply to an election vote request: whether the vote
+    // was granted, plus the responder's own role/epoch/position/leader
+    // hint so candidates learn about live leaders and newer epochs.
+    struct Vote_t {
+        boolean granted;
+        string role;
+        long long epoch;
+        long long applied;
+        string leader;
+        long long voteEpoch;
+    };
     interface COSM_Operations {
         // Register an offer of a known service type.
         string Export(in string serviceType, in Object target, in Props_t props);
@@ -112,6 +123,10 @@ module CosmTrader {
         void Promote(in long long epoch);
         // Replication role and position of this trader.
         ReplStatus_t ReplStatus();
+        // Election: candidateId asks to lead at newEpoch, carrying its
+        // applied position. At most one vote is granted per epoch, and
+        // only to candidates at least as advanced as the voter.
+        Vote_t RequestVote(in string candidateId, in long long newEpoch, in long long applied);
     };
 };
 `
@@ -177,10 +192,12 @@ type traderTypes struct {
 	itemsT  *sidl.Type
 
 	int64T      *sidl.Type
+	boolT       *sidl.Type
 	replRecT    *sidl.Type
 	replRecsT   *sidl.Type
 	replBatchT  *sidl.Type
 	replStatusT *sidl.Type
+	voteT       *sidl.Type
 }
 
 func newTraderTypes() (*traderTypes, error) {
@@ -203,10 +220,12 @@ func newTraderTypes() (*traderTypes, error) {
 		itemsT:  sid.Type("ExportItems_t"),
 
 		int64T:      sidl.Basic(sidl.Int64),
+		boolT:       sidl.Basic(sidl.Bool),
 		replRecT:    sid.Type("ReplRecord_t"),
 		replRecsT:   sid.Type("ReplRecords_t"),
 		replBatchT:  sid.Type("ReplBatch_t"),
 		replStatusT: sid.Type("ReplStatus_t"),
+		voteT:       sid.Type("Vote_t"),
 	}, nil
 }
 
@@ -629,7 +648,73 @@ func NewService(t *Trader) (*cosm.Service, error) {
 		call.Result = sv
 		return nil
 	})
+	svc.MustHandle("RequestVote", func(call *cosm.Call) error {
+		candidateID, err := strArg(call, "candidateId")
+		if err != nil {
+			return err
+		}
+		newEpoch, err := call.Arg("newEpoch")
+		if err != nil {
+			return err
+		}
+		applied, err := call.Arg("applied")
+		if err != nil {
+			return err
+		}
+		v, err := t.RequestVote(call.Ctx, candidateID, uint64(newEpoch.Int), uint64(applied.Int))
+		if err != nil {
+			return err
+		}
+		vv, err := xcode.NewStruct(tt.voteT, map[string]*xcode.Value{
+			"granted":   xcode.NewBool(tt.boolT, v.Granted),
+			"role":      xcode.NewString(tt.strT, v.Role),
+			"epoch":     xcode.NewInt(tt.int64T, int64(v.Epoch)),
+			"applied":   xcode.NewInt(tt.int64T, int64(v.Applied)),
+			"leader":    xcode.NewString(tt.strT, v.Leader),
+			"voteEpoch": xcode.NewInt(tt.int64T, int64(v.VoteEpoch)),
+		})
+		if err != nil {
+			return err
+		}
+		call.Result = vv
+		return nil
+	})
 	return svc, nil
+}
+
+func voteFromValue(v *xcode.Value) (Vote, error) {
+	var out Vote
+	granted, err := v.Field("granted")
+	if err != nil {
+		return out, err
+	}
+	out.Granted = granted.Bool
+	role, err := v.Field("role")
+	if err != nil {
+		return out, err
+	}
+	out.Role = role.Str
+	leader, err := v.Field("leader")
+	if err != nil {
+		return out, err
+	}
+	out.Leader = leader.Str
+	epoch, err := v.Field("epoch")
+	if err != nil {
+		return out, err
+	}
+	out.Epoch = uint64(epoch.Int)
+	applied, err := v.Field("applied")
+	if err != nil {
+		return out, err
+	}
+	out.Applied = uint64(applied.Int)
+	voteEpoch, err := v.Field("voteEpoch")
+	if err != nil {
+		return out, err
+	}
+	out.VoteEpoch = uint64(voteEpoch.Int)
+	return out, nil
 }
 
 // replBatchValue encodes one replication batch. Record payloads and

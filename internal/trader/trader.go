@@ -185,6 +185,7 @@ type traderMetrics struct {
 
 	replRecords       *obs.CounterVec // by direction: sent (leader), applied (follower)
 	fencingRejections *obs.Counter
+	elections         *obs.CounterVec // by outcome: won, lost, relocated, deposed
 }
 
 func newTraderMetrics(reg *obs.Registry) traderMetrics {
@@ -205,6 +206,7 @@ func newTraderMetrics(reg *obs.Registry) traderMetrics {
 
 		replRecords:       reg.CounterVec("cosm_trader_repl_records_total", "Replication records by direction (sent by the leader, applied by the follower).", "dir"),
 		fencingRejections: reg.Counter("cosm_trader_repl_fencing_rejections_total", "Replication batches or promotions rejected by epoch fencing."),
+		elections:         reg.CounterVec("cosm_trader_elections_total", "Failover monitor outcomes (won, lost, relocated, deposed).", "outcome"),
 	}
 }
 

@@ -67,6 +67,13 @@ type FaultNet struct {
 	mu  sync.Mutex
 	rng *rand.Rand
 
+	// blocked holds endpoints under a deterministic partition: dials to
+	// them fail outright and live connections are severed the moment the
+	// block lands. conns tracks every live fault connection by endpoint
+	// so Block can cut established links, not just future dials.
+	blocked map[string]bool
+	conns   map[*faultConn]string
+
 	dials       atomic.Uint64
 	dialErrors  atomic.Uint64
 	resets      atomic.Uint64
@@ -76,7 +83,52 @@ type FaultNet struct {
 
 // NewFaultNet returns a fault-injecting wrapper around next.
 func NewFaultNet(cfg FaultConfig, next func(ctx context.Context, endpoint string) (net.Conn, error)) *FaultNet {
-	return &FaultNet{cfg: cfg, next: next, rng: rand.New(rand.NewSource(cfg.Seed))}
+	return &FaultNet{
+		cfg:     cfg,
+		next:    next,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		blocked: make(map[string]bool),
+		conns:   make(map[*faultConn]string),
+	}
+}
+
+// Block partitions this side of the network from the given endpoints:
+// new dials to them fail with ErrInjectedFault and every live
+// connection to them is severed immediately. Blocking is deterministic
+// (no probability roll) — it is the soak harness's partition primitive;
+// one-sided blocks model asymmetric partitions, since each node carries
+// its own FaultNet for outbound traffic.
+func (f *FaultNet) Block(endpoints ...string) {
+	f.mu.Lock()
+	var cut []*faultConn
+	for _, ep := range endpoints {
+		f.blocked[ep] = true
+		for c, target := range f.conns {
+			if target == ep {
+				cut = append(cut, c)
+			}
+		}
+	}
+	f.mu.Unlock()
+	for _, c := range cut {
+		_ = c.Conn.Close()
+	}
+}
+
+// Unblock heals a partition created by Block.
+func (f *FaultNet) Unblock(endpoints ...string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, ep := range endpoints {
+		delete(f.blocked, ep)
+	}
+}
+
+// Blocked reports whether an endpoint is currently partitioned.
+func (f *FaultNet) Blocked(endpoint string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.blocked[endpoint]
 }
 
 // Stats returns a snapshot of the injected-event counters.
@@ -118,6 +170,10 @@ func (f *FaultNet) corruptIndex(n int) int {
 // by injection.
 func (f *FaultNet) Dial(ctx context.Context, endpoint string) (net.Conn, error) {
 	f.dials.Add(1)
+	if f.Blocked(endpoint) {
+		f.dialErrors.Add(1)
+		return nil, fmt.Errorf("%w: dial %s blocked (partition)", ErrInjectedFault, endpoint)
+	}
 	if f.cfg.DialErrorProb > 0 && f.roll() < f.cfg.DialErrorProb {
 		f.dialErrors.Add(1)
 		return nil, fmt.Errorf("%w: dial %s refused", ErrInjectedFault, endpoint)
@@ -126,13 +182,32 @@ func (f *FaultNet) Dial(ctx context.Context, endpoint string) (net.Conn, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &faultConn{Conn: conn, net: f}, nil
+	fc := &faultConn{Conn: conn, net: f, endpoint: endpoint}
+	f.mu.Lock()
+	if f.blocked[endpoint] { // partition landed during the dial
+		f.mu.Unlock()
+		_ = conn.Close()
+		f.dialErrors.Add(1)
+		return nil, fmt.Errorf("%w: dial %s blocked (partition)", ErrInjectedFault, endpoint)
+	}
+	f.conns[fc] = endpoint
+	f.mu.Unlock()
+	return fc, nil
 }
 
 // faultConn injects faults on both directions of one connection.
 type faultConn struct {
 	net.Conn
-	net *FaultNet
+	net      *FaultNet
+	endpoint string
+}
+
+// Close drops the connection from the partition registry.
+func (c *faultConn) Close() error {
+	c.net.mu.Lock()
+	delete(c.net.conns, c)
+	c.net.mu.Unlock()
+	return c.Conn.Close()
 }
 
 // delay applies the configured latency to one I/O call.
@@ -146,7 +221,7 @@ func (c *faultConn) delay() {
 // reset tears the connection down and reports the injected error.
 func (c *faultConn) reset(op string) error {
 	c.net.resets.Add(1)
-	_ = c.Conn.Close()
+	_ = c.Close()
 	return fmt.Errorf("%w: connection reset during %s", ErrInjectedFault, op)
 }
 

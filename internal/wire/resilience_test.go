@@ -568,6 +568,46 @@ func TestFaultNetDialErrors(t *testing.T) {
 	}
 }
 
+// closeTrackConn observes Close for partition tests.
+type closeTrackConn struct {
+	discardConn
+	closed atomic.Bool
+}
+
+func (c *closeTrackConn) Close() error { c.closed.Store(true); return nil }
+
+// TestFaultNetBlockPartitions: Block fails new dials to the endpoint
+// deterministically and severs live connections; Unblock heals.
+func TestFaultNetBlockPartitions(t *testing.T) {
+	live := &closeTrackConn{}
+	f := NewFaultNet(FaultConfig{Seed: 5},
+		func(context.Context, string) (net.Conn, error) { return live, nil })
+	conn, err := f.Dial(context.Background(), "loop:a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Dial(context.Background(), "loop:b"); err != nil {
+		t.Fatal(err)
+	}
+
+	f.Block("loop:a")
+	if !live.closed.Load() {
+		t.Fatal("Block left the live connection to the endpoint open")
+	}
+	if _, err := f.Dial(context.Background(), "loop:a"); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("dial to blocked endpoint = %v, want ErrInjectedFault", err)
+	}
+	if _, err := f.Dial(context.Background(), "loop:b"); err != nil {
+		t.Fatalf("unrelated endpoint caught the partition: %v", err)
+	}
+
+	f.Unblock("loop:a")
+	if _, err := f.Dial(context.Background(), "loop:a"); err != nil {
+		t.Fatalf("dial after Unblock = %v", err)
+	}
+	_ = conn.Close()
+}
+
 // TestPoolSurvivesFaultyTransport: a pool dialing through an
 // aggressive FaultNet still completes every idempotent call, by
 // retrying past resets and corruption.
