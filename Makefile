@@ -24,22 +24,23 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # A fast benchmark sanity pass for CI: the overload-saturation,
-# obs-overhead, and 10k-offer import groups run a few iterations so a
+# obs-overhead, flight-recorder, and 10k-offer import groups run a few
+# iterations so a
 # regression that breaks or wildly slows a hot path is caught without a
 # full bench run.
 bench-smoke:
-	$(GO) test -run 'NoSuchTest' -bench 'ObsOverhead|Overload_Saturation|Import_10kOffers' -benchtime 20x -benchmem .
+	$(GO) test -run 'NoSuchTest' -bench 'ObsOverhead|SpanOverhead|EventLogAppend|Overload_Saturation|Import_10kOffers' -benchtime 20x -benchmem .
 
 # Machine-readable benchmark record for the current PR's tentpole, as
 # go-test JSON events for tracking across commits. PR selects the
 # output file; BENCH_PATTERN the benchmark group — defaults cover the
-# self-healing HA PR (detection+election latency) plus the replication,
-# durability and matching-engine groups it must not regress. `make
-# bench-json PR=6
-# BENCH_PATTERN='Import_10kOffers|JournalAppend|Recovery_10kOffers|ReplCatchup_10kOffers|ReplicaImport_10kOffers'`
+# flight-recorder PR (span + event-log append cost, with the nil
+# no-recorder bar) plus the matching-engine and durability groups it
+# must not regress. `make bench-json PR=7
+# BENCH_PATTERN='Import_10kOffers|JournalAppend|ReplCatchup_10kOffers|ReplicaImport_10kOffers'`
 # reproduces the previous record.
-PR ?= 7
-BENCH_PATTERN ?= Import_10kOffers|JournalAppend|ReplCatchup_10kOffers|ReplicaImport_10kOffers
+PR ?= 8
+BENCH_PATTERN ?= SpanOverhead|EventLogAppend|ObsOverhead|Import_10kOffers|JournalAppend
 # Wall-clock benchmarks (seconds per op: failure detection + election)
 # run few iterations — 100x of a real leader kill would take minutes.
 BENCH_SLOW_PATTERN ?= FailoverLatency

@@ -1466,3 +1466,63 @@ func BenchmarkReplicaImport_10kOffers(b *testing.B) {
 		}
 	})
 }
+
+// ---------------------------------------------------------------------
+// E11 — flight recorder (timed spans + cluster event timeline)
+// ---------------------------------------------------------------------
+
+// BenchmarkSpanOverhead measures what the span instrumentation costs
+// on the request path. "nil" is the acceptance bar: a daemon started
+// with -trace-buffer 0 leaves the recorder nil, and the guarded
+// Record sites compiled into wire must cost ~nothing — zero
+// allocations. "enabled" is the sharded ring append paid per request
+// when tracing is on.
+func BenchmarkSpanOverhead(b *testing.B) {
+	tr := obs.NewTrace()
+	span := obs.Span{Trace: tr.ID, ID: tr.Span, Parent: tr.Parent,
+		Op: "svc/Op", Peer: "loop:bench", Kind: obs.SpanServer,
+		Status: "ok", Start: time.Now(), Duration: time.Millisecond}
+	b.Run("nil", func(b *testing.B) {
+		var rec *obs.SpanRecorder
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if rec.Enabled() {
+				rec.Record(span)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		rec := obs.NewSpanRecorder(4096)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if rec.Enabled() {
+				rec.Record(span)
+			}
+		}
+	})
+}
+
+// BenchmarkEventLogAppend measures the cluster timeline append paid at
+// every recorded state transition (vote, promote, breaker trip, ...).
+// These are rare events — correctness matters more than speed — but
+// the append must stay cheap enough to call from election hot paths.
+func BenchmarkEventLogAppend(b *testing.B) {
+	b.Run("nil", func(b *testing.B) {
+		var ev *obs.EventLog
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev.Record("vote_granted", "candidate", "n1", "epoch", "7")
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		ev := obs.NewEventLog("bench", 1024)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev.Record("vote_granted", "candidate", "n1", "epoch", "7")
+		}
+	})
+}

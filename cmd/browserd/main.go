@@ -8,6 +8,12 @@
 //
 // With -parent, the browser registers its own SID at another browser,
 // forming the browser cascade of section 3.2.
+//
+// The shared daemon flags (see internal/daemon) include the flight
+// recorder: with -metrics-addr set, /debug/traces shows recent and
+// slowest request trees — a cascaded lookup's spans link across every
+// browser it touched — and -slow-ms promotes slow requests into
+// structured log lines carrying their trace ID.
 package main
 
 import (

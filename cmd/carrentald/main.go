@@ -10,6 +10,10 @@
 // On SIGINT/SIGTERM the daemon deregisters first (withdraws its trader
 // offer and browser entry, so clients fail over to other providers)
 // and then drains: in-flight rentals finish under -drain-timeout.
+//
+// The shared daemon flags (see internal/daemon) include the flight
+// recorder: a rental session traced end to end appears under
+// /debug/traces here as the server-side spans of the importer's trace.
 package main
 
 import (

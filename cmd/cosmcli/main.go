@@ -17,6 +17,16 @@
 //	cosmcli dump     cosm://.../cosm.trader > offers.json
 //	cosmcli restore  cosm://.../cosm.trader offers.json
 //	cosmcli stats    127.0.0.1:9100
+//	cosmcli events   127.0.0.1:9100 127.0.0.1:9101 127.0.0.1:9102
+//	cosmcli trace    127.0.0.1:9100 127.0.0.1:9101 4f2a90c1d06b73e8
+//
+// events fetches each daemon's /debug/events timeline and merges them
+// into one chronological cluster view — the post-mortem of a failover:
+// suspicion, candidacies, votes, the promotion, the old leader's
+// rejoin, each attributed to its node. trace fetches the flight
+// recorder spans for one trace ID from every listed daemon and prints
+// the reassembled cross-process call tree as JSON (find recent trace
+// IDs under /debug/traces on any daemon).
 //
 // dump writes every live offer the trader holds as a JSON document on
 // stdout, in the trader's canonical durable form (the same
@@ -68,7 +78,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: cosmcli [-timeout d] <describe|ui|browse|invoke|session|repl|import|dump|restore|stats> <ref> [args...]")
+	return fmt.Errorf("usage: cosmcli [-timeout d] <describe|ui|browse|invoke|session|repl|import|dump|restore|stats|events|trace> <ref> [args...]")
 }
 
 func run(args []string) error {
@@ -90,6 +100,15 @@ func runWithInput(args []string, stdin io.Reader) error {
 		// The argument is the daemon's -metrics-addr (plain HTTP), not
 		// a cosm:// reference, so it must not go through ref.Parse.
 		return stats(os.Stdout, refText, *timeout)
+	}
+	if cmd == "events" {
+		return events(os.Stdout, args[1:], *timeout)
+	}
+	if cmd == "trace" {
+		if len(args) < 3 {
+			return fmt.Errorf("usage: cosmcli trace <metrics-addr...> <trace-id>")
+		}
+		return traceTree(os.Stdout, args[1:len(args)-1], args[len(args)-1], *timeout)
 	}
 	target, err := ref.Parse(refText)
 	if err != nil {
@@ -470,6 +489,107 @@ func stats(w io.Writer, addr string, timeout time.Duration) error {
 		printMetric(w, name, metrics[name])
 	}
 	return nil
+}
+
+// fetchJSON GETs http://addr+path and decodes the response into out.
+func fetchJSON(addr, path string, timeout time.Duration, out any) error {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	url := "http://" + strings.TrimPrefix(addr, "http://") + path
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("%s: %w", url, err)
+	}
+	return nil
+}
+
+// events merges the /debug/events timelines of several daemons into one
+// chronological cluster view. Unreachable daemons are reported and
+// skipped — a post-mortem must work while part of the cluster is down.
+func events(w io.Writer, addrs []string, timeout time.Duration) error {
+	if len(addrs) == 0 {
+		return fmt.Errorf("usage: cosmcli events <metrics-addr...>")
+	}
+	var logs [][]obs.Event
+	for _, addr := range addrs {
+		var doc struct {
+			Events []obs.Event `json:"events"`
+		}
+		if err := fetchJSON(addr, "/debug/events", timeout, &doc); err != nil {
+			fmt.Fprintf(w, "# %s: %v\n", addr, err)
+			continue
+		}
+		for i := range doc.Events {
+			if doc.Events[i].Node == "" {
+				doc.Events[i].Node = addr
+			}
+		}
+		logs = append(logs, doc.Events)
+	}
+	for _, e := range obs.MergeEvents(logs...) {
+		fmt.Fprintf(w, "%s %-12s %-18s", e.Time.Format("15:04:05.000"), e.Node, e.Kind)
+		for _, k := range sortedKeys(anyAttrs(e.Attr)) {
+			fmt.Fprintf(w, " %s=%s", k, e.Attr[k])
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// anyAttrs widens a string map for sortedKeys.
+func anyAttrs(m map[string]string) map[string]any {
+	out := make(map[string]any, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// traceTree gathers the flight-recorder spans for one trace ID from
+// every listed daemon — each holds only the hops it served — and prints
+// the reassembled cross-process call tree as JSON.
+func traceTree(w io.Writer, addrs []string, id string, timeout time.Duration) error {
+	var spans []obs.Span
+	for _, addr := range addrs {
+		var doc struct {
+			Spans []obs.Span `json:"spans"`
+		}
+		if err := fetchJSON(addr, "/debug/traces?id="+id, timeout, &doc); err != nil {
+			fmt.Fprintf(os.Stderr, "cosmcli: %s: %v\n", addr, err)
+			continue
+		}
+		for i := range doc.Spans {
+			if doc.Spans[i].Node == "" {
+				doc.Spans[i].Node = addr
+			}
+		}
+		spans = append(spans, doc.Spans...)
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("trace %s: no spans found at %s", id, strings.Join(addrs, ", "))
+	}
+	roots := obs.BuildSpanTree(spans)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Trace string          `json:"trace"`
+		Spans int             `json:"spans"`
+		Roots []*obs.SpanNode `json:"roots"`
+	}{Trace: id, Spans: len(spans), Roots: roots})
 }
 
 // printMetric flattens one /debug/vars entry: scalars print directly,

@@ -33,6 +33,7 @@ import (
 
 	"cosm/internal/cosm"
 	"cosm/internal/journal"
+	"cosm/internal/obs"
 	"cosm/internal/ref"
 	"cosm/internal/sidl"
 	"cosm/internal/trader"
@@ -71,6 +72,7 @@ type soakNode struct {
 	ref       ref.ServiceRef
 	peers     []string // refs of the other members
 	faults    *wire.FaultNet
+	events    *obs.EventLog      // per-node timeline, survives incarnations
 	onPromote func(epoch uint64) // election-win observer (the checker)
 
 	mu          sync.Mutex
@@ -80,6 +82,7 @@ type soakNode struct {
 	lastHint    string // leader hint at last kill
 	tr          *trader.Trader
 	j           *journal.Journal
+	vl          *trader.VoteLog
 	inj         *journal.FaultInjector
 	node        *cosm.Node
 	pool        *wire.Pool
@@ -107,6 +110,7 @@ func (n *soakNode) start() error {
 	tr := trader.New(n.id, typemgr.NewRepo(),
 		trader.WithImportCacheTTL(0), // convergence checks need fresh reads
 		trader.WithReplSync(1, soakReplSyncWait),
+		trader.WithEvents(n.events),
 	)
 	if snap, ok := j.Snapshot(); ok {
 		if err := tr.RestoreSnapshot(snap); err != nil {
@@ -120,6 +124,14 @@ func (n *soakNode) start() error {
 		return err
 	}
 	tr.SetJournal(j)
+	// The durable vote ledger closes the restart double-vote window:
+	// kills land mid-election here by design.
+	vl, err := trader.OpenVoteLog(n.dir)
+	if err != nil {
+		return err
+	}
+	tr.SetVoteLog(vl)
+	n.vl = vl
 	if n.wasFollower {
 		// Restore the pre-crash role, as a real deployment's -follow
 		// config would: the journal holds replicated epoch records, so
@@ -193,7 +205,8 @@ func (n *soakNode) kill() {
 	n.node.Close()
 	n.pool.Close()
 	_ = n.j.Close()
-	n.tr, n.j, n.node, n.pool, n.fl, n.mon = nil, nil, nil, nil, nil, nil
+	_ = n.vl.Close()
+	n.tr, n.j, n.vl, n.node, n.pool, n.fl, n.mon = nil, nil, nil, nil, nil, nil, nil
 }
 
 // snapshot returns the live handles of the current incarnation (nil
@@ -437,6 +450,7 @@ func runSoak(w io.Writer, sc soakConfig) error {
 			ref:      refs[i],
 			peers:    peers,
 			faults:   wire.NewFaultNet(wire.FaultConfig{Seed: sc.seed + int64(i)}, wire.DialConnContext),
+			events:   obs.NewEventLog(fmt.Sprintf("n%d", i), 512),
 		}
 	}
 	viol := &soakViolations{}
@@ -510,10 +524,35 @@ func runSoak(w io.Writer, sc soakConfig) error {
 		for _, v := range vs {
 			fmt.Fprintf(w, "INVARIANT VIOLATION: %s\n", v)
 		}
+		// The post-mortem: every node's lifecycle timeline, merged into
+		// one causally ordered cluster view — the same picture `cosmcli
+		// events` would assemble from live daemons.
+		fmt.Fprintln(w, "cluster event timeline:")
+		printSoakTimeline(w, nodes)
 		return fmt.Errorf("soak failed: %d invariant violation(s)", len(vs))
 	}
 	fmt.Fprintln(w, "invariants: clean")
 	return nil
+}
+
+// printSoakTimeline merges and prints every node's event log.
+func printSoakTimeline(w io.Writer, nodes []*soakNode) {
+	logs := make([][]obs.Event, 0, len(nodes))
+	for _, n := range nodes {
+		logs = append(logs, n.events.Events())
+	}
+	for _, e := range obs.MergeEvents(logs...) {
+		fmt.Fprintf(w, "  %s %-4s %-18s", e.Time.Format("15:04:05.000"), e.Node, e.Kind)
+		keys := make([]string, 0, len(e.Attr))
+		for k := range e.Attr {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, " %s=%s", k, e.Attr[k])
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 // soakDriver executes the fault schedule and tracks failover latency.

@@ -4,6 +4,10 @@
 // Usage:
 //
 //	namesrvd -listen tcp:127.0.0.1:7000
+//
+// The shared daemon flags (see internal/daemon) apply: -metrics-addr
+// serves /metrics, /debug/vars, /debug/traces (flight-recorder spans)
+// and /debug/events; -pprof adds net/http/pprof alongside them.
 package main
 
 import (

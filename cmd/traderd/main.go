@@ -79,6 +79,9 @@ func run(args []string, sig <-chan os.Signal) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Timeline events carry the trader's federation identity, so a
+	// merged cluster timeline (`cosmcli events`) attributes each entry.
+	df.NodeName = *id
 	if *autoFail {
 		if len(cluster) == 0 {
 			return errors.New("-auto-failover needs at least one -cluster peer")
@@ -115,6 +118,7 @@ func run(args []string, sig <-chan os.Signal) error {
 	topts := []trader.Option{
 		trader.WithLogger(logger.With("trader")),
 		trader.WithMetrics(df.Registry),
+		trader.WithEvents(df.Events()),
 		trader.WithImportCacheTTL(*cacheTTL),
 		trader.WithConstraintCacheSize(*ccSize),
 	}
@@ -144,6 +148,15 @@ func run(args []string, sig <-chan os.Signal) error {
 			return err
 		}
 		tr.SetJournal(j)
+		// The durable vote ledger lives next to the journal: a voter
+		// restarting inside an election round re-adopts its pledge
+		// instead of double-voting.
+		vl, err := trader.OpenVoteLog(df.DataDir)
+		if err != nil {
+			return err
+		}
+		defer vl.Close()
+		tr.SetVoteLog(vl)
 		// Snapshot immediately: state that exists only in boot-time
 		// memory — the -type preloads above — is never journalled as
 		// records, so without this a crash before the first background

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"cosm/internal/obs"
 	"cosm/internal/ref"
@@ -65,6 +66,34 @@ func WithNodeMetrics(reg *obs.Registry) NodeOption {
 	return func(c *nodeConfig) {
 		c.serverOpts = append(c.serverOpts, wire.WithServerMetrics(wire.NewServerMetrics(reg)))
 		c.poolOpts = append(c.poolOpts, wire.WithPoolMetrics(wire.NewClientMetrics(reg)))
+	}
+}
+
+// WithNodeRecorder attaches the flight recorder to both directions of
+// the node's wire layer: outbound calls record client-kind spans,
+// inbound handled requests record server-kind spans, and the shared
+// trace IDs let obs.BuildSpanTree reassemble a federated request into
+// one tree. A nil r records nothing and costs nothing.
+func WithNodeRecorder(r *obs.SpanRecorder) NodeOption {
+	return func(c *nodeConfig) {
+		c.serverOpts = append(c.serverOpts, wire.WithServerRecorder(r))
+		c.poolOpts = append(c.poolOpts, wire.WithPoolRecorder(r))
+	}
+}
+
+// WithNodeEvents feeds wire-layer lifecycle events (circuit-breaker
+// transitions) into the node's cluster event timeline.
+func WithNodeEvents(ev *obs.EventLog) NodeOption {
+	return func(c *nodeConfig) {
+		c.poolOpts = append(c.poolOpts, wire.WithPoolEvents(ev))
+	}
+}
+
+// WithNodeSlowThreshold arms the server-side slow-request watchdog (see
+// wire.WithSlowThreshold). 0 disables it.
+func WithNodeSlowThreshold(d time.Duration) NodeOption {
+	return func(c *nodeConfig) {
+		c.serverOpts = append(c.serverOpts, wire.WithSlowThreshold(d))
 	}
 }
 

@@ -13,6 +13,10 @@
 //	                daemon's state in memory only
 //	-fsync          journal fsync policy: always, interval or never
 //	-compact-every  journal records between snapshot compactions
+//	-trace-buffer   flight-recorder span capacity (0 disables spans)
+//	-event-buffer   cluster event timeline capacity (0 disables it)
+//	-slow-ms        slow-request watchdog threshold (0 disables it)
+//	-pprof          expose net/http/pprof on -metrics-addr
 //
 // — so operators tune one vocabulary across the whole market.
 package daemon
@@ -40,10 +44,27 @@ type Flags struct {
 	FsyncMode    string
 	CompactEvery int
 
+	TraceBuffer int
+	EventBuffer int
+	SlowMS      int
+	Pprof       bool
+
 	// Registry collects the daemon's metrics; NodeOptions instruments
 	// the node against it and Introspection serves it. Populated by
 	// Register.
 	Registry *obs.Registry
+
+	// NodeName labels this daemon's timeline events (defaults to the
+	// process's metrics address; daemons with a better identity — a
+	// trader ID — overwrite it before calling Spans/Events).
+	NodeName string
+
+	// spans/events are built lazily by Spans/Events: buffer sizes are
+	// only known after flag.Parse.
+	spansOnce  bool
+	spans      *obs.SpanRecorder
+	eventsOnce bool
+	events     *obs.EventLog
 }
 
 // Register installs the shared flags on fs with the common defaults
@@ -58,7 +79,36 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.DataDir, "data-dir", "", "journal market state into this directory and recover from it on boot (empty = in-memory only)")
 	fs.StringVar(&f.FsyncMode, "fsync", "interval", "journal fsync policy: always (sync every append), interval (background sync) or never")
 	fs.IntVar(&f.CompactEvery, "compact-every", 4096, "fold the journal into a snapshot every N records (0 = only on demand)")
+	fs.IntVar(&f.TraceBuffer, "trace-buffer", 4096, "flight-recorder span buffer capacity; /debug/traces (0 = off)")
+	fs.IntVar(&f.EventBuffer, "event-buffer", 1024, "cluster event timeline capacity; /debug/events (0 = off)")
+	fs.IntVar(&f.SlowMS, "slow-ms", 0, "promote requests slower than this many milliseconds into slow_request log lines (0 = off)")
+	fs.BoolVar(&f.Pprof, "pprof", false, "expose net/http/pprof under /debug/pprof on -metrics-addr")
 	return f
+}
+
+// Spans returns the daemon's flight recorder, built on first use from
+// -trace-buffer (nil — recording disabled — when 0). Call only after
+// flag.Parse.
+func (f *Flags) Spans() *obs.SpanRecorder {
+	if !f.spansOnce {
+		f.spansOnce = true
+		f.spans = obs.NewSpanRecorder(f.TraceBuffer)
+	}
+	return f.spans
+}
+
+// Events returns the daemon's cluster event timeline, built on first
+// use from -event-buffer (nil when 0). Call only after flag.Parse.
+func (f *Flags) Events() *obs.EventLog {
+	if !f.eventsOnce {
+		f.eventsOnce = true
+		name := f.NodeName
+		if name == "" {
+			name = f.MetricsAddr
+		}
+		f.events = obs.NewEventLog(name, f.EventBuffer)
+	}
+	return f.events
 }
 
 // OpenJournal opens the daemon's write-ahead journal under -data-dir,
@@ -95,6 +145,15 @@ func (f *Flags) NodeOptions(l *obs.Logger) []cosm.NodeOption {
 	if l != nil {
 		opts = append(opts, cosm.WithNodeLogger(l))
 	}
+	if rec := f.Spans(); rec != nil {
+		opts = append(opts, cosm.WithNodeRecorder(rec))
+	}
+	if ev := f.Events(); ev != nil {
+		opts = append(opts, cosm.WithNodeEvents(ev))
+	}
+	if f.SlowMS > 0 {
+		opts = append(opts, cosm.WithNodeSlowThreshold(time.Duration(f.SlowMS)*time.Millisecond))
+	}
 	return opts
 }
 
@@ -107,7 +166,11 @@ func (f *Flags) Introspection(healthy func() error) (*obs.Introspection, error) 
 	if f.MetricsAddr == "" {
 		return nil, nil
 	}
-	return obs.ServeIntrospection(f.MetricsAddr, f.Registry, healthy)
+	return obs.ServeIntrospectionWith(f.MetricsAddr, f.Registry, healthy, obs.MuxConfig{
+		Spans:  f.Spans(),
+		Events: f.Events(),
+		Pprof:  f.Pprof,
+	})
 }
 
 // Drain performs the graceful-shutdown sequence: deregister first (so

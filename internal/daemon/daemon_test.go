@@ -47,11 +47,26 @@ func TestRegisterDefaultsAndParsing(t *testing.T) {
 	if f.Registry == nil {
 		t.Fatal("Register left Registry nil")
 	}
-	if opts := f.NodeOptions(nil); len(opts) != 2 {
+	// admission + metrics + default flight recorder + event timeline.
+	if opts := f.NodeOptions(nil); len(opts) != 4 {
 		t.Fatalf("NodeOptions = %d options", len(opts))
 	}
-	if opts := f.NodeOptions(obs.NewLogger(&strings.Builder{}, "t")); len(opts) != 3 {
+	if opts := f.NodeOptions(obs.NewLogger(&strings.Builder{}, "t")); len(opts) != 5 {
 		t.Fatalf("NodeOptions with logger = %d options", len(opts))
+	}
+
+	// The flight recorder and timeline are off at zero capacity, and
+	// -slow-ms adds the watchdog option.
+	fs = flag.NewFlagSet("d", flag.ContinueOnError)
+	f = Register(fs)
+	if err := fs.Parse([]string{"-trace-buffer", "0", "-event-buffer", "0", "-slow-ms", "250"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Spans() != nil || f.Events() != nil {
+		t.Fatal("zero-capacity buffers should disable the recorder and timeline")
+	}
+	if opts := f.NodeOptions(nil); len(opts) != 3 {
+		t.Fatalf("NodeOptions with watchdog only = %d options", len(opts))
 	}
 }
 

@@ -43,6 +43,11 @@ const (
 	opDefineType  = "deftype"
 	opRemoveType  = "removetype"
 	opEpoch       = "epoch"
+	// opVote records an election vote pledge. It lives in the per-node
+	// vote ledger (votelog.go), never in the replicated journal — votes
+	// are per-node facts — but ReplayRecord still understands it, and
+	// adopts it conservatively (denying extra votes is always safe).
+	opVote = "vote"
 )
 
 // PropRecord is one offer property in journal form, reusing the wire
@@ -162,6 +167,7 @@ func (t *Trader) SetJournal(j *journal.Journal) {
 		// promotes a healthy replica.
 		j.SetOnFault(func(err error) {
 			t.repl.follower.Store(true)
+			t.event("journal_failstop", "err", err.Error())
 			t.log.Log(nil, "journal_failstop", "err", err.Error())
 		})
 	}
@@ -325,6 +331,15 @@ func (t *Trader) ReplayRecord(seq uint64, payload []byte) error {
 		}
 	case opEpoch:
 		t.raiseEpoch(r.Epoch)
+	case opVote:
+		// Adopt the pledge: only ever raises the vote lock, so a stray
+		// vote record can deny votes but never double one.
+		t.repl.mu.Lock()
+		if r.Epoch > t.repl.voteEpoch ||
+			(r.Epoch == t.repl.voteEpoch && r.Name != "") {
+			t.repl.voteEpoch, t.repl.votedFor = r.Epoch, r.Name
+		}
+		t.repl.mu.Unlock()
 	default:
 		return fmt.Errorf("trader: journal record %d: unknown op %q", seq, r.Op)
 	}

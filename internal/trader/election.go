@@ -21,15 +21,18 @@ package trader
 // pull path, with its divergent unacknowledged tail rewound by the
 // first snapshot install — instead of staying fenced-and-dead.
 //
-// Votes are held in memory only: a voter that restarts inside one
-// election round could in principle vote twice for the same epoch.
-// Closing that window needs a durable vote record (DESIGN.md §9 keeps
-// it as a known limitation); epochs themselves are journalled, so the
-// fencing guarantees survive restarts regardless.
+// Vote pledges are durable when a vote ledger is attached (SetVoteLog):
+// the (epoch, candidate) pair is fsynced into a per-node sidecar file
+// before the grant leaves this node, and replayed on restart — so a
+// voter that restarts inside one election round re-adopts its pledge
+// instead of handing a second vote to a rival at the same epoch.
+// Without a ledger the pledge is memory-only (in-process tests), and
+// the journalled epochs alone still fence restarted *leaders*.
 
 import (
 	"context"
 	"math/rand"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -59,45 +62,67 @@ type Vote struct {
 // passes.
 func (t *Trader) RequestVote(ctx context.Context, candidateID string, newEpoch, applied uint64) (Vote, error) {
 	v := Vote{Role: t.Role(), Epoch: t.Epoch(), Applied: t.electionApplied(), Leader: t.LeaderHint()}
+	var deny string
 	switch {
 	case v.Role == RoleLeader && !t.journalFailed():
 		// A live healthy leader denies: the candidate learns we exist
 		// (and at what epoch) from the reply and stands down.
+		deny = "live_leader"
 	case newEpoch <= v.Epoch:
 		// Stale candidacy: the group already moved past that epoch.
+		deny = "stale_epoch"
 	case applied < v.Applied:
 		// Max-applied wins: granting would let a candidate missing
 		// acknowledged records take over and lose them.
+		deny = "behind_applied"
 	case t.pullHealthy():
 		// Our own pulls from the leader succeeded within the veto
 		// window: the "dead" leader is probably just partitioned from
 		// the candidate. Denying here stops a flapping minority link
 		// from deposing a healthy leader.
+		deny = "healthy_leader_link"
 	case !t.tryVote(candidateID, newEpoch):
-		// Vote lock: this epoch's vote already went to someone else.
+		// Vote lock: this epoch's vote already went to someone else —
+		// or the durable pledge could not be persisted (fail-safe:
+		// denying an extra vote never violates quorum safety).
+		deny = "vote_locked"
 	default:
 		v.Granted = true
 	}
 	t.repl.mu.Lock()
 	v.VoteEpoch = t.repl.voteEpoch
 	t.repl.mu.Unlock()
-	t.log.Log(ctx, "election_vote", "candidate", candidateID, "epoch", newEpoch, "granted", v.Granted)
+	if v.Granted {
+		t.event("vote_granted", "candidate", candidateID, "epoch", strconv.FormatUint(newEpoch, 10))
+	} else {
+		t.event("vote_denied", "candidate", candidateID, "epoch", strconv.FormatUint(newEpoch, 10), "reason", deny)
+	}
+	t.log.Log(ctx, "election_vote", "candidate", candidateID, "epoch", newEpoch, "granted", v.Granted, "deny", deny)
 	return v, nil
 }
 
 // adoptVoteEpoch raises this node's vote pledge to e (clearing the
 // pledged candidate, since no vote was actually granted at e). A
 // candidate calls it with the maximum VoteEpoch seen in a lost round.
+// The raise is persisted best-effort: losing it to a crash only costs
+// one re-fought round, it cannot double a vote.
 func (t *Trader) adoptVoteEpoch(e uint64) {
 	t.repl.mu.Lock()
 	if e > t.repl.voteEpoch {
 		t.repl.voteEpoch, t.repl.votedFor = e, ""
+		if t.votes != nil {
+			if err := t.votes.Append(e, ""); err != nil {
+				t.log.Log(nil, "vote_persist_failed", "epoch", e, "err", err.Error())
+			}
+		}
 	}
 	t.repl.mu.Unlock()
 }
 
 // tryVote takes the per-epoch vote lock: true when candidateID holds
 // this trader's vote for epoch e (idempotent for the same candidate).
+// With a vote ledger attached the pledge is fsynced before the lock is
+// considered taken; a persist failure denies the vote (fail-safe).
 func (t *Trader) tryVote(candidateID string, e uint64) bool {
 	t.repl.mu.Lock()
 	defer t.repl.mu.Unlock()
@@ -106,6 +131,12 @@ func (t *Trader) tryVote(candidateID string, e uint64) bool {
 	}
 	if e == t.repl.voteEpoch && t.repl.votedFor != "" && t.repl.votedFor != candidateID {
 		return false
+	}
+	if t.votes != nil && (e != t.repl.voteEpoch || t.repl.votedFor != candidateID) {
+		if err := t.votes.Append(e, candidateID); err != nil {
+			t.log.Log(nil, "vote_persist_failed", "epoch", e, "candidate", candidateID, "err", err.Error())
+			return false
+		}
 	}
 	t.repl.voteEpoch, t.repl.votedFor = e, candidateID
 	return true
@@ -315,6 +346,8 @@ func (m *Monitor) run(ctx context.Context) {
 			continue
 		}
 		if m.suspectNow() {
+			m.t.event("suspect", "node", m.cfg.SelfID,
+				"misses", strconv.Itoa(int(m.misses.Load())))
 			// Decorrelate rival candidacies: followers detect a dead
 			// leader together (their pulls fail together), and rivals
 			// standing together split every vote round on the per-epoch
@@ -435,6 +468,7 @@ func (m *Monitor) leaderScan(ctx context.Context) {
 		return
 	}
 	m.t.metrics.elections.With("deposed").Inc()
+	m.t.event("deposed", "winner", ref, "epoch", strconv.FormatUint(epoch, 10))
 	m.t.log.Log(ctx, "election_deposed", "winner", ref, "epoch", epoch, "own_epoch", cur)
 	m.t.DemoteRejoin(ref)
 	if m.f != nil {
@@ -453,6 +487,7 @@ func (m *Monitor) relocate(ctx context.Context) bool {
 		return false
 	}
 	m.t.metrics.elections.With("relocated").Inc()
+	m.t.event("relocate", "leader", ref)
 	m.t.log.Log(ctx, "election_relocate", "leader", ref)
 	m.t.repl.leaderHint.Store(ref)
 	if m.f != nil {
@@ -474,6 +509,9 @@ func (m *Monitor) electionRound(ctx context.Context) {
 		// picking the target and locking it; the next round moves past.
 		return
 	}
+	m.t.event("candidacy", "candidate", m.cfg.SelfID,
+		"epoch", strconv.FormatUint(target, 10),
+		"applied", strconv.FormatUint(applied, 10))
 	rctx, cancel := context.WithTimeout(ctx, m.cfg.ElectionTimeout)
 	defer cancel()
 	type reply struct {
@@ -517,6 +555,7 @@ func (m *Monitor) electionRound(ctx context.Context) {
 		// A live leader answered the vote round: the outage was on our
 		// side (or already healed). Re-point instead of promoting.
 		m.t.metrics.elections.With("relocated").Inc()
+		m.t.event("relocate", "leader", leaderRef)
 		m.t.log.Log(ctx, "election_relocate", "leader", leaderRef)
 		m.t.repl.leaderHint.Store(leaderRef)
 		if m.f != nil {
@@ -529,6 +568,8 @@ func (m *Monitor) electionRound(ctx context.Context) {
 			return
 		}
 		m.t.metrics.elections.With("won").Inc()
+		m.t.event("election_won", "epoch", strconv.FormatUint(target, 10),
+			"votes", strconv.Itoa(votes), "quorum", strconv.Itoa(quorum))
 		m.t.log.Log(ctx, "election_won", "epoch", target, "votes", votes, "quorum", quorum)
 		m.resetHealth()
 		if m.cfg.OnPromote != nil {
@@ -540,6 +581,8 @@ func (m *Monitor) electionRound(ctx context.Context) {
 		// one epoch higher each round.
 		m.t.adoptVoteEpoch(maxPledge)
 		m.t.metrics.elections.With("lost").Inc()
+		m.t.event("election_lost", "epoch", strconv.FormatUint(target, 10),
+			"votes", strconv.Itoa(votes), "quorum", strconv.Itoa(quorum))
 		m.t.log.Log(ctx, "election_lost", "epoch", target, "votes", votes, "quorum", quorum)
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"strconv"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -145,6 +146,7 @@ func (t *Trader) DemoteRejoin(leaderRef string) {
 	t.repl.leaderSeq.Store(0)
 	t.repl.caughtUpAt.Store(0)
 	t.SetFollower(leaderRef)
+	t.event("demote_rejoin", "leader", leaderRef, "epoch", strconv.FormatUint(t.Epoch(), 10))
 	t.log.Log(nil, "demote_rejoin", "leader", leaderRef, "epoch", t.Epoch())
 }
 
@@ -197,6 +199,7 @@ func (t *Trader) Promote(epoch uint64) error {
 	t.raiseEpoch(epoch)
 	t.repl.follower.Store(false)
 	t.repl.leaderHint.Store("")
+	t.event("promote", "epoch", strconv.FormatUint(epoch, 10))
 	t.log.Log(nil, "promoted", "epoch", epoch)
 	return nil
 }
@@ -228,6 +231,8 @@ func (t *Trader) PullBatch(ctx context.Context, followerID string, followerEpoch
 		// the hint-less ErrNotLeader).
 		t.metrics.fencingRejections.Inc()
 		t.repl.follower.Store(true)
+		t.event("deposed", "epoch", strconv.FormatUint(cur, 10),
+			"seen_epoch", strconv.FormatUint(followerEpoch, 10))
 		t.log.Log(ctx, "deposed", "epoch", cur, "seen_epoch", followerEpoch)
 		return nil, fmt.Errorf("trader: fenced: follower epoch %d past local %d", followerEpoch, cur)
 	}
@@ -286,6 +291,8 @@ func (t *Trader) PullBatch(ctx context.Context, followerID string, followerEpoch
 func (t *Trader) ApplyBatch(b *ReplBatch) (int, error) {
 	if cur := t.repl.epoch.Load(); b.Epoch < cur {
 		t.metrics.fencingRejections.Inc()
+		t.event("fencing_rejection", "batch_epoch", strconv.FormatUint(b.Epoch, 10),
+			"epoch", strconv.FormatUint(cur, 10))
 		return 0, fmt.Errorf("trader: fenced: batch epoch %d below local %d", b.Epoch, cur)
 	}
 	t.raiseEpoch(b.Epoch)
@@ -315,8 +322,10 @@ func (t *Trader) ApplyBatch(b *ReplBatch) (int, error) {
 			return 0, err
 		}
 		t.repl.applied.Store(b.SnapshotSeq)
-		t.repl.rejoining.Store(false)
+		rejoined := t.repl.rejoining.Swap(false)
 		t.applyMu.RUnlock()
+		t.event("snapshot_install", "seq", strconv.FormatUint(b.SnapshotSeq, 10),
+			"rejoin", strconv.FormatBool(rejoined))
 	}
 	for _, rec := range b.Records {
 		if rec.Seq <= t.repl.applied.Load() {

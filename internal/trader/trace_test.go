@@ -1,6 +1,7 @@
 package trader
 
 import (
+	"errors"
 	"context"
 	"strings"
 	"sync"
@@ -150,4 +151,138 @@ func spanOf(line string) string {
 		}
 	}
 	return ""
+}
+
+// startRecordedTraderNode is startTracedTraderNode with a per-node
+// flight recorder wired through both wire directions.
+func startRecordedTraderNode(t *testing.T, loopName, traderID string, rec *obs.SpanRecorder) (*cosm.Node, *Trader, ref.ServiceRef) {
+	t.Helper()
+	repo := typemgr.NewRepo()
+	st, err := typemgr.FromSID(sidl.CarRentalSID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Define(st); err != nil {
+		t.Fatal(err)
+	}
+	tr := New(traderID, repo, WithImportCacheTTL(0))
+	svc, err := NewService(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := cosm.NewNode(
+		cosm.WithNodeLog(func(string, ...any) {}),
+		cosm.WithNodeRecorder(rec),
+	)
+	if err := node.Host(ServiceName, svc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.ListenAndServe("loop:" + loopName); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = node.Close() })
+	return node, tr, node.MustRefFor(ServiceName)
+}
+
+// TestFederatedFanOutBuildsOneSpanTree drives concurrent federated
+// imports across a three-trader chain (importer → A → B → C), each
+// node recording into its own flight recorder — as separate processes
+// would — and asserts every trace's merged spans reassemble into ONE
+// connected tree covering all three wire hops: the cross-process walk
+// `cosmcli trace` performs against live daemons.
+func TestFederatedFanOutBuildsOneSpanTree(t *testing.T) {
+	recI := obs.NewSpanRecorder(256) // the importer's own client spans
+	recA := obs.NewSpanRecorder(256)
+	recB := obs.NewSpanRecorder(256)
+	recC := obs.NewSpanRecorder(256)
+
+	_, _, refC := startRecordedTraderNode(t, "trd-fan-c", "C", recC)
+	nodeB, trB, refB := startRecordedTraderNode(t, "trd-fan-b", "B", recB)
+	nodeA, trA, refA := startRecordedTraderNode(t, "trd-fan-a", "A", recA)
+
+	setup := context.Background()
+	remoteB, err := DialTrader(setup, nodeA.Pool(), refB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trA.Link(remoteB)
+	remoteC, err := DialTrader(setup, nodeB.Pool(), refC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trB.Link(remoteC)
+	// The only matching offer lives at the far end of the chain, so
+	// every import must traverse all three hops.
+	if _, err := remoteC.Export(setup, "CarRentalService", carRef(9), carProps("FIAT_Uno", 80, "DEM")); err != nil {
+		t.Fatal(err)
+	}
+
+	importerPool := cosm.NewNode(cosm.WithNodeLog(func(string, ...any) {}), cosm.WithNodeRecorder(recI)).Pool()
+	// Dial outside any trace so the describe handshake stays span-less;
+	// only the Import fan-out below is traced.
+	tc, err := DialTrader(setup, importerPool, refA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const importers = 4
+	traces := make([]obs.Trace, importers)
+	errs := make(chan error, importers)
+	for i := 0; i < importers; i++ {
+		ctx, root := obs.EnsureTrace(context.Background())
+		traces[i] = root
+		go func() {
+			offers, err := tc.Import(ctx, ImportRequest{Type: "CarRentalService", HopLimit: 2})
+			if err == nil && len(offers) != 1 {
+				err = errors.New("federated import returned no offer")
+			}
+			errs <- err
+		}()
+	}
+	for i := 0; i < importers; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Merge each recorder's view — exactly what cosmcli trace does with
+	// /debug/traces?id= responses from separate daemons.
+	for _, root := range traces {
+		var spans []obs.Span
+		for _, rec := range []*obs.SpanRecorder{recI, recA, recB, recC} {
+			// Server spans are recorded just after the response leaves;
+			// poll briefly for the full six-span chain.
+			spans = append(spans, rec.Trace(root.ID)...)
+		}
+		for deadline := time.Now().Add(2 * time.Second); len(spans) < 6 && time.Now().Before(deadline); {
+			time.Sleep(5 * time.Millisecond)
+			spans = spans[:0]
+			for _, rec := range []*obs.SpanRecorder{recI, recA, recB, recC} {
+				spans = append(spans, rec.Trace(root.ID)...)
+			}
+		}
+		// client@importer, server@A, client@A, server@B, client@B, server@C.
+		if len(spans) != 6 {
+			t.Fatalf("trace %s: %d spans, want 6: %+v", root.ID, len(spans), spans)
+		}
+		roots := obs.BuildSpanTree(spans)
+		if len(roots) != 1 {
+			t.Fatalf("trace %s: %d roots, want one connected tree: %+v", root.ID, len(roots), roots)
+		}
+		depth, node := 0, roots[0]
+		for node != nil {
+			depth++
+			if len(node.Children) > 1 {
+				t.Fatalf("trace %s: unexpected branch: %+v", root.ID, node)
+			}
+			if len(node.Children) == 0 {
+				node = nil
+			} else {
+				node = node.Children[0]
+			}
+		}
+		if depth != 6 {
+			t.Fatalf("trace %s: chain depth = %d, want 6", root.ID, depth)
+		}
+	}
 }

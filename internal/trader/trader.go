@@ -147,6 +147,17 @@ type Trader struct {
 
 	log     *obs.Logger
 	metrics traderMetrics
+
+	// events, when attached via WithEvents, receives the trader's
+	// cluster-lifecycle timeline: suspicion, candidacies, vote
+	// grants/denials, promotions, demotions, fencing rejections,
+	// snapshot installs and journal fail-stop latches. Nil-safe.
+	events *obs.EventLog
+
+	// votes, when attached via SetVoteLog, persists per-epoch vote
+	// pledges so a restarted voter cannot grant two votes in one epoch
+	// (see votelog.go).
+	votes *VoteLog
 }
 
 // Default sizes of the trader's bounded caches.
@@ -282,6 +293,18 @@ func WithMetrics(reg *obs.Registry) Option {
 				func() float64 { return t.replLagSeconds() })
 		}
 	}
+}
+
+// WithEvents feeds the trader's cluster-lifecycle transitions into ev,
+// the node's event timeline (exposed at /debug/events and merged
+// cluster-wide by `cosmcli events`). A nil ev disables the feed.
+func WithEvents(ev *obs.EventLog) Option {
+	return func(t *Trader) { t.events = ev }
+}
+
+// event appends one timeline event; safe on a trader with no event log.
+func (t *Trader) event(kind string, kv ...string) {
+	t.events.Record(kind, kv...)
 }
 
 // WithReplSync makes mutations block until n followers have pulled the

@@ -1,0 +1,143 @@
+package trader
+
+// Durable vote ledger: a per-node sidecar file recording every election
+// vote pledge this node makes, so a voter that crashes and restarts
+// inside one election round cannot grant two votes at the same epoch.
+//
+// The ledger is deliberately NOT part of the replicated journal. The
+// journal's sequence space is owned by the leader — followers mirror
+// leader-assigned seqs via ApplyBatch/AppendAt — so a follower
+// appending a local vote record would collide with the next replicated
+// record, and a leader's vote record would replicate and overwrite
+// every follower's *own* vote state. Votes are per-node facts, not
+// market state; they live next to the journal, not inside it.
+//
+// Format: one JSON walRecord per line (Op: "vote", Epoch, Name =
+// candidate, "" for a bare epoch adoption). Append-only, fsynced per
+// record — a vote round is rare and slow (network RTTs), one fsync is
+// noise. Recovery replays every line and keeps the highest pledge; a
+// torn final line (crash mid-append) is skipped, which is safe: the
+// pledge it recorded was never acknowledged to any candidate.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// voteLogName is the ledger's file name inside a trader's data dir.
+const voteLogName = "votes.wal"
+
+// VotePledge is one recovered ledger entry: this node's vote at Epoch
+// went to Candidate ("" for an epoch adopted without granting).
+type VotePledge struct {
+	Epoch     uint64
+	Candidate string
+}
+
+// VoteLog is the durable per-node vote ledger. Safe for concurrent use;
+// in practice appends are serialised under the trader's repl lock.
+type VoteLog struct {
+	mu sync.Mutex
+	f  *os.File
+
+	pledges []VotePledge // entries read at open, consumed by SetVoteLog
+}
+
+// OpenVoteLog opens (creating if absent) the vote ledger in dir,
+// reading any pledges recorded by a previous incarnation. A torn final
+// line is tolerated and dropped; corruption earlier in the file is an
+// error (the ledger is tiny — refusing to guess is cheap).
+func OpenVoteLog(dir string) (*VoteLog, error) {
+	path := filepath.Join(dir, voteLogName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("trader: vote log: %w", err)
+	}
+	l := &VoteLog{f: f}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r walRecord
+		if err := json.Unmarshal(line, &r); err != nil || r.Op != opVote {
+			// A torn tail from a crash mid-append parses as neither;
+			// the pledge it held was never acknowledged, so dropping it
+			// here (and every line after it) is safe.
+			break
+		}
+		l.pledges = append(l.pledges, VotePledge{Epoch: r.Epoch, Candidate: r.Name})
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("trader: vote log %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("trader: vote log %s: %w", path, err)
+	}
+	return l, nil
+}
+
+// Pledges returns the entries recovered at open (oldest first).
+func (l *VoteLog) Pledges() []VotePledge {
+	if l == nil {
+		return nil
+	}
+	return l.pledges
+}
+
+// Append durably records one pledge: the line is written and fsynced
+// before Append returns, so a grant built on it survives a crash.
+func (l *VoteLog) Append(epoch uint64, candidate string) error {
+	if l == nil {
+		return nil
+	}
+	payload, err := json.Marshal(walRecord{Op: opVote, Epoch: epoch, Name: candidate})
+	if err != nil {
+		return fmt.Errorf("trader: vote log: %w", err)
+	}
+	payload = append(payload, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.Write(payload); err != nil {
+		return fmt.Errorf("trader: vote log: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("trader: vote log: %w", err)
+	}
+	return nil
+}
+
+// Close closes the ledger file.
+func (l *VoteLog) Close() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	return l.f.Close()
+}
+
+// SetVoteLog attaches an opened vote ledger: recovered pledges are
+// re-adopted into the vote lock (highest epoch wins; the candidate is
+// kept so a restarted voter answers the same candidate's retry
+// idempotently), and future pledges persist through it. Call before
+// serving, alongside SetJournal.
+func (t *Trader) SetVoteLog(l *VoteLog) {
+	t.votes = l
+	if l == nil {
+		return
+	}
+	t.repl.mu.Lock()
+	for _, p := range l.Pledges() {
+		if p.Epoch > t.repl.voteEpoch ||
+			(p.Epoch == t.repl.voteEpoch && p.Candidate != "") {
+			t.repl.voteEpoch, t.repl.votedFor = p.Epoch, p.Candidate
+		}
+	}
+	t.repl.mu.Unlock()
+}

@@ -1,0 +1,112 @@
+package trader
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cosm/internal/typemgr"
+)
+
+// TestVoteLogSurvivesRestart closes the double-vote window: a voter
+// that granted a vote, crashed, and restarted within the same election
+// round must deny a rival at the same epoch.
+func TestVoteLogSurvivesRestart(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	v1 := New("V", typemgr.NewRepo())
+	v1.SetFollower("cosm://leader")
+	vl, err := OpenVoteLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1.SetVoteLog(vl)
+
+	vote, err := v1.RequestVote(ctx, "X", 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vote.Granted {
+		t.Fatalf("fresh voter denied X: %+v", vote)
+	}
+	vl.Close() // crash
+
+	// Restart: a fresh trader over the same data dir.
+	v2 := New("V", typemgr.NewRepo())
+	v2.SetFollower("cosm://leader")
+	vl2, err := OpenVoteLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vl2.Close()
+	v2.SetVoteLog(vl2)
+
+	if vote, _ = v2.RequestVote(ctx, "Y", 3, 0); vote.Granted {
+		t.Fatal("restarted voter handed epoch 3's vote to rival Y")
+	}
+	if vote.VoteEpoch != 3 {
+		t.Fatalf("recovered pledge epoch = %d, want 3", vote.VoteEpoch)
+	}
+	// The original candidate's retry stays granted (idempotent pledge).
+	if vote, _ = v2.RequestVote(ctx, "X", 3, 0); !vote.Granted {
+		t.Fatal("restarted voter denied the candidate it already pledged to")
+	}
+	// A higher epoch re-opens the lock as before.
+	if vote, _ = v2.RequestVote(ctx, "Y", 4, 0); !vote.Granted {
+		t.Fatal("fresh epoch must accept a new candidate after restart")
+	}
+}
+
+// TestVoteLogToleratesTornTail drops a half-written final line instead
+// of refusing to start: the pledge it held was never acknowledged.
+func TestVoteLogToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	vl, err := OpenVoteLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vl.Append(5, "X"); err != nil {
+		t.Fatal(err)
+	}
+	vl.Close()
+
+	f, err := os.OpenFile(filepath.Join(dir, voteLogName), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"vote","epo`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	vl2, err := OpenVoteLog(dir)
+	if err != nil {
+		t.Fatalf("torn tail rejected: %v", err)
+	}
+	defer vl2.Close()
+	got := vl2.Pledges()
+	if len(got) != 1 || got[0].Epoch != 5 || got[0].Candidate != "X" {
+		t.Fatalf("pledges after torn tail = %+v", got)
+	}
+}
+
+// TestVoteLogPersistFailureDenies: a voter whose ledger cannot persist
+// the pledge refuses the vote (fail-safe) instead of granting on
+// memory alone.
+func TestVoteLogPersistFailureDenies(t *testing.T) {
+	dir := t.TempDir()
+	vl, err := OpenVoteLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New("V", typemgr.NewRepo())
+	tr.SetFollower("cosm://leader")
+	tr.SetVoteLog(vl)
+	vl.f.Close() // simulate a dead disk under the ledger
+
+	if vote, _ := tr.RequestVote(context.Background(), "X", 2, 0); vote.Granted {
+		t.Fatal("vote granted without a durable pledge")
+	}
+}

@@ -56,6 +56,9 @@ const defaultWriteStall = 30 * time.Second
 type Client struct {
 	endpoint string
 	conn     net.Conn
+	// rec, when enabled, records one client-kind span per traced call
+	// (set by the owning Pool; see WithPoolRecorder).
+	rec *obs.SpanRecorder
 
 	writeMu sync.Mutex // serializes frame writes
 
@@ -150,10 +153,31 @@ func (c *Client) broken() bool {
 // request frame as a TTL, propagating the caller's remaining budget to
 // the server; a trace carried by ctx (obs.WithTrace) is stamped into the
 // frame's trace metadata, so the server logs the same trace ID the
-// caller minted. Abandoning the call (ctx cancelled or expired) sends a
+// caller minted. With a span recorder attached, each traced call mints a
+// per-hop child span — stamped into the frame, so the server's handler
+// span parents at it — and records it with the call's outcome and
+// duration. Abandoning the call (ctx cancelled or expired) sends a
 // best-effort cancel frame so server-side work stops too. On a non-OK
 // status it returns a *RemoteError wrapping ErrRemote.
-func (c *Client) Call(ctx context.Context, req *Request) ([]byte, error) {
+func (c *Client) Call(ctx context.Context, req *Request) (body []byte, err error) {
+	trace := obs.TraceFrom(ctx)
+	if c.rec.Enabled() && trace.Valid() {
+		trace = trace.Child()
+		start := time.Now()
+		defer func() {
+			c.rec.Record(obs.Span{
+				Trace:    trace.ID,
+				ID:       trace.Span,
+				Parent:   trace.Parent,
+				Op:       req.Service + "/" + req.Op,
+				Peer:     c.endpoint,
+				Kind:     obs.SpanClient,
+				Status:   attemptStatusLabel(err),
+				Start:    start,
+				Duration: time.Since(start),
+			})
+		}()
+	}
 	var ttl uint64
 	if d, ok := ctx.Deadline(); ok {
 		// An already-expired budget is not worth a round trip.
@@ -182,10 +206,9 @@ func (c *Client) Call(ctx context.Context, req *Request) ([]byte, error) {
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
-	trace := obs.TraceFrom(ctx)
 	c.writeMu.Lock()
 	_ = c.conn.SetWriteDeadline(deadline)
-	err := writeFrame(c.conn, frame{
+	werr := writeFrame(c.conn, frame{
 		ftype:    frameRequest,
 		id:       id,
 		ttl:      ttl,
@@ -195,12 +218,12 @@ func (c *Client) Call(ctx context.Context, req *Request) ([]byte, error) {
 	})
 	_ = c.conn.SetWriteDeadline(time.Time{})
 	c.writeMu.Unlock()
-	if err != nil {
+	if werr != nil {
 		// A failed write may have left a partial frame on the stream;
 		// the connection is unusable for every caller, not just this
 		// one.
-		c.failAll(err)
-		return nil, fmt.Errorf("wire: send %s/%s: %w", req.Service, req.Op, err)
+		c.failAll(werr)
+		return nil, fmt.Errorf("wire: send %s/%s: %w", req.Service, req.Op, werr)
 	}
 
 	select {
@@ -297,6 +320,8 @@ type Pool struct {
 	breakerPolicy BreakerPolicy
 	now           func() time.Time
 	metrics       *ClientMetrics
+	recorder      *obs.SpanRecorder
+	events        *obs.EventLog
 
 	mu       sync.Mutex
 	clients  map[string]*Client
@@ -370,6 +395,21 @@ func WithPoolMetrics(m *ClientMetrics) PoolOption {
 	return func(p *Pool) { p.metrics = m }
 }
 
+// WithPoolRecorder attaches the flight recorder: every traced call made
+// through the pool's clients records one client-kind span (op, peer,
+// status, duration) into r. A nil r — recording off — costs nothing.
+func WithPoolRecorder(r *obs.SpanRecorder) PoolOption {
+	return func(p *Pool) { p.recorder = r }
+}
+
+// WithPoolEvents routes circuit-breaker state transitions into the
+// cluster event timeline ev (endpoint and new state), so a post-mortem
+// can see *which* peers the breakers condemned and when. A nil ev
+// disables recording.
+func WithPoolEvents(ev *obs.EventLog) PoolOption {
+	return func(p *Pool) { p.events = ev }
+}
+
 // NewPool returns an empty client pool with the default call and
 // breaker policies.
 func NewPool(opts ...PoolOption) *Pool {
@@ -424,8 +464,12 @@ func (p *Pool) breakerFor(endpoint string) *breaker {
 	b, ok := p.breakers[endpoint]
 	if !ok {
 		b = newBreaker(p.breakerPolicy)
-		if p.metrics != nil {
-			b.onTransition = p.metrics.breakerTransition
+		if p.metrics != nil || p.events != nil {
+			metrics, events, ep := p.metrics, p.events, endpoint
+			b.onTransition = func(to BreakerState) {
+				metrics.breakerTransition(to)
+				events.Record("breaker", "endpoint", ep, "to", string(to))
+			}
 		}
 		p.breakers[endpoint] = b
 	}
@@ -546,6 +590,7 @@ func (p *Pool) Get(ctx context.Context, endpoint string) (*Client, error) {
 		var c *Client
 		if err == nil {
 			c = NewClientConn(endpoint, conn)
+			c.rec = p.recorder
 		}
 
 		p.mu.Lock()

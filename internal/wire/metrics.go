@@ -174,6 +174,7 @@ type ServerMetrics struct {
 	sheds     *obs.Counter
 	expired   *obs.Counter
 	panics    *obs.Counter
+	slow      *obs.Counter
 	inflight  *obs.Gauge
 }
 
@@ -190,6 +191,7 @@ func NewServerMetrics(reg *obs.Registry) *ServerMetrics {
 		sheds:     reg.Counter("cosm_server_sheds_total", "Requests shed with StatusOverloaded."),
 		expired:   reg.Counter("cosm_server_deadline_expired_total", "Requests rejected with an already-expired deadline."),
 		panics:    reg.Counter("cosm_server_panics_total", "Handler panics converted into StatusAppError."),
+		slow:      reg.Counter("cosm_server_slow_requests_total", "Requests exceeding the slow-request watchdog threshold."),
 		inflight:  reg.Gauge("cosm_server_inflight_requests", "Requests dispatched and not yet responded to."),
 	}
 }
@@ -237,6 +239,13 @@ func (m *ServerMetrics) panicOne() {
 		return
 	}
 	m.panics.Inc()
+}
+
+func (m *ServerMetrics) slowOne() {
+	if m == nil {
+		return
+	}
+	m.slow.Inc()
 }
 
 func (m *ServerMetrics) inflightAdd(delta int64) {

@@ -103,6 +103,9 @@ type Server struct {
 	logf      func(format string, args ...any)
 	log       *obs.Logger
 	metrics   *ServerMetrics
+	rec       *obs.SpanRecorder
+	slow      time.Duration // slow-request watchdog threshold (0 = off)
+	slowLast  atomic.Int64  // UnixNano of the last watchdog log line (sampling)
 	admission AdmissionPolicy
 
 	// sem holds one token per executing handler when MaxInFlight > 0.
@@ -175,6 +178,23 @@ func WithServerLogger(l *obs.Logger) ServerOption {
 // (see NewServerMetrics). A nil m disables recording.
 func WithServerMetrics(m *ServerMetrics) ServerOption {
 	return func(s *Server) { s.metrics = m }
+}
+
+// WithServerRecorder attaches the flight recorder: every traced request
+// records one server-kind span (op, remote, status, duration, parented
+// at the caller's span) into r. Untraced requests — v1 peers without
+// trace metadata — record nothing. A nil r costs nothing.
+func WithServerRecorder(r *obs.SpanRecorder) ServerOption {
+	return func(s *Server) { s.rec = r }
+}
+
+// WithSlowThreshold arms the slow-request watchdog: a handled request
+// whose duration reaches d is counted and — sampled to at most one line
+// per second — promoted into a structured "slow_request" log line
+// carrying its trace ID, so an operator can jump from the symptom
+// straight to `cosmcli trace`. 0 disables the watchdog.
+func WithSlowThreshold(d time.Duration) ServerOption {
+	return func(s *Server) { s.slow = d }
 }
 
 // NewServer returns an empty server.
@@ -551,6 +571,30 @@ func (s *Server) serveRequest(ctx context.Context, h Handler, remote string, req
 		if s.log != nil {
 			s.log.Log(ctx, "rpc", "op", op, "remote", remote,
 				"status", resp.Status.String(), "dur", d)
+		}
+		if tr := obs.TraceFrom(ctx); s.rec.Enabled() && tr.Valid() {
+			s.rec.Record(obs.Span{
+				Trace:    tr.ID,
+				ID:       tr.Span,
+				Parent:   tr.Parent,
+				Op:       op,
+				Peer:     remote,
+				Kind:     obs.SpanServer,
+				Status:   statusSlug(resp.Status),
+				Start:    start,
+				Duration: d,
+			})
+		}
+		if s.slow > 0 && d >= s.slow {
+			s.metrics.slowOne()
+			// Sampled promotion: at most one watchdog line per second, so
+			// a systemic slowdown surfaces without flooding the log.
+			now := time.Now().UnixNano()
+			if last := s.slowLast.Load(); now-last >= int64(time.Second) &&
+				s.slowLast.CompareAndSwap(last, now) && s.log != nil {
+				s.log.Log(ctx, "slow_request", "op", op, "remote", remote,
+					"status", resp.Status.String(), "dur", d, "threshold", s.slow)
+			}
 		}
 	}()
 	resp = h.ServeCOSM(ctx, remote, req)
