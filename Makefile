@@ -34,13 +34,13 @@ bench-smoke:
 # Machine-readable benchmark record for the current PR's tentpole, as
 # go-test JSON events for tracking across commits. PR selects the
 # output file; BENCH_PATTERN the benchmark group — defaults cover the
-# flight-recorder PR (span + event-log append cost, with the nil
-# no-recorder bar) plus the matching-engine and durability groups it
-# must not regress. `make bench-json PR=7
-# BENCH_PATTERN='Import_10kOffers|JournalAppend|ReplCatchup_10kOffers|ReplicaImport_10kOffers'`
+# federated-mesh PR (50-trader scatter regimes + gossip round cost)
+# plus the matching-engine and durability groups it must not regress.
+# `make bench-json PR=8
+# BENCH_PATTERN='SpanOverhead|EventLogAppend|ObsOverhead|Import_10kOffers|JournalAppend'`
 # reproduces the previous record.
-PR ?= 8
-BENCH_PATTERN ?= SpanOverhead|EventLogAppend|ObsOverhead|Import_10kOffers|JournalAppend
+PR ?= 9
+BENCH_PATTERN ?= Mesh_50Traders|Mesh_GossipRound|Import_10kOffers|JournalAppend
 # Wall-clock benchmarks (seconds per op: failure detection + election)
 # run few iterations — 100x of a real leader kill would take minutes.
 BENCH_SLOW_PATTERN ?= FailoverLatency

@@ -1526,3 +1526,139 @@ func BenchmarkEventLogAppend(b *testing.B) {
 		}
 	})
 }
+
+// ---------------------------------------------------------------------
+// E12 — federated trader mesh (link registry + summary-routed scatter)
+// ---------------------------------------------------------------------
+
+// buildMesh stands up a fully linked in-process mesh of n traders, each
+// exporting `offers` offers of its own distinct service type — the
+// sharpest case for summary routing, since exactly one peer can answer
+// any given import. Import caching is off so repeat imports measure the
+// matching path, not the cache.
+func buildMesh(b *testing.B, n, offers int) []*trader.Trader {
+	b.Helper()
+	meshType := func(i int) string { return fmt.Sprintf("MeshService%02d", i) }
+	traders := make([]*trader.Trader, n)
+	for i := range traders {
+		repo := typemgr.NewRepo()
+		st := typemgr.ServiceType{
+			Name:  meshType(i),
+			Attrs: []typemgr.AttrDef{{Name: "Price", Type: sidl.Basic(sidl.Float64)}},
+		}
+		if err := repo.Define(&st); err != nil {
+			b.Fatal(err)
+		}
+		traders[i] = trader.New(fmt.Sprintf("mesh-%02d", i), repo, trader.WithImportCacheTTL(0))
+		for k := 0; k < offers; k++ {
+			r := ref.New(fmt.Sprintf("tcp:10.42.%d.%d:7000", i, k+1), meshType(i))
+			props := []sidl.Property{{Name: "Price", Value: sidl.FloatLit(float64(10 + (i+k)%90))}}
+			if _, err := traders[i].Export(meshType(i), r, props); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for i, a := range traders {
+		for j, p := range traders {
+			if i == j {
+				continue
+			}
+			if err := a.AddLink(fmt.Sprintf("mesh-%02d", j), p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return traders
+}
+
+// BenchmarkMesh_50Traders measures a federated import across a 50-node
+// full mesh in three regimes. "local" is the baseline: the importing
+// trader matches its own store. "full-scatter" is the pre-summary
+// behaviour: with no routing knowledge every one-hop import fans out to
+// all 49 peers. "summary-routed" runs one offer-summary gossip round
+// first, after which the scatter planner consults only peers whose
+// summaries cover the requested type — the acceptance bar is <= 3 peers
+// per import (here it is exactly 1) with a latency within ~2x local.
+// Each variant reports peers/op (from FedStats deltas) and its own
+// measured p99.
+func BenchmarkMesh_50Traders(b *testing.B) {
+	const (
+		meshSize = 50
+		offers   = 5
+	)
+	meshType := func(i int) string { return fmt.Sprintf("MeshService%02d", i) }
+	ctx := context.Background()
+
+	runImports := func(b *testing.B, traders []*trader.Trader, hops int, maxPeersPerOp float64) {
+		b.Helper()
+		b.ReportAllocs()
+		importer := traders[0]
+		before := importer.FedStats()
+		lat := make([]time.Duration, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			target := 0
+			if hops > 0 {
+				target = 1 + i%(meshSize-1)
+			}
+			t0 := time.Now()
+			got, err := importer.ImportWith(ctx, meshType(target), trader.Hops(hops))
+			lat = append(lat, time.Since(t0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(got) != offers {
+				b.Fatalf("import %d: got %d offers, want %d", i, len(got), offers)
+			}
+		}
+		b.StopTimer()
+		if hops > 0 {
+			stats := importer.FedStats()
+			peersPerOp := float64(stats.PeersAsked-before.PeersAsked) / float64(b.N)
+			b.ReportMetric(peersPerOp, "peers/op")
+			if maxPeersPerOp > 0 && peersPerOp > maxPeersPerOp {
+				b.Fatalf("summary-routed imports consulted %.1f peers/op, want <= %.0f", peersPerOp, maxPeersPerOp)
+			}
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		idx := len(lat) * 99 / 100
+		if idx >= len(lat) {
+			idx = len(lat) - 1
+		}
+		b.ReportMetric(float64(lat[idx])/float64(time.Microsecond), "p99-us")
+	}
+
+	b.Run("local", func(b *testing.B) {
+		traders := buildMesh(b, meshSize, offers)
+		runImports(b, traders, 0, 0)
+	})
+	b.Run("full-scatter", func(b *testing.B) {
+		traders := buildMesh(b, meshSize, offers)
+		runImports(b, traders, 1, 0)
+	})
+	b.Run("summary-routed", func(b *testing.B) {
+		traders := buildMesh(b, meshSize, offers)
+		for _, t := range traders {
+			if _, failed := t.GossipRound(ctx, time.Second); failed > 0 {
+				b.Fatalf("gossip round reported %d failed pushes", failed)
+			}
+		}
+		runImports(b, traders, 1, 3)
+	})
+}
+
+// BenchmarkMesh_GossipRound measures one summary-exchange round: the
+// importing trader pushing its digest to (and pulling digests from) all
+// 49 mesh peers. This is the background cost that buys the scatter
+// narrowing above.
+func BenchmarkMesh_GossipRound(b *testing.B) {
+	b.ReportAllocs()
+	traders := buildMesh(b, 50, 5)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pushed, failed := traders[0].GossipRound(ctx, time.Second); failed > 0 || pushed == 0 {
+			b.Fatalf("gossip round: pushed=%d failed=%d", pushed, failed)
+		}
+	}
+}

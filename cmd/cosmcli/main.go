@@ -13,7 +13,11 @@
 //	                 SelectCar.selection.days=3
 //	cosmcli session  cosm://.../CarRentalService 'SelectCar a.b=c ...' 'Commit'
 //	cosmcli import   cosm://.../cosm.trader CarRentalService \
-//	                 -constraint 'ChargePerDay < 100' -policy min:ChargePerDay
+//	                 -constraint 'ChargePerDay < 100' -policy min:ChargePerDay \
+//	                 -hops 1 -max-peers 3 -hedge 50ms
+//	cosmcli links    cosm://.../cosm.trader list
+//	cosmcli links    cosm://.../cosm.trader add munich cosm://tcp:10.0.0.2:7001/cosm.trader
+//	cosmcli links    cosm://.../cosm.trader remove munich
 //	cosmcli dump     cosm://.../cosm.trader > offers.json
 //	cosmcli restore  cosm://.../cosm.trader offers.json
 //	cosmcli stats    127.0.0.1:9100
@@ -78,7 +82,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: cosmcli [-timeout d] <describe|ui|browse|invoke|session|repl|import|dump|restore|stats|events|trace> <ref> [args...]")
+	return fmt.Errorf("usage: cosmcli [-timeout d] <describe|ui|browse|invoke|session|repl|import|links|dump|restore|stats|events|trace> <ref> [args...]")
 }
 
 func run(args []string) error {
@@ -206,6 +210,8 @@ func runWithInput(args []string, stdin io.Reader) error {
 		policy := fs.String("policy", "", "selection policy (first|random|min:P|max:P)")
 		maxN := fs.Int("max", 0, "maximum offers (0 = all)")
 		hops := fs.Int("hops", 0, "federation hop limit")
+		maxPeers := fs.Int("max-peers", 0, "partner traders consulted per federation hop (0 = all eligible)")
+		hedge := fs.Duration("hedge", 0, "query one backup peer if the scatter runs longer than this (0 = off)")
 		if len(rest) < 1 {
 			return fmt.Errorf("usage: cosmcli import <trader-ref> <service-type> [flags]")
 		}
@@ -219,7 +225,8 @@ func runWithInput(args []string, stdin io.Reader) error {
 		}
 		offers, err := tc.ImportWith(ctx, serviceType,
 			trader.Where(*constraint), trader.OrderBy(*policy),
-			trader.Limit(*maxN), trader.Hops(*hops))
+			trader.Limit(*maxN), trader.Hops(*hops),
+			trader.MaxPeers(*maxPeers), trader.Hedge(*hedge))
 		if err != nil {
 			return err
 		}
@@ -234,6 +241,13 @@ func runWithInput(args []string, stdin io.Reader) error {
 			}
 		}
 		return nil
+
+	case "links":
+		tc, err := trader.DialTrader(ctx, pool, target)
+		if err != nil {
+			return err
+		}
+		return links(ctx, os.Stdout, tc, rest)
 
 	case "dump":
 		tc, err := trader.DialTrader(ctx, pool, target)
@@ -263,6 +277,61 @@ func runWithInput(args []string, stdin io.Reader) error {
 
 	default:
 		return usage()
+	}
+}
+
+// links manages a trader's federation link registry over the wire:
+// list (default), add <name> <peer-ref>, remove <name>.
+func links(ctx context.Context, w io.Writer, tc *trader.Client, args []string) error {
+	sub := "list"
+	if len(args) > 0 {
+		sub = args[0]
+	}
+	switch sub {
+	case "list":
+		infos, err := tc.LinkList(ctx)
+		if err != nil {
+			return err
+		}
+		if len(infos) == 0 {
+			fmt.Fprintln(w, "no federation links")
+			return nil
+		}
+		fmt.Fprintf(w, "%-16s %-10s %-6s %-8s %-10s %s\n",
+			"NAME", "STATE", "HOPS", "TYPES", "SUMMARY", "PEER")
+		for _, li := range infos {
+			summary := "never"
+			if li.SummaryAge >= 0 {
+				summary = li.SummaryAge.Round(time.Millisecond).String() + " ago"
+			}
+			fmt.Fprintf(w, "%-16s %-10s %-6d %-8d %-10s %s\n",
+				li.Name, li.State, li.Hops, li.SummaryTypes, summary, li.PeerID)
+		}
+		return nil
+	case "add":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: cosmcli links <trader-ref> add <name> <peer-ref>")
+		}
+		peer, err := ref.Parse(args[2])
+		if err != nil {
+			return err
+		}
+		if err := tc.LinkAdd(ctx, args[1], peer); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "linked %q -> %s\n", args[1], peer)
+		return nil
+	case "remove":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: cosmcli links <trader-ref> remove <name>")
+		}
+		if err := tc.LinkRemove(ctx, args[1]); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "removed link %q\n", args[1])
+		return nil
+	default:
+		return fmt.Errorf("usage: cosmcli links <trader-ref> [list|add <name> <peer-ref>|remove <name>]")
 	}
 }
 

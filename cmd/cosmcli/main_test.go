@@ -305,11 +305,77 @@ func startTrader(t *testing.T, loopName, id string) (string, *trader.Trader) {
 	if err := node.Host(trader.ServiceName, tsvc); err != nil {
 		t.Fatal(err)
 	}
+	// Wire-level LinkAdd resolves peer refs through this node's pool,
+	// exactly like traderd.
+	tr.SetLinkDialer(func(ctx context.Context, peer ref.ServiceRef) (trader.Federate, error) {
+		return trader.DialTrader(ctx, node.Pool(), peer)
+	})
 	if _, err := node.ListenAndServe("loop:" + loopName); err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = node.Close() })
 	return node.MustRefFor(trader.ServiceName).String(), tr
+}
+
+// The links subcommand drives the trader's link registry end to end:
+// add, list (before and after gossip), a routed federated import with
+// the new scatter flags, and remove.
+func TestLinksCommand(t *testing.T) {
+	hubRef, hub := startTrader(t, "cli-links-hub", "hub")
+	peerRef, peer := startTrader(t, "cli-links-peer", "peer-1")
+
+	if _, err := peer.Export("CarRentalService",
+		ref.New("tcp:10.9.3.1:7000", "CarRentalService"), rentalProps("FIAT_Uno", 42)); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := capture(t, func() error { return run([]string{"links", hubRef}) })
+	if err != nil || !strings.Contains(out, "no federation links") {
+		t.Fatalf("links list (empty) = %q, %v", out, err)
+	}
+
+	out, err = capture(t, func() error { return run([]string{"links", hubRef, "add", "p1", peerRef}) })
+	if err != nil || !strings.Contains(out, `linked "p1"`) {
+		t.Fatalf("links add = %q, %v", out, err)
+	}
+	if _, err := capture(t, func() error { return run([]string{"links", hubRef, "add", "p1", peerRef}) }); err == nil {
+		t.Fatal("duplicate links add should fail")
+	}
+
+	out, err = capture(t, func() error { return run([]string{"links", hubRef}) })
+	if err != nil || !strings.Contains(out, "p1") || !strings.Contains(out, "closed") || !strings.Contains(out, "never") {
+		t.Fatalf("links list = %q, %v", out, err)
+	}
+
+	if pushed, failed := hub.GossipRound(context.Background(), time.Second); pushed != 1 || failed != 0 {
+		t.Fatalf("gossip round: pushed %d failed %d", pushed, failed)
+	}
+	out, err = capture(t, func() error { return run([]string{"links", hubRef}) })
+	if err != nil || !strings.Contains(out, "peer-1") || strings.Contains(out, "never") {
+		t.Fatalf("links list after gossip = %q, %v", out, err)
+	}
+
+	out, err = capture(t, func() error {
+		return run([]string{"import", hubRef, "CarRentalService",
+			"-hops", "1", "-max-peers", "2", "-hedge", "100ms"})
+	})
+	if err != nil || !strings.Contains(out, "FIAT_Uno") {
+		t.Fatalf("federated import = %q, %v", out, err)
+	}
+	if st := hub.FedStats(); st.Routed != 1 {
+		t.Fatalf("fed stats = %+v, want one routed fan-out", st)
+	}
+
+	out, err = capture(t, func() error { return run([]string{"links", hubRef, "remove", "p1"}) })
+	if err != nil || !strings.Contains(out, `removed link "p1"`) {
+		t.Fatalf("links remove = %q, %v", out, err)
+	}
+	if _, err := capture(t, func() error { return run([]string{"links", hubRef, "remove", "p1"}) }); err == nil {
+		t.Fatal("removing an unknown link should fail")
+	}
+	if _, err := capture(t, func() error { return run([]string{"links", hubRef, "frobnicate"}) }); err == nil {
+		t.Fatal("unknown links subcommand should fail")
+	}
 }
 
 func rentalProps(model string, charge float64) []sidl.Property {

@@ -10,6 +10,7 @@
 //	marketsim -timeline               # also dump the cumulative series
 //	marketsim -chaos                  # live market under fault injection
 //	marketsim -soak -seed 7           # replicated-cluster chaos soak
+//	marketsim -mesh -mesh-traders 20  # federated trader mesh, routed vs full scatter
 //
 // With -chaos the command instead stands up a real market (trader,
 // browser, three providers) over local TCP, injects transport faults on
@@ -51,8 +52,10 @@ func run(args []string) error {
 	timeline := fs.Bool("timeline", false, "print the per-day cumulative series")
 	chaos := fs.Bool("chaos", false, "run the live fault-injection market instead of the discrete-event simulation")
 	soak := fs.Bool("soak", false, "run the replicated-cluster chaos soak (self-healing HA under a seeded fault schedule)")
+	mesh := fs.Bool("mesh", false, "run the federated trader mesh demo (summary-routed vs full scatter)")
 	cc := registerChaosFlags(fs)
 	sc := registerSoakFlags(fs)
+	mc := registerMeshFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,6 +67,10 @@ func run(args []string) error {
 	if *soak {
 		sc.seed = p.Seed
 		return runSoak(os.Stdout, *sc)
+	}
+	if *mesh {
+		mc.seed = p.Seed
+		return runMesh(os.Stdout, *mc)
 	}
 
 	results, err := market.Compare(p)

@@ -86,6 +86,27 @@ func TestChaosMode(t *testing.T) {
 	}
 }
 
+// TestMeshMode runs the federated-mesh demo end to end: after one
+// gossip round every import must be routed to exactly one peer.
+func TestMeshMode(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-mesh", "-mesh-traders", "8", "-mesh-imports", "20", "-seed", "3"})
+	})
+	if err != nil {
+		t.Fatalf("mesh run failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"federated trader mesh: 8 traders",
+		"full fan-out                        7.0",
+		"summary-routed                      1.0",
+		"scatter narrowed 7.0x",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestBadFlags(t *testing.T) {
 	if _, err := capture(t, func() error { return run([]string{"-days", "banana"}) }); err == nil {
 		t.Fatal("bad flag value must fail")

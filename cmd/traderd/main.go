@@ -4,12 +4,16 @@
 // Usage:
 //
 //	traderd -listen tcp:127.0.0.1:7001 -id hamburg \
-//	        -type carrental.sidl -link cosm://tcp:10.0.0.2:7001/cosm.trader
+//	        -type carrental.sidl -link munich=cosm://tcp:10.0.0.2:7001/cosm.trader
 //
 // Service types can be preloaded from SIDL files carrying a
 // COSM_TraderExport module (-type, repeatable); more types can be
 // defined at run time through the management interface. Federation
-// partners are linked with -link (repeatable).
+// partners are linked with -link name=ref (repeatable; a bare ref gets
+// a generated name) and can be managed at run time with `cosmcli
+// links`. With -gossip-every the trader periodically exchanges offer
+// summaries with its links, so federated imports are routed only to
+// peers that plausibly hold the requested type.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -68,12 +73,13 @@ func run(args []string, sig <-chan os.Signal) error {
 		replSync  = fs.Int("repl-sync", 0, "followers that must acknowledge each mutation before it returns (0 = asynchronous)")
 		autoFail  = fs.Bool("auto-failover", false, "detect a dead leader and elect a replacement (needs -cluster and -data-dir)")
 		electTO   = fs.Duration("election-timeout", 2*time.Second, "failure-suspicion and election-round timeout for -auto-failover")
+		gossip    = fs.Duration("gossip-every", 0, "offer-summary gossip interval for federation links (0 disables gossip)")
 		typeFiles stringList
 		links     stringList
 		cluster   stringList
 	)
 	fs.Var(&typeFiles, "type", "SIDL file with a COSM_TraderExport module to preload as a service type (repeatable)")
-	fs.Var(&links, "link", "partner trader reference cosm://endpoint/service (repeatable)")
+	fs.Var(&links, "link", "partner trader link name=cosm://endpoint/service (repeatable; bare refs get a generated name)")
 	fs.Var(&cluster, "cluster", "another member of this replication cluster, cosm://endpoint/service (repeatable; quorum counts all members)")
 	df := daemon.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -261,8 +267,19 @@ func run(args []string, sig <-chan os.Signal) error {
 		fl.Start()
 		defer fl.Close()
 	}
-	for _, link := range links {
-		r, err := ref.Parse(link)
+	// The link dialer lets the wire-level LinkAdd operation (cosmcli
+	// links add) resolve peer references over this node's pool.
+	tr.SetLinkDialer(func(ctx context.Context, peer ref.ServiceRef) (trader.Federate, error) {
+		return trader.DialTrader(ctx, node.Pool(), peer)
+	})
+	for i, link := range links {
+		name, rtext, ok := strings.Cut(link, "=")
+		if !ok || strings.Contains(name, "://") {
+			// Bare reference: keep the legacy -link form working under a
+			// generated registry name.
+			name, rtext = fmt.Sprintf("link-%d", i+1), link
+		}
+		r, err := ref.Parse(rtext)
 		if err != nil {
 			return fmt.Errorf("-link %s: %w", link, err)
 		}
@@ -270,8 +287,16 @@ func run(args []string, sig <-chan os.Signal) error {
 		if err != nil {
 			return fmt.Errorf("-link %s: %w", link, err)
 		}
-		tr.Link(partner)
-		log.Printf("federated with %s", r)
+		if err := tr.AddLink(name, partner); err != nil {
+			return fmt.Errorf("-link %s: %w", link, err)
+		}
+		log.Printf("federated with %s as %q", r, name)
+	}
+	if *gossip > 0 {
+		g := trader.NewGossiper(tr, *gossip, 0)
+		g.Start()
+		defer g.Close()
+		log.Printf("gossiping offer summaries every %v", *gossip)
 	}
 
 	log.Printf("trader %q serving at %s", *id, ref.New(endpoint, trader.ServiceName))

@@ -92,12 +92,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	hamburg.trader.Link(munichTrader)
+	if err := hamburg.trader.AddLink("munich", munichTrader); err != nil {
+		return err
+	}
 	hamburgTrader, err := trader.DialTrader(ctx, munich.node.Pool(), hamburg.node.MustRefFor(trader.ServiceName))
 	if err != nil {
 		return err
 	}
-	munich.trader.Link(hamburgTrader)
+	if err := munich.trader.AddLink("hamburg", hamburgTrader); err != nil {
+		return err
+	}
 	fmt.Println("== traders federated (hamburg <-> munich)")
 
 	// Cascade the browsers: munich's browser registers at hamburg's.

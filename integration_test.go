@@ -215,7 +215,9 @@ func TestIntegrationFederationOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hamburg.trader.Link(remoteMunich)
+	if err := hamburg.trader.AddLink("munich", remoteMunich); err != nil {
+		t.Fatal(err)
+	}
 
 	isar := startProvider(t, munich, "IsarCars", carrental.Tariff{"FIAT_Uno": 66})
 

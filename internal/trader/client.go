@@ -287,6 +287,62 @@ func (c *Client) RemoveType(ctx context.Context, name string) error {
 	return nil
 }
 
+var _ SummaryPeer = (*Client)(nil)
+
+// LinkAdd registers a named federation link at the remote trader,
+// pointing at the trader behind peer. The remote trader resolves peer
+// with its own link dialer.
+func (c *Client) LinkAdd(ctx context.Context, name string, peer ref.ServiceRef) error {
+	_, err := c.invokeMut(ctx, "LinkAdd",
+		xcode.NewString(c.tt.strT, name),
+		xcode.NewRef(c.tt.refT, peer))
+	if err != nil {
+		return fmt.Errorf("trader: remote link add: %w", err)
+	}
+	return nil
+}
+
+// LinkRemove removes a federation link at the remote trader.
+func (c *Client) LinkRemove(ctx context.Context, name string) error {
+	_, err := c.invokeMut(ctx, "LinkRemove", xcode.NewString(c.tt.strT, name))
+	if err != nil {
+		return fmt.Errorf("trader: remote link remove: %w", err)
+	}
+	return nil
+}
+
+// LinkList returns the remote trader's federation links.
+func (c *Client) LinkList(ctx context.Context) ([]LinkInfo, error) {
+	res, err := c.invoke(ctx, "LinkList")
+	if err != nil {
+		return nil, fmt.Errorf("trader: remote link list: %w", err)
+	}
+	links := make([]LinkInfo, 0, len(res.Value.Elems))
+	for _, lv := range res.Value.Elems {
+		li, err := linkInfoFromValue(lv)
+		if err != nil {
+			return nil, err
+		}
+		links = append(links, li)
+	}
+	return links, nil
+}
+
+// ExchangeSummary implements SummaryPeer over the wire: it pushes s to
+// the remote trader and returns the summary it replies with, so a
+// gossip round over a remote link works exactly like in-process.
+func (c *Client) ExchangeSummary(ctx context.Context, s OfferSummary) (OfferSummary, error) {
+	sv, err := c.tt.summaryValue(s)
+	if err != nil {
+		return OfferSummary{}, err
+	}
+	res, err := c.invoke(ctx, "SummaryExchange", sv)
+	if err != nil {
+		return OfferSummary{}, fmt.Errorf("trader: remote summary exchange: %w", err)
+	}
+	return summaryFromValue(res.Value)
+}
+
 var _ ReplSource = (*Client)(nil)
 
 // ReplPull pulls one replication batch from the remote trader: up to

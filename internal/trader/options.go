@@ -1,6 +1,9 @@
 package trader
 
-import "context"
+import (
+	"context"
+	"time"
+)
 
 // ImportOption configures one import request built with NewImport.
 // Options replace positional ImportRequest construction at call sites;
@@ -46,6 +49,24 @@ func Limit(n int) ImportOption {
 // 0 searches only the local trader.
 func Hops(h int) ImportOption {
 	return func(req *ImportRequest) { req.HopLimit = h }
+}
+
+// MaxPeers bounds how many partner traders each hop of a federated
+// import consults; 0 (the default) consults every eligible link.
+// Summary-positive peers — those whose gossiped offer summary covers
+// the requested type — are preferred, and the overflow becomes hedge
+// spares (see Hedge).
+func MaxPeers(n int) ImportOption {
+	return func(req *ImportRequest) { req.MaxPeers = n }
+}
+
+// Hedge queries one backup peer if the scattered peers have not all
+// answered within d — latency insurance against a single slow link.
+// The backup is the best spare left by MaxPeers, or a duplicate of a
+// still-pending peer (results are deduplicated by offer ID). d <= 0
+// (the default) disables hedging.
+func Hedge(d time.Duration) ImportOption {
+	return func(req *ImportRequest) { req.Hedge = d }
 }
 
 // ImportWith is Import with the functional-options request builder.

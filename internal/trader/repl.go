@@ -28,8 +28,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"strconv"
 	"math/rand"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"

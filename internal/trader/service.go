@@ -8,6 +8,7 @@ import (
 	"cosm/internal/cosm"
 	"cosm/internal/journal"
 	"cosm/internal/sidl"
+	"cosm/internal/wire"
 	"cosm/internal/xcode"
 )
 
@@ -53,7 +54,41 @@ module CosmTrader {
         string policy;
         long max;
         long hopLimit;
+        // Scatter knobs: peers consulted per hop (0 = all) and the
+        // hedge delay in milliseconds (0 = no hedging).
+        long maxPeers;
+        long long hedgeMs;
         Names_t visited;
+    };
+    // One federation link's observable state (see LinkList).
+    struct LinkInfo_t {
+        string name;
+        string peerId;
+        // Circuit-breaker state: closed, open or half-open.
+        string state;
+        // Last successful interaction as Unix milliseconds; 0 = never.
+        long long lastSeenUnixMs;
+        // Farthest advertised hop distance through this link, plus one;
+        // 0 before any summary arrived.
+        long hops;
+        long summaryTypes;
+        long long summaryGen;
+        // Age of the last summary in milliseconds; -1 = none yet.
+        long long summaryAgeMs;
+    };
+    typedef sequence<LinkInfo_t> LinkInfos_t;
+    // One advertised service type of an offer summary: reachable offer
+    // count and hop distance (0 = at the advertising trader itself).
+    struct SummaryEntry_t {
+        string serviceType;
+        long count;
+        long hops;
+    };
+    typedef sequence<SummaryEntry_t> SummaryEntries_t;
+    struct Summary_t {
+        string from;
+        long long gen;
+        SummaryEntries_t entries;
     };
     // One replicated journal record: the leader's sequence number and
     // the logical JSON payload, verbatim.
@@ -127,6 +162,14 @@ module CosmTrader {
         // applied position. At most one vote is granted per epoch, and
         // only to candidates at least as advanced as the voter.
         Vote_t RequestVote(in string candidateId, in long long newEpoch, in long long applied);
+        // Link management: register a named federation link to the
+        // trader behind peer, remove one, list them with their state.
+        void LinkAdd(in string name, in Object peer);
+        void LinkRemove(in string name);
+        LinkInfos_t LinkList();
+        // Offer-summary gossip: store the caller's summary and reply
+        // with this trader's own (a push doubles as a pull).
+        Summary_t SummaryExchange(in Summary_t summary);
     };
 };
 `
@@ -198,6 +241,12 @@ type traderTypes struct {
 	replBatchT  *sidl.Type
 	replStatusT *sidl.Type
 	voteT       *sidl.Type
+
+	linkInfoT   *sidl.Type
+	linkInfosT  *sidl.Type
+	sumEntryT   *sidl.Type
+	sumEntriesT *sidl.Type
+	summaryT    *sidl.Type
 }
 
 func newTraderTypes() (*traderTypes, error) {
@@ -226,7 +275,130 @@ func newTraderTypes() (*traderTypes, error) {
 		replBatchT:  sid.Type("ReplBatch_t"),
 		replStatusT: sid.Type("ReplStatus_t"),
 		voteT:       sid.Type("Vote_t"),
+
+		linkInfoT:   sid.Type("LinkInfo_t"),
+		linkInfosT:  sid.Type("LinkInfos_t"),
+		sumEntryT:   sid.Type("SummaryEntry_t"),
+		sumEntriesT: sid.Type("SummaryEntries_t"),
+		summaryT:    sid.Type("Summary_t"),
 	}, nil
+}
+
+// linkInfoValue encodes one link's observable state.
+func (tt *traderTypes) linkInfoValue(li LinkInfo) (*xcode.Value, error) {
+	var lastSeen int64
+	if !li.LastSeen.IsZero() {
+		lastSeen = li.LastSeen.UnixMilli()
+	}
+	ageMs := int64(-1)
+	if li.SummaryAge >= 0 {
+		ageMs = li.SummaryAge.Milliseconds()
+	}
+	return xcode.NewStruct(tt.linkInfoT, map[string]*xcode.Value{
+		"name":           xcode.NewString(tt.strT, li.Name),
+		"peerId":         xcode.NewString(tt.strT, li.PeerID),
+		"state":          xcode.NewString(tt.strT, string(li.State)),
+		"lastSeenUnixMs": xcode.NewInt(tt.int64T, lastSeen),
+		"hops":           xcode.NewInt(tt.int32T, int64(li.Hops)),
+		"summaryTypes":   xcode.NewInt(tt.int32T, int64(li.SummaryTypes)),
+		"summaryGen":     xcode.NewInt(tt.int64T, int64(li.SummaryGen)),
+		"summaryAgeMs":   xcode.NewInt(tt.int64T, ageMs),
+	})
+}
+
+func linkInfoFromValue(v *xcode.Value) (LinkInfo, error) {
+	var li LinkInfo
+	name, err := v.Field("name")
+	if err != nil {
+		return li, err
+	}
+	li.Name = name.Str
+	peer, err := v.Field("peerId")
+	if err != nil {
+		return li, err
+	}
+	li.PeerID = peer.Str
+	state, err := v.Field("state")
+	if err != nil {
+		return li, err
+	}
+	li.State = wire.BreakerState(state.Str)
+	if f, err := v.Field("lastSeenUnixMs"); err == nil && f.Int != 0 {
+		li.LastSeen = time.UnixMilli(f.Int)
+	}
+	if f, err := v.Field("hops"); err == nil {
+		li.Hops = int(f.Int)
+	}
+	if f, err := v.Field("summaryTypes"); err == nil {
+		li.SummaryTypes = int(f.Int)
+	}
+	if f, err := v.Field("summaryGen"); err == nil {
+		li.SummaryGen = uint64(f.Int)
+	}
+	li.SummaryAge = -1
+	if f, err := v.Field("summaryAgeMs"); err == nil && f.Int >= 0 {
+		li.SummaryAge = time.Duration(f.Int) * time.Millisecond
+	}
+	return li, nil
+}
+
+// summaryValue encodes one offer summary.
+func (tt *traderTypes) summaryValue(s OfferSummary) (*xcode.Value, error) {
+	elems := make([]*xcode.Value, len(s.Entries))
+	for i, e := range s.Entries {
+		ev, err := xcode.NewStruct(tt.sumEntryT, map[string]*xcode.Value{
+			"serviceType": xcode.NewString(tt.strT, e.Type),
+			"count":       xcode.NewInt(tt.int32T, int64(e.Count)),
+			"hops":        xcode.NewInt(tt.int32T, int64(e.Hops)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		elems[i] = ev
+	}
+	seq, err := xcode.NewSequence(tt.sumEntriesT, elems...)
+	if err != nil {
+		return nil, err
+	}
+	return xcode.NewStruct(tt.summaryT, map[string]*xcode.Value{
+		"from":    xcode.NewString(tt.strT, s.From),
+		"gen":     xcode.NewInt(tt.int64T, int64(s.Gen)),
+		"entries": seq,
+	})
+}
+
+func summaryFromValue(v *xcode.Value) (OfferSummary, error) {
+	var s OfferSummary
+	from, err := v.Field("from")
+	if err != nil {
+		return s, err
+	}
+	s.From = from.Str
+	gen, err := v.Field("gen")
+	if err != nil {
+		return s, err
+	}
+	s.Gen = uint64(gen.Int)
+	entries, err := v.Field("entries")
+	if err != nil {
+		return s, err
+	}
+	for _, ev := range entries.Elems {
+		st, err := ev.Field("serviceType")
+		if err != nil {
+			return s, err
+		}
+		count, err := ev.Field("count")
+		if err != nil {
+			return s, err
+		}
+		hops, err := ev.Field("hops")
+		if err != nil {
+			return s, err
+		}
+		s.Entries = append(s.Entries, SummaryEntry{Type: st.Str, Count: int(count.Int), Hops: int(hops.Int)})
+	}
+	return s, nil
 }
 
 func (tt *traderTypes) propsValue(props []sidl.Property) (*xcode.Value, error) {
@@ -679,6 +851,68 @@ func NewService(t *Trader) (*cosm.Service, error) {
 		call.Result = vv
 		return nil
 	})
+	svc.MustHandle("LinkAdd", func(call *cosm.Call) error {
+		name, err := strArg(call, "name")
+		if err != nil {
+			return err
+		}
+		peerV, err := call.Arg("peer")
+		if err != nil {
+			return err
+		}
+		if t.linkDialer == nil {
+			return ErrNoLinkDialer
+		}
+		peer, err := t.linkDialer(call.Ctx, peerV.Ref)
+		if err != nil {
+			return err
+		}
+		return t.AddLink(name, peer)
+	})
+	svc.MustHandle("LinkRemove", func(call *cosm.Call) error {
+		name, err := strArg(call, "name")
+		if err != nil {
+			return err
+		}
+		return t.RemoveLink(name)
+	})
+	svc.MustHandle("LinkList", func(call *cosm.Call) error {
+		links := t.Links()
+		elems := make([]*xcode.Value, len(links))
+		for i, li := range links {
+			lv, err := tt.linkInfoValue(li)
+			if err != nil {
+				return err
+			}
+			elems[i] = lv
+		}
+		seq, err := xcode.NewSequence(tt.linkInfosT, elems...)
+		if err != nil {
+			return err
+		}
+		call.Result = seq
+		return nil
+	})
+	svc.MustHandle("SummaryExchange", func(call *cosm.Call) error {
+		sumV, err := call.Arg("summary")
+		if err != nil {
+			return err
+		}
+		theirs, err := summaryFromValue(sumV)
+		if err != nil {
+			return err
+		}
+		mine, err := t.ExchangeSummary(call.Ctx, theirs)
+		if err != nil {
+			return err
+		}
+		mv, err := tt.summaryValue(mine)
+		if err != nil {
+			return err
+		}
+		call.Result = mv
+		return nil
+	})
 	return svc, nil
 }
 
@@ -850,6 +1084,14 @@ func importReqFromValue(v *xcode.Value) (ImportRequest, error) {
 	for _, e := range visitedV.Elems {
 		req.visited = append(req.visited, e.Str)
 	}
+	// Scatter knobs arrived in a later protocol revision; tolerate their
+	// absence so an old client's request still decodes.
+	if f, err := v.Field("maxPeers"); err == nil {
+		req.MaxPeers = int(f.Int)
+	}
+	if f, err := v.Field("hedgeMs"); err == nil && f.Int > 0 {
+		req.Hedge = time.Duration(f.Int) * time.Millisecond
+	}
 	return req, nil
 }
 
@@ -869,5 +1111,7 @@ func (tt *traderTypes) importReqValue(req ImportRequest) (*xcode.Value, error) {
 		"max":         xcode.NewInt(tt.int32T, int64(req.Max)),
 		"hopLimit":    xcode.NewInt(tt.int32T, int64(req.HopLimit)),
 		"visited":     visitedSeq,
+		"maxPeers":    xcode.NewInt(tt.int32T, int64(req.MaxPeers)),
+		"hedgeMs":     xcode.NewInt(tt.int64T, req.Hedge.Milliseconds()),
 	})
 }

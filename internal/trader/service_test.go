@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"testing"
+	"time"
 
 	"cosm/internal/cosm"
 	"cosm/internal/ref"
 	"cosm/internal/sidl"
 	"cosm/internal/typemgr"
+	"cosm/internal/wire"
 )
 
 // startTraderNode hosts a trader service on a loopback node.
@@ -149,7 +151,7 @@ func TestFederationOverWire(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	trA.Link(remoteB)
+	mustLink(t, trA, "b", remoteB)
 
 	target := carRef(8)
 	if _, err := remoteB.Export(ctx, "CarRentalService", target, carProps("VW_Golf", 66, "DEM")); err != nil {
@@ -167,6 +169,82 @@ func TestFederationOverWire(t *testing.T) {
 	offers, err = trA.Import(ctx, ImportRequest{Type: "CarRentalService", HopLimit: 0})
 	if err != nil || len(offers) != 0 {
 		t.Fatalf("hop 0 offers = %+v, %v", offers, err)
+	}
+}
+
+// Link management and summary gossip over the real wire: cosmcli links
+// drives exactly this client surface.
+func TestLinkManagementOverWire(t *testing.T) {
+	nodeB, _, refB := startTraderNode(t, "trd-links-b", "B")
+	nodeA, trA, refA := startTraderNode(t, "trd-links-a", "A")
+	ctx := context.Background()
+
+	clientA, err := DialTrader(ctx, nodeA.Pool(), refA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Without a dialer the trader cannot resolve peer refs remotely.
+	if err := clientA.LinkAdd(ctx, "b", refB); err == nil {
+		t.Fatal("LinkAdd without a link dialer must fail")
+	}
+	trA.SetLinkDialer(func(ctx context.Context, peer ref.ServiceRef) (Federate, error) {
+		return DialTrader(ctx, nodeA.Pool(), peer)
+	})
+	if err := clientA.LinkAdd(ctx, "b", refB); err != nil {
+		t.Fatal(err)
+	}
+	if err := clientA.LinkAdd(ctx, "b", refB); err == nil {
+		t.Fatal("duplicate remote LinkAdd must fail")
+	}
+
+	links, err := clientA.LinkList(ctx)
+	if err != nil || len(links) != 1 {
+		t.Fatalf("LinkList = %+v, %v", links, err)
+	}
+	if links[0].Name != "b" || links[0].State != wire.BreakerClosed {
+		t.Fatalf("link = %+v", links[0])
+	}
+	if links[0].SummaryAge >= 0 {
+		t.Fatalf("summary age = %v, want negative before gossip", links[0].SummaryAge)
+	}
+
+	// Gossip over the wire: A's round exchanges summaries with B via the
+	// SummaryExchange wire op, and the learned state shows up in LinkList.
+	clientB, err := DialTrader(ctx, nodeB.Pool(), refB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clientB.Export(ctx, "CarRentalService", carRef(2), carProps("AUDI", 42, "USD")); err != nil {
+		t.Fatal(err)
+	}
+	if pushed, failed := trA.GossipRound(ctx, time.Second); pushed != 1 || failed != 0 {
+		t.Fatalf("gossip round: pushed %d failed %d", pushed, failed)
+	}
+	links, err = clientA.LinkList(ctx)
+	if err != nil || len(links) != 1 {
+		t.Fatalf("LinkList = %+v, %v", links, err)
+	}
+	if links[0].PeerID != "B" || links[0].SummaryGen == 0 || links[0].SummaryTypes != 1 || links[0].SummaryAge < 0 {
+		t.Fatalf("post-gossip link = %+v", links[0])
+	}
+
+	// The scatter knobs survive the wire round trip: a remote import
+	// with MaxPeers and Hedge still reaches B's offer.
+	offers, err := clientA.ImportWith(ctx, "CarRentalService",
+		Hops(1), MaxPeers(1), Hedge(50*time.Millisecond))
+	if err != nil || len(offers) != 1 || offers[0].Ref != carRef(2) {
+		t.Fatalf("remote routed import = %+v, %v", offers, err)
+	}
+
+	if err := clientA.LinkRemove(ctx, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := clientA.LinkRemove(ctx, "b"); err == nil {
+		t.Fatal("removing an unknown link must fail remotely")
+	}
+	if links, _ := clientA.LinkList(ctx); len(links) != 0 {
+		t.Fatalf("links after remove = %+v", links)
 	}
 }
 

@@ -224,6 +224,29 @@ func (st *offerStore) purgeExpired(now time.Time) int {
 	return n
 }
 
+// typeCounts returns the number of stored, unexpired offers per
+// service type at time now — the raw material of an offer summary.
+func (st *offerStore) typeCounts(now time.Time) map[string]int {
+	out := map[string]int{}
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		for name, b := range sh.types {
+			n := 0
+			for _, o := range b.offers {
+				if !o.expired(now) {
+					n++
+				}
+			}
+			if n > 0 {
+				out[name] = n
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
 // count returns the number of stored, unexpired offers at time now.
 func (st *offerStore) count(now time.Time) int {
 	n := 0

@@ -1,8 +1,8 @@
 package trader
 
 import (
-	"errors"
 	"context"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -87,7 +87,7 @@ func TestFederatedImportSharesOneTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	trA.Link(remoteB)
+	mustLink(t, trA, "b", remoteB)
 	if _, err := remoteB.Export(setup, "CarRentalService", carRef(3), carProps("FIAT_Uno", 80, "DEM")); err != nil {
 		t.Fatal(err)
 	}
@@ -205,12 +205,12 @@ func TestFederatedFanOutBuildsOneSpanTree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	trA.Link(remoteB)
+	mustLink(t, trA, "b", remoteB)
 	remoteC, err := DialTrader(setup, nodeB.Pool(), refC)
 	if err != nil {
 		t.Fatal(err)
 	}
-	trB.Link(remoteC)
+	mustLink(t, trB, "c", remoteC)
 	// The only matching offer lives at the far end of the chain, so
 	// every import must traverse all three hops.
 	if _, err := remoteC.Export(setup, "CarRentalService", carRef(9), carProps("FIAT_Uno", 80, "DEM")); err != nil {

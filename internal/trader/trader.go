@@ -16,6 +16,7 @@ import (
 	"cosm/internal/ref"
 	"cosm/internal/sidl"
 	"cosm/internal/typemgr"
+	"cosm/internal/wire"
 )
 
 // Errors reported by the trader.
@@ -84,11 +85,21 @@ type ImportRequest struct {
 	// HopLimit bounds federation forwarding; 0 searches only the local
 	// trader, 1 also its direct partners, and so on.
 	HopLimit int
+	// MaxPeers bounds the number of partner traders consulted per hop
+	// (0 means all eligible links — today's full fan-out).
+	MaxPeers int
+	// Hedge, when positive, queries one backup peer if the scattered
+	// peers have not all answered within this delay.
+	Hedge time.Duration
 
 	// visited carries the trader IDs already consulted, for loop
 	// protection across federation links.
 	visited []string
 }
+
+// LinkDialer resolves a peer trader reference into a Federate; the
+// wire-level LinkAdd operation uses it (see Trader.SetLinkDialer).
+type LinkDialer func(ctx context.Context, peer ref.ServiceRef) (Federate, error)
 
 // Federate is the linked-trader interface used for federation: both
 // *Trader (in-process links) and *Client (remote links) implement it.
@@ -113,8 +124,24 @@ type Trader struct {
 	store *offerStore
 	seq   atomic.Uint64
 
-	linkMu sync.RWMutex
-	links  []Federate
+	// mesh is the named federation link registry (see mesh.go); its
+	// own mutex guards it, so concurrent AddLink and Import never race.
+	mesh       *linkRegistry
+	linkPolicy wire.BreakerPolicy
+	linkDialer LinkDialer
+
+	// summaryTTL bounds how long a gossiped offer summary may steer
+	// routing; older summaries degrade the link to unknown coverage
+	// (always consulted). Zero means summaries never expire.
+	summaryTTL    time.Duration
+	gossipHorizon int
+
+	// Federation scatter tallies (see FedStats).
+	fedImports atomic.Uint64
+	fedPeers   atomic.Uint64
+	fedRouted  atomic.Uint64
+	fedFull    atomic.Uint64
+	fedHedged  atomic.Uint64
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -197,6 +224,12 @@ type traderMetrics struct {
 	replRecords       *obs.CounterVec // by direction: sent (leader), applied (follower)
 	fencingRejections *obs.Counter
 	elections         *obs.CounterVec // by outcome: won, lost, relocated, deposed
+
+	fedScatter   *obs.CounterVec // by mode: routed, full
+	fedConsulted *obs.Histogram  // peers consulted per federated import
+	fedHedges    *obs.Counter
+	fedTimeouts  *obs.Counter
+	gossip       *obs.CounterVec // by outcome: accepted, stale, push_error
 }
 
 func newTraderMetrics(reg *obs.Registry) traderMetrics {
@@ -218,6 +251,12 @@ func newTraderMetrics(reg *obs.Registry) traderMetrics {
 		replRecords:       reg.CounterVec("cosm_trader_repl_records_total", "Replication records by direction (sent by the leader, applied by the follower).", "dir"),
 		fencingRejections: reg.Counter("cosm_trader_repl_fencing_rejections_total", "Replication batches or promotions rejected by epoch fencing."),
 		elections:         reg.CounterVec("cosm_trader_elections_total", "Failover monitor outcomes (won, lost, relocated, deposed).", "outcome"),
+
+		fedScatter:   reg.CounterVec("cosm_trader_fed_scatter_total", "Federated fan-outs by mode (routed by offer summaries, or full).", "mode"),
+		fedConsulted: reg.Histogram("cosm_trader_fed_peers_consulted", "Peer traders consulted per federated import.", obs.CountBuckets),
+		fedHedges:    reg.Counter("cosm_trader_fed_hedges_total", "Backup peer queries launched after the hedge delay."),
+		fedTimeouts:  reg.Counter("cosm_trader_fed_gather_timeouts_total", "Federated gathers cut off at the deadline margin with peers still pending."),
+		gossip:       reg.CounterVec("cosm_trader_gossip_total", "Offer-summary gossip by outcome (accepted, stale, push_error).", "outcome"),
 	}
 }
 
@@ -291,8 +330,33 @@ func WithMetrics(reg *obs.Registry) Option {
 				func() float64 { return float64(t.replLagRecords()) })
 			reg.GaugeFunc("cosm_trader_repl_lag_seconds", "Seconds since the follower was last caught up with its leader (0 when caught up or leading).",
 				func() float64 { return t.replLagSeconds() })
+			reg.GaugeFunc("cosm_trader_links", "Registered federation links.",
+				func() float64 { return float64(t.LinkCount()) })
 		}
 	}
+}
+
+// WithLinkPolicy configures the per-link circuit breakers of the
+// federation link registry (default: the pool's DefaultBreakerPolicy).
+// A policy with Threshold < 1 disables per-link breaking.
+func WithLinkPolicy(policy wire.BreakerPolicy) Option {
+	return func(t *Trader) { t.linkPolicy = policy }
+}
+
+// WithSummaryTTL bounds how long a gossiped offer summary may steer
+// federated routing (default 30s): a link whose summary is older is
+// treated as having unknown coverage and is always consulted, so a
+// stalled gossiper degrades to the full fan-out instead of hiding
+// offers. d <= 0 means summaries never expire.
+func WithSummaryTTL(d time.Duration) Option {
+	return func(t *Trader) { t.summaryTTL = d }
+}
+
+// WithGossipHorizon bounds how far reachability is re-advertised in
+// this trader's summaries: 1 advertises only its own offers, 2 (the
+// default) also relays what its direct links advertise as their own.
+func WithGossipHorizon(h int) Option {
+	return func(t *Trader) { t.gossipHorizon = h }
 }
 
 // WithEvents feeds the trader's cluster-lifecycle transitions into ev,
@@ -325,17 +389,21 @@ func WithReplSync(n int, timeout time.Duration) Option {
 // repository. The identity must be unique within a federation.
 func New(id string, types *typemgr.Repo, opts ...Option) *Trader {
 	t := &Trader{
-		id:          id,
-		types:       types,
-		rng:         rand.New(rand.NewSource(1)),
-		now:         time.Now,
-		useIndex:    true,
-		constraints: newLRU[*Constraint](defaultConstraintCacheSize),
-		importTTL:   defaultImportCacheTTL,
+		id:            id,
+		types:         types,
+		rng:           rand.New(rand.NewSource(1)),
+		now:           time.Now,
+		useIndex:      true,
+		constraints:   newLRU[*Constraint](defaultConstraintCacheSize),
+		importTTL:     defaultImportCacheTTL,
+		linkPolicy:    wire.DefaultBreakerPolicy(),
+		summaryTTL:    defaultSummaryTTL,
+		gossipHorizon: defaultGossipHorizon,
 	}
 	for _, o := range opts {
 		o(t)
 	}
+	t.mesh = newLinkRegistry(t.linkPolicy)
 	if t.importTTL > 0 {
 		t.importCache = newLRU[*importCacheEntry](importCacheSize)
 	}
@@ -350,13 +418,6 @@ func (t *Trader) Types() *typemgr.Repo { return t.types }
 
 // FederationID implements Federate.
 func (t *Trader) FederationID() string { return t.id }
-
-// Link adds a federation partner consulted by imports with HopLimit > 0.
-func (t *Trader) Link(partner Federate) {
-	t.linkMu.Lock()
-	defer t.linkMu.Unlock()
-	t.links = append(t.links, partner)
-}
 
 // Export registers a service offer (step 1 of Fig. 1): the offer must
 // name a registered service type and carry values for all of the type's
@@ -863,79 +924,4 @@ func (t *Trader) localMatches(reqType string, constraint *Constraint) ([]*Offer,
 	}
 	sort.Slice(matches, func(i, j int) bool { return matches[i].ID < matches[j].ID })
 	return matches, consulted
-}
-
-// federatedMatches consults partner traders, decrementing the hop limit
-// and carrying the visited set for loop protection. Partner failures are
-// tolerated: federation widens the search best-effort, and the links are
-// queried concurrently so one dead or black-holed partner costs nothing
-// but its own (bounded) attempt. When ctx carries a deadline, collection
-// stops with enough headroom left for the caller to assemble and return
-// the partial result: slow links are abandoned, live links still count.
-func (t *Trader) federatedMatches(ctx context.Context, req ImportRequest) []*Offer {
-	t.linkMu.RLock()
-	links := append([]Federate(nil), t.links...)
-	t.linkMu.RUnlock()
-
-	visited := append(append([]string(nil), req.visited...), t.id)
-	sub := req
-	sub.HopLimit--
-	sub.Policy = "" // ordering happens once, at the originating trader
-	sub.Max = 0
-	sub.visited = visited
-
-	asked := 0
-	// Buffered to link count: a link that answers after the cutoff
-	// deposits its result and exits instead of leaking a goroutine.
-	results := make(chan []*Offer, len(links))
-	for _, link := range links {
-		skip := false
-		for _, v := range visited {
-			if v == link.FederationID() {
-				skip = true
-				break
-			}
-		}
-		if skip {
-			continue
-		}
-		asked++
-		go func(link Federate) {
-			offers, err := link.FederatedImport(ctx, sub)
-			if err != nil {
-				offers = nil
-			}
-			results <- offers
-		}(link)
-	}
-
-	// Stop collecting at the deadline minus a margin for the originating
-	// trader's own ordering and marshalling work.
-	var cutoff <-chan time.Time
-	if deadline, ok := ctx.Deadline(); ok {
-		rem := time.Until(deadline)
-		margin := rem / 5
-		if margin < time.Millisecond {
-			margin = time.Millisecond
-		}
-		if margin > 250*time.Millisecond {
-			margin = 250 * time.Millisecond
-		}
-		timer := time.NewTimer(rem - margin)
-		defer timer.Stop()
-		cutoff = timer.C
-	}
-
-	var out []*Offer
-	for i := 0; i < asked; i++ {
-		select {
-		case offers := <-results:
-			out = append(out, offers...)
-		case <-cutoff:
-			return out
-		case <-ctx.Done():
-			return out
-		}
-	}
-	return out
 }

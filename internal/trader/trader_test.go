@@ -246,6 +246,14 @@ func TestImportWithoutIndexMatchesIndexed(t *testing.T) {
 	}
 }
 
+// mustLink registers a federation link or fails the test.
+func mustLink(t testing.TB, tr *Trader, name string, peer Federate) {
+	t.Helper()
+	if err := tr.AddLink(name, peer); err != nil {
+		t.Fatalf("AddLink(%q): %v", name, err)
+	}
+}
+
 func TestFederationInProcess(t *testing.T) {
 	ctx := context.Background()
 	// Three traders in a chain A <-> B <-> C (bidirectional links, so
@@ -253,10 +261,10 @@ func TestFederationInProcess(t *testing.T) {
 	a := New("A", newCarRepo(t))
 	b := New("B", newCarRepo(t))
 	c := New("C", newCarRepo(t))
-	a.Link(b)
-	b.Link(a)
-	b.Link(c)
-	c.Link(b)
+	mustLink(t, a, "b", b)
+	mustLink(t, b, "a", a)
+	mustLink(t, b, "c", c)
+	mustLink(t, c, "b", b)
 
 	if _, err := c.Export("CarRentalService", carRef(3), carProps("VW_Golf", 55, "DEM")); err != nil {
 		t.Fatal(err)
@@ -283,7 +291,7 @@ func TestFederationDeduplicates(t *testing.T) {
 	ctx := context.Background()
 	a := New("A", newCarRepo(t))
 	b := New("B", newCarRepo(t))
-	a.Link(b)
+	mustLink(t, a, "b", b)
 	// The same service (same reference) is exported at both traders.
 	if _, err := a.Export("CarRentalService", carRef(1), carProps("AUDI", 99, "USD")); err != nil {
 		t.Fatal(err)
@@ -314,8 +322,8 @@ func (f *blackholeFederate) FederatedImport(ctx context.Context, _ ImportRequest
 func TestFederationPartialResultsOverDeadLink(t *testing.T) {
 	a := New("A", newCarRepo(t))
 	live := New("B", newCarRepo(t))
-	a.Link(&blackholeFederate{id: "DEAD"})
-	a.Link(live)
+	mustLink(t, a, "dead", &blackholeFederate{id: "DEAD"})
+	mustLink(t, a, "live", live)
 	if _, err := live.Export("CarRentalService", carRef(7), carProps("AUDI", 70, "USD")); err != nil {
 		t.Fatal(err)
 	}
@@ -340,8 +348,8 @@ func TestFederationPartialResultsOverDeadLink(t *testing.T) {
 // deadline rather than hanging.
 func TestFederationAllLinksDeadReturnsByDeadline(t *testing.T) {
 	a := New("A", newCarRepo(t))
-	a.Link(&blackholeFederate{id: "D1"})
-	a.Link(&blackholeFederate{id: "D2"})
+	mustLink(t, a, "d1", &blackholeFederate{id: "D1"})
+	mustLink(t, a, "d2", &blackholeFederate{id: "D2"})
 
 	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
 	defer cancel()
@@ -362,8 +370,8 @@ func TestFederationLoopTerminates(t *testing.T) {
 	ctx := context.Background()
 	a := New("A", newCarRepo(t))
 	b := New("B", newCarRepo(t))
-	a.Link(b)
-	b.Link(a)
+	mustLink(t, a, "b", b)
+	mustLink(t, b, "a", a)
 	// Huge hop limit over a 2-cycle must terminate via the visited set.
 	if _, err := b.Export("CarRentalService", carRef(2), carProps("AUDI", 10, "USD")); err != nil {
 		t.Fatal(err)

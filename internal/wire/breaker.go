@@ -171,6 +171,33 @@ func (b *breaker) failure(now time.Time) bool {
 	return opened
 }
 
+// Breaker is a standalone circuit breaker with the same semantics as
+// the Pool's per-endpoint breakers (closed / open / half-open, one
+// half-open probe per cooldown), for callers that track the health of
+// resources the Pool does not see — the trader's federation links use
+// one per link.
+type Breaker struct{ b *breaker }
+
+// NewBreaker returns a standalone breaker with the given policy. A
+// policy with Threshold < 1 disables it (Allow always admits).
+func NewBreaker(policy BreakerPolicy) *Breaker {
+	return &Breaker{b: newBreaker(policy)}
+}
+
+// Allow decides whether a caller may use the resource now; while open
+// it returns ErrCircuitOpen until the cooldown admits one probe.
+func (b *Breaker) Allow(now time.Time) error { return b.b.allow(now) }
+
+// Success records a healthy interaction and closes the circuit.
+func (b *Breaker) Success() { b.b.success() }
+
+// Failure records a failure; it returns true when this failure opened
+// the circuit.
+func (b *Breaker) Failure(now time.Time) bool { return b.b.failure(now) }
+
+// State reports the observable state.
+func (b *Breaker) State() BreakerState { return b.b.current() }
+
 // current reports the observable state.
 func (b *breaker) current() BreakerState {
 	b.mu.Lock()
