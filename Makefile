@@ -34,13 +34,14 @@ bench-smoke:
 # Machine-readable benchmark record for the current PR's tentpole, as
 # go-test JSON events for tracking across commits. PR selects the
 # output file; BENCH_PATTERN the benchmark group — defaults cover the
-# federated-mesh PR (50-trader scatter regimes + gossip round cost)
-# plus the matching-engine and durability groups it must not regress.
-# `make bench-json PR=8
-# BENCH_PATTERN='SpanOverhead|EventLogAppend|ObsOverhead|Import_10kOffers|JournalAppend'`
+# semantic-matchmaking PR (graded conformant imports over a five-level
+# hierarchy vs the flat exact path and the linear oracle) plus the
+# exact-match and mesh groups it must not regress.
+# `make bench-json PR=9
+# BENCH_PATTERN='Mesh_50Traders|Mesh_GossipRound|Import_10kOffers|JournalAppend'`
 # reproduces the previous record.
-PR ?= 9
-BENCH_PATTERN ?= Mesh_50Traders|Mesh_GossipRound|Import_10kOffers|JournalAppend
+PR ?= 10
+BENCH_PATTERN ?= Import_Conformant_10kOffers|Import_10kOffers|Mesh_50Traders
 # Wall-clock benchmarks (seconds per op: failure detection + election)
 # run few iterations — 100x of a real leader kill would take minutes.
 BENCH_SLOW_PATTERN ?= FailoverLatency

@@ -1647,6 +1647,124 @@ func BenchmarkMesh_50Traders(b *testing.B) {
 	})
 }
 
+// ---------------------------------------------------------------------
+// E13 — semantic matchmaking (conformance-aware graded imports)
+// ---------------------------------------------------------------------
+
+// conformantLevels is the depth of the benchmark hierarchy: a five-level
+// chain L0 <- L1 <- L2 <- L3 <- L4, each level adding one attribute on
+// top of the shared Price.
+const conformantLevels = 5
+
+func conformantLevelName(i int) string { return fmt.Sprintf("L%d", i) }
+
+// conformantHierRepo defines the chain; every type carries Price plus
+// one extra attribute per inherited level, so each is a conforming
+// subtype of all its ancestors.
+func conformantHierRepo(b *testing.B) *typemgr.Repo {
+	b.Helper()
+	repo := typemgr.NewRepo()
+	for i := 0; i < conformantLevels; i++ {
+		st := &typemgr.ServiceType{
+			Name:  conformantLevelName(i),
+			Attrs: []typemgr.AttrDef{{Name: "Price", Type: sidl.Basic(sidl.Float64)}},
+		}
+		if i > 0 {
+			st.Super = conformantLevelName(i - 1)
+		}
+		for k := 1; k <= i; k++ {
+			st.Attrs = append(st.Attrs, typemgr.AttrDef{
+				Name: fmt.Sprintf("A%d", k), Type: sidl.Basic(sidl.Int64),
+			})
+		}
+		if err := repo.Define(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return repo
+}
+
+// fillConformant spreads n offers evenly over the hierarchy's levels
+// with the same ~90-value price spread fillTrader uses.
+func fillConformant(b *testing.B, tr *trader.Trader, n int) {
+	b.Helper()
+	for i := 0; i < n; i++ {
+		level := i % conformantLevels
+		props := []sidl.Property{{Name: "Price", Value: sidl.FloatLit(float64(10 + i%90))}}
+		for k := 1; k <= level; k++ {
+			props = append(props, sidl.Property{Name: fmt.Sprintf("A%d", k), Value: sidl.IntLit(int64(k))})
+		}
+		r := ref.New(fmt.Sprintf("tcp:10.7.%d.%d:7000", i/250, i%250), conformantLevelName(level))
+		if _, err := tr.Export(conformantLevelName(level), r, props); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkImport_Conformant_10kOffers measures the graded matching hot
+// path at market scale: 10k offers spread over a five-level type
+// hierarchy, 64 concurrent importers asking for the root type, a ~4%
+// selective range constraint, score-ordered results. "exact" is the
+// baseline: the same 10k offers under a single flat type, i.e. the
+// one-bucket indexed path of BenchmarkImport_10kOffers. "conformant"
+// resolves the root's subtype closure and fans the same import out over
+// all five per-type index snapshots — the acceptance bar is ~2x the
+// flat baseline. "linear" is the ablation oracle: the same conformant
+// import over the unindexed store, which the indexed path must beat by
+// >= 5x.
+func BenchmarkImport_Conformant_10kOffers(b *testing.B) {
+	const stored = 10_000
+	run := func(b *testing.B, tr *trader.Trader, fill func(*testing.B, *trader.Trader, int)) {
+		b.Helper()
+		fill(b, tr, stored)
+		req := trader.NewImport("L0",
+			trader.Conformant(),
+			trader.Where("Price < 14"), // prices 10..13: ~4% of the spread
+			trader.OrderBy("score"),
+			trader.Limit(5))
+		ctx := context.Background()
+		if warm, err := tr.ImportGraded(ctx, req); err != nil || len(warm) == 0 {
+			b.Fatalf("warmup import = %v, %v", warm, err)
+		}
+		factor := (64 + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0)
+		b.SetParallelism(factor)
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				res, err := tr.ImportGraded(ctx, req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) == 0 {
+					b.Fatal("no matches")
+				}
+			}
+		})
+	}
+	// flatFill puts every offer under the root type: the closure is a
+	// single bucket, so this is the exact-type indexed path.
+	flatFill := func(b *testing.B, tr *trader.Trader, n int) {
+		b.Helper()
+		for i := 0; i < n; i++ {
+			props := []sidl.Property{{Name: "Price", Value: sidl.FloatLit(float64(10 + i%90))}}
+			r := ref.New(fmt.Sprintf("tcp:10.8.%d.%d:7000", i/250, i%250), "L0")
+			if _, err := tr.Export("L0", r, props); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("exact", func(b *testing.B) {
+		run(b, trader.New("T", conformantHierRepo(b), trader.WithImportCacheTTL(0)), flatFill)
+	})
+	b.Run("conformant", func(b *testing.B) {
+		run(b, trader.New("T", conformantHierRepo(b), trader.WithImportCacheTTL(0)), fillConformant)
+	})
+	b.Run("linear", func(b *testing.B) {
+		run(b, trader.New("T", conformantHierRepo(b), trader.WithoutOfferIndex(), trader.WithImportCacheTTL(0)), fillConformant)
+	})
+}
+
 // BenchmarkMesh_GossipRound measures one summary-exchange round: the
 // importing trader pushing its digest to (and pulling digests from) all
 // 49 mesh peers. This is the background cost that buys the scatter

@@ -15,6 +15,8 @@
 //	cosmcli import   cosm://.../cosm.trader CarRentalService \
 //	                 -constraint 'ChargePerDay < 100' -policy min:ChargePerDay \
 //	                 -hops 1 -max-peers 3 -hedge 50ms
+//	cosmcli import   cosm://.../cosm.trader Vehicle \
+//	                 -conformant -min-grade subtype -policy score
 //	cosmcli links    cosm://.../cosm.trader list
 //	cosmcli links    cosm://.../cosm.trader add munich cosm://tcp:10.0.0.2:7001/cosm.trader
 //	cosmcli links    cosm://.../cosm.trader remove munich
@@ -66,6 +68,7 @@ import (
 	"time"
 
 	"cosm/internal/genclient"
+	"cosm/internal/match"
 	"cosm/internal/obs"
 	"cosm/internal/ref"
 	"cosm/internal/sidl"
@@ -207,11 +210,13 @@ func runWithInput(args []string, stdin io.Reader) error {
 	case "import":
 		fs := flag.NewFlagSet("import", flag.ContinueOnError)
 		constraint := fs.String("constraint", "", "attribute constraint expression")
-		policy := fs.String("policy", "", "selection policy (first|random|min:P|max:P)")
+		policy := fs.String("policy", "", "selection policy (first|random|score|min:P|max:P)")
 		maxN := fs.Int("max", 0, "maximum offers (0 = all)")
 		hops := fs.Int("hops", 0, "federation hop limit")
 		maxPeers := fs.Int("max-peers", 0, "partner traders consulted per federation hop (0 = all eligible)")
 		hedge := fs.Duration("hedge", 0, "query one backup peer if the scatter runs longer than this (0 = off)")
+		conformant := fs.Bool("conformant", false, "also match conformant subtypes of the requested type")
+		minGrade := fs.String("min-grade", "", "minimum semantic grade (exact|subtype|partial-attribute)")
 		if len(rest) < 1 {
 			return fmt.Errorf("usage: cosmcli import <trader-ref> <service-type> [flags]")
 		}
@@ -219,25 +224,41 @@ func runWithInput(args []string, stdin io.Reader) error {
 		if err := fs.Parse(rest[1:]); err != nil {
 			return err
 		}
+		opts := []trader.ImportOption{
+			trader.Where(*constraint), trader.OrderBy(*policy),
+			trader.Limit(*maxN), trader.Hops(*hops),
+			trader.MaxPeers(*maxPeers), trader.Hedge(*hedge),
+		}
+		if *conformant {
+			opts = append(opts, trader.Conformant())
+		}
+		if *minGrade != "" {
+			g, err := match.ParseGrade(*minGrade)
+			if err != nil {
+				return err
+			}
+			opts = append(opts, trader.MinGrade(g))
+		}
 		tc, err := trader.DialTrader(ctx, pool, target)
 		if err != nil {
 			return err
 		}
-		offers, err := tc.ImportWith(ctx, serviceType,
-			trader.Where(*constraint), trader.OrderBy(*policy),
-			trader.Limit(*maxN), trader.Hops(*hops),
-			trader.MaxPeers(*maxPeers), trader.Hedge(*hedge))
+		matches, err := tc.ImportGradedWith(ctx, serviceType, opts...)
 		if err != nil {
 			return err
 		}
-		if len(offers) == 0 {
+		if len(matches) == 0 {
 			fmt.Println("no matching offers")
 			return nil
 		}
-		for _, o := range offers {
-			fmt.Printf("%-14s %-24s %s\n", o.ID, o.Type, o.Ref)
-			for _, name := range sortedKeys(o.Props) {
-				fmt.Printf("    %s = %s\n", name, o.Props[name])
+		for _, m := range matches {
+			grade := m.Grade.String()
+			if grade == "" {
+				grade = "ungraded"
+			}
+			fmt.Printf("%-14s %-24s %-17s %5.2f  %s\n", m.ID, m.Type, grade, m.Score, m.Ref)
+			for _, name := range sortedKeys(m.Props) {
+				fmt.Printf("    %s = %s\n", name, m.Props[name])
 			}
 		}
 		return nil

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -15,6 +16,7 @@ import (
 	"cosm/internal/browser"
 	"cosm/internal/carrental"
 	"cosm/internal/cosm"
+	"cosm/internal/obs"
 	"cosm/internal/ref"
 	"cosm/internal/sidl"
 	"cosm/internal/trader"
@@ -195,6 +197,59 @@ func TestImportCommand(t *testing.T) {
 	})
 	if err != nil || !strings.Contains(out, "no matching offers") {
 		t.Fatalf("import(no match) = %q, %v", out, err)
+	}
+}
+
+func TestImportGradedFlags(t *testing.T) {
+	_, _, traderRef := startMarket(t, "cli-graded")
+	out, err := capture(t, func() error {
+		return run([]string{"import", traderRef, "CarRentalService",
+			"-conformant", "-min-grade", "exact", "-policy", "score"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "exact") || !strings.Contains(out, "1.00") {
+		t.Fatalf("graded import output lacks grade/score columns: %q", out)
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"import", traderRef, "CarRentalService", "-min-grade", "bogus"})
+	}); err == nil {
+		t.Fatal("bogus -min-grade must fail")
+	}
+}
+
+func TestStatsSurfacesMatchGrades(t *testing.T) {
+	reg := obs.NewRegistry()
+	repo := typemgr.NewRepo()
+	st, err := typemgr.FromSID(sidl.CarRentalSID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Define(st); err != nil {
+		t.Fatal(err)
+	}
+	tr := trader.New("cli-stats", repo, trader.WithMetrics(reg))
+	_, impl, err := carrental.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	self := ref.New("loop:cli-stats", "CarRentalService")
+	if _, err := tr.ExportSID(impl.SID(), self); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Import(context.Background(), trader.ImportRequest{Type: "CarRentalService"}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(obs.Handler(reg, func() error { return nil }))
+	defer srv.Close()
+	var buf strings.Builder
+	if err := stats(&buf, strings.TrimPrefix(srv.URL, "http://"), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cosm_trader_match_grade_total{exact}") {
+		t.Fatalf("stats output lacks grade counter:\n%s", buf.String())
 	}
 }
 

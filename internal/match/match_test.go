@@ -1,0 +1,187 @@
+package match
+
+import (
+	"errors"
+	"testing"
+
+	"cosm/internal/typemgr"
+)
+
+func TestGradeLattice(t *testing.T) {
+	if !(GradeNone < GradePartial && GradePartial < GradeSubtype && GradeSubtype < GradeExact) {
+		t.Fatal("grade lattice out of order")
+	}
+	if !GradeExact.AtLeast(GradeSubtype) || GradePartial.AtLeast(GradeSubtype) {
+		t.Fatal("AtLeast broken")
+	}
+	for _, g := range []Grade{GradeNone, GradePartial, GradeSubtype, GradeExact} {
+		back, err := ParseGrade(g.String())
+		if err != nil || back != g {
+			t.Fatalf("ParseGrade(%q) = %v, %v; want %v", g.String(), back, err, g)
+		}
+	}
+	if g, err := ParseGrade("partial"); err != nil || g != GradePartial {
+		t.Fatalf("ParseGrade(partial) = %v, %v", g, err)
+	}
+	if _, err := ParseGrade("bogus"); err == nil {
+		t.Fatal("ParseGrade(bogus) should fail")
+	}
+}
+
+func TestTypeScoreOrdering(t *testing.T) {
+	// exact > depth1 > depth2 > ... > structural, and deep chains
+	// never fall below the structural floor.
+	prev := TypeScore(0, false)
+	if prev != ScoreExact {
+		t.Fatalf("TypeScore(0) = %v", prev)
+	}
+	for d := 1; d <= 12; d++ {
+		s := TypeScore(d, false)
+		if s > prev {
+			t.Fatalf("TypeScore(%d) = %v not monotone", d, s)
+		}
+		if s <= ScoreStructural {
+			t.Fatalf("TypeScore(%d) = %v under structural score", d, s)
+		}
+		prev = s
+	}
+	if TypeScore(0, true) != ScoreStructural {
+		t.Fatal("structural score wrong")
+	}
+}
+
+func TestPartialAlwaysBelowFull(t *testing.T) {
+	// Any full match (worst case: structural) must outrank any partial
+	// match (best case: exact type, all-but-guaranteed conjuncts).
+	bestPartial := PartialScore(ScoreExact, 99, 100)
+	if bestPartial >= ScoreStructural {
+		t.Fatalf("best partial %v >= worst full %v", bestPartial, ScoreStructural)
+	}
+	if PartialScore(ScoreExact, 0, 3) != 0 || PartialScore(ScoreExact, 2, 0) != 0 {
+		t.Fatal("degenerate partial scores should be 0")
+	}
+	if PartialScore(1, 1, 2) >= PartialScore(1, 2, 3) {
+		t.Fatal("partial score not monotone in satisfied fraction")
+	}
+}
+
+func TestGradeClosure(t *testing.T) {
+	cl := []typemgr.ConformantType{
+		{Name: "A", Depth: 0},
+		{Name: "B", Depth: 1},
+		{Name: "D", Depth: 2},
+		{Name: "S", Structural: true},
+	}
+	tms := GradeClosure(cl)
+	if tms[0].Grade != GradeExact || tms[0].Score != ScoreExact {
+		t.Fatalf("base graded %+v", tms[0])
+	}
+	for _, tm := range tms[1:] {
+		if tm.Grade != GradeSubtype {
+			t.Fatalf("%s graded %v, want subtype", tm.Name, tm.Grade)
+		}
+	}
+	if !(tms[1].Score > tms[2].Score && tms[2].Score > tms[3].Score) {
+		t.Fatalf("closure scores not ordered: %+v", tms)
+	}
+}
+
+func TestGradeRemote(t *testing.T) {
+	cl := GradeClosure([]typemgr.ConformantType{
+		{Name: "A", Depth: 0}, {Name: "B", Depth: 1},
+	})
+	if g, s := GradeRemote("A", "A", cl); g != GradeExact || s != ScoreExact {
+		t.Fatalf("exact remote: %v %v", g, s)
+	}
+	if g, s := GradeRemote("A", "B", cl); g != GradeSubtype || s != TypeScore(1, false) {
+		t.Fatalf("closure remote: %v %v", g, s)
+	}
+	// Unknown type vouched for by an old peer: conservative subtype.
+	if g, s := GradeRemote("A", "X", cl); g != GradeSubtype || s != ScoreStructural {
+		t.Fatalf("unknown remote: %v %v", g, s)
+	}
+}
+
+// fakeGather returns one full match per bucket plus, for the "B"
+// bucket, one partial match — enough to exercise floor handling.
+func fakePipeline(t *testing.T) *Pipeline[string] {
+	t.Helper()
+	return &Pipeline[string]{
+		Resolve: func(reqType string) ([]TypeMatch, error) {
+			if reqType == "nope" {
+				return nil, errors.New("unknown type")
+			}
+			return []TypeMatch{
+				{Name: "A", Grade: GradeExact, Score: ScoreExact},
+				{Name: "B", Grade: GradeSubtype, Score: 0.9},
+			}, nil
+		},
+		Gather: func(tm TypeMatch, min Grade) ([]Graded[string], error) {
+			ms := []Graded[string]{{Item: tm.Name + "-full", Grade: tm.Grade, Score: tm.Score}}
+			if tm.Name == "B" && min <= GradePartial {
+				ms = append(ms, Graded[string]{
+					Item: "B-partial", Grade: GradePartial,
+					Score: PartialScore(tm.Score, 1, 2),
+				})
+			}
+			return ms, nil
+		},
+	}
+}
+
+func TestPipelineRunFloors(t *testing.T) {
+	p := fakePipeline(t)
+	for _, tc := range []struct {
+		min  Grade
+		want []string
+	}{
+		{GradeNone, []string{"A-full", "B-full", "B-partial"}},
+		{GradePartial, []string{"A-full", "B-full", "B-partial"}},
+		{GradeSubtype, []string{"A-full", "B-full"}},
+		{GradeExact, []string{"A-full"}},
+	} {
+		got, err := p.Run("T", tc.min)
+		if err != nil {
+			t.Fatalf("Run(min=%v): %v", tc.min, err)
+		}
+		if len(got) != len(tc.want) {
+			t.Fatalf("Run(min=%v) = %+v, want %v", tc.min, got, tc.want)
+		}
+		for i := range tc.want {
+			if got[i].Item != tc.want[i] {
+				t.Fatalf("Run(min=%v) = %+v, want %v", tc.min, got, tc.want)
+			}
+		}
+	}
+	if _, err := p.Run("nope", GradeNone); err == nil {
+		t.Fatal("Run should propagate resolve errors")
+	}
+}
+
+func TestPipelinePluggablePhase(t *testing.T) {
+	p := fakePipeline(t)
+	var saw int
+	p.Phases = append(p.Phases, PhaseFunc[string]{
+		PhaseName: "demote-b",
+		Fn: func(ms []Graded[string]) []Graded[string] {
+			saw = len(ms)
+			for i := range ms {
+				if ms[i].Item == "B-full" {
+					ms[i].Grade, ms[i].Score = GradePartial, 0.1
+				}
+			}
+			return ms
+		},
+	})
+	got, err := p.Run("T", GradeSubtype)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saw == 0 {
+		t.Fatal("custom phase never ran")
+	}
+	// The phase demoted B-full below the floor; Run must drop it.
+	if len(got) != 1 || got[0].Item != "A-full" {
+		t.Fatalf("post-phase floor not enforced: %+v", got)
+	}
+}

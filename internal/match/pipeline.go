@@ -1,0 +1,76 @@
+package match
+
+// Graded pairs a pipeline item with the grade and score the matcher
+// assigned it.
+type Graded[T any] struct {
+	Item  T
+	Grade Grade
+	Score float64
+}
+
+// Phase is a pluggable pipeline stage run after the built-in
+// resolve/gather phases: rescorers, deduplicators, business-rule
+// filters. A phase receives the accumulated matches and returns the
+// (possibly re-graded, re-ordered, or shrunk) set.
+type Phase[T any] interface {
+	// Name identifies the phase in traces and diagnostics.
+	Name() string
+	// Apply transforms the match set. It may mutate and return ms.
+	Apply(ms []Graded[T]) []Graded[T]
+}
+
+// PhaseFunc adapts a function to the Phase interface.
+type PhaseFunc[T any] struct {
+	PhaseName string
+	Fn        func(ms []Graded[T]) []Graded[T]
+}
+
+func (p PhaseFunc[T]) Name() string                     { return p.PhaseName }
+func (p PhaseFunc[T]) Apply(ms []Graded[T]) []Graded[T] { return p.Fn(ms) }
+
+// Pipeline is the multi-phase matcher. Resolve is phase 1 (request
+// type → graded conformant closure), Gather is phase 2+3 for one
+// closure member (candidate selection, attribute filtering, and
+// scoring against that bucket's type grade), and Phases are optional
+// pluggable stages run over the combined result. The zero value is not
+// usable; both funcs are required.
+type Pipeline[T any] struct {
+	Resolve func(reqType string) ([]TypeMatch, error)
+	Gather  func(tm TypeMatch, minGrade Grade) ([]Graded[T], error)
+	Phases  []Phase[T]
+}
+
+// Run executes the pipeline for one request, returning every match
+// grading at least minGrade. Buckets whose full-match grade is below
+// the floor are skipped entirely when the floor also excludes
+// partial-attribute matches — with a GradePartial (or none) floor they
+// must still be scanned, because a failing-but-conformant offer may
+// yield a partial match.
+func (p *Pipeline[T]) Run(reqType string, minGrade Grade) ([]Graded[T], error) {
+	tms, err := p.Resolve(reqType)
+	if err != nil {
+		return nil, err
+	}
+	var out []Graded[T]
+	for _, tm := range tms {
+		if minGrade > GradePartial && !tm.Grade.AtLeast(minGrade) {
+			continue
+		}
+		ms, err := p.Gather(tm, minGrade)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ms...)
+	}
+	for _, ph := range p.Phases {
+		out = ph.Apply(out)
+	}
+	// Phases may have re-graded; enforce the floor on the final set.
+	kept := out[:0]
+	for _, m := range out {
+		if m.Grade.AtLeast(minGrade) {
+			kept = append(kept, m)
+		}
+	}
+	return kept, nil
+}

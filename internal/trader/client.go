@@ -2,7 +2,9 @@ package trader
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -22,10 +24,16 @@ type Client struct {
 	fid  string
 
 	// redirect makes mutations chase a not-leader rejection's hint
-	// (FollowLeaderHints); mu guards conn across a re-bind.
+	// (FollowLeaderHints); mu guards conn and leader across re-binds.
 	redirect bool
 	mu       sync.RWMutex
 	conn     *cosm.Conn
+	// leader caches the binding a leader hint pointed at, so every
+	// mutation after the first goes straight to the leader instead of
+	// paying a rejection + redirect round trip. Reads stay on conn (a
+	// follower serves them locally, by design). Invalidated whenever
+	// the cached binding answers with ErrNotLeader.
+	leader *cosm.Conn
 }
 
 var _ Federate = (*Client)(nil)
@@ -48,9 +56,10 @@ func (c *Client) FederationID() string { return c.fid }
 
 // FollowLeaderHints makes mutation calls follow a not-leader rejection:
 // when a demoted trader answers with "(leader at <ref>)", the client
-// re-binds to that ref and retries the call once. Reads are unaffected
-// (followers serve them locally, by design). Set before sharing the
-// client between goroutines.
+// re-binds to that ref, remembers the leader binding for subsequent
+// mutations, and retries the call once. Reads are unaffected (followers
+// serve them locally, by design). Set before sharing the client between
+// goroutines.
 func (c *Client) FollowLeaderHints(on bool) { c.redirect = on }
 
 // invoke routes one call through the current connection.
@@ -61,30 +70,74 @@ func (c *Client) invoke(ctx context.Context, op string, args ...*xcode.Value) (*
 	return conn.Invoke(ctx, op, args...)
 }
 
-// invokeMut is invoke for mutations: under FollowLeaderHints a
-// not-leader rejection re-binds the client to the hinted leader and
+// isNotLeaderError recognises a not-leader rejection whether it is the
+// local ErrNotLeader or its text after crossing the wire.
+func isNotLeaderError(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrNotLeader) || strings.Contains(err.Error(), ErrNotLeader.Error())
+}
+
+// mutConn picks the binding a mutation should use: the cached leader
+// when hints are followed and one is known, the primary otherwise.
+func (c *Client) mutConn() (conn *cosm.Conn, cached bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.redirect && c.leader != nil {
+		return c.leader, true
+	}
+	return c.conn, false
+}
+
+// dropLeader invalidates the cached leader binding if it still is conn
+// (a racing mutation may have already re-bound to a fresher leader).
+func (c *Client) dropLeader(conn *cosm.Conn) {
+	c.mu.Lock()
+	if c.leader == conn {
+		c.leader = nil
+	}
+	c.mu.Unlock()
+}
+
+// invokeMut is invoke for mutations: under FollowLeaderHints mutations
+// go straight to the last known leader, and a not-leader rejection
+// invalidates that cache, re-binds to the rejection's hinted leader and
 // retries once.
 func (c *Client) invokeMut(ctx context.Context, op string, args ...*xcode.Value) (*cosm.Result, error) {
-	res, err := c.invoke(ctx, op, args...)
-	if err == nil || !c.redirect {
+	conn, cached := c.mutConn()
+	res, err := conn.Invoke(ctx, op, args...)
+	if err == nil || !c.redirect || !isNotLeaderError(err) {
 		return res, err
+	}
+	if cached {
+		// The cached leader was deposed; stop steering mutations at it.
+		c.dropLeader(conn)
 	}
 	hint, ok := LeaderHintFromError(err)
 	if !ok {
-		return res, err
+		if !cached {
+			return res, err
+		}
+		// A stale cached leader with no forwarding hint: fall back to
+		// the primary binding, which may know the new leader.
+		c.mu.RLock()
+		primary := c.conn
+		c.mu.RUnlock()
+		return primary.Invoke(ctx, op, args...)
 	}
 	r, perr := ref.Parse(hint)
 	if perr != nil {
 		return res, err
 	}
-	conn, berr := cosm.Bind(ctx, c.pool, r)
+	lconn, berr := cosm.Bind(ctx, c.pool, r)
 	if berr != nil {
 		return res, err
 	}
 	c.mu.Lock()
-	c.conn = conn
+	c.leader = lconn
 	c.mu.Unlock()
-	return conn.Invoke(ctx, op, args...)
+	return lconn.Invoke(ctx, op, args...)
 }
 
 // Export registers an offer at the remote trader.
@@ -201,8 +254,25 @@ func (c *Client) Replace(ctx context.Context, offerID string, props []sidl.Prope
 	return nil
 }
 
-// Import matches offers at the remote trader.
+// Import matches offers at the remote trader. It is ImportGraded with
+// the grades dropped.
 func (c *Client) Import(ctx context.Context, req ImportRequest) ([]*Offer, error) {
+	ms, err := c.ImportGraded(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	offers := make([]*Offer, len(ms))
+	for i := range ms {
+		offers[i] = ms[i].Offer
+	}
+	return offers, nil
+}
+
+// ImportGraded matches offers at the remote trader, keeping the
+// semantic grade and score of every match. A trader that predates
+// grading answers plain offers; tolerant decode turns those into
+// GradeNone matches (which the federation path re-grades locally).
+func (c *Client) ImportGraded(ctx context.Context, req ImportRequest) ([]Match, error) {
 	reqV, err := c.tt.importReqValue(req)
 	if err != nil {
 		return nil, err
@@ -211,20 +281,26 @@ func (c *Client) Import(ctx context.Context, req ImportRequest) ([]*Offer, error
 	if err != nil {
 		return nil, fmt.Errorf("trader: remote import: %w", err)
 	}
-	offers := make([]*Offer, 0, len(res.Value.Elems))
+	ms := make([]Match, 0, len(res.Value.Elems))
 	for _, ov := range res.Value.Elems {
-		o, err := offerFromValue(ov)
+		m, err := matchFromValue(ov)
 		if err != nil {
 			return nil, err
 		}
-		offers = append(offers, o)
+		ms = append(ms, m)
 	}
-	return offers, nil
+	return ms, nil
 }
 
 // ImportWith is Import with the functional-options request builder.
 func (c *Client) ImportWith(ctx context.Context, serviceType string, opts ...ImportOption) ([]*Offer, error) {
 	return c.Import(ctx, NewImport(serviceType, opts...))
+}
+
+// ImportGradedWith is ImportGraded with the functional-options request
+// builder.
+func (c *Client) ImportGradedWith(ctx context.Context, serviceType string, opts ...ImportOption) ([]Match, error) {
+	return c.ImportGraded(ctx, NewImport(serviceType, opts...))
 }
 
 // ImportOneWith is ImportOne with the functional-options request
@@ -247,8 +323,8 @@ func (c *Client) ImportOne(ctx context.Context, req ImportRequest) (*Offer, erro
 }
 
 // FederatedImport implements Federate over the wire.
-func (c *Client) FederatedImport(ctx context.Context, req ImportRequest) ([]*Offer, error) {
-	return c.Import(ctx, req)
+func (c *Client) FederatedImport(ctx context.Context, req ImportRequest) ([]Match, error) {
+	return c.ImportGraded(ctx, req)
 }
 
 // DefineTypeFromSID registers a service type at the remote trader's

@@ -1,0 +1,63 @@
+package trader
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"cosm/internal/cosm"
+)
+
+func TestIsNotLeaderError(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{ErrNotLeader, true},
+		{fmt.Errorf("%w (leader at tcp:10.0.0.1:7000/cosm.trader)", ErrNotLeader), true},
+		// After crossing the wire the error is plain text.
+		{errors.New("cosm: remote: trader: not leader (leader at tcp:10.0.0.1:7000/cosm.trader)"), true},
+		{errors.New("trader: bad selection policy"), false},
+	}
+	for _, tc := range cases {
+		if got := isNotLeaderError(tc.err); got != tc.want {
+			t.Fatalf("isNotLeaderError(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestClientLeaderCacheStateMachine pins the binding-selection rules:
+// mutations prefer the cached leader only while redirects are on, and
+// invalidation is conditional on the cache still holding the binding
+// that was rejected (a racing re-bind must not be clobbered).
+func TestClientLeaderCacheStateMachine(t *testing.T) {
+	primary, leader := &cosm.Conn{}, &cosm.Conn{}
+	c := &Client{conn: primary}
+
+	if conn, cached := c.mutConn(); conn != primary || cached {
+		t.Fatal("fresh client must mutate through the primary binding")
+	}
+
+	// A cached leader is ignored while redirects are off.
+	c.leader = leader
+	if conn, cached := c.mutConn(); conn != primary || cached {
+		t.Fatal("cache must be inert without FollowLeaderHints")
+	}
+
+	c.redirect = true
+	if conn, cached := c.mutConn(); conn != leader || !cached {
+		t.Fatal("redirecting client must prefer the cached leader")
+	}
+
+	// Dropping a different binding leaves the cache intact.
+	c.dropLeader(primary)
+	if conn, _ := c.mutConn(); conn != leader {
+		t.Fatal("dropLeader of a non-cached conn cleared the cache")
+	}
+
+	c.dropLeader(leader)
+	if conn, cached := c.mutConn(); conn != primary || cached {
+		t.Fatal("invalidated cache must fall back to the primary binding")
+	}
+}

@@ -35,6 +35,10 @@ type Constraint struct {
 	// idx holds the index hints extracted from the top-level AND chain;
 	// see hints.
 	idx []indexHint
+	// conj holds the top-level AND-chain conjuncts; the semantic
+	// matcher grades offers that satisfy only some of them as
+	// partial-attribute matches (see satisfied).
+	conj []cexpr
 }
 
 // Compile parses a constraint expression. Compiling once and reusing the
@@ -53,7 +57,12 @@ func Compile(src string) (*Constraint, error) {
 	if p.pos != len(p.src) {
 		return nil, fmt.Errorf("%w: trailing input %q", ErrConstraint, p.src[p.pos:])
 	}
-	return &Constraint{src: src, root: root, idx: collectHints(root, nil)}, nil
+	return &Constraint{
+		src:  src,
+		root: root,
+		idx:  collectHints(root, nil),
+		conj: collectConjuncts(root, nil),
+	}, nil
 }
 
 // MustCompile is Compile for statically known expressions.
@@ -209,6 +218,30 @@ func cmpOrdered[T float64 | string](op string, a, b T) bool {
 		return a >= b
 	}
 	return false
+}
+
+// collectConjuncts flattens the top-level AND chain into its conjunct
+// expressions; anything under || or ! stays one opaque conjunct.
+func collectConjuncts(e cexpr, out []cexpr) []cexpr {
+	if and, ok := e.(andExpr); ok {
+		return collectConjuncts(and.r, collectConjuncts(and.l, out))
+	}
+	return append(out, e)
+}
+
+// satisfied evaluates each top-level conjunct independently and reports
+// how many hold. total is 0 for the empty constraint (which every offer
+// satisfies fully); sat == total iff Match would return true.
+func (c *Constraint) satisfied(props map[string]sidl.Lit) (sat, total int) {
+	if c == nil || c.root == nil {
+		return 0, 0
+	}
+	for _, e := range c.conj {
+		if e.eval(props) {
+			sat++
+		}
+	}
+	return sat, len(c.conj)
 }
 
 // indexHint is one leaf predicate of a constraint's top-level AND chain

@@ -343,13 +343,10 @@ func (t *Trader) planScatter(req ImportRequest, visited []string) scatterPlan {
 			if e.Hops > req.HopLimit-1 {
 				continue // out of the request's remaining hop budget
 			}
-			ok := e.Type == req.Type
-			if !ok {
-				if conf, err := t.types.Conforms(e.Type, req.Type); err == nil && conf {
-					ok = true
-				}
-			}
-			if !ok {
+			// Coverage is decided by the same typemgr closure the local
+			// matching pipeline resolves against, so summary routing and
+			// matching can never disagree about the hierarchy.
+			if !t.types.Covers(req.Type, e.Type) {
 				continue
 			}
 			count += e.Count
@@ -421,7 +418,9 @@ func hopBudget(ctx context.Context, hopsLeft int) (sub context.Context, cancel c
 // best-effort — and feed the per-link breakers, so a dead peer fails
 // fast until its cooldown probe. Results are deduplicated by offer ID:
 // in a cyclic mesh the same origin offer can arrive over several paths.
-func (t *Trader) federatedMatches(ctx context.Context, req ImportRequest) []*Offer {
+// Matches relayed ungraded by pre-grading peers are re-graded against
+// this trader's hierarchy view and floored at the request's MinGrade.
+func (t *Trader) federatedMatches(ctx context.Context, req ImportRequest) []Match {
 	visited := append(append([]string(nil), req.visited...), t.id)
 	plan := t.planScatter(req, visited)
 	if len(plan.targets) == 0 {
@@ -447,9 +446,9 @@ func (t *Trader) federatedMatches(ctx context.Context, req ImportRequest) []*Off
 	defer cancel()
 
 	type linkResult struct {
-		link   *meshLink
-		offers []*Offer
-		err    error
+		link    *meshLink
+		matches []Match
+		err     error
 	}
 	// Buffered to the worst-case query count: a link that answers after
 	// the cutoff deposits its result and exits instead of leaking a
@@ -458,8 +457,8 @@ func (t *Trader) federatedMatches(ctx context.Context, req ImportRequest) []*Off
 	launch := func(l *meshLink) {
 		t.fedPeers.Add(1)
 		go func() {
-			offers, err := l.peer.FederatedImport(subCtx, sub)
-			results <- linkResult{link: l, offers: offers, err: err}
+			ms, err := l.peer.FederatedImport(subCtx, sub)
+			results <- linkResult{link: l, matches: ms, err: err}
 		}()
 	}
 	pending := 0
@@ -494,7 +493,8 @@ func (t *Trader) federatedMatches(ctx context.Context, req ImportRequest) []*Off
 		pendingLinks[l]++
 	}
 
-	var out []*Offer
+	minGrade := effectiveMinGrade(req.MinGrade)
+	var out []Match
 	seen := make(map[string]bool)
 	now := func() time.Time { return t.now() }
 	for pending > 0 {
@@ -511,12 +511,12 @@ func (t *Trader) federatedMatches(ctx context.Context, req ImportRequest) []*Off
 				continue
 			}
 			r.link.seen(now())
-			for _, o := range r.offers {
-				if seen[o.ID] {
+			for _, m := range t.regradeRemote(req.Type, minGrade, r.matches) {
+				if seen[m.ID] {
 					continue // same origin offer over a second mesh path
 				}
-				seen[o.ID] = true
-				out = append(out, o)
+				seen[m.ID] = true
+				out = append(out, m)
 			}
 		case <-hedge:
 			hedge = nil

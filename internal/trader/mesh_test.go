@@ -284,7 +284,7 @@ type failingFederate struct{ id string }
 
 func (f *failingFederate) FederationID() string { return f.id }
 
-func (f *failingFederate) FederatedImport(context.Context, ImportRequest) ([]*Offer, error) {
+func (f *failingFederate) FederatedImport(context.Context, ImportRequest) ([]Match, error) {
 	return nil, errors.New("boom")
 }
 

@@ -3,6 +3,8 @@ package trader
 import (
 	"context"
 	"time"
+
+	"cosm/internal/match"
 )
 
 // ImportOption configures one import request built with NewImport.
@@ -35,9 +37,27 @@ func Where(constraint string) ImportOption {
 }
 
 // OrderBy orders the result by a selection policy: "first", "random",
-// "min:<Prop>" or "max:<Prop>" (see Policy).
+// "min:<Prop>", "max:<Prop>" or the score-aware "score" (see Policy).
 func OrderBy(policy string) ImportOption {
 	return func(req *ImportRequest) { req.Policy = policy }
+}
+
+// Conformant explicitly requests conformance-aware matching: offers of
+// any conforming subtype of the requested service type match, graded
+// and scored by hierarchy distance. This is the trader's default
+// behaviour — the option exists so call sites can state the intent,
+// and as the counterpart to MinGrade(match.GradeExact).
+func Conformant() ImportOption {
+	return MinGrade(match.GradeSubtype)
+}
+
+// MinGrade floors the semantic grade of returned matches:
+// match.GradeExact restricts to offers of the literal requested type,
+// match.GradeSubtype (the default) also admits conforming subtypes,
+// and match.GradePartial additionally surfaces offers whose attributes
+// satisfy only part of the constraint (scored below every full match).
+func MinGrade(g match.Grade) ImportOption {
+	return func(req *ImportRequest) { req.MinGrade = g }
 }
 
 // Limit bounds the number of returned offers; 0 means all.
@@ -78,4 +98,10 @@ func (t *Trader) ImportWith(ctx context.Context, serviceType string, opts ...Imp
 // builder: it returns the single best offer, or ErrNoOffer.
 func (t *Trader) ImportOneWith(ctx context.Context, serviceType string, opts ...ImportOption) (*Offer, error) {
 	return t.ImportOne(ctx, NewImport(serviceType, opts...))
+}
+
+// ImportGradedWith is ImportGraded with the functional-options request
+// builder.
+func (t *Trader) ImportGradedWith(ctx context.Context, serviceType string, opts ...ImportOption) ([]Match, error) {
+	return t.ImportGraded(ctx, NewImport(serviceType, opts...))
 }

@@ -20,6 +20,9 @@ var ErrPolicy = errors.New("trader: bad selection policy")
 //	"random"      — a uniformly random permutation (load spreading)
 //	"min:<Prop>"  — ascending by a numeric property, e.g. "min:ChargePerDay"
 //	"max:<Prop>"  — descending by a numeric property
+//	"score"       — descending by semantic match score (exact type first,
+//	                then nearer subtypes, then partial-attribute matches),
+//	                grade and offer id breaking ties
 //
 // Offers lacking the ranked property sort last under min/max.
 type Policy struct {
@@ -35,6 +38,7 @@ const (
 	policyRandom
 	policyMin
 	policyMax
+	policyScore
 )
 
 // ParsePolicy parses a policy string; "" means "first".
@@ -45,6 +49,8 @@ func ParsePolicy(src string) (Policy, error) {
 		return Policy{src: s, kind: policyFirst}, nil
 	case s == "random":
 		return Policy{src: s, kind: policyRandom}, nil
+	case s == "score":
+		return Policy{src: s, kind: policyScore}, nil
 	case strings.HasPrefix(s, "min:"):
 		return parseRankPolicy(s, policyMin)
 	case strings.HasPrefix(s, "max:"):
@@ -70,18 +76,18 @@ func (p Policy) String() string { return p.src }
 // must re-shuffle on every call.
 func (p Policy) cacheable() bool { return p.kind != policyRandom }
 
-// apply orders offers in place according to the policy. rng drives the
-// "random" policy and must be non-nil for it.
-func (p Policy) apply(offers []*Offer, rng *rand.Rand) {
+// apply orders graded matches in place according to the policy. rng
+// drives the "random" policy and must be non-nil for it.
+func (p Policy) apply(ms []Match, rng *rand.Rand) {
 	switch p.kind {
 	case policyRandom:
-		rng.Shuffle(len(offers), func(i, j int) {
-			offers[i], offers[j] = offers[j], offers[i]
+		rng.Shuffle(len(ms), func(i, j int) {
+			ms[i], ms[j] = ms[j], ms[i]
 		})
 	case policyMin, policyMax:
-		sort.SliceStable(offers, func(i, j int) bool {
-			vi, oki := numericProp(offers[i], p.prop)
-			vj, okj := numericProp(offers[j], p.prop)
+		sort.SliceStable(ms, func(i, j int) bool {
+			vi, oki := numericProp(ms[i].Offer, p.prop)
+			vj, okj := numericProp(ms[j].Offer, p.prop)
 			switch {
 			case oki && okj:
 				if p.kind == policyMin {
@@ -94,8 +100,18 @@ func (p Policy) apply(offers []*Offer, rng *rand.Rand) {
 				return false
 			}
 		})
+	case policyScore:
+		sort.SliceStable(ms, func(i, j int) bool {
+			if ms[i].Score != ms[j].Score {
+				return ms[i].Score > ms[j].Score
+			}
+			if ms[i].Grade != ms[j].Grade {
+				return ms[i].Grade > ms[j].Grade
+			}
+			return ms[i].ID < ms[j].ID
+		})
 	default:
-		sort.SliceStable(offers, func(i, j int) bool { return offers[i].ID < offers[j].ID })
+		sort.SliceStable(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
 	}
 }
 

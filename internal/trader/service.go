@@ -7,6 +7,7 @@ import (
 
 	"cosm/internal/cosm"
 	"cosm/internal/journal"
+	"cosm/internal/match"
 	"cosm/internal/sidl"
 	"cosm/internal/wire"
 	"cosm/internal/xcode"
@@ -37,6 +38,10 @@ module CosmTrader {
         long long expiresUnix;
         // Liveness: true when the trader's sweeper suspects the provider.
         boolean suspect;
+        // Semantic match grade ("exact", "subtype", "partial-attribute")
+        // and score; empty/zero outside graded import results.
+        string grade;
+        double score;
     };
     typedef sequence<Offer_t> Offers_t;
     typedef sequence<string> Names_t;
@@ -58,6 +63,9 @@ module CosmTrader {
         // hedge delay in milliseconds (0 = no hedging).
         long maxPeers;
         long long hedgeMs;
+        // Semantic grade floor ("exact", "subtype", "partial-attribute";
+        // empty = the trader's default, subtype conformance).
+        string minGrade;
         Names_t visited;
     };
     // One federation link's observable state (see LinkList).
@@ -235,6 +243,7 @@ type traderTypes struct {
 	itemsT  *sidl.Type
 
 	int64T      *sidl.Type
+	float64T    *sidl.Type
 	boolT       *sidl.Type
 	replRecT    *sidl.Type
 	replRecsT   *sidl.Type
@@ -269,6 +278,7 @@ func newTraderTypes() (*traderTypes, error) {
 		itemsT:  sid.Type("ExportItems_t"),
 
 		int64T:      sidl.Basic(sidl.Int64),
+		float64T:    sidl.Basic(sidl.Float64),
 		boolT:       sidl.Basic(sidl.Bool),
 		replRecT:    sid.Type("ReplRecord_t"),
 		replRecsT:   sid.Type("ReplRecords_t"),
@@ -463,6 +473,44 @@ func (tt *traderTypes) offerValue(o *Offer) (*xcode.Value, error) {
 		"expiresUnix": xcode.NewInt(sidl.Basic(sidl.Int64), expires),
 		"suspect":     xcode.NewBool(sidl.Basic(sidl.Bool), o.Suspect),
 	})
+}
+
+// matchValue encodes one graded import result: the offer plus its
+// semantic grade and score.
+func (tt *traderTypes) matchValue(m Match) (*xcode.Value, error) {
+	ov, err := tt.offerValue(m.Offer)
+	if err != nil {
+		return nil, err
+	}
+	if err := ov.SetField("grade", xcode.NewString(tt.strT, m.Grade.String())); err != nil {
+		return nil, err
+	}
+	if err := ov.SetField("score", xcode.NewFloat(tt.float64T, m.Score)); err != nil {
+		return nil, err
+	}
+	return ov, nil
+}
+
+// matchFromValue decodes one graded import result. Offers sent by a
+// trader that predates grading lack the grade/score fields and decode
+// as GradeNone matches; the federation path re-grades those locally.
+func matchFromValue(v *xcode.Value) (Match, error) {
+	o, err := offerFromValue(v)
+	if err != nil {
+		return Match{}, err
+	}
+	m := Match{Offer: o}
+	if gv, err := v.Field("grade"); err == nil {
+		g, err := match.ParseGrade(gv.Str)
+		if err != nil {
+			return Match{}, err
+		}
+		m.Grade = g
+	}
+	if sv, err := v.Field("score"); err == nil {
+		m.Score = sv.Float
+	}
+	return m, nil
 }
 
 func offerFromValue(v *xcode.Value) (*Offer, error) {
@@ -713,17 +761,17 @@ func NewService(t *Trader) (*cosm.Service, error) {
 		if err != nil {
 			return err
 		}
-		offers, err := t.Import(call.Ctx, req)
+		ms, err := t.ImportGraded(call.Ctx, req)
 		if err != nil {
 			return err
 		}
-		elems := make([]*xcode.Value, len(offers))
-		for i, o := range offers {
-			ov, err := tt.offerValue(o)
+		elems := make([]*xcode.Value, len(ms))
+		for i, m := range ms {
+			mv, err := tt.matchValue(m)
 			if err != nil {
 				return err
 			}
-			elems[i] = ov
+			elems[i] = mv
 		}
 		seq, err := xcode.NewSequence(tt.offersT, elems...)
 		if err != nil {
@@ -1092,6 +1140,13 @@ func importReqFromValue(v *xcode.Value) (ImportRequest, error) {
 	if f, err := v.Field("hedgeMs"); err == nil && f.Int > 0 {
 		req.Hedge = time.Duration(f.Int) * time.Millisecond
 	}
+	// The semantic grade floor arrived with graded matching; an absent
+	// or unknown value falls back to the default (subtype conformance).
+	if f, err := v.Field("minGrade"); err == nil {
+		if g, err := match.ParseGrade(f.Str); err == nil {
+			req.MinGrade = g
+		}
+	}
 	return req, nil
 }
 
@@ -1113,5 +1168,6 @@ func (tt *traderTypes) importReqValue(req ImportRequest) (*xcode.Value, error) {
 		"visited":     visitedSeq,
 		"maxPeers":    xcode.NewInt(tt.int32T, int64(req.MaxPeers)),
 		"hedgeMs":     xcode.NewInt(tt.int64T, req.Hedge.Milliseconds()),
+		"minGrade":    xcode.NewString(tt.strT, req.MinGrade.String()),
 	})
 }

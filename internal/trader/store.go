@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cosm/internal/match"
 	"cosm/internal/obs"
 	"cosm/internal/typemgr"
 )
@@ -62,12 +63,12 @@ type typeBucket struct {
 	snap    atomic.Pointer[typeSnapshot]
 }
 
-// resolution pins the stored types matching one request type at a
-// (store generation, repo generation) pair.
+// resolution pins the graded stored types matching one request type at
+// a (store generation, repo generation) pair.
 type resolution struct {
 	storeGen uint64
 	repoGen  uint64
-	types    []string
+	types    []match.TypeMatch
 }
 
 // bucketVersion records the version of one consulted type bucket, for
@@ -296,39 +297,48 @@ func (st *offerStore) all() []*Offer {
 	return out
 }
 
-// resolve returns the stored type names whose offers satisfy requests
-// for reqType: the type itself plus every stored type conforming to it.
-// The result is cached and revalidated against the store and repo
-// generations, so steady-state imports skip the conformance walk.
-func (st *offerStore) resolve(reqType string) []string {
+// resolve is phase 1 of the matching pipeline: the graded stored type
+// buckets whose offers satisfy requests for reqType — the type itself
+// (exact) plus every stored type in its conformant closure (subtype,
+// scored by hierarchy distance). The closure comes from the typemgr
+// hierarchy index, so this never walks conformance per stored type; the
+// intersection with the stored bucket set is cached and revalidated
+// against the store and repo generations, so steady-state imports do no
+// hierarchy work at all.
+func (st *offerStore) resolve(reqType string) []match.TypeMatch {
 	storeGen, repoGen := st.gens()
 	if r, ok := st.resolutions.get(reqType); ok && r.storeGen == storeGen && r.repoGen == repoGen {
 		return r.types
 	}
 
-	var stored []string
+	stored := map[string]bool{}
 	for i := range st.shards {
 		sh := &st.shards[i]
 		sh.mu.RLock()
 		for name := range sh.types {
-			stored = append(stored, name)
+			stored[name] = true
 		}
 		sh.mu.RUnlock()
 	}
-	names := stored[:0]
-	for _, name := range stored {
-		if name == reqType {
-			names = append(names, name)
-			continue
+
+	var types []match.TypeMatch
+	cl, err := st.repo.ConformingTypes(reqType)
+	if err != nil {
+		// The request type is unknown to the repository (or its
+		// hierarchy is corrupt): offers stored under the literal name
+		// still match exactly, nothing else can conform.
+		if stored[reqType] {
+			types = []match.TypeMatch{{Name: reqType, Grade: match.GradeExact, Score: match.ScoreExact}}
 		}
-		// Unknown stored types cannot conform; skip them.
-		if ok, err := st.repo.Conforms(name, reqType); err == nil && ok {
-			names = append(names, name)
+	} else {
+		for _, tm := range match.GradeClosure(cl) {
+			if stored[tm.Name] {
+				types = append(types, tm)
+			}
 		}
 	}
-	sort.Strings(names)
-	st.resolutions.add(reqType, &resolution{storeGen: storeGen, repoGen: repoGen, types: names})
-	return names
+	st.resolutions.add(reqType, &resolution{storeGen: storeGen, repoGen: repoGen, types: types})
+	return types
 }
 
 // snapshot returns the current matching snapshot for a stored type,

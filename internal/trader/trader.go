@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"cosm/internal/journal"
+	"cosm/internal/match"
 	"cosm/internal/obs"
 	"cosm/internal/ref"
 	"cosm/internal/sidl"
@@ -69,6 +70,23 @@ func (o *Offer) clone() *Offer {
 	return c
 }
 
+// Match is one graded import result: the offer plus how well it
+// satisfies the request (see the match package for the grade lattice
+// and scoring model). The Offer is a shared immutable snapshot; the
+// grade and score are per-request and cost no offer copy.
+type Match struct {
+	*Offer
+	// Grade classifies the match: exact type, conforming subtype, or
+	// partial attribute satisfaction. Offers relayed by pre-grading
+	// peers arrive as GradeNone and are re-graded by the origin trader.
+	Grade match.Grade
+	// Score orders matches of equal grade: the type-conformance score
+	// (1.0 exact, decaying with declared subtype depth, 0.5 structural)
+	// scaled down for partial-attribute matches so that every full
+	// match outranks every partial one.
+	Score float64
+}
+
 // ImportRequest is one import call (step 2 of Fig. 1). It doubles as
 // the wire struct of the trader protocol; in-process callers usually
 // build it with NewImport and the functional options (Where, OrderBy,
@@ -91,6 +109,13 @@ type ImportRequest struct {
 	// Hedge, when positive, queries one backup peer if the scattered
 	// peers have not all answered within this delay.
 	Hedge time.Duration
+	// MinGrade floors the match grade of returned offers. The zero
+	// value (GradeNone, what requests from pre-grading clients decode
+	// to) keeps the classic behaviour: full matches only, exact or
+	// conforming subtype. MinGrade(GradeExact) restricts to the literal
+	// type; MinGrade(GradePartial) additionally surfaces offers whose
+	// attributes satisfy only part of the constraint.
+	MinGrade match.Grade
 
 	// visited carries the trader IDs already consulted, for loop
 	// protection across federation links.
@@ -104,8 +129,11 @@ type LinkDialer func(ctx context.Context, peer ref.ServiceRef) (Federate, error)
 // Federate is the linked-trader interface used for federation: both
 // *Trader (in-process links) and *Client (remote links) implement it.
 type Federate interface {
-	// FederatedImport answers an import on behalf of a partner trader.
-	FederatedImport(ctx context.Context, req ImportRequest) ([]*Offer, error)
+	// FederatedImport answers an import on behalf of a partner trader,
+	// returning graded matches. Peers that predate grading return
+	// GradeNone matches; the origin trader re-grades those against its
+	// own hierarchy view.
+	FederatedImport(ctx context.Context, req ImportRequest) ([]Match, error)
 	// FederationID globally identifies the trader for loop protection.
 	FederationID() string
 }
@@ -148,6 +176,11 @@ type Trader struct {
 
 	now      func() time.Time
 	useIndex bool
+
+	// matchPhases are pluggable matcher stages run after the built-in
+	// resolve/filter/score phases on every local match pass (see
+	// WithMatchPhase).
+	matchPhases []match.Phase[*Offer]
 
 	// constraints caches compiled constraint expressions (bounded LRU;
 	// nil disables caching).
@@ -204,7 +237,7 @@ type importCacheEntry struct {
 	storeGen  uint64
 	repoGen   uint64
 	consulted []bucketVersion
-	offers    []*Offer
+	matches   []Match
 }
 
 // traderMetrics binds the cosm_trader_* metric families. The zero value
@@ -214,6 +247,7 @@ type traderMetrics struct {
 	withdrawals *obs.Counter
 	imports     *obs.CounterVec // by requested type
 	matches     *obs.Histogram  // matches returned per import
+	matchGrades *obs.CounterVec // by grade: exact, subtype, partial-attribute
 	purged      *obs.Counter
 
 	indexLookups     *obs.CounterVec // by index kind: eq, range, scan, linear
@@ -241,6 +275,7 @@ func newTraderMetrics(reg *obs.Registry) traderMetrics {
 		withdrawals: reg.Counter("cosm_trader_withdrawals_total", "Offers withdrawn."),
 		imports:     reg.CounterVec("cosm_trader_imports_total", "Import requests by requested service type.", "type"),
 		matches:     reg.Histogram("cosm_trader_import_matches", "Offers returned per import.", obs.CountBuckets),
+		matchGrades: reg.CounterVec("cosm_trader_match_grade_total", "Matches returned by semantic grade (exact, subtype, partial-attribute).", "grade"),
 		purged:      reg.Counter("cosm_trader_offers_purged_total", "Expired offers reclaimed."),
 
 		indexLookups:     reg.CounterVec("cosm_trader_index_lookups_total", "Type-bucket match passes by index kind (eq, range, scan, linear).", "kind"),
@@ -297,6 +332,16 @@ func WithConstraintCacheSize(n int) Option {
 // the cache.
 func WithImportCacheTTL(d time.Duration) Option {
 	return func(t *Trader) { t.importTTL = d }
+}
+
+// WithMatchPhase appends a pluggable stage to the semantic matching
+// pipeline, run over the local match set after the built-in
+// resolve/filter/score phases — the slot custom matchers (business
+// rules, re-rankers, mediation planners) plug into. Phases must be
+// deterministic and side-effect free on the offers: results may be
+// served from the import cache, and offers are shared snapshots.
+func WithMatchPhase(p match.Phase[*Offer]) Option {
+	return func(t *Trader) { t.matchPhases = append(t.matchPhases, p) }
 }
 
 // WithClock injects a time source for lease handling (tests use a fake
@@ -727,14 +772,42 @@ func (t *Trader) PurgeExpired() int {
 	return n
 }
 
+// effectiveMinGrade maps a request's grade floor to the engine's: the
+// zero value (unset, and what pre-grading peers send) means the classic
+// behaviour — full matches only, exact type or conforming subtype.
+func effectiveMinGrade(g match.Grade) match.Grade {
+	if g == match.GradeNone {
+		return match.GradeSubtype
+	}
+	return g
+}
+
 // Import matches a request against the local offer store and, when the
 // request's hop limit permits, against federated partner traders
 // (step 2/3 of Fig. 1). Results are constraint-filtered, policy-ordered,
-// deduplicated by service reference, and truncated to Max.
+// deduplicated by service reference, and truncated to Max. It is
+// ImportGraded with the grades dropped.
 //
 // The returned offers are shared immutable snapshots; callers must not
 // modify them.
 func (t *Trader) Import(ctx context.Context, req ImportRequest) ([]*Offer, error) {
+	ms, err := t.ImportGraded(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	offers := make([]*Offer, len(ms))
+	for i := range ms {
+		offers[i] = ms[i].Offer
+	}
+	return offers, nil
+}
+
+// ImportGraded is the semantic import: every returned offer carries the
+// grade and score the matching pipeline assigned it (exact type,
+// conforming subtype, or — when req.MinGrade admits it — partial
+// attribute satisfaction). See Import for the ungraded convenience
+// wrapper and the result-ordering contract.
+func (t *Trader) ImportGraded(ctx context.Context, req ImportRequest) ([]Match, error) {
 	t.metrics.imports.With(req.Type).Inc()
 	constraint, err := t.compile(req.Constraint)
 	if err != nil {
@@ -744,6 +817,7 @@ func (t *Trader) Import(ctx context.Context, req ImportRequest) ([]*Offer, error
 	if err != nil {
 		return nil, err
 	}
+	minGrade := effectiveMinGrade(req.MinGrade)
 
 	// Purely local, deterministically ordered imports can be answered
 	// from the result cache: entries are invalidated by any store or
@@ -754,11 +828,12 @@ func (t *Trader) Import(ctx context.Context, req ImportRequest) ([]*Offer, error
 	var key string
 	var storeGen, repoGen uint64
 	if cacheable {
-		key = req.Type + "\x1f" + req.Constraint + "\x1f" + req.Policy + "\x1f" + strconv.Itoa(req.Max)
+		key = req.Type + "\x1f" + req.Constraint + "\x1f" + req.Policy + "\x1f" +
+			strconv.Itoa(req.Max) + "\x1f" + strconv.Itoa(int(minGrade))
 		if e, ok := t.importCache.get(key); ok && !now.After(e.expires) && t.store.validate(e) {
 			t.metrics.importCache.With("hit").Inc()
-			matches := append([]*Offer(nil), e.offers...)
-			t.metrics.matches.Observe(float64(len(matches)))
+			matches := append([]Match(nil), e.matches...)
+			t.recordMatches(matches)
 			t.log.Log(ctx, "import", "type", req.Type, "constraint", req.Constraint,
 				"hoplimit", req.HopLimit, "matches", len(matches), "cache", "hit")
 			return matches, nil
@@ -769,23 +844,27 @@ func (t *Trader) Import(ctx context.Context, req ImportRequest) ([]*Offer, error
 		storeGen, repoGen = t.store.gens()
 	}
 
-	matches, consulted := t.localMatches(req.Type, constraint)
+	matches, consulted, err := t.localMatches(req.Type, constraint, minGrade)
+	if err != nil {
+		return nil, err
+	}
 
 	if req.HopLimit > 0 {
-		partnerOffers := t.federatedMatches(ctx, req)
-		matches = append(matches, partnerOffers...)
+		matches = append(matches, t.federatedMatches(ctx, req)...)
 	}
 
 	// Deduplicate by target reference: the same service exported at two
-	// federated traders is still one service.
+	// federated traders is still one service. First occurrence wins, so
+	// a local (already grade-ordered-by-bucket) match shadows a remote
+	// duplicate of the same service.
 	seen := make(map[ref.ServiceRef]bool, len(matches))
 	unique := matches[:0]
-	for _, o := range matches {
-		if seen[o.Ref] {
+	for _, m := range matches {
+		if seen[m.Ref] {
 			continue
 		}
-		seen[o.Ref] = true
-		unique = append(unique, o)
+		seen[m.Ref] = true
+		unique = append(unique, m)
 	}
 	matches = unique
 
@@ -808,10 +887,10 @@ func (t *Trader) Import(ctx context.Context, req ImportRequest) ([]*Offer, error
 
 	if cacheable {
 		expires := now.Add(t.importTTL)
-		for _, o := range matches {
+		for _, m := range matches {
 			// A cached result must not outlive its shortest lease.
-			if !o.Expires.IsZero() && o.Expires.Before(expires) {
-				expires = o.Expires
+			if !m.Expires.IsZero() && m.Expires.Before(expires) {
+				expires = m.Expires
 			}
 		}
 		t.importCache.add(key, &importCacheEntry{
@@ -819,16 +898,24 @@ func (t *Trader) Import(ctx context.Context, req ImportRequest) ([]*Offer, error
 			storeGen:  storeGen,
 			repoGen:   repoGen,
 			consulted: consulted,
-			offers:    append([]*Offer(nil), matches...),
+			matches:   append([]Match(nil), matches...),
 		})
 	}
 
-	t.metrics.matches.Observe(float64(len(matches)))
+	t.recordMatches(matches)
 	// The import line carries the trace from ctx, so a federated import
 	// shows up in each consulted trader's log under one trace ID.
 	t.log.Log(ctx, "import", "type", req.Type, "constraint", req.Constraint,
 		"hoplimit", req.HopLimit, "matches", len(matches))
 	return matches, nil
+}
+
+// recordMatches feeds the per-import match count and per-grade tallies.
+func (t *Trader) recordMatches(ms []Match) {
+	t.metrics.matches.Observe(float64(len(ms)))
+	for _, m := range ms {
+		t.metrics.matchGrades.With(m.Grade.String()).Inc()
+	}
 }
 
 // ImportOne returns the single best offer, or ErrNoOffer.
@@ -845,8 +932,8 @@ func (t *Trader) ImportOne(ctx context.Context, req ImportRequest) (*Offer, erro
 }
 
 // FederatedImport implements Federate for in-process links.
-func (t *Trader) FederatedImport(ctx context.Context, req ImportRequest) ([]*Offer, error) {
-	return t.Import(ctx, req)
+func (t *Trader) FederatedImport(ctx context.Context, req ImportRequest) ([]Match, error) {
+	return t.ImportGraded(ctx, req)
 }
 
 // compile returns the compiled form of a constraint expression, served
@@ -868,49 +955,60 @@ func (t *Trader) compile(src string) (*Constraint, error) {
 	return c, nil
 }
 
-// localMatches returns the matching offers from the local store, sorted
-// by ID, plus the versions of the type buckets consulted (for the
-// import-result cache). Offers are shared immutable snapshots.
-func (t *Trader) localMatches(reqType string, constraint *Constraint) ([]*Offer, []bucketVersion) {
+// localMatches runs the semantic matching pipeline over the local
+// store: phase 1 resolves the requested type to its graded conformant
+// closure, phase 2 filters each closure bucket through the compiled
+// constraint (index-narrowed when only full matches are wanted), phase
+// 3 scores the survivors, and any WithMatchPhase stages run last. The
+// result is sorted by offer ID; the bucket versions consulted feed the
+// import-result cache. Offers are shared immutable snapshots.
+func (t *Trader) localMatches(reqType string, constraint *Constraint, minGrade match.Grade) ([]Match, []bucketVersion, error) {
 	now := t.now()
 
-	if !t.useIndex {
-		// Ablation path: linear scan over every offer with a
-		// per-offer conformance check — the pre-redesign behaviour the
-		// equivalence property test compares against.
-		t.metrics.indexLookups.With("linear").Inc()
-		var matches []*Offer
-		for _, o := range t.store.all() {
-			ok := o.Type == reqType
+	var consulted []bucketVersion
+	pipe := &match.Pipeline[*Offer]{
+		Phases: t.matchPhases,
+		Gather: func(tm match.TypeMatch, min match.Grade) ([]match.Graded[*Offer], error) {
+			snap, ok := t.store.snapshot(tm.Name)
 			if !ok {
-				conf, err := t.types.Conforms(o.Type, reqType)
-				if err != nil {
-					continue
-				}
-				ok = conf
+				return nil, nil // withdrawn since resolve; the gens catch it
 			}
-			if !ok || o.expired(now) {
-				continue
-			}
-			if constraint.Match(o.Props) {
-				matches = append(matches, o)
-			}
-		}
-		sort.Slice(matches, func(i, j int) bool { return matches[i].ID < matches[j].ID })
-		return matches, nil
+			consulted = append(consulted, bucketVersion{name: tm.Name, version: snap.version})
+			return t.gatherBucket(snap, tm, constraint, min, now), nil
+		},
+	}
+	if t.useIndex {
+		pipe.Resolve = func(rt string) ([]match.TypeMatch, error) { return t.store.resolve(rt), nil }
+	} else {
+		// Ablation path: no stored-bucket intersection, no snapshots,
+		// no index narrowing — the requested type's closure is walked
+		// per offer over a full store scan. WithoutOfferIndex is the
+		// equivalence oracle the property test compares against.
+		return t.linearMatches(reqType, constraint, minGrade, now)
 	}
 
-	// Typed lookup: the requested type's offers plus offers of every
-	// stored type that conforms to it, each bucket narrowed through its
-	// snapshot's attribute indexes.
-	var matches []*Offer
-	var consulted []bucketVersion
-	for _, name := range t.store.resolve(reqType) {
-		snap, ok := t.store.snapshot(name)
-		if !ok {
-			continue // withdrawn since resolve; the gens catch it
-		}
-		consulted = append(consulted, bucketVersion{name: name, version: snap.version})
+	gs, err := pipe.Run(reqType, minGrade)
+	if err != nil {
+		return nil, nil, err
+	}
+	matches := make([]Match, len(gs))
+	for i, g := range gs {
+		matches[i] = Match{Offer: g.Item, Grade: g.Grade, Score: g.Score}
+	}
+	sort.Slice(matches, func(i, j int) bool { return matches[i].ID < matches[j].ID })
+	return matches, consulted, nil
+}
+
+// gatherBucket is phase 2+3 for one conformant type bucket: candidate
+// selection, constraint filtering and scoring. When the grade floor
+// excludes partial-attribute matches the candidate set is narrowed
+// through the snapshot's attribute indexes (every index hint is a
+// necessary condition of a *full* match); with a partial floor the
+// whole bucket must be scanned, because an offer failing every hint may
+// still satisfy some conjuncts.
+func (t *Trader) gatherBucket(snap *typeSnapshot, tm match.TypeMatch, constraint *Constraint, minGrade match.Grade, now time.Time) []match.Graded[*Offer] {
+	var out []match.Graded[*Offer]
+	if minGrade > match.GradePartial {
 		candidates, kind := snap.candidates(constraint)
 		t.metrics.indexLookups.With(kind).Inc()
 		for _, o := range candidates {
@@ -918,10 +1016,94 @@ func (t *Trader) localMatches(reqType string, constraint *Constraint) ([]*Offer,
 				continue
 			}
 			if constraint.Match(o.Props) {
-				matches = append(matches, o)
+				out = append(out, match.Graded[*Offer]{Item: o, Grade: tm.Grade, Score: tm.Score})
 			}
+		}
+		return out
+	}
+	t.metrics.indexLookups.With("scan").Inc()
+	for _, o := range snap.offers {
+		if o.expired(now) {
+			continue
+		}
+		out = appendGraded(out, o, tm, constraint)
+	}
+	return out
+}
+
+// appendGraded grades one type-conformant offer against the constraint
+// — full (inheriting the bucket's type grade) or partial-attribute —
+// and appends it; offers satisfying no conjunct are dropped.
+func appendGraded(out []match.Graded[*Offer], o *Offer, tm match.TypeMatch, constraint *Constraint) []match.Graded[*Offer] {
+	sat, total := constraint.satisfied(o.Props)
+	switch {
+	case sat == total:
+		out = append(out, match.Graded[*Offer]{Item: o, Grade: tm.Grade, Score: tm.Score})
+	case sat > 0:
+		out = append(out, match.Graded[*Offer]{
+			Item: o, Grade: match.GradePartial,
+			Score: match.PartialScore(tm.Score, sat, total),
+		})
+	}
+	return out
+}
+
+// linearMatches is the WithoutOfferIndex oracle: a full-store linear
+// scan with a per-offer closure lookup, implementing exactly the same
+// graded semantics as the indexed pipeline.
+func (t *Trader) linearMatches(reqType string, constraint *Constraint, minGrade match.Grade, now time.Time) ([]Match, []bucketVersion, error) {
+	t.metrics.indexLookups.With("linear").Inc()
+	grades := map[string]match.TypeMatch{}
+	if cl, err := t.types.ConformingTypes(reqType); err == nil {
+		for _, tm := range match.GradeClosure(cl) {
+			grades[tm.Name] = tm
+		}
+	} else {
+		// Unknown request type: only literal type names match.
+		grades[reqType] = match.TypeMatch{Name: reqType, Grade: match.GradeExact, Score: match.ScoreExact}
+	}
+	var gs []match.Graded[*Offer]
+	for _, o := range t.store.all() {
+		tm, ok := grades[o.Type]
+		if !ok || o.expired(now) {
+			continue
+		}
+		if minGrade > match.GradePartial {
+			if tm.Grade.AtLeast(minGrade) && constraint.Match(o.Props) {
+				gs = append(gs, match.Graded[*Offer]{Item: o, Grade: tm.Grade, Score: tm.Score})
+			}
+			continue
+		}
+		gs = appendGraded(gs, o, tm, constraint)
+	}
+	matches := make([]Match, 0, len(gs))
+	for _, g := range gs {
+		if g.Grade.AtLeast(minGrade) {
+			matches = append(matches, Match{Offer: g.Item, Grade: g.Grade, Score: g.Score})
 		}
 	}
 	sort.Slice(matches, func(i, j int) bool { return matches[i].ID < matches[j].ID })
-	return matches, consulted
+	return matches, nil, nil
+}
+
+// regradeRemote grades matches relayed by pre-grading peers (GradeNone
+// on the wire) against this trader's own hierarchy view and drops
+// anything below the request's effective grade floor — the tolerant-
+// decode half of wire compatibility: an old peer's answer degrades to
+// its vouched-for match set instead of erroring.
+func (t *Trader) regradeRemote(reqType string, minGrade match.Grade, ms []Match) []Match {
+	var cl []match.TypeMatch
+	if c, err := t.types.ConformingTypes(reqType); err == nil {
+		cl = match.GradeClosure(c)
+	}
+	kept := ms[:0]
+	for _, m := range ms {
+		if m.Grade == match.GradeNone {
+			m.Grade, m.Score = match.GradeRemote(reqType, m.Type, cl)
+		}
+		if m.Grade.AtLeast(minGrade) {
+			kept = append(kept, m)
+		}
+	}
+	return kept
 }

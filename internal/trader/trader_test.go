@@ -311,7 +311,7 @@ type blackholeFederate struct{ id string }
 
 func (f *blackholeFederate) FederationID() string { return f.id }
 
-func (f *blackholeFederate) FederatedImport(ctx context.Context, _ ImportRequest) ([]*Offer, error) {
+func (f *blackholeFederate) FederatedImport(ctx context.Context, _ ImportRequest) ([]Match, error) {
 	<-ctx.Done()
 	return nil, ctx.Err()
 }

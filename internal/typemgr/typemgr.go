@@ -183,6 +183,7 @@ type Repo struct {
 	types   map[string]*ServiceType
 	sources map[string]string
 	gen     atomic.Uint64
+	hier    hierarchyCache
 }
 
 // NewRepo returns an empty repository.
@@ -212,6 +213,9 @@ func (r *Repo) DefineWithSource(st *ServiceType, source string) error {
 		return fmt.Errorf("%w: %q", ErrTypeExists, st.Name)
 	}
 	if st.Super != "" {
+		if err := r.checkNoCycleLocked(st); err != nil {
+			return err
+		}
 		super, ok := r.types[st.Super]
 		if !ok {
 			return fmt.Errorf("%w: supertype %q", ErrTypeUnknown, st.Super)
@@ -321,15 +325,10 @@ func (r *Repo) Conforms(sub, base string) (bool, error) {
 		return false, fmt.Errorf("%w: %q", ErrTypeUnknown, base)
 	}
 	// Declared hierarchy first (cheap), structure second.
-	for cur := subT; cur.Super != ""; {
-		if cur.Super == base {
-			return true, nil
-		}
-		next, ok := r.types[cur.Super]
-		if !ok {
-			break
-		}
-		cur = next
+	if _, ok, err := r.declaredDepthLocked(subT, base); err != nil {
+		return false, err
+	} else if ok {
+		return true, nil
 	}
 	return subT.StructurallyConformsTo(baseT) == nil, nil
 }

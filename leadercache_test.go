@@ -1,0 +1,143 @@
+package bench
+
+// Client-side leader caching: a redirect-enabled client remembers the
+// leader a not-leader hint pointed at, steers every later mutation
+// straight there, and invalidates the cached binding the moment it
+// answers not-leader itself (leadership moved).
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"cosm/internal/cosm"
+	"cosm/internal/ref"
+	"cosm/internal/sidl"
+	"cosm/internal/trader"
+	"cosm/internal/typemgr"
+	"cosm/internal/wire"
+)
+
+// leaderCachePair serves a leader/follower trader pair over TCP with no
+// monitors or replication: leadership only moves when the test says so.
+func leaderCachePair(t *testing.T) (traders [2]*trader.Trader, nodes [2]*cosm.Node, refs []ref.ServiceRef) {
+	t.Helper()
+	endpoints, refs := haEndpoints(t, 2)
+	for i := range traders {
+		tr := trader.New("HA", typemgr.NewRepo())
+		// Both sides know the service type up front: there is no type
+		// replication in this harness, and a promoted ex-follower must
+		// be able to accept the exports the client will send it.
+		if err := tr.DefineTypeSIDL(sidl.CarRentalIDL); err != nil {
+			t.Fatal(err)
+		}
+		traders[i] = tr
+	}
+	traders[1].SetFollower(refs[0].String())
+	for i, tr := range traders {
+		svc, err := trader.NewService(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := cosm.NewNode(cosm.WithNodeLog(func(string, ...any) {}))
+		if err := node.Host(trader.ServiceName, svc); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := node.ListenAndServe(endpoints[i]); err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+		t.Cleanup(func() { _ = node.Close() })
+	}
+	return traders, nodes, refs
+}
+
+func leaderCacheExport(t *testing.T, tc *trader.Client, i int) string {
+	t.Helper()
+	ctx := context.Background()
+	id, err := tc.Export(ctx, "CarRentalService",
+		ref.New(fmt.Sprintf("tcp:10.4.9.%d:7000", i), "CarRentalService"), carProps(float64(50+i)))
+	if err != nil {
+		t.Fatalf("export %d: %v", i, err)
+	}
+	return id
+}
+
+// TestClientLeaderCacheSurvivesFollowerLoss: after one redirected
+// mutation the client holds the leader binding, so later mutations
+// succeed even when the follower it originally bound to is gone —
+// proof the hint is remembered across calls rather than re-chased.
+func TestClientLeaderCacheSurvivesFollowerLoss(t *testing.T) {
+	ctx := context.Background()
+	traders, nodes, refs := leaderCachePair(t)
+
+	pool := wire.NewPool()
+	defer pool.Close()
+	tc, err := trader.DialTrader(ctx, pool, refs[1]) // bound to the follower
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.FollowLeaderHints(true)
+
+	id1 := leaderCacheExport(t, tc, 1)
+
+	// The follower disappears; the cached leader binding keeps working.
+	_ = nodes[1].Close()
+	id2 := leaderCacheExport(t, tc, 2)
+
+	offers, err := traders[0].Import(ctx, trader.ImportRequest{Type: "CarRentalService"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, o := range offers {
+		got[o.ID] = true
+	}
+	if len(offers) != 2 || !got[id1] || !got[id2] {
+		t.Fatalf("leader offers = %+v, want %s and %s", offers, id1, id2)
+	}
+}
+
+// TestClientLeaderCacheInvalidatedOnLeadershipMove: when the cached
+// leader is deposed its not-leader rejection names the new leader; the
+// client drops the stale binding, chases the fresh hint, and lands the
+// mutation — then goes straight to the new leader on the next call.
+func TestClientLeaderCacheInvalidatedOnLeadershipMove(t *testing.T) {
+	ctx := context.Background()
+	traders, _, refs := leaderCachePair(t)
+
+	pool := wire.NewPool()
+	defer pool.Close()
+	tc, err := trader.DialTrader(ctx, pool, refs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.FollowLeaderHints(true)
+
+	id1 := leaderCacheExport(t, tc, 1) // caches the original leader
+
+	// Leadership moves: the old leader demotes pointing at the new one.
+	traders[0].DemoteRejoin(refs[1].String())
+	if err := traders[1].Promote(traders[1].Epoch() + 1); err != nil {
+		t.Fatal(err)
+	}
+
+	id2 := leaderCacheExport(t, tc, 2) // stale cache → re-chase → new leader
+	id3 := leaderCacheExport(t, tc, 3) // straight to the new leader
+
+	newLeader, err := traders[1].Import(ctx, trader.ImportRequest{Type: "CarRentalService"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, o := range newLeader {
+		got[o.ID] = true
+	}
+	if len(newLeader) != 2 || !got[id2] || !got[id3] {
+		t.Fatalf("new leader offers = %+v, want %s and %s", newLeader, id2, id3)
+	}
+	oldLeader, err := traders[0].Import(ctx, trader.ImportRequest{Type: "CarRentalService"})
+	if err != nil || len(oldLeader) != 1 || oldLeader[0].ID != id1 {
+		t.Fatalf("old leader offers = %+v, %v; want only %s", oldLeader, err, id1)
+	}
+}
